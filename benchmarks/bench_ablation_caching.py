@@ -1,0 +1,76 @@
+"""Ablation — executor result caching (the VisTrails iteration loop).
+
+DESIGN.md calls out upstream-result caching as the mechanism that makes
+iterative exploration cheap: when the user edits one module's
+parameter, only that module and its downstream re-execute.  The
+ablation compares re-execution after a leaf edit with caching on vs
+off, over a chain with an expensive upstream (dataset generation +
+regridding).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.workflow.executor import Executor
+from repro.workflow.pipeline import Pipeline
+
+SIZE = {"nlat": 46, "nlon": 72, "nlev": 10, "ntime": 6}
+
+
+def analysis_chain(registry) -> tuple:
+    p = Pipeline(registry)
+    reader = p.add_module("CDMSDatasetReader",
+                          {"source": "synthetic_reanalysis", "size": SIZE})
+    var = p.add_module("CDMSVariableReader", {"variable": "ta"})
+    regrid = p.add_module("CDMSRegrid", {"nlat": 23, "nlon": 36,
+                                         "method": "conservative"})
+    anom = p.add_module("CDATOperation", {"operation": "anomalies"})
+    scale = p.add_module("CDATOperation", {"operation": "scale",
+                                           "args": {"factor": 1.0}})
+    p.add_connection(reader, "dataset", var, "dataset")
+    p.add_connection(var, "variable", regrid, "variable")
+    p.add_connection(regrid, "variable", anom, "variable")
+    p.add_connection(anom, "variable", scale, "variable")
+    return p, scale
+
+
+@pytest.mark.parametrize("caching", [True, False], ids=["cached", "uncached"])
+def test_ablation_reexecute_after_leaf_edit(benchmark, registry, caching):
+    """Re-execution cost after editing only the final module's parameter."""
+    pipeline, leaf = analysis_chain(registry)
+    executor = Executor(caching=caching)
+    executor.execute(pipeline)  # populate the cache (if enabled)
+    state = {"factor": 1.0}
+
+    def edit_and_rerun():
+        state["factor"] += 0.01  # a leaf-only edit every round
+        pipeline.set_parameter(leaf, "args", {"factor": state["factor"]})
+        return executor.execute(pipeline)
+
+    benchmark.group = "ablation-caching"
+    result = benchmark(edit_and_rerun)
+    if caching:
+        assert result.cache_hits >= 3  # everything upstream of the leaf
+
+
+def test_ablation_caching_report(registry):
+    import time
+
+    timings = {}
+    for caching in (True, False):
+        pipeline, leaf = analysis_chain(registry)
+        executor = Executor(caching=caching)
+        executor.execute(pipeline)
+        t0 = time.perf_counter()
+        for i in range(3):
+            pipeline.set_parameter(leaf, "args", {"factor": 1.0 + i * 0.01})
+            executor.execute(pipeline)
+        timings[caching] = (time.perf_counter() - t0) / 3
+    speedup = timings[False] / timings[True]
+    report("Ablation: executor caching on leaf-edit re-execution",
+           [("uncached", f"{timings[False]:.3f} s"),
+            ("cached", f"{timings[True]:.3f} s"),
+            ("speedup", f"{speedup:.1f}x")])
+    assert speedup > 2.0

@@ -1,0 +1,65 @@
+"""Ablation — isosurface extraction design choices.
+
+Two knobs DESIGN.md calls out in the marching-tetrahedra implementation:
+
+* **vertex deduplication** — merging shared-edge vertices costs one
+  ``np.unique`` but enables smooth (area-weighted point-normal)
+  shading and shrinks the mesh ~6×;
+* **resolution** — extraction cost should scale with cell count (n³),
+  while output size scales with surface area (n²).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import report
+from repro.rendering.image_data import ImageData
+from repro.rendering.isosurface import marching_tetrahedra
+
+
+def blob_volume(n: int) -> ImageData:
+    x = np.linspace(-1, 1, n)
+    X, Y, Z = np.meshgrid(x, x, x, indexing="ij")
+    vol = ImageData((n, n, n), origin=(-1, -1, -1), spacing=(2 / (n - 1),) * 3)
+    # two overlapping blobs: a non-trivial, non-spherical surface
+    field = np.exp(-4 * ((X - 0.25) ** 2 + Y**2 + Z**2))
+    field += np.exp(-4 * ((X + 0.25) ** 2 + (Y - 0.2) ** 2 + Z**2))
+    vol.add_array("d", field)
+    return vol
+
+
+@pytest.mark.parametrize("dedup", [True, False], ids=["dedup", "no-dedup"])
+def test_ablation_isosurface_dedup_cost(benchmark, dedup):
+    volume = blob_volume(40)
+    benchmark.group = "ablation-isosurface-dedup"
+    surface = benchmark(
+        lambda: marching_tetrahedra(volume, 0.5, deduplicate=dedup)
+    )
+    assert surface.n_triangles > 0
+
+
+@pytest.mark.parametrize("n", [24, 40, 56])
+def test_ablation_isosurface_resolution(benchmark, n):
+    volume = blob_volume(n)
+    benchmark.group = "ablation-isosurface-resolution"
+    surface = benchmark(lambda: marching_tetrahedra(volume, 0.5))
+    assert surface.n_triangles > 0
+
+
+def test_ablation_isosurface_dedup_report():
+    volume = blob_volume(40)
+    dedup = marching_tetrahedra(volume, 0.5, deduplicate=True)
+    raw = marching_tetrahedra(volume, 0.5, deduplicate=False)
+    sharing = raw.n_points / max(dedup.n_points, 1)
+    report(
+        "Ablation: isosurface vertex deduplication",
+        [("points (dedup)", dedup.n_points),
+         ("points (raw)", raw.n_points),
+         ("sharing factor", f"{sharing:.1f}x"),
+         ("area identical", f"{abs(dedup.surface_area() - raw.surface_area()):.2e}")],
+    )
+    # each interior vertex is shared by ~6 triangles in a tetra mesh
+    assert sharing > 3.0
+    assert dedup.surface_area() == pytest.approx(raw.surface_area(), rel=1e-5)

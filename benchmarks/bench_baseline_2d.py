@@ -1,0 +1,91 @@
+"""Baseline — the traditional 2-D toolkit vs the DV3D views (§II.A).
+
+The paper's motivation section positions DV3D against the 2-D plots
+scientists traditionally use.  This bench puts both on the same storm
+data: the cost of producing the full traditional suite (time series,
+histogram, scatter, contour, pseudocolor, plus one map *per level* to
+see vertical structure) against one interactive 3-D cell that browses
+the same structure by dragging.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import report
+from repro.cdat import area_average
+from repro.data.catalog import storm_case_study
+from repro.dv3d.isosurface import IsosurfacePlot
+from repro.plots2d import contour_plot, histogram_plot, line_plot, pseudocolor_plot, scatter_plot
+
+PEAK = 2
+
+
+@pytest.fixture(scope="module")
+def storm():
+    return storm_case_study(nlat=32, nlon=32, nlev=8, ntime=4, seed="bench2d")
+
+
+def traditional_suite(dataset) -> int:
+    """Render the full 2-D exploration of the storm; returns view count."""
+    wspd = dataset("wspd")
+    tcore = dataset("tcore")
+    views = 0
+    series = area_average(wspd)(level=1000.0).squeeze()
+    line_plot(series, width=200, height=150).to_uint8()
+    views += 1
+    histogram_plot(wspd, bins=16, width=200, height=150).to_uint8()
+    views += 1
+    surf_w = wspd[PEAK].squeeze()(level=1000.0).squeeze()
+    surf_t = tcore[PEAK].squeeze()(level=1000.0).squeeze()
+    scatter_plot(surf_w, surf_t, width=200, height=150).to_uint8()
+    views += 1
+    # per-level maps: how the vertical structure is browsed traditionally
+    for level in wspd.get_level().values:
+        field = wspd[PEAK].squeeze()(level=float(level)).squeeze()
+        pseudocolor_plot(field, colormap="jet", width=200, height=150).to_uint8()
+        views += 1
+    contour_plot(surf_w, n_levels=6, width=200, height=150).to_uint8()
+    views += 1
+    return views
+
+
+def dv3d_view(dataset):
+    plot = IsosurfacePlot(dataset("wspd"), color_variable=dataset("tcore"),
+                          colormap="coolwarm")
+    plot.set_time_index(PEAK)
+    lo, hi = plot.scalar_range
+    plot.set_isovalue(lo + 0.6 * (hi - lo))
+    return plot.render(200, 150)
+
+
+def test_baseline_traditional_suite(benchmark, storm):
+    benchmark.group = "baseline-2d-vs-3d"
+    views = benchmark(lambda: traditional_suite(storm))
+    assert views == 4 + 8  # fixed suite + one map per level
+
+
+def test_baseline_dv3d_cell(benchmark, storm):
+    benchmark.group = "baseline-2d-vs-3d"
+    fb = benchmark(lambda: dv3d_view(storm))
+    assert fb.coverage() > 0.005
+
+
+def test_baseline_report(storm):
+    import time
+
+    t0 = time.perf_counter()
+    views = traditional_suite(storm)
+    traditional = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    dv3d_view(storm)
+    single_3d = time.perf_counter() - t0
+    report(
+        "Baseline: traditional 2-D suite vs one DV3D cell (same storm data)",
+        [("traditional views rendered", views),
+         ("traditional suite time", f"{traditional:.2f} s"),
+         ("one 3-D cell render", f"{single_3d:.2f} s"),
+         ("note", "the 3-D cell additionally browses all levels/steps interactively")],
+    )
+    assert views > 10

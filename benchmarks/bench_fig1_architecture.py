@@ -1,0 +1,99 @@
+"""Figure 1 — the UV-CDAT architecture: tight vs loose coupling.
+
+The architecture diagram shows two integration paths: CDAT/DV3D are
+*tightly coupled* (VisTrails packages sharing Python objects in
+process) while VisIt/ParaView/R/MatLab are *loosely coupled* (data
+crosses a serialization boundary to an external tool).
+
+The benchmark executes the same 6-stage analysis chain through both
+paths and measures the integration overhead — the cost the architecture
+diagram's design choice trades away for flexibility.  Expected shape:
+the loose path is strictly slower, with overhead growing with payload
+size (it pays JSON serialization both ways per stage).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import report
+from repro.workflow.executor import Executor
+from repro.workflow.package import ExternalToolAdapter
+from repro.workflow.pipeline import Pipeline
+
+N_STAGES = 6
+
+
+def _analysis(payload: list) -> list:
+    """The per-stage 'analysis': a cheap elementwise transform."""
+    arr = np.asarray(payload)
+    return (arr * 1.01 + 0.5).tolist()
+
+
+ExternalToolAdapter.register_tool("bench_analysis", _analysis)
+
+
+def tight_pipeline(registry, n_values: int) -> Pipeline:
+    """Six tightly-coupled stages passing Python lists in process."""
+    p = Pipeline(registry)
+    source = p.add_module(
+        "basic:Constant", {"value": list(np.linspace(0.0, 1.0, n_values))}
+    )
+    previous, port = source, "value"
+    for _ in range(N_STAGES):
+        stage = p.add_module(
+            "basic:PythonSource",
+            {"source": "import numpy as np\n"
+                       "outputs = {'result': (np.asarray(a) * 1.01 + 0.5).tolist()}"},
+        )
+        p.add_connection(previous, port, stage, "a")
+        previous, port = stage, "result"
+    return p
+
+
+def loose_pipeline(registry, n_values: int) -> Pipeline:
+    """Six loosely-coupled stages crossing the JSON wire per stage."""
+    p = Pipeline(registry)
+    source = p.add_module(
+        "basic:Constant", {"value": list(np.linspace(0.0, 1.0, n_values))}
+    )
+    previous, port = source, "value"
+    for _ in range(N_STAGES):
+        stage = p.add_module("basic:ExternalToolAdapter", {"tool": "bench_analysis"})
+        p.add_connection(previous, port, stage, "payload")
+        previous, port = stage, "payload"
+    return p
+
+
+@pytest.mark.parametrize("n_values", [1_000, 50_000])
+@pytest.mark.parametrize("coupling", ["tight", "loose"])
+def test_fig1_integration_coupling(benchmark, registry, coupling, n_values):
+    builder = tight_pipeline if coupling == "tight" else loose_pipeline
+    pipeline = builder(registry, n_values)
+    executor = Executor(caching=False)
+    benchmark.group = f"fig1-coupling-{n_values}"
+    result = benchmark(lambda: executor.execute(pipeline))
+    assert len(result.runs) == N_STAGES + 1
+
+
+def test_fig1_report(registry):
+    """Non-benchmark summary: the overhead ratio of loose coupling."""
+    import time
+
+    rows = [("payload", "tight (s)", "loose (s)", "loose/tight")]
+    for n_values in (1_000, 50_000):
+        timings = {}
+        for name, builder in (("tight", tight_pipeline), ("loose", loose_pipeline)):
+            pipeline = builder(registry, n_values)
+            executor = Executor(caching=False)
+            executor.execute(pipeline)  # warm-up
+            t0 = time.perf_counter()
+            for _ in range(3):
+                executor.execute(pipeline)
+            timings[name] = (time.perf_counter() - t0) / 3
+        ratio = timings["loose"] / timings["tight"]
+        rows.append((n_values, f"{timings['tight']:.4f}", f"{timings['loose']:.4f}",
+                     f"{ratio:.1f}x"))
+        assert ratio > 1.0, "loose coupling must cost more than tight coupling"
+    report("Fig.1: tight (VisTrails package) vs loose (external tool) integration", rows)

@@ -1,0 +1,165 @@
+"""Figure 5 — the hyperwall distributed visualization framework.
+
+The figure shows the NCCS deployment: a 5×3 wall (15 displays, 15.7
+Mpixel), one control node, 15 client nodes; the server runs a reduced-
+resolution 15-cell mirror while each client runs its own full-resolution
+1-cell sub-workflow, and interactions propagate server → clients.
+
+The benchmark reproduces that execution pattern with the in-process
+cluster (deterministic) at reduced tile sizes, and reports the numbers
+that make the architecture worthwhile: the server-mirror speedup from
+resolution reduction, the client-side parallel scaling, and the cost of
+interaction propagation.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import build_cell_chain, report
+from repro.hyperwall.display import NCCS_WALL, WallGeometry
+from repro.hyperwall.inproc import InProcessHyperwall
+from repro.workflow.pipeline import Pipeline
+
+SIZE = {"nlat": 23, "nlon": 36, "nlev": 6, "ntime": 2}
+TILE = (96, 96)
+N_CELLS = 15
+
+
+def wall_workflow(registry, n_cells: int = N_CELLS) -> Pipeline:
+    pipeline = Pipeline(registry)
+    plots = ["Slicer", "VolumeRender", "Isosurface"]
+    variables = ["ta", "zg", "ua", "va", "hus"]
+    for index in range(n_cells):
+        build_cell_chain(
+            pipeline,
+            plot=plots[index % len(plots)],
+            variable=variables[index % len(variables)],
+            width=TILE[0], height=TILE[1], size=SIZE,
+        )
+    return pipeline
+
+
+def make_wall(n_cells: int) -> WallGeometry:
+    return WallGeometry(columns=5, rows=(n_cells + 4) // 5,
+                        tile_width=TILE[0], tile_height=TILE[1])
+
+
+def test_fig5_server_reduced_mirror(benchmark, registry):
+    """The server's 15-cell reduced-resolution execution."""
+    hw = InProcessHyperwall(wall_workflow(registry), wall=make_wall(N_CELLS),
+                            reduction=4)
+    benchmark.group = "fig5-hyperwall"
+
+    def run():
+        hw.server_executor.clear_cache()
+        return hw.execute_server()
+
+    result = benchmark(run)
+    assert result["n_cells"] == N_CELLS
+    for shape in result["image_shapes"].values():
+        assert shape == (TILE[1] // 4, TILE[0] // 4, 3)
+
+
+def test_fig5_clients_full_resolution(benchmark, registry):
+    """All 15 clients' full-resolution sub-workflow executions (parallel)."""
+    hw = InProcessHyperwall(wall_workflow(registry), wall=make_wall(N_CELLS),
+                            reduction=4, max_workers=8)
+    benchmark.group = "fig5-hyperwall"
+
+    def run():
+        for client in hw.clients:
+            client.executor.clear_cache()
+        return hw.execute_clients()
+
+    reports = benchmark(run)
+    assert len(reports) == N_CELLS
+    assert all(r.image_shape == (TILE[1], TILE[0], 3) for r in reports)
+
+
+def test_fig5_interaction_propagation(benchmark, registry):
+    """Propagating one navigation event to server mirror + all clients."""
+    hw = InProcessHyperwall(wall_workflow(registry), wall=make_wall(N_CELLS),
+                            reduction=4)
+    hw.execute_all()
+    benchmark.group = "fig5-hyperwall"
+    result = benchmark(lambda: hw.propagate_event("drag", dx=0.02, dy=0.01,
+                                                  mode="camera"))
+    assert len(result["clients"]) == N_CELLS
+    assert all(hw.consistency_check().values())
+
+
+def test_fig5_scaling_report(registry):
+    """The architecture's quantitative story, as a table:
+
+    * reduced-resolution mirror vs full-resolution work (the server's
+      reason to run a low-res mirror);
+    * **process-level** distribution (the real cluster pattern: one
+      process per display node, as on the physical wall) vs executing
+      every tile serially in one process.
+
+    Thread-level parallelism is deliberately *not* used here — the
+    render stages are GIL-bound pure Python; see the parallel ablation.
+    The process speedup is bounded by the host's cores (the physical
+    wall has one node per tile).
+    """
+    import os
+
+    from repro.hyperwall.cluster import LocalCluster
+
+    n_cells = 6
+    workflow = wall_workflow(registry, n_cells)
+    wall = make_wall(n_cells)
+
+    # serial baseline: all tiles in one process (best of two runs,
+    # fresh caches each time, to tame scheduler noise on small hosts)
+    serial_times = []
+    for _ in range(2):
+        hw_serial = InProcessHyperwall(workflow, wall=wall, reduction=4, max_workers=1)
+        t0 = time.perf_counter()
+        hw_serial.execute_clients()
+        serial_times.append(time.perf_counter() - t0)
+    serial = min(serial_times)
+
+    # distributed: one client process per tile over the socket protocol
+    cluster = LocalCluster(workflow, n_clients=n_cells, wall=wall, reduction=4)
+    try:
+        cluster.start()
+        cluster.server.distribute_workflows()
+        t0 = time.perf_counter()
+        cluster.server.execute_clients()
+        distributed = time.perf_counter() - t0
+    finally:
+        cluster.stop()
+
+    # server mirror at increasing reduction
+    mirror_times = {}
+    for reduction in (1, 2, 4):
+        hw = InProcessHyperwall(workflow, wall=wall, reduction=reduction)
+        t0 = time.perf_counter()
+        hw.execute_server()
+        mirror_times[reduction] = time.perf_counter() - t0
+
+    speedup = serial / distributed
+    cores = len(os.sched_getaffinity(0))
+    rows = [
+        ("metric", "value"),
+        ("paper wall", f"{NCCS_WALL.n_tiles} tiles, {NCCS_WALL.total_pixels/1e6:.1f} Mpixel"),
+        ("host cores available", cores),
+        (f"tiles serial, 1 process ({n_cells} tiles)", f"{serial:.2f} s"),
+        (f"tiles distributed, {n_cells} processes", f"{distributed:.2f} s  ({speedup:.2f}x)"),
+        ("server mirror, reduction 1", f"{mirror_times[1]:.2f} s"),
+        ("server mirror, reduction 2", f"{mirror_times[2]:.2f} s"),
+        ("server mirror, reduction 4", f"{mirror_times[4]:.2f} s"),
+    ]
+    report("Fig.5: hyperwall execution pattern", rows)
+    if cores >= 2:
+        # even with socket/report overhead, distributing across processes
+        # must not be slower than serial on a multi-core host; genuine
+        # speedup is typically 1.1-1.9x on 2 cores (and ~n_tiles on the
+        # real wall, which has one node per tile)
+        assert speedup > 0.95, "process distribution must not lose to serial"
+    assert mirror_times[4] < mirror_times[1], "reduction must cut mirror cost"

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The primary build configuration lives in ``pyproject.toml``.  This file
+exists so that ``pip install -e . --no-build-isolation`` (and the legacy
+``python setup.py develop``) work in offline environments that lack the
+``wheel`` package required by the PEP 660 editable-install path.
+"""
+
+from setuptools import setup
+
+setup()

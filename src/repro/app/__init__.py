@@ -1,0 +1,24 @@
+"""The UV-CDAT application facade (the headless GUI model, Fig. 2).
+
+Everything the four panels of the UV-CDAT GUI manipulate, as a
+scriptable object model ("Users can interact with either module using
+the UV-CDAT GUI, the VisTrails workflow builder, or Python scripts" —
+this is the scripting surface):
+
+* project view (top left) → :class:`~repro.spreadsheet.project.Project`
+  management on :class:`~repro.app.application.Application`;
+* plot view (bottom left) → :mod:`repro.app.plot_palette`, "a palette
+  of available plots, exposing a list of prebuilt workflows from DV3D";
+* variable view (top right) → :mod:`repro.app.variable_view`, "an
+  interface for selecting and editing variables";
+* calculator (bottom right) → :mod:`repro.app.calculator`, "tools for
+  executing data processing and analysis operations on variables using
+  either a command-line or calculator interface".
+"""
+
+from repro.app.application import Application
+from repro.app.plot_palette import PlotPalette, PlotTemplate
+from repro.app.variable_view import VariableView
+from repro.app.calculator import Calculator
+
+__all__ = ["Application", "PlotPalette", "PlotTemplate", "VariableView", "Calculator"]

@@ -1,0 +1,128 @@
+"""The plot palette: prebuilt DV3D workflows.
+
+"The plot view (bottom left) provides a palette of available plots,
+exposing a list of prebuilt workflows from DV3D and other Vistrails
+packages."  Each :class:`PlotTemplate` knows how to instantiate its
+workflow into a vistrail: the standard §III.G chain of
+dataset-reader → variable-reader(s) → plot module → cell module, with
+every construction step recorded as provenance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.provenance.vistrail import Vistrail
+from repro.util.errors import DV3DError
+
+
+@dataclass(frozen=True)
+class PlotTemplate:
+    """One palette entry."""
+
+    name: str
+    plot_module: str  # qualified workflow module, e.g. "dv3d:Slicer"
+    description: str
+    variable_ports: Tuple[str, ...]  # plot-module ports fed by variables
+
+    def instantiate(
+        self,
+        vistrail: Vistrail,
+        dataset_source: str,
+        variables: Dict[str, str],
+        size: Optional[Dict[str, int]] = None,
+        selector: Optional[Dict[str, Any]] = None,
+        cell_params: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, int]:
+        """Build this plot's workflow inside *vistrail*.
+
+        ``variables`` maps each of :attr:`variable_ports` (required
+        first port at minimum) to a dataset variable id.  Returns the
+        module ids: ``{"reader": ..., "plot": ..., "cell": ...,
+        "<port>_variable": ...}``.
+        """
+        missing = [p for p in self.variable_ports[:1] if p not in variables]
+        if missing:
+            raise DV3DError(f"template {self.name!r}: missing variables for ports {missing}")
+        ids: Dict[str, int] = {}
+        reader = vistrail.add_module(
+            "cdms:CDMSDatasetReader", {"source": dataset_source, "size": dict(size or {})}
+        )
+        ids["reader"] = reader
+        plot = vistrail.add_module(self.plot_module)
+        ids["plot"] = plot
+        for port in self.variable_ports:
+            if port not in variables:
+                continue
+            var_mod = vistrail.add_module(
+                "cdms:CDMSVariableReader",
+                {"variable": variables[port], "selector": dict(selector or {})},
+            )
+            ids[f"{port}_variable"] = var_mod
+            vistrail.add_connection(reader, "dataset", var_mod, "dataset")
+            vistrail.add_connection(var_mod, "variable", plot, port)
+        cell = vistrail.add_module("dv3d:DV3DCell", dict(cell_params or {}))
+        ids["cell"] = cell
+        vistrail.add_connection(plot, "plot", cell, "plot")
+        return ids
+
+
+_TEMPLATES: List[PlotTemplate] = [
+    PlotTemplate(
+        "Slicer", "dv3d:Slicer",
+        "draggable slice planes, pseudocolor + contour overlay",
+        ("variable", "overlay"),
+    ),
+    PlotTemplate(
+        "Volume", "dv3d:VolumeRender",
+        "volume rendering with interactive leveling",
+        ("variable",),
+    ),
+    PlotTemplate(
+        "Isosurface", "dv3d:Isosurface",
+        "isosurface of one variable colored by a second",
+        ("variable", "color_variable"),
+    ),
+    PlotTemplate(
+        "HovmollerSlicer", "dv3d:HovmollerSlicer",
+        "slice planes with time as the vertical dimension",
+        ("variable",),
+    ),
+    PlotTemplate(
+        "HovmollerVolume", "dv3d:HovmollerVolume",
+        "volume rendering with time as the vertical dimension",
+        ("variable",),
+    ),
+    PlotTemplate(
+        "VectorSlicer", "dv3d:VectorSlicer",
+        "vector glyphs / streamlines on slice planes",
+        ("u", "v", "w"),
+    ),
+    PlotTemplate(
+        "VolumeSlicer", "dv3d:VolumeSlicer",
+        "combined volume render + slicer in one cell (Fig. 3 top)",
+        ("variable",),
+    ),
+]
+
+
+class PlotPalette:
+    """The palette of available plot templates."""
+
+    def __init__(self) -> None:
+        self._templates = {t.name: t for t in _TEMPLATES}
+
+    def names(self) -> List[str]:
+        return sorted(self._templates)
+
+    def get(self, name: str) -> PlotTemplate:
+        try:
+            return self._templates[name]
+        except KeyError:
+            raise DV3DError(
+                f"no plot template {name!r}; available: {self.names()}"
+            ) from None
+
+    def describe(self) -> Dict[str, str]:
+        return {name: t.description for name, t in sorted(self._templates.items())}

@@ -1,0 +1,108 @@
+"""The variable view: selecting and editing variables.
+
+"The variable view (top right) provides an interface for selecting and
+editing variables."  This is its object model: a named workspace of
+:class:`~repro.cdms.variable.Variable` objects loaded from datasets
+(local or ESG), subset with selectors, renamed, and handed to the
+calculator or plot palette.  Every edit appends to an operation history
+list that the application can surface as provenance annotations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.cdms.dataset import Dataset
+from repro.cdms.selectors import Selector
+from repro.cdms.variable import Variable
+from repro.util.errors import CDMSError
+
+
+class VariableView:
+    """The workspace of defined variables."""
+
+    def __init__(self) -> None:
+        self._variables: Dict[str, Variable] = {}
+        self.history: List[str] = []
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._variables
+
+    def __len__(self) -> int:
+        return len(self._variables)
+
+    def names(self) -> List[str]:
+        return sorted(self._variables)
+
+    def get(self, name: str) -> Variable:
+        try:
+            return self._variables[name]
+        except KeyError:
+            raise CDMSError(
+                f"no variable {name!r} defined; have {self.names()}"
+            ) from None
+
+    # -- loading / editing -------------------------------------------------
+
+    def define(self, name: str, variable: Variable, note: str = "") -> Variable:
+        """Add (or replace) a workspace variable under *name*."""
+        renamed = variable.clone(deep=False)
+        renamed.id = name
+        self._variables[name] = renamed
+        self.history.append(note or f"define {name}")
+        return renamed
+
+    def load(
+        self,
+        dataset: Dataset,
+        variable_id: str,
+        name: Optional[str] = None,
+        **criteria: Any,
+    ) -> Variable:
+        """Load a dataset variable (optionally subsetting) into the workspace."""
+        variable = dataset(variable_id)
+        if criteria:
+            variable = variable(Selector(**criteria))
+        return self.define(
+            name or variable_id,
+            variable,
+            note=f"load {variable_id} from {dataset.id}"
+            + (f" with {criteria}" if criteria else ""),
+        )
+
+    def subset(self, name: str, new_name: Optional[str] = None, **criteria: Any) -> Variable:
+        """Subset an existing workspace variable into a new one."""
+        variable = self.get(name)(Selector(**criteria))
+        return self.define(
+            new_name or name, variable, note=f"subset {name} with {criteria}"
+        )
+
+    def rename(self, old: str, new: str) -> Variable:
+        variable = self.get(old)
+        if new in self._variables:
+            raise CDMSError(f"variable {new!r} already exists")
+        del self._variables[old]
+        variable.id = new
+        self._variables[new] = variable
+        self.history.append(f"rename {old} -> {new}")
+        return variable
+
+    def delete(self, name: str) -> None:
+        self.get(name)
+        del self._variables[name]
+        self.history.append(f"delete {name}")
+
+    # -- display ------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, Dict[str, Any]]:
+        """The table the GUI panel would show."""
+        return {
+            name: {
+                "shape": var.shape,
+                "dimensions": [a.id for a in var.axes],
+                "units": var.units,
+                "order": var.order(),
+                "valid_fraction": round(var.valid_fraction(), 4),
+            }
+            for name, var in sorted(self._variables.items())
+        }

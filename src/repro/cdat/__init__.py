@@ -1,0 +1,50 @@
+"""Climate Data Analysis Tools (CDAT) substrate.
+
+The paper: "The CDAT toolkit provides a wide range of climate data
+analysis operations, e.g. simple arithmetic operations, regridding,
+conditioned comparisons, weighted averages, various statistical
+operations, etc."  This package implements that operation suite over
+the :mod:`repro.cdms` variable model:
+
+* :mod:`repro.cdat.arithmetic` — elementwise math with metadata;
+* :mod:`repro.cdat.averages` — area/axis-weighted averages, running means;
+* :mod:`repro.cdat.climatology` — monthly/seasonal climatologies & anomalies;
+* :mod:`repro.cdat.statistics` — correlation, RMS, trends, standardisation;
+* :mod:`repro.cdat.conditioned` — conditioned comparisons and masking;
+* :mod:`repro.cdat.vertical` — vertical integrals and level interpolation;
+* :mod:`repro.cdat.spectral` — zonal and space-time spectra;
+* :mod:`repro.cdat.registry` — the named-operation registry the UV-CDAT
+  calculator interface and workflow modules resolve operations from.
+"""
+
+from repro.cdat.registry import OperationRegistry, default_registry, register_operation
+from repro.cdat.arithmetic import (
+    add, subtract, multiply, divide, power, sqrt, log, exp, absolute, scale, offset,
+)
+from repro.cdat.averages import area_average, axis_average, running_mean, zonal_mean, meridional_mean
+from repro.cdat.climatology import monthly_climatology, seasonal_climatology, anomalies, annual_mean
+from repro.cdat.statistics import (
+    correlation, covariance, rms_difference, linear_trend, standardize, percentile, variance,
+)
+from repro.cdat.conditioned import mask_where, compare_where, masked_fraction
+from repro.cdat.vertical import pressure_weighted_mean, interpolate_to_level, vertical_integral
+from repro.cdat.spectral import zonal_power_spectrum, space_time_power
+from repro.cdat.eof import EOFResult, eof_analysis
+from repro.cdat.composites import CompositeResult, composite_analysis
+from repro.cdat.filters import bandpass_running_mean, detrend, lag_correlation, spatial_smooth
+
+__all__ = [
+    "OperationRegistry", "default_registry", "register_operation",
+    "add", "subtract", "multiply", "divide", "power", "sqrt", "log", "exp",
+    "absolute", "scale", "offset",
+    "area_average", "axis_average", "running_mean", "zonal_mean", "meridional_mean",
+    "monthly_climatology", "seasonal_climatology", "anomalies", "annual_mean",
+    "correlation", "covariance", "rms_difference", "linear_trend", "standardize",
+    "percentile", "variance",
+    "mask_where", "compare_where", "masked_fraction",
+    "pressure_weighted_mean", "interpolate_to_level", "vertical_integral",
+    "zonal_power_spectrum", "space_time_power",
+    "EOFResult", "eof_analysis",
+    "CompositeResult", "composite_analysis",
+    "spatial_smooth", "detrend", "lag_correlation", "bandpass_running_mean",
+]

@@ -1,0 +1,70 @@
+"""Elementwise arithmetic over variables ("simple arithmetic operations").
+
+These are thin, metadata-preserving wrappers over the masked-array
+operators on :class:`~repro.cdms.variable.Variable`.  They exist as
+named functions so the operation registry, the calculator interface and
+workflow modules can reference them uniformly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cdms.variable import Variable, as_variable
+
+
+def add(a: Variable, b: Variable) -> Variable:
+    """Elementwise sum of two variables (axes must match in shape)."""
+    return a + b
+
+
+def subtract(a: Variable, b: Variable) -> Variable:
+    """Elementwise difference ``a - b``."""
+    return a - b
+
+
+def multiply(a: Variable, b: Variable) -> Variable:
+    """Elementwise product."""
+    return a * b
+
+
+def divide(a: Variable, b: Variable) -> Variable:
+    """Elementwise quotient; division by zero yields masked values."""
+    return a / b
+
+
+def power(a: Variable, exponent: float = 2.0) -> Variable:
+    """Raise a variable to a scalar power."""
+    return a ** exponent
+
+
+def sqrt(a: Variable) -> Variable:
+    """Elementwise square root; negative inputs become masked."""
+    data = np.ma.sqrt(a.data)
+    return as_variable(data, a, id=f"sqrt({a.id})")
+
+
+def log(a: Variable) -> Variable:
+    """Elementwise natural logarithm; non-positive inputs become masked."""
+    data = np.ma.log(np.ma.masked_less_equal(a.data, 0.0))
+    return as_variable(data, a, id=f"log({a.id})")
+
+
+def exp(a: Variable) -> Variable:
+    """Elementwise exponential."""
+    return as_variable(np.ma.exp(a.data), a, id=f"exp({a.id})")
+
+
+def absolute(a: Variable) -> Variable:
+    """Elementwise absolute value."""
+    return abs(a)
+
+
+def scale(a: Variable, factor: float = 1.0) -> Variable:
+    """Multiply by a scalar *factor* (e.g. unit conversion)."""
+    return a * factor
+
+
+def offset(a: Variable, amount: float = 0.0) -> Variable:
+    """Add a scalar *amount* (e.g. Kelvin↔Celsius shifts)."""
+    return a + amount

@@ -1,0 +1,98 @@
+"""Climatologies and anomalies.
+
+The standard first steps of exploratory climate analysis: collapse a
+time series to its mean annual cycle (monthly or seasonal climatology)
+and subtract that cycle to obtain anomalies.  Month membership is
+derived from the time axis's calendar-aware component times, so noleap
+and 360-day model output group correctly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.cdms.axis import Axis
+from repro.cdms.variable import Variable
+from repro.util.errors import CDATError
+
+SEASONS: Dict[str, Tuple[int, ...]] = {
+    "DJF": (12, 1, 2),
+    "MAM": (3, 4, 5),
+    "JJA": (6, 7, 8),
+    "SON": (9, 10, 11),
+}
+
+
+def _time_months_years(var: Variable) -> Tuple[int, np.ndarray, np.ndarray]:
+    time_axis = var.get_time()
+    if time_axis is None:
+        raise CDATError(f"variable {var.id!r} has no time axis")
+    comps = time_axis.as_component_time()
+    months = np.array([c.month for c in comps], dtype=np.int64)
+    years = np.array([c.year for c in comps], dtype=np.int64)
+    return var.axis_index("time"), months, years
+
+
+def _group_mean(var: Variable, dim: int, groups: List[np.ndarray], coords: List[float], axis_id: str, units: str) -> Variable:
+    """Mean of *var* over each index group along *dim*; groups become a new axis."""
+    data = np.moveaxis(var.data, dim, 0)
+    pieces = []
+    for idx in groups:
+        if idx.size == 0:
+            pieces.append(np.ma.masked_all(data.shape[1:], dtype=np.float64))
+        else:
+            pieces.append(np.ma.mean(data[idx], axis=0))
+    stacked = np.ma.stack(pieces, axis=0)
+    stacked = np.moveaxis(stacked, 0, dim)
+    group_axis = Axis(axis_id, coords, units=units)
+    axes = list(var.axes)
+    axes[dim] = group_axis
+    return Variable(
+        stacked, axes, id=f"{axis_id}({var.id})",
+        missing_value=var.missing_value, attributes=dict(var.attributes),
+    )
+
+
+def monthly_climatology(var: Variable) -> Variable:
+    """12-point mean annual cycle; output axis ``month`` has values 1..12."""
+    dim, months, _years = _time_months_years(var)
+    groups = [np.nonzero(months == m)[0] for m in range(1, 13)]
+    return _group_mean(var, dim, groups, list(range(1, 13)), "month", "month of year")
+
+
+def seasonal_climatology(var: Variable) -> Variable:
+    """DJF/MAM/JJA/SON means; output axis ``season`` has values 1..4.
+
+    The season order follows :data:`SEASONS` (DJF first).  December is
+    grouped with the *following* January/February in the same calendar
+    year bucket — adequate for climatological (multi-year mean) use.
+    """
+    dim, months, _years = _time_months_years(var)
+    groups = [np.nonzero(np.isin(months, season))[0] for season in SEASONS.values()]
+    out = _group_mean(var, dim, groups, [1.0, 2.0, 3.0, 4.0], "season", "season index")
+    out.attributes["season_order"] = list(SEASONS)
+    return out
+
+
+def anomalies(var: Variable) -> Variable:
+    """Departures from the monthly climatology, same shape as the input."""
+    dim, months, _years = _time_months_years(var)
+    clim = monthly_climatology(var)
+    clim_data = np.moveaxis(clim.data, dim, 0)  # (12, ...)
+    data = np.moveaxis(var.data, dim, 0)
+    anom = data - clim_data[months - 1]
+    anom = np.moveaxis(anom, 0, dim)
+    return Variable(
+        anom, var.axes, id=f"anom({var.id})",
+        missing_value=var.missing_value, attributes=dict(var.attributes),
+    )
+
+
+def annual_mean(var: Variable) -> Variable:
+    """Per-calendar-year time means; output axis ``year`` holds the years."""
+    dim, _months, years = _time_months_years(var)
+    unique_years = np.unique(years)
+    groups = [np.nonzero(years == y)[0] for y in unique_years]
+    return _group_mean(var, dim, groups, [float(y) for y in unique_years], "year", "year")

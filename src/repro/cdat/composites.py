@@ -1,0 +1,123 @@
+"""Composite analysis: condition a field on the phases of an index.
+
+The standard exploratory question — "what does the field look like when
+the index is high vs low?" — implemented as conditional time means with
+a Welch t-statistic marking where the difference is distinguishable
+from noise.  This pairs naturally with the DV3D comparison plots (view
+the composite difference with a slicer, mask it by significance with a
+conditioned comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import stats
+
+from repro.cdms.variable import Variable
+from repro.util.errors import CDATError
+
+
+@dataclass
+class CompositeResult:
+    """High/low composites, their difference, and significance."""
+
+    high: Variable
+    low: Variable
+    difference: Variable
+    t_statistic: Variable
+    p_value: Variable
+    n_high: int
+    n_low: int
+
+    def significant_difference(self, alpha: float = 0.05) -> Variable:
+        """The difference masked where p ≥ alpha."""
+        from repro.cdat.conditioned import mask_where
+
+        insignificant = Variable(
+            (np.asarray(self.p_value.data.filled(1.0)) >= alpha).astype(np.float64),
+            self.p_value.axes, id="insig",
+        )
+        return mask_where(self.difference, insignificant)
+
+
+def composite_analysis(
+    field: Variable,
+    index: Variable,
+    high_quantile: float = 0.75,
+    low_quantile: float = 0.25,
+) -> CompositeResult:
+    """Composite *field* over high/low phases of a 1-D time *index*.
+
+    Parameters
+    ----------
+    field:
+        Any variable with a time axis.
+    index:
+        A 1-D time series on the same time axis (e.g. a principal
+        component from :func:`repro.cdat.eof.eof_analysis`).
+    high_quantile, low_quantile:
+        Phase thresholds on the index distribution.
+    """
+    field_time = field.get_time()
+    index_time = index.get_time()
+    if field_time is None or index_time is None:
+        raise CDATError("composite_analysis: both inputs need time axes")
+    if index.ndim != 1:
+        index = index.squeeze()
+        if index.ndim != 1:
+            raise CDATError("index must be (or squeeze to) a 1-D time series")
+    if len(index_time) != len(field_time):
+        raise CDATError(
+            f"time length mismatch: field {len(field_time)} vs index {len(index_time)}"
+        )
+    if not 0.0 < low_quantile < high_quantile < 1.0:
+        raise CDATError("need 0 < low_quantile < high_quantile < 1")
+
+    series = np.asarray(index.data.filled(np.nan))
+    finite = np.isfinite(series)
+    if finite.sum() < 4:
+        raise CDATError("index has too few valid time steps")
+    hi_threshold = np.nanquantile(series, high_quantile)
+    lo_threshold = np.nanquantile(series, low_quantile)
+    high_steps = np.nonzero(finite & (series >= hi_threshold))[0]
+    low_steps = np.nonzero(finite & (series <= lo_threshold))[0]
+    if high_steps.size < 2 or low_steps.size < 2:
+        raise CDATError("too few events in a composite phase (need >= 2 each)")
+
+    t_dim = field.axis_index("time")
+    data = np.moveaxis(field.data, t_dim, 0)
+    spatial_axes = tuple(a for i, a in enumerate(field.axes) if i != t_dim)
+
+    high_sample = data[high_steps]
+    low_sample = data[low_steps]
+    high_mean = np.ma.mean(high_sample, axis=0)
+    low_mean = np.ma.mean(low_sample, axis=0)
+    difference = high_mean - low_mean
+
+    with np.errstate(all="ignore"):
+        t_stat, p_val = stats.ttest_ind(
+            np.asarray(high_sample.filled(np.nan)),
+            np.asarray(low_sample.filled(np.nan)),
+            axis=0, equal_var=False, nan_policy="omit",
+        )
+    t_ma = np.ma.masked_invalid(t_stat)
+    p_ma = np.ma.masked_invalid(p_val)
+
+    def wrap(arr, name, units=field.units) -> Variable:
+        return Variable(
+            np.ma.asarray(arr), spatial_axes, id=f"{name}({field.id})",
+            missing_value=field.missing_value, attributes={"units": units},
+        )
+
+    return CompositeResult(
+        high=wrap(high_mean, "composite_high"),
+        low=wrap(low_mean, "composite_low"),
+        difference=wrap(difference, "composite_diff"),
+        t_statistic=wrap(t_ma, "t", units="1"),
+        p_value=wrap(p_ma, "p", units="1"),
+        n_high=int(high_steps.size),
+        n_low=int(low_steps.size),
+    )

@@ -1,0 +1,81 @@
+"""Conditioned comparisons ("conditioned comparisons" in the paper).
+
+Operations that restrict analysis to points satisfying a condition:
+mask a variable where a condition variable holds, or compare two
+variables only over the conditioned region.  Conditions are expressed
+as :class:`~repro.cdms.variable.Variable` instances whose values are
+truthy/falsy (e.g. the output of ``var > 273.15``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.cdms.variable import Variable
+from repro.util.errors import CDATError
+
+
+def _condition_mask(condition: Variable, shape) -> np.ndarray:
+    if condition.shape != tuple(shape):
+        raise CDATError(
+            f"condition shape {condition.shape} does not match data shape {tuple(shape)}"
+        )
+    truth = np.asarray(condition.data.filled(0.0)) != 0.0
+    truth &= ~np.ma.getmaskarray(condition.data)
+    return truth
+
+
+def mask_where(var: Variable, condition: Variable) -> Variable:
+    """Mask *var* at every point where *condition* is true (or masked)."""
+    truth = _condition_mask(condition, var.shape)
+    combined = np.ma.getmaskarray(var.data) | truth
+    data = np.ma.MaskedArray(np.asarray(var.data.filled(0.0)), mask=combined)
+    return Variable(data, var.axes, id=f"maskwhere({var.id})",
+                    missing_value=var.missing_value, attributes=dict(var.attributes))
+
+
+def keep_where(var: Variable, condition: Variable) -> Variable:
+    """Keep *var* only where *condition* is true (the complement of mask_where)."""
+    truth = _condition_mask(condition, var.shape)
+    combined = np.ma.getmaskarray(var.data) | ~truth
+    data = np.ma.MaskedArray(np.asarray(var.data.filled(0.0)), mask=combined)
+    return Variable(data, var.axes, id=f"keepwhere({var.id})",
+                    missing_value=var.missing_value, attributes=dict(var.attributes))
+
+
+def compare_where(a: Variable, b: Variable, condition: Variable) -> Dict[str, float]:
+    """Compare *a* and *b* restricted to the conditioned region.
+
+    Returns a summary dictionary: point count, mean difference, RMS
+    difference and correlation over the region where *condition* is
+    true and both variables are valid.
+    """
+    from repro.cdat.statistics import correlation, rms_difference
+
+    if a.shape != b.shape:
+        raise CDATError(f"compare_where: shape mismatch {a.shape} vs {b.shape}")
+    ra = keep_where(a, condition)
+    rb = keep_where(b, condition)
+    valid = ~(np.ma.getmaskarray(ra.data) | np.ma.getmaskarray(rb.data))
+    count = int(valid.sum())
+    if count == 0:
+        raise CDATError("compare_where: condition selects no jointly valid points")
+    diff = ra.filled(0.0) - rb.filled(0.0)
+    mean_diff = float(diff[valid].mean())
+    result = {
+        "count": float(count),
+        "mean_difference": mean_diff,
+        "rms_difference": rms_difference(ra, rb),
+    }
+    try:
+        result["correlation"] = correlation(ra, rb)
+    except CDATError:
+        result["correlation"] = float("nan")
+    return result
+
+
+def masked_fraction(var: Variable) -> float:
+    """Fraction of points that are masked (0 = fully valid)."""
+    return 1.0 - var.valid_fraction()

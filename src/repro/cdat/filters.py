@@ -1,0 +1,137 @@
+"""Temporal and spatial filtering.
+
+The remaining members of the paper's "wide range of climate data
+analysis operations": spatial smoothing (for noisy high-resolution
+fields ahead of isosurfacing), linear detrending, lagged correlation
+(the standard teleconnection diagnostic) and band-pass filtering of
+time series via running-mean differences.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import ndimage
+
+from repro.cdms.variable import Variable
+from repro.util.errors import CDATError
+
+
+def spatial_smooth(var: Variable, sigma_points: float = 1.0) -> Variable:
+    """Gaussian smoothing over the lat/lon plane (σ in grid points).
+
+    Longitude wraps (global fields are periodic); latitude reflects.
+    Masked points are excluded and re-masked in the output (the
+    normalized-convolution trick: smooth data·valid and valid
+    separately, divide).
+    """
+    if sigma_points <= 0:
+        raise CDATError("sigma_points must be positive")
+    grid = var.get_grid()
+    if grid is None:
+        raise CDATError(f"variable {var.id!r} has no lat/lon grid to smooth")
+    lat_dim = var.axis_index("latitude")
+    lon_dim = var.axis_index("longitude")
+    data = np.moveaxis(var.data, (lat_dim, lon_dim), (-2, -1))
+    valid = (~np.ma.getmaskarray(data)).astype(np.float64)
+    filled = np.asarray(data.filled(0.0))
+
+    sigma = [0.0] * filled.ndim
+    sigma[-2] = sigma[-1] = float(sigma_points)
+    # periodic in longitude, reflective in latitude
+    modes = ["nearest"] * filled.ndim
+    modes[-1] = "wrap"
+    modes[-2] = "reflect"
+
+    def smooth(arr: np.ndarray) -> np.ndarray:
+        out = arr
+        for axis in (-2, -1):
+            out = ndimage.gaussian_filter1d(
+                out, sigma_points, axis=axis, mode=modes[axis]
+            )
+        return out
+
+    numerator = smooth(filled * valid)
+    denominator = smooth(valid)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        result = numerator / denominator
+    mask = denominator < 0.5
+    out = np.ma.MaskedArray(np.where(mask, 0.0, result), mask=mask)
+    out = np.ma.asarray(np.moveaxis(out, (-2, -1), (lat_dim, lon_dim)))
+    return Variable(out, var.axes, id=f"smooth({var.id})",
+                    missing_value=var.missing_value, attributes=dict(var.attributes))
+
+
+def detrend(var: Variable, axis: str = "time") -> Variable:
+    """Remove the per-point least-squares linear trend along *axis*."""
+    from repro.cdat.statistics import linear_trend
+
+    slope, intercept = linear_trend(var, axis)
+    dim = var.axis_index(axis)
+    coords = var.get_axis(dim).values
+    shape = [1] * var.ndim
+    shape[dim] = coords.size
+    fitted = (
+        np.expand_dims(np.asarray(slope.data.filled(0.0)), dim) * coords.reshape(shape)
+        + np.expand_dims(np.asarray(intercept.data.filled(0.0)), dim)
+    )
+    result = var.data - fitted
+    return Variable(result, var.axes, id=f"detrend({var.id})",
+                    missing_value=var.missing_value, attributes=dict(var.attributes))
+
+
+def lag_correlation(
+    a: Variable,
+    b: Variable,
+    max_lag: int = 10,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Correlation of two 1-D time series at lags −max_lag..+max_lag.
+
+    Positive lag means *a leads b* (a at t correlates with b at t+lag).
+    Returns ``(lags, correlations)``; lags with fewer than 3 overlapping
+    samples yield NaN.
+    """
+    sa = np.asarray(a.squeeze().data.filled(np.nan)).reshape(-1)
+    sb = np.asarray(b.squeeze().data.filled(np.nan)).reshape(-1)
+    if sa.size != sb.size:
+        raise CDATError(f"series lengths differ: {sa.size} vs {sb.size}")
+    if max_lag < 0 or max_lag >= sa.size:
+        raise CDATError(f"max_lag {max_lag} out of range for length {sa.size}")
+    lags = np.arange(-max_lag, max_lag + 1)
+    correlations = np.full(lags.size, np.nan)
+    for i, lag in enumerate(lags):
+        if lag >= 0:
+            xa, xb = sa[: sa.size - lag], sb[lag:]
+        else:
+            xa, xb = sa[-lag:], sb[: sb.size + lag]
+        pair_valid = np.isfinite(xa) & np.isfinite(xb)
+        if pair_valid.sum() < 3:
+            continue
+        xa, xb = xa[pair_valid], xb[pair_valid]
+        if xa.std() < 1e-30 or xb.std() < 1e-30:
+            continue
+        correlations[i] = float(np.corrcoef(xa, xb)[0, 1])
+    return lags, correlations
+
+
+def bandpass_running_mean(
+    var: Variable,
+    short_window: int = 3,
+    long_window: int = 11,
+    axis: str = "time",
+) -> Variable:
+    """Band-pass via running-mean difference: smooth(short) − smooth(long).
+
+    Retains variability between the two window periods — the poor
+    man's Lanczos filter, standard for quick intraseasonal isolation.
+    """
+    from repro.cdat.averages import running_mean
+
+    if short_window >= long_window:
+        raise CDATError("short_window must be smaller than long_window")
+    short = running_mean(var, axis=axis, window=short_window)
+    long = running_mean(var, axis=axis, window=long_window)
+    out = short - long
+    out.id = f"bandpass({var.id})"
+    return out

@@ -1,0 +1,153 @@
+"""Statistical operations ("various statistical operations").
+
+Weighted pattern statistics (correlation, covariance, RMS difference),
+per-gridpoint temporal statistics (variance, trend, standardisation)
+and percentiles — the workhorse comparisons a scientist runs before and
+alongside the DV3D visual comparison plots (e.g. the isosurface-of-A-
+colored-by-B plot pairs naturally with a pattern correlation of A and B).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.cdms.variable import Variable
+from repro.util.errors import CDATError
+
+
+def _joint_valid_weights(a: Variable, b: Optional[Variable]) -> np.ndarray:
+    """Flattened weights over jointly valid points (area weights if gridded)."""
+    grid = a.get_grid()
+    if grid is not None:
+        w2 = grid.area_weights()
+        lat_dim = a.axis_index("latitude")
+        lon_dim = a.axis_index("longitude")
+        shape = [1] * a.ndim
+        shape[lat_dim] = a.shape[lat_dim]
+        shape[lon_dim] = a.shape[lon_dim]
+        weights = np.broadcast_to(w2.reshape(shape), a.shape).copy()
+    else:
+        weights = np.ones(a.shape, dtype=np.float64)
+    valid = ~np.ma.getmaskarray(a.data)
+    if b is not None:
+        valid &= ~np.ma.getmaskarray(b.data)
+    weights[~valid] = 0.0
+    total = weights.sum()
+    if total <= 0:
+        raise CDATError("no jointly valid data points")
+    return weights / total
+
+
+def _check_same_shape(a: Variable, b: Variable, op: str) -> None:
+    if a.shape != b.shape:
+        raise CDATError(f"{op}: shape mismatch {a.shape} vs {b.shape}")
+
+
+def covariance(a: Variable, b: Variable) -> float:
+    """Weighted covariance of two same-shape variables over valid points."""
+    _check_same_shape(a, b, "covariance")
+    w = _joint_valid_weights(a, b)
+    fa, fb = a.filled(0.0), b.filled(0.0)
+    ma = float((w * fa).sum())
+    mb = float((w * fb).sum())
+    return float((w * (fa - ma) * (fb - mb)).sum())
+
+
+def variance(a: Variable, axis: Optional[str] = None) -> Union[Variable, float]:
+    """Variance: scalar (weighted, all data) or along one named axis."""
+    if axis is None:
+        return covariance(a, a)
+    dim = a.axis_index(axis)
+    data = np.ma.var(a.data, axis=dim)
+    axes = tuple(ax for i, ax in enumerate(a.axes) if i != dim)
+    if not axes:
+        return float(data)
+    return Variable(np.ma.asarray(data), axes, id=f"var({a.id})",
+                    missing_value=a.missing_value, attributes=dict(a.attributes))
+
+
+def correlation(a: Variable, b: Variable) -> float:
+    """Weighted (pattern) correlation coefficient of two variables."""
+    cov = covariance(a, b)
+    va, vb = covariance(a, a), covariance(b, b)
+    if va <= 0 or vb <= 0:
+        raise CDATError("correlation undefined: zero variance")
+    return float(cov / np.sqrt(va * vb))
+
+
+def rms_difference(a: Variable, b: Variable) -> float:
+    """Weighted root-mean-square difference of two variables."""
+    _check_same_shape(a, b, "rms_difference")
+    w = _joint_valid_weights(a, b)
+    diff = a.filled(0.0) - b.filled(0.0)
+    return float(np.sqrt((w * diff * diff).sum()))
+
+
+def linear_trend(var: Variable, axis: str = "time") -> Tuple[Variable, Variable]:
+    """Per-point least-squares ``(slope, intercept)`` along a named axis.
+
+    Slopes are in data units per coordinate unit of the chosen axis
+    (e.g. K per day for a "days since ..." time axis).  Points with
+    fewer than two valid samples are masked.
+    """
+    dim = var.axis_index(axis)
+    t = var.get_axis(dim).values
+    data = np.moveaxis(var.data, dim, 0)
+    valid = (~np.ma.getmaskarray(data)).astype(np.float64)
+    y = np.asarray(data.filled(0.0))
+    tcol = t.reshape((-1,) + (1,) * (y.ndim - 1))
+    n = valid.sum(axis=0)
+    st = (valid * tcol).sum(axis=0)
+    sy = (valid * y).sum(axis=0)
+    stt = (valid * tcol * tcol).sum(axis=0)
+    sty = (valid * tcol * y).sum(axis=0)
+    denom = n * stt - st * st
+    with np.errstate(invalid="ignore", divide="ignore"):
+        slope = (n * sty - st * sy) / denom
+        intercept = (sy - slope * st) / n
+    bad = (n < 2) | (np.abs(denom) < 1e-30)
+    slope_ma = np.ma.MaskedArray(np.where(bad, 0.0, slope), mask=bad)
+    inter_ma = np.ma.MaskedArray(np.where(bad, 0.0, intercept), mask=bad)
+    axes = tuple(ax for i, ax in enumerate(var.axes) if i != dim)
+    if not axes:
+        raise CDATError("linear_trend over the only axis yields scalars; keep ≥2 dims")
+    mk = lambda arr, name: Variable(  # noqa: E731
+        arr, axes, id=f"{name}({var.id})",
+        missing_value=var.missing_value, attributes=dict(var.attributes),
+    )
+    return mk(slope_ma, "trend"), mk(inter_ma, "intercept")
+
+
+def standardize(var: Variable, axis: str = "time") -> Variable:
+    """Remove the mean and divide by the standard deviation along *axis*.
+
+    Points whose standard deviation is zero are masked.
+    """
+    dim = var.axis_index(axis)
+    mean = np.ma.mean(var.data, axis=dim, keepdims=True)
+    std = np.ma.std(var.data, axis=dim, keepdims=True)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        z = (var.data - mean) / std
+    z = np.ma.masked_invalid(z)
+    return Variable(z, var.axes, id=f"std({var.id})",
+                    missing_value=var.missing_value, attributes=dict(var.attributes))
+
+
+def percentile(var: Variable, q: float = 50.0, axis: str = "time") -> Variable:
+    """The *q*-th percentile along a named axis (masked points excluded)."""
+    if not 0.0 <= q <= 100.0:
+        raise CDATError(f"percentile: q={q} out of [0, 100]")
+    dim = var.axis_index(axis)
+    filled = np.where(np.ma.getmaskarray(var.data), np.nan, np.asarray(var.data.filled(np.nan)))
+    with np.errstate(all="ignore"):
+        result = np.nanpercentile(filled, q, axis=dim)
+    result = np.ma.masked_invalid(np.atleast_1d(result))
+    axes = tuple(ax for i, ax in enumerate(var.axes) if i != dim)
+    if not axes:
+        from repro.cdms.axis import Axis
+        axes = (Axis("scalar", [0.0]),)
+        result = result.reshape(1)
+    return Variable(result, axes, id=f"p{q:g}({var.id})",
+                    missing_value=var.missing_value, attributes=dict(var.attributes))

@@ -1,0 +1,49 @@
+"""Climate Data Management System (CDMS) substrate.
+
+The paper's DV3D workflows "begin with a set of modules encapsulating
+CDMS operations for accessing and processing climate data" and rely on
+"seamless integration with CDAT's climate data management system
+(CDMS)".  The real CDMS (Drach, Dubois & Williams, PCMDI) is a C/Python
+NetCDF-backed library; this package is a faithful pure-Python
+re-implementation of the parts of its data model that DV3D exercises:
+
+* CF-style coordinate **axes** with units, bounds and calendar-aware
+  time coordinates (:mod:`repro.cdms.axis`, :mod:`repro.cdms.calendar`);
+* rectilinear horizontal **grids** with area weights
+  (:mod:`repro.cdms.grid`);
+* masked, metadata-carrying **variables** whose axes follow them through
+  slicing and arithmetic (:mod:`repro.cdms.variable`);
+* **selectors** for coordinate-space subsetting
+  (:mod:`repro.cdms.selectors`);
+* **datasets** — named collections of variables persisted in a
+  self-contained ``.cdz`` container (:mod:`repro.cdms.dataset`,
+  :mod:`repro.cdms.storage`);
+* **regridding** between rectilinear grids (:mod:`repro.cdms.regrid`).
+"""
+
+from repro.cdms.axis import Axis, create_axis, latitude_axis, longitude_axis, level_axis, time_axis
+from repro.cdms.calendar import Calendar, ComponentTime, RelativeTime
+from repro.cdms.grid import RectilinearGrid
+from repro.cdms.selectors import Selector
+from repro.cdms.variable import Variable
+from repro.cdms.dataset import Dataset, open_dataset
+from repro.cdms.regrid import regrid_bilinear, regrid_conservative
+
+__all__ = [
+    "Axis",
+    "create_axis",
+    "latitude_axis",
+    "longitude_axis",
+    "level_axis",
+    "time_axis",
+    "Calendar",
+    "ComponentTime",
+    "RelativeTime",
+    "RectilinearGrid",
+    "Selector",
+    "Variable",
+    "Dataset",
+    "open_dataset",
+    "regrid_bilinear",
+    "regrid_conservative",
+]

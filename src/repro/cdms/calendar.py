@@ -1,0 +1,248 @@
+"""Climate calendars and CF-style time coordinates.
+
+Climate model output uses calendars that differ from the civil one:
+CMIP-era models commonly run on a 365-day ("noleap") or 360-day
+calendar.  Time axes carry values *relative* to an epoch, e.g.
+``"days since 1979-01-01"``.  This module implements:
+
+* :class:`Calendar` — day-count arithmetic for ``standard``
+  (proleptic Gregorian), ``noleap`` and ``360_day`` calendars;
+* :class:`ComponentTime` — a (year, month, day, hour, minute, second)
+  tuple, the CDMS ``comptime`` analog;
+* :class:`RelativeTime` — a numeric offset plus a units string, the
+  CDMS ``reltime`` analog, convertible to/from component time.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.util.errors import CDMSError
+
+_GREGORIAN_MONTH_DAYS = (31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31)
+
+#: seconds per unit for CF "X since <epoch>" strings
+_UNIT_SECONDS = {
+    "seconds": 1.0,
+    "second": 1.0,
+    "minutes": 60.0,
+    "minute": 60.0,
+    "hours": 3600.0,
+    "hour": 3600.0,
+    "days": 86400.0,
+    "day": 86400.0,
+}
+
+_UNITS_RE = re.compile(
+    r"^\s*(?P<unit>[a-zA-Z]+)\s+since\s+"
+    r"(?P<year>-?\d{1,5})-(?P<month>\d{1,2})-(?P<day>\d{1,2})"
+    r"(?:[ T](?P<hour>\d{1,2}):(?P<minute>\d{1,2})(?::(?P<second>\d{1,2}(?:\.\d+)?))?)?"
+    r"\s*$"
+)
+
+
+def _is_gregorian_leap(year: int) -> bool:
+    return year % 4 == 0 and (year % 100 != 0 or year % 400 == 0)
+
+
+@dataclass(frozen=True, order=True)
+class ComponentTime:
+    """A calendar-independent broken-down time (CDMS ``comptime``)."""
+
+    year: int
+    month: int = 1
+    day: int = 1
+    hour: int = 0
+    minute: int = 0
+    second: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.month <= 12:
+            raise CDMSError(f"month out of range: {self.month}")
+        if not 1 <= self.day <= 31:
+            raise CDMSError(f"day out of range: {self.day}")
+        if not 0 <= self.hour < 24 or not 0 <= self.minute < 60 or not 0 <= self.second < 60:
+            raise CDMSError(f"time-of-day out of range: {self.hour}:{self.minute}:{self.second}")
+
+    @staticmethod
+    def parse(text: str) -> "ComponentTime":
+        """Parse ``"YYYY-MM-DD"`` or ``"YYYY-MM-DD HH:MM[:SS]"``.
+
+        Also accepts CDMS-style loose forms like ``"1979-1-1"``.
+        """
+        match = re.match(
+            r"^\s*(-?\d{1,5})-(\d{1,2})-(\d{1,2})"
+            r"(?:[ T](\d{1,2}):(\d{1,2})(?::(\d{1,2}(?:\.\d+)?))?)?\s*$",
+            text,
+        )
+        if not match:
+            raise CDMSError(f"unparseable time string: {text!r}")
+        year, month, day = int(match[1]), int(match[2]), int(match[3])
+        hour = int(match[4] or 0)
+        minute = int(match[5] or 0)
+        second = float(match[6] or 0.0)
+        return ComponentTime(year, month, day, hour, minute, second)
+
+    def isoformat(self) -> str:
+        return (
+            f"{self.year:04d}-{self.month:02d}-{self.day:02d} "
+            f"{self.hour:02d}:{self.minute:02d}:{self.second:06.3f}"
+        )
+
+    def seconds_of_day(self) -> float:
+        return self.hour * 3600.0 + self.minute * 60.0 + self.second
+
+
+class Calendar:
+    """Day-count arithmetic for one of the supported climate calendars."""
+
+    SUPPORTED = ("standard", "gregorian", "proleptic_gregorian", "noleap", "365_day", "360_day")
+
+    def __init__(self, name: str = "standard") -> None:
+        canonical = name.lower()
+        if canonical in ("gregorian", "proleptic_gregorian"):
+            canonical = "standard"
+        elif canonical == "365_day":
+            canonical = "noleap"
+        if canonical not in ("standard", "noleap", "360_day"):
+            raise CDMSError(f"unsupported calendar {name!r}; supported: {self.SUPPORTED}")
+        self.name = canonical
+
+    def __repr__(self) -> str:
+        return f"Calendar({self.name!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Calendar) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Calendar", self.name))
+
+    # -- month/year structure ------------------------------------------------
+
+    def days_in_month(self, year: int, month: int) -> int:
+        if self.name == "360_day":
+            return 30
+        days = _GREGORIAN_MONTH_DAYS[month - 1]
+        if month == 2 and self.name == "standard" and _is_gregorian_leap(year):
+            days += 1
+        return days
+
+    def days_in_year(self, year: int) -> int:
+        if self.name == "360_day":
+            return 360
+        if self.name == "noleap":
+            return 365
+        return 366 if _is_gregorian_leap(year) else 365
+
+    # -- serial day numbers ----------------------------------------------
+
+    def _days_before_year(self, year: int) -> int:
+        """Days from the calendar origin (year 1, Jan 1) to Jan 1 of *year*."""
+        if self.name == "360_day":
+            return (year - 1) * 360
+        if self.name == "noleap":
+            return (year - 1) * 365
+        y = year - 1
+        return y * 365 + y // 4 - y // 100 + y // 400
+
+    def _days_before_month(self, year: int, month: int) -> int:
+        return sum(self.days_in_month(year, m) for m in range(1, month))
+
+    def to_serial(self, ct: ComponentTime) -> float:
+        """Serial day number (fractional) of *ct* from the calendar origin."""
+        if ct.day > self.days_in_month(ct.year, ct.month):
+            raise CDMSError(
+                f"day {ct.day} invalid for {ct.year}-{ct.month:02d} in calendar {self.name}"
+            )
+        whole = self._days_before_year(ct.year) + self._days_before_month(ct.year, ct.month) + (ct.day - 1)
+        return whole + ct.seconds_of_day() / 86400.0
+
+    def from_serial(self, serial: float) -> ComponentTime:
+        """Inverse of :meth:`to_serial`.
+
+        Large serials carry ~microsecond float error; the fraction is
+        snapped to a 0.1 ms grid so whole-second times decompose exactly.
+        """
+        whole = int(serial // 1)
+        frac = serial - whole
+        frac = round(frac * 864000000.0) / 864000000.0  # snap to 0.1 ms
+        if frac >= 1.0:
+            whole += 1
+            frac = 0.0
+        # locate year by stepping (years differ by at most 366 days, so a
+        # divide-then-correct search terminates in a couple of iterations)
+        if self.name == "360_day":
+            year = whole // 360 + 1
+        elif self.name == "noleap":
+            year = whole // 365 + 1
+        else:
+            year = max(1, int(whole // 365.2425))
+        while self._days_before_year(year + 1) <= whole:
+            year += 1
+        while self._days_before_year(year) > whole:
+            year -= 1
+        day_of_year = whole - self._days_before_year(year)
+        month = 1
+        while day_of_year >= self.days_in_month(year, month):
+            day_of_year -= self.days_in_month(year, month)
+            month += 1
+        seconds = round(frac * 86400.0, 4)
+        hour = int(seconds // 3600)
+        seconds -= hour * 3600
+        minute = int(seconds // 60)
+        second = round(seconds - minute * 60, 6)
+        if second >= 60.0:  # guard against float round-up
+            second = 0.0
+            minute += 1
+            if minute == 60:
+                minute = 0
+                hour += 1
+        return ComponentTime(year, month, day_of_year + 1, hour, minute, second)
+
+
+@dataclass(frozen=True)
+class RelativeTime:
+    """A numeric time value relative to an epoch (CDMS ``reltime``).
+
+    ``RelativeTime(17.5, "days since 1979-01-01")`` means 17.5 days
+    after 1979-01-01 00:00 in whatever calendar the owning axis uses.
+    """
+
+    value: float
+    units: str
+
+    @staticmethod
+    def parse_units(units: str) -> Tuple[float, ComponentTime]:
+        """Return ``(seconds_per_unit, epoch)`` for a CF units string."""
+        match = _UNITS_RE.match(units)
+        if not match:
+            raise CDMSError(f"unparseable time units: {units!r}")
+        unit = match["unit"].lower()
+        if unit not in _UNIT_SECONDS:
+            raise CDMSError(f"unsupported time unit {unit!r} in {units!r}")
+        epoch = ComponentTime(
+            int(match["year"]),
+            int(match["month"]),
+            int(match["day"]),
+            int(match["hour"] or 0),
+            int(match["minute"] or 0),
+            float(match["second"] or 0.0),
+        )
+        return _UNIT_SECONDS[unit], epoch
+
+    def to_component(self, calendar: Calendar) -> ComponentTime:
+        seconds_per_unit, epoch = self.parse_units(self.units)
+        serial = calendar.to_serial(epoch) + self.value * seconds_per_unit / 86400.0
+        return calendar.from_serial(serial)
+
+    @staticmethod
+    def from_component(ct: ComponentTime, units: str, calendar: Calendar) -> "RelativeTime":
+        seconds_per_unit, epoch = RelativeTime.parse_units(units)
+        delta_days = calendar.to_serial(ct) - calendar.to_serial(epoch)
+        return RelativeTime(delta_days * 86400.0 / seconds_per_unit, units)
+
+    def rebase(self, new_units: str, calendar: Calendar) -> "RelativeTime":
+        """Express the same instant relative to a different epoch/unit."""
+        return RelativeTime.from_component(self.to_component(calendar), new_units, calendar)

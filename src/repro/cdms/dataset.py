@@ -1,0 +1,111 @@
+"""Datasets: named collections of variables (the CDMS ``Dataset`` analog).
+
+In a DV3D workflow the first module is a *dataset reader*: it opens a
+dataset (from the local file system or, in the paper, from the Earth
+System Grid), lists its variables, and hands subsetted variables
+downstream.  :class:`Dataset` is that object; :func:`open_dataset` is
+the ``cdms2.open`` analog over the ``.cdz`` container.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.cdms.selectors import Selector
+from repro.cdms.storage import read_cdz, write_cdz
+from repro.cdms.variable import Variable
+from repro.util.errors import CDMSError
+
+PathLike = Union[str, Path]
+
+
+class Dataset:
+    """An in-memory collection of variables with global attributes."""
+
+    def __init__(
+        self,
+        id: str = "dataset",
+        variables: Optional[List[Variable]] = None,
+        attributes: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.id = id
+        self.attributes: Dict[str, object] = dict(attributes or {})
+        self._variables: Dict[str, Variable] = {}
+        for var in variables or []:
+            self.add_variable(var)
+
+    def __repr__(self) -> str:
+        return f"Dataset(id={self.id!r}, variables={sorted(self._variables)})"
+
+    def __contains__(self, variable_id: str) -> bool:
+        return variable_id in self._variables
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._variables))
+
+    def __len__(self) -> int:
+        return len(self._variables)
+
+    @property
+    def variable_ids(self) -> List[str]:
+        return sorted(self._variables)
+
+    def add_variable(self, variable: Variable) -> None:
+        if variable.id in self._variables:
+            raise CDMSError(f"dataset {self.id!r}: duplicate variable {variable.id!r}")
+        self._variables[variable.id] = variable
+
+    def get_variable(self, variable_id: str) -> Variable:
+        try:
+            return self._variables[variable_id]
+        except KeyError:
+            raise CDMSError(
+                f"dataset {self.id!r}: no variable {variable_id!r} "
+                f"(available: {self.variable_ids})"
+            ) from None
+
+    def __call__(
+        self,
+        variable_id: str,
+        selector: Optional[Selector] = None,
+        **criteria: Any,
+    ) -> Variable:
+        """``ds("tas", latitude=(-30, 30))`` — fetch and subset in one call."""
+        var = self.get_variable(variable_id)
+        if selector is None and not criteria:
+            return var
+        return var(selector, **criteria)
+
+    def summary(self) -> Dict[str, Dict[str, object]]:
+        """Per-variable structural description (used by the variable view)."""
+        return {
+            vid: {
+                "shape": var.shape,
+                "dimensions": [a.id for a in var.axes],
+                "units": var.units,
+                "long_name": var.long_name,
+                "order": var.order(),
+            }
+            for vid, var in self._variables.items()
+        }
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self, path: PathLike) -> None:
+        write_cdz(
+            path,
+            [self._variables[k] for k in sorted(self._variables)],
+            dataset_id=self.id,
+            attributes=self.attributes,
+        )
+
+    @staticmethod
+    def load(path: PathLike) -> "Dataset":
+        dataset_id, attributes, variables = read_cdz(path)
+        return Dataset(id=dataset_id, variables=variables, attributes=attributes)
+
+
+def open_dataset(path: PathLike) -> Dataset:
+    """Open a ``.cdz`` dataset from disk (the ``cdms2.open`` analog)."""
+    return Dataset.load(path)

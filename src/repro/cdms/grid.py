@@ -1,0 +1,85 @@
+"""Horizontal grids.
+
+CDMS attaches a horizontal grid object to every variable that has both
+latitude and longitude axes.  DV3D and the CDAT averaging operators use
+the grid for two things this module provides: sphere-exact **area
+weights** (for weighted averages, §III.G "weighted averages") and the
+grid comparison/compatibility checks regridding needs.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.cdms.axis import Axis
+from repro.util.errors import CDMSError
+
+
+class RectilinearGrid:
+    """A latitude × longitude rectilinear grid.
+
+    Parameters are :class:`~repro.cdms.axis.Axis` instances that must
+    designate as latitude and longitude respectively.
+    """
+
+    def __init__(self, latitude: Axis, longitude: Axis) -> None:
+        if not latitude.is_latitude():
+            raise CDMSError(f"axis {latitude.id!r} is not a latitude axis")
+        if not longitude.is_longitude():
+            raise CDMSError(f"axis {longitude.id!r} is not a longitude axis")
+        self.latitude = latitude
+        self.longitude = longitude
+
+    def __repr__(self) -> str:
+        return f"RectilinearGrid(nlat={len(self.latitude)}, nlon={len(self.longitude)})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RectilinearGrid):
+            return NotImplemented
+        return self.latitude == other.latitude and self.longitude == other.longitude
+
+    def __hash__(self) -> int:
+        return hash((self.latitude, self.longitude))
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (len(self.latitude), len(self.longitude))
+
+    def area_weights(self) -> np.ndarray:
+        """``(nlat, nlon)`` weights proportional to spherical cell area.
+
+        Normalised to sum to 1 over the grid, so a weighted mean is
+        simply ``(data * weights).sum()``.
+        """
+        wlat = self.latitude.area_weights()
+        wlon = self.longitude.area_weights()
+        weights = np.outer(wlat, wlon)
+        return weights / weights.sum()
+
+    def cell_areas(self, radius: float = 6.371e6) -> np.ndarray:
+        """Physical cell areas in m² on a sphere of the given radius."""
+        lat_bounds = np.radians(self.latitude.gen_bounds())
+        lon_bounds = np.radians(self.longitude.gen_bounds())
+        band = np.abs(np.sin(lat_bounds[:, 1]) - np.sin(lat_bounds[:, 0]))
+        width = np.abs(lon_bounds[:, 1] - lon_bounds[:, 0])
+        return radius * radius * np.outer(band, width)
+
+    def bounds(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(lat_bounds, lon_bounds)`` each shaped ``(n, 2)``."""
+        return self.latitude.gen_bounds(), self.longitude.gen_bounds()
+
+    def is_global(self, tolerance_deg: float = 1.0) -> bool:
+        """Whether the grid spans the full sphere (within *tolerance_deg*)."""
+        lat_b, lon_b = self.bounds()
+        lat_span = abs(lat_b.max() - lat_b.min())
+        lon_span = abs(lon_b.max() - lon_b.min())
+        return lat_span >= 180.0 - tolerance_deg and lon_span >= 360.0 - tolerance_deg
+
+
+def uniform_grid(nlat: int, nlon: int) -> RectilinearGrid:
+    """A global uniform grid with *nlat* × *nlon* cell centers."""
+    from repro.cdms.axis import uniform_latitude, uniform_longitude
+
+    return RectilinearGrid(uniform_latitude(nlat), uniform_longitude(nlon))

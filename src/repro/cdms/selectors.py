@@ -1,0 +1,111 @@
+"""Coordinate-space subsetting (the CDMS ``Selector`` analog).
+
+CDMS lets a scientist write::
+
+    v = ds("tas", latitude=(-30, 30), time=("1979-1-1", "1980-1-1"), level=500)
+
+This module implements that vocabulary.  A :class:`Selector` is an
+immutable collection of per-designation criteria; applying it to a
+variable maps each criterion onto the matching axis (by designation
+first, then by axis id) and produces an index tuple.
+
+Criteria forms accepted per axis:
+
+* ``(low, high)`` — closed coordinate interval (values may be numbers
+  or, on time axes, ``"YYYY-MM-DD"`` strings / ComponentTime);
+* scalar — nearest single point (the axis is *kept* with length 1;
+  use :meth:`Selector.squeeze` semantics at the variable level to drop);
+* ``slice`` — raw index slice, passed through untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.cdms.axis import Axis
+from repro.util.errors import CDMSError
+
+#: aliases accepted as keyword names for each axis designation
+_DESIGNATION_ALIASES = {
+    "latitude": "latitude",
+    "lat": "latitude",
+    "longitude": "longitude",
+    "lon": "longitude",
+    "level": "level",
+    "lev": "level",
+    "plev": "level",
+    "time": "time",
+}
+
+
+class Selector:
+    """An immutable, composable subsetting specification."""
+
+    def __init__(self, **criteria: Any) -> None:
+        normalized: Dict[str, Any] = {}
+        for key, value in criteria.items():
+            canonical = _DESIGNATION_ALIASES.get(key.lower(), key)
+            normalized[canonical] = value
+        self._criteria = normalized
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in sorted(self._criteria.items()))
+        return f"Selector({inner})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Selector):
+            return NotImplemented
+        return self._criteria == other._criteria
+
+    @property
+    def criteria(self) -> Dict[str, Any]:
+        return dict(self._criteria)
+
+    def __and__(self, other: "Selector") -> "Selector":
+        """Compose two selectors; the right-hand side wins on conflict."""
+        merged = dict(self._criteria)
+        merged.update(other._criteria)
+        result = Selector()
+        result._criteria = merged
+        return result
+
+    def _criterion_for(self, axis: Axis) -> Any:
+        designation = axis.designation()
+        if designation in self._criteria:
+            return self._criteria[designation]
+        if axis.id in self._criteria:
+            return self._criteria[axis.id]
+        return None
+
+    def index_for_axis(self, axis: Axis) -> slice:
+        """The index slice this selector implies for *axis* (or ``slice(None)``)."""
+        criterion = self._criterion_for(axis)
+        if criterion is None:
+            return slice(None)
+        if isinstance(criterion, slice):
+            return criterion
+        if isinstance(criterion, tuple):
+            if len(criterion) != 2:
+                raise CDMSError(
+                    f"selector for axis {axis.id!r}: interval must be (low, high), got {criterion!r}"
+                )
+            i0, i1 = axis.map_interval(criterion[0], criterion[1])
+            return slice(i0, i1)
+        # scalar → nearest point, kept as a length-1 axis
+        idx = axis.nearest_index(criterion)
+        return slice(idx, idx + 1)
+
+    def matched_designations(self, axes: Tuple[Axis, ...]) -> Dict[str, str]:
+        """Which criteria matched which axis id (for provenance logging)."""
+        result = {}
+        for axis in axes:
+            if self._criterion_for(axis) is not None:
+                designation = axis.designation()
+                key = designation if designation in self._criteria else axis.id
+                result[key] = axis.id
+        return result
+
+    def unmatched(self, axes: Tuple[Axis, ...]) -> Tuple[str, ...]:
+        """Criteria names that matched no axis (a user error worth surfacing)."""
+        matched = set(self.matched_designations(axes))
+        return tuple(sorted(set(self._criteria) - matched))

@@ -1,0 +1,150 @@
+"""The ``.cdz`` self-contained dataset container.
+
+The real CDMS reads NetCDF; with no NetCDF library available offline we
+define an equivalent self-describing container: a ZIP archive holding
+
+* ``manifest.json`` — dataset id, global attributes, axis and variable
+  metadata (units, calendars, attributes, dimension lists);
+* ``axes/<name>.npy`` and ``axes/<name>.bounds.npy`` — axis coordinate
+  and bounds arrays;
+* ``vars/<name>.npy`` — variable payloads with masked elements encoded
+  as the variable's ``missing_value``.
+
+The format is deliberately dumb and fully round-trips every piece of
+metadata the :class:`~repro.cdms.variable.Variable` model carries, which
+is what the provenance story requires ("enabling users to readily
+regenerate any analysis product").
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import zipfile
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.cdms.axis import Axis
+from repro.cdms.variable import Variable
+from repro.util.errors import CDMSError
+
+FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def _npy_bytes(array: np.ndarray) -> bytes:
+    buffer = io.BytesIO()
+    np.save(buffer, np.ascontiguousarray(array), allow_pickle=False)
+    return buffer.getvalue()
+
+
+def _npy_load(blob: bytes) -> np.ndarray:
+    return np.load(io.BytesIO(blob), allow_pickle=False)
+
+
+def _axis_manifest(axis: Axis) -> Dict[str, object]:
+    return {
+        "id": axis.id,
+        "units": axis.units,
+        "calendar": axis.calendar.name,
+        "attributes": axis.attributes,
+        "has_bounds": axis.get_bounds() is not None,
+    }
+
+
+def write_cdz(
+    path: PathLike,
+    variables: List[Variable],
+    dataset_id: str = "dataset",
+    attributes: Dict[str, object] | None = None,
+) -> None:
+    """Write *variables* (sharing axes by id) to a ``.cdz`` file."""
+    if not variables:
+        raise CDMSError("write_cdz: no variables to write")
+    axes: Dict[str, Axis] = {}
+    for var in variables:
+        for axis in var.axes:
+            existing = axes.get(axis.id)
+            if existing is not None and existing != axis:
+                raise CDMSError(
+                    f"write_cdz: conflicting definitions of axis {axis.id!r} "
+                    f"across variables"
+                )
+            axes[axis.id] = axis
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "id": dataset_id,
+        "attributes": attributes or {},
+        "axes": [_axis_manifest(a) for a in axes.values()],
+        "variables": [
+            {
+                "id": var.id,
+                "dimensions": [a.id for a in var.axes],
+                "attributes": var.attributes,
+                "missing_value": var.missing_value,
+                "dtype": str(var.dtype),
+            }
+            for var in variables
+        ],
+    }
+    path = Path(path)
+    with zipfile.ZipFile(path, "w", compression=zipfile.ZIP_DEFLATED) as archive:
+        archive.writestr("manifest.json", json.dumps(manifest, indent=1))
+        for axis in axes.values():
+            archive.writestr(f"axes/{axis.id}.npy", _npy_bytes(axis.values))
+            bounds = axis.get_bounds()
+            if bounds is not None:
+                archive.writestr(f"axes/{axis.id}.bounds.npy", _npy_bytes(bounds))
+        for var in variables:
+            archive.writestr(f"vars/{var.id}.npy", _npy_bytes(var.filled()))
+
+
+def read_cdz(path: PathLike) -> tuple[str, Dict[str, object], List[Variable]]:
+    """Read a ``.cdz`` file → ``(dataset_id, attributes, variables)``."""
+    path = Path(path)
+    if not path.exists():
+        raise CDMSError(f"read_cdz: no such file {path}")
+    with zipfile.ZipFile(path, "r") as archive:
+        try:
+            manifest = json.loads(archive.read("manifest.json"))
+        except KeyError as exc:
+            raise CDMSError(f"read_cdz: {path} has no manifest.json") from exc
+        version = manifest.get("format_version")
+        if version != FORMAT_VERSION:
+            raise CDMSError(f"read_cdz: unsupported format version {version!r}")
+        names = set(archive.namelist())
+        axes: Dict[str, Axis] = {}
+        for meta in manifest["axes"]:
+            axis_id = meta["id"]
+            values = _npy_load(archive.read(f"axes/{axis_id}.npy"))
+            bounds = None
+            if meta.get("has_bounds") and f"axes/{axis_id}.bounds.npy" in names:
+                bounds = _npy_load(archive.read(f"axes/{axis_id}.bounds.npy"))
+            axes[axis_id] = Axis(
+                axis_id,
+                values,
+                units=meta.get("units", ""),
+                bounds=bounds,
+                calendar=meta.get("calendar", "standard"),
+                attributes=meta.get("attributes", {}),
+            )
+        variables: List[Variable] = []
+        for meta in manifest["variables"]:
+            var_id = meta["id"]
+            raw = _npy_load(archive.read(f"vars/{var_id}.npy"))
+            missing = float(meta.get("missing_value", 1.0e20))
+            data = np.ma.masked_values(raw, missing, rtol=1e-6, atol=0.0)
+            var_axes = [axes[dim] for dim in meta["dimensions"]]
+            variables.append(
+                Variable(
+                    data,
+                    var_axes,
+                    id=var_id,
+                    missing_value=missing,
+                    attributes=meta.get("attributes", {}),
+                )
+            )
+    return manifest["id"], manifest.get("attributes", {}), variables

@@ -1,0 +1,33 @@
+"""Synthetic climate datasets.
+
+The paper's demonstrations run on NASA model output and reanalyses that
+are not redistributable (and not fetchable offline).  This package
+generates physically-structured substitutes — zonally banded
+temperature with lapse rate and seasonal cycle, geostrophically
+balanced winds, propagating equatorial waves, translating storm
+vortices and moisture fields — shaped exactly like model output
+(CF axes, units, masks), so every DV3D pipeline stage sees realistic
+structure.  All generators take explicit seeds and are deterministic.
+"""
+
+from repro.data.fields import (
+    global_temperature,
+    geopotential_height,
+    geostrophic_wind,
+    equatorial_wave,
+    storm_vortex,
+    specific_humidity,
+)
+from repro.data.catalog import synthetic_reanalysis, storm_case_study, wave_case_study
+
+__all__ = [
+    "global_temperature",
+    "geopotential_height",
+    "geostrophic_wind",
+    "equatorial_wave",
+    "storm_vortex",
+    "specific_humidity",
+    "synthetic_reanalysis",
+    "storm_case_study",
+    "wave_case_study",
+]

@@ -1,0 +1,82 @@
+"""Pre-assembled synthetic datasets.
+
+These are the "case studies" the examples and benchmarks open: a
+multi-variable global reanalysis-like dataset, a regional storm case
+(the Fig. 3 isosurface/volume workload) and an equatorial wave case
+(the Fig. 4 Hovmöller workload).  Each returns a
+:class:`~repro.cdms.dataset.Dataset` and can be persisted with
+``dataset.save(path)`` for the file-access code path.
+"""
+
+from __future__ import annotations
+
+from repro.cdms.dataset import Dataset
+from repro.data import fields
+
+
+def synthetic_reanalysis(
+    nlat: int = 46,
+    nlon: int = 72,
+    nlev: int = 17,
+    ntime: int = 12,
+    seed: int | str = "reanalysis",
+) -> Dataset:
+    """A global multi-variable dataset: ta, zg, ua, va, hus.
+
+    The shape mirrors a coarse monthly reanalysis (the scale of data the
+    UV-CDAT GUI's variable view lists in Fig. 2).
+    """
+    ta = fields.global_temperature(nlat, nlon, nlev, ntime, seed=f"{seed}/ta")
+    zg = fields.geopotential_height(nlat, nlon, nlev, ntime, seed=f"{seed}/zg")
+    ua, va = fields.geostrophic_wind(zg)
+    hus = fields.specific_humidity(nlat, nlon, nlev, ntime, seed=f"{seed}/hus")
+    return Dataset(
+        id="nccs_synthetic_reanalysis",
+        variables=[ta, zg, ua, va, hus],
+        attributes={
+            "title": "Synthetic reanalysis (repro substitute for NASA model output)",
+            "institution": "repro.data",
+            "source": "analytic structure + band-limited noise",
+            "seed": str(seed),
+        },
+    )
+
+
+def storm_case_study(
+    nlat: int = 64,
+    nlon: int = 64,
+    nlev: int = 20,
+    ntime: int = 16,
+    seed: int | str = "storm-case",
+) -> Dataset:
+    """Regional storm dataset: wind speed plus temperature on the same grid."""
+    wspd = fields.storm_vortex(nlat, nlon, nlev, ntime, seed=f"{seed}/wspd")
+    # a co-located temperature-like field (warm core) for two-variable plots
+    warm_core = wspd * 0.35 + 250.0
+    warm_core.id = "tcore"
+    warm_core.attributes["units"] = "K"
+    warm_core.attributes["long_name"] = "core temperature proxy"
+    return Dataset(
+        id="storm_case_study",
+        variables=[wspd, warm_core],
+        attributes={"title": "Translating vortex case study (Fig. 3 workload)"},
+    )
+
+
+def wave_case_study(
+    nlon: int = 144,
+    nlat: int = 32,
+    ntime: int = 120,
+    seed: int | str = "wave-case",
+) -> Dataset:
+    """Equatorial wave dataset: one eastward and one westward mode."""
+    east = fields.equatorial_wave(nlon, nlat, ntime, wavenumber=4, period_steps=30.0,
+                                  eastward=True, seed=f"{seed}/east")
+    west = fields.equatorial_wave(nlon, nlat, ntime, wavenumber=6, period_steps=20.0,
+                                  eastward=False, seed=f"{seed}/west")
+    west.id = "olr_west"
+    return Dataset(
+        id="wave_case_study",
+        variables=[east, west],
+        attributes={"title": "Propagating equatorial waves (Fig. 4 workload)"},
+    )

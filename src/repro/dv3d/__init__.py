@@ -1,0 +1,58 @@
+"""DV3D — the paper's primary contribution.
+
+"DV3D is a VisTrails package of high-level modules for UV-CDAT
+providing user-friendly workflow interfaces for advanced visualization
+and analysis of climate data at a level appropriate for scientists ...
+without exposing details such as actors, cameras, renderers, and
+transfer functions."
+
+The package provides the paper's coordinated interactive 3-D plot
+types (§III.C):
+
+* :class:`~repro.dv3d.slicer.SlicerPlot` — draggable slice planes with
+  pseudocolor images and second-variable contour overlays;
+* :class:`~repro.dv3d.volume.VolumePlot` — volume rendering with
+  interactive transfer-function leveling;
+* :class:`~repro.dv3d.isosurface.IsosurfacePlot` — an isosurface of one
+  variable colored by a second variable;
+* :class:`~repro.dv3d.hovmoller.HovmollerSlicerPlot` /
+  :class:`~repro.dv3d.hovmoller.HovmollerVolumePlot` — the same views
+  over volumes with **time** as the vertical dimension;
+* :class:`~repro.dv3d.vector_slicer.VectorSlicerPlot` — vector glyphs
+  and streamlines on draggable slice planes.
+
+plus the supporting machinery: the CDMS→volume translation stage
+(:mod:`repro.dv3d.translation`), the interaction command model
+(:mod:`repro.dv3d.interaction`), animation (:mod:`repro.dv3d.animation`),
+the spreadsheet cell wrapper with base map / labels / colorbar / pick
+display (:mod:`repro.dv3d.cell`) and the workflow-module package
+registrations (:mod:`repro.dv3d.package`).
+"""
+
+from repro.dv3d.translation import translate_variable, translate_hovmoller, translate_vector_field
+from repro.dv3d.plot import Plot3D
+from repro.dv3d.slicer import SlicerPlot
+from repro.dv3d.volume import VolumePlot
+from repro.dv3d.isosurface import IsosurfacePlot
+from repro.dv3d.hovmoller import HovmollerSlicerPlot, HovmollerVolumePlot
+from repro.dv3d.vector_slicer import VectorSlicerPlot
+from repro.dv3d.combined import CombinedPlot
+from repro.dv3d.cell import DV3DCell
+from repro.dv3d.animation import Animator, CameraTour
+
+__all__ = [
+    "translate_variable",
+    "translate_hovmoller",
+    "translate_vector_field",
+    "Plot3D",
+    "SlicerPlot",
+    "VolumePlot",
+    "IsosurfacePlot",
+    "HovmollerSlicerPlot",
+    "HovmollerVolumePlot",
+    "VectorSlicerPlot",
+    "CombinedPlot",
+    "DV3DCell",
+    "Animator",
+    "CameraTour",
+]

@@ -1,0 +1,148 @@
+"""Animation over a data dimension.
+
+"Animating over one of the data dimensions (typically time) provides a
+very effective method for viewing and browsing 4D data."  The
+:class:`Animator` steps a plot (or cell) through its animation
+dimension, rendering each frame; frames can be saved as numbered PPM
+files or returned for inspection.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.dv3d.cell import DV3DCell
+from repro.dv3d.plot import Plot3D
+from repro.rendering.camera import Camera
+from repro.rendering.ppm import write_ppm
+from repro.util.errors import DV3DError
+
+PathLike = Union[str, Path]
+
+
+class Animator:
+    """Renders an animation sequence from a plot or cell."""
+
+    def __init__(self, target: Union[Plot3D, DV3DCell]) -> None:
+        self.cell = target if isinstance(target, DV3DCell) else None
+        self.plot = target.plot if isinstance(target, DV3DCell) else target
+        if self.plot.n_timesteps < 1:
+            raise DV3DError("nothing to animate")
+
+    @property
+    def n_frames(self) -> int:
+        return self.plot.n_timesteps
+
+    def render_frames(
+        self,
+        width: int = 320,
+        height: int = 240,
+        camera: Optional[Camera] = None,
+        start: int = 0,
+        count: Optional[int] = None,
+        stride: int = 1,
+    ) -> List[np.ndarray]:
+        """Render frames as uint8 arrays, restoring the original time index.
+
+        The camera is fixed across frames (fit once at the first frame)
+        so the animation browses the data, not the view.
+        """
+        if stride < 1:
+            raise DV3DError("stride must be >= 1")
+        total = self.n_frames
+        count = total if count is None else min(count, total)
+        original = self.plot.time_index
+        cam = camera or self.plot.camera
+        frames: List[np.ndarray] = []
+        try:
+            for step in range(count):
+                index = (start + step * stride) % total
+                self.plot.set_time_index(index)
+                if cam is None:
+                    cam = self.plot.default_camera()
+                fb = (
+                    self.cell.render(width, height, camera=cam)
+                    if self.cell is not None
+                    else self.plot.render(width, height, camera=cam)
+                )
+                frames.append(fb.to_uint8())
+        finally:
+            self.plot.set_time_index(original)
+        return frames
+
+    def save_frames(
+        self,
+        directory: PathLike,
+        prefix: str = "frame",
+        **render_kwargs,
+    ) -> List[Path]:
+        """Render and write numbered PPM files; returns the paths."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        paths: List[Path] = []
+        for i, frame in enumerate(self.render_frames(**render_kwargs)):
+            path = directory / f"{prefix}_{i:04d}.ppm"
+            write_ppm(path, frame)
+            paths.append(path)
+        return paths
+
+
+class CameraTour:
+    """Animate the *view* instead of the data: an orbital fly-around.
+
+    The complement of :class:`Animator` for the paper's "interactive
+    query, browse, navigation" feature set — the data stays at one time
+    step while the camera orbits the scene, producing frames for a
+    turntable movie (the standard way a 3-D structure is presented).
+    """
+
+    def __init__(self, target: Union[Plot3D, DV3DCell]) -> None:
+        self.cell = target if isinstance(target, DV3DCell) else None
+        self.plot = target.plot if isinstance(target, DV3DCell) else target
+
+    def render_orbit(
+        self,
+        n_frames: int = 12,
+        total_azimuth_deg: float = 360.0,
+        elevation_deg: float = 0.0,
+        width: int = 320,
+        height: int = 240,
+    ) -> List[np.ndarray]:
+        """Render *n_frames* around the scene; the plot's camera is
+        restored afterwards."""
+        if n_frames < 1:
+            raise DV3DError("n_frames must be >= 1")
+        original = self.plot.camera
+        camera = original or self.plot.default_camera()
+        step = total_azimuth_deg / n_frames
+        frames: List[np.ndarray] = []
+        try:
+            for i in range(n_frames):
+                view = camera.orbit(step * i, elevation_deg)
+                fb = (
+                    self.cell.render(width, height, camera=view)
+                    if self.cell is not None
+                    else self.plot.render(width, height, camera=view)
+                )
+                frames.append(fb.to_uint8())
+        finally:
+            self.plot.camera = original
+        return frames
+
+    def save_orbit(
+        self,
+        directory: PathLike,
+        prefix: str = "orbit",
+        **render_kwargs,
+    ) -> List[Path]:
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        paths: List[Path] = []
+        for i, frame in enumerate(self.render_orbit(**render_kwargs)):
+            path = directory / f"{prefix}_{i:04d}.ppm"
+            write_ppm(path, frame)
+            paths.append(path)
+        return paths

@@ -1,0 +1,135 @@
+"""The configurable base map.
+
+"The DV3D cell module includes a configurable base map" — continent
+outlines drawn under the data volume for geographic orientation.  With
+no shapefile data available offline, this module carries a compact
+hand-digitized coastline: coarse polygon outlines of the major
+landmasses (sufficient at global-visualization scale, where the paper's
+screenshots show similarly coarse reference maps).  Coordinates are
+(longitude °E in [0, 360), latitude °N).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.rendering.geometry import PolyData
+
+#: very coarse coastline polygons: (name, [(lon, lat), ...])
+_COASTLINES: List[Tuple[str, List[Tuple[float, float]]]] = [
+    (
+        "north_america",
+        [(192, 58), (203, 71), (219, 70), (232, 69), (246, 70), (262, 73),
+         (275, 68), (282, 62), (295, 60), (305, 50), (294, 45), (284, 40),
+         (279, 34), (278, 26), (262, 18), (255, 20), (242, 32), (235, 40),
+         (236, 48), (224, 55), (210, 58), (200, 55), (192, 58)],
+    ),
+    (
+        "south_america",
+        [(288, 10), (299, 6), (312, 0), (325, -5), (321, -15), (314, -24),
+         (306, -34), (297, -46), (289, -52), (286, -42), (289, -30),
+         (282, -18), (279, -5), (283, 6), (288, 10)],
+    ),
+    (
+        "africa",
+        [(350, 34), (10, 36), (20, 32), (32, 30), (43, 11), (51, 11),
+         (40, -3), (35, -20), (28, -33), (18, -34), (12, -18), (9, -1),
+         (351, 5), (343, 12), (344, 22), (350, 34)],
+    ),
+    (
+        "eurasia",
+        [(355, 50), (5, 58), (12, 55), (28, 60), (40, 67), (60, 69),
+         (90, 74), (120, 73), (150, 70), (170, 66), (178, 64), (160, 60),
+         (142, 54), (135, 43), (122, 38), (110, 21), (100, 9), (104, 2),
+         (95, 15), (88, 22), (77, 8), (72, 20), (60, 25), (57, 27),
+         (48, 30), (35, 36), (27, 36), (23, 38), (10, 44), (355, 43),
+         (350, 46), (355, 50)],
+    ),
+    (
+        "australia",
+        [(114, -22), (122, -18), (131, -12), (142, -11), (146, -19),
+         (153, -27), (150, -37), (140, -38), (129, -32), (115, -34),
+         (114, -22)],
+    ),
+    (
+        "antarctica",
+        [(0, -70), (40, -68), (80, -67), (120, -67), (160, -71),
+         (200, -76), (240, -74), (280, -72), (320, -70), (359, -70)],
+    ),
+    (
+        "greenland",
+        [(315, 60), (322, 70), (340, 81), (348, 70), (336, 65), (315, 60)],
+    ),
+]
+
+
+def coastline_segments(
+    lon_range: Tuple[float, float] = (0.0, 360.0),
+    lat_range: Tuple[float, float] = (-90.0, 90.0),
+) -> List[np.ndarray]:
+    """Coastline polylines clipped to a lon/lat window.
+
+    Each returned array is ``(n, 2)`` of (lon, lat).  Polylines are
+    split where they leave the window, so regional plots only receive
+    the segments inside their domain.
+    """
+    lon_lo, lon_hi = lon_range
+    lat_lo, lat_hi = lat_range
+    out: List[np.ndarray] = []
+    for _name, ring in _COASTLINES:
+        pts = np.asarray(ring, dtype=np.float64)
+        pts[:, 0] = np.mod(pts[:, 0], 360.0)
+        inside = (
+            (pts[:, 0] >= lon_lo) & (pts[:, 0] <= lon_hi)
+            & (pts[:, 1] >= lat_lo) & (pts[:, 1] <= lat_hi)
+        )
+        run_start = None
+        for i, ok in enumerate(inside):
+            if ok and run_start is None:
+                run_start = i
+            elif not ok and run_start is not None:
+                if i - run_start >= 2:
+                    out.append(pts[run_start:i].copy())
+                run_start = None
+        if run_start is not None and len(pts) - run_start >= 2:
+            out.append(pts[run_start:].copy())
+    # drop spuriously long jumps (polygon edges crossing the window)
+    cleaned: List[np.ndarray] = []
+    for seg in out:
+        jumps = np.abs(np.diff(seg[:, 0]))
+        if (jumps > 180.0).any():
+            cut = int(np.argmax(jumps > 180.0)) + 1
+            if cut >= 2:
+                cleaned.append(seg[:cut])
+            if len(seg) - cut >= 2:
+                cleaned.append(seg[cut:])
+        else:
+            cleaned.append(seg)
+    return cleaned
+
+
+def basemap_polydata(
+    bounds: Tuple[float, float, float, float, float, float],
+    z_offset_fraction: float = 0.01,
+) -> PolyData:
+    """Coastlines as PolyData laid on the bottom of a volume's bounds.
+
+    *bounds* is the volume's ``(xmin, xmax, ymin, ymax, zmin, zmax)``
+    where x = longitude and y = latitude (the translation convention).
+    """
+    segments = coastline_segments((bounds[0], bounds[1]), (bounds[2], bounds[3]))
+    if not segments:
+        return PolyData(np.zeros((0, 3)))
+    z = bounds[4] - z_offset_fraction * max(bounds[5] - bounds[4], 1e-6)
+    points = []
+    lines = []
+    offset = 0
+    for seg in segments:
+        n = len(seg)
+        xyz = np.column_stack([seg[:, 0], seg[:, 1], np.full(n, z)])
+        points.append(xyz)
+        lines.append(np.arange(n) + offset)
+        offset += n
+    return PolyData(np.concatenate(points), lines=lines)

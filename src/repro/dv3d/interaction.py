@@ -1,0 +1,97 @@
+"""The interactive command model.
+
+"The DV3D spreadsheet cells also offer a wide range of interactive key
+press and mouse drag operations facilitating the configuration of
+colormaps, transfer functions, and other display and execution
+options."  This module maps those gestures onto plot operations and
+returns the resulting **state delta** — the dictionary the cell records
+as provenance and the hyperwall propagates to other nodes.
+
+Key commands (shared across plot types where applicable):
+
+========  =====================================================
+key       action
+========  =====================================================
+``c``     cycle colormap
+``i``     invert colormap
+``t``     step animation forward
+``T``     step animation backward
+``x y z`` toggle the corresponding slice plane (slicer plots)
+``m``     toggle glyphs/streamlines (vector slicer)
+``r``     reset camera to the default framing
+========  =====================================================
+
+Drag modes: ``camera`` (orbit), ``zoom``, ``pan``, ``leveling``
+(volume transfer function), ``slice:<plane>`` (move a slice plane),
+``isovalue`` (shift the isosurface level).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.util.errors import DV3DError
+
+
+def handle_key(plot, key: str) -> Dict[str, Any]:
+    """Apply a key command to *plot*; returns the state delta."""
+    if key == "c":
+        return {"colormap": {"name": plot.cycle_colormap()}}
+    if key == "i":
+        return {"colormap": {"inverted": plot.invert_colormap()}}
+    if key == "t":
+        return {"time_index": plot.step_time(+1)}
+    if key == "T":
+        return {"time_index": plot.step_time(-1)}
+    if key == "r":
+        plot.camera = plot.default_camera()
+        return {"camera": plot.camera.state()}
+    if key in ("x", "y", "z") and hasattr(plot, "toggle_plane"):
+        enabled = plot.toggle_plane(key)
+        return {"enabled_planes": list(plot.enabled_planes), "toggled": {key: enabled}}
+    if key == "m" and hasattr(plot, "toggle_mode"):
+        return {"mode": plot.toggle_mode()}
+    raise DV3DError(f"plot {plot.plot_type!r}: unbound key {key!r}")
+
+
+def handle_drag(plot, dx: float, dy: float, mode: str = "camera") -> Dict[str, Any]:
+    """Apply a drag gesture (deltas in normalized cell units, full-cell ≈ 1).
+
+    Returns the state delta the gesture produced.
+    """
+    if mode == "camera":
+        camera = plot.camera or plot.default_camera()
+        plot.camera = camera.orbit(dx * 180.0, dy * 90.0)
+        return {"camera": plot.camera.state()}
+    if mode == "zoom":
+        camera = plot.camera or plot.default_camera()
+        plot.camera = camera.zoom(max(1e-3, 1.0 + dy))
+        return {"camera": plot.camera.state()}
+    if mode == "pan":
+        camera = plot.camera or plot.default_camera()
+        scale = camera.distance * 0.5
+        plot.camera = camera.pan(-dx * scale, dy * scale)
+        return {"camera": plot.camera.state()}
+    if mode == "leveling":
+        if not hasattr(plot, "level"):
+            raise DV3DError(f"plot {plot.plot_type!r} does not support leveling")
+        window = plot.level(dx, dy)
+        return {"tf_center": window["center"], "tf_width": window["width"]}
+    if mode == "leveling:color":
+        if not hasattr(plot, "level_color"):
+            raise DV3DError(f"plot {plot.plot_type!r} does not support color leveling")
+        return plot.level_color(dx, dy)
+    if mode.startswith("slice"):
+        if not hasattr(plot, "drag_slice"):
+            raise DV3DError(f"plot {plot.plot_type!r} has no slice planes")
+        if ":" in mode:  # "slice:x" on the multi-plane slicer
+            plane = mode.split(":", 1)[1]
+            position = plot.drag_slice(plane, dy)
+            return {"plane_positions": {plane: position}}
+        position = plot.drag_slice(dy)  # vector slicer: single plane
+        return {"plane_position": position}
+    if mode == "isovalue":
+        if not hasattr(plot, "adjust_isovalue"):
+            raise DV3DError(f"plot {plot.plot_type!r} has no isovalue")
+        return {"isovalue": plot.adjust_isovalue(dy)}
+    raise DV3DError(f"unknown drag mode {mode!r}")

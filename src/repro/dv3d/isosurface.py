@@ -1,0 +1,117 @@
+"""The Isosurface plot.
+
+"The Isosurface plot displays an isosurface derived from one variable's
+data volume and colored by the spatially correspondent values from a
+second variable's data volume.  It can produce views similar to a
+volume rendering while facilitating the comparison of two variables."
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.cdms.variable import Variable
+from repro.dv3d.plot import Plot3D
+from repro.dv3d.translation import add_variable_to_volume
+from repro.rendering.geometry import box_outline
+from repro.rendering.image_data import ImageData
+from repro.rendering.isosurface import color_surface_by_field, marching_tetrahedra
+from repro.rendering.scene import Actor, Scene
+from repro.util.errors import DV3DError
+
+
+class IsosurfacePlot(Plot3D):
+    """An isovalue surface of variable A, colored by variable B."""
+
+    plot_type = "isosurface"
+
+    def __init__(
+        self,
+        variable: Variable,
+        color_variable: Optional[Variable] = None,
+        isovalue: Optional[float] = None,
+        color_range: Optional[Tuple[float, float]] = None,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(variable, **kwargs)
+        self.color_variable = color_variable
+        lo, hi = self.scalar_range
+        self.isovalue = float(isovalue) if isovalue is not None else 0.5 * (lo + hi)
+        if color_variable is not None and color_range is None:
+            finite = color_variable.compressed()
+            finite = finite[np.isfinite(finite)]
+            if finite.size == 0:
+                raise DV3DError(f"color variable {color_variable.id!r} has no valid data")
+            color_range = (float(finite.min()), float(finite.max()))
+        self.color_range = color_range
+
+    def _build_volume(self) -> ImageData:
+        volume = super()._build_volume()
+        if self.color_variable is not None:
+            add_variable_to_volume(volume, self.color_variable, self.time_index)
+        return volume
+
+    # -- interactive ops ----------------------------------------------------
+
+    def set_isovalue(self, value: float) -> float:
+        """Set the level-set value (clamped to the data range)."""
+        lo, hi = self.scalar_range
+        self.isovalue = float(np.clip(value, lo, hi))
+        return self.isovalue
+
+    def adjust_isovalue(self, delta_fraction: float) -> float:
+        """Shift the isovalue by a fraction of the data range (drag op)."""
+        lo, hi = self.scalar_range
+        return self.set_isovalue(self.isovalue + delta_fraction * (hi - lo))
+
+    # -- geometry ---------------------------------------------------------------
+
+    def extract_surface(self):
+        """The current isosurface PolyData (colored if a second variable)."""
+        surface = marching_tetrahedra(self.volume, self.isovalue, self.variable.id)
+        if surface.n_points == 0:
+            return surface
+        if self.color_variable is not None:
+            return color_surface_by_field(
+                surface, self.volume, self.color_variable.id,
+                self.colormap, self.color_range,
+            )
+        # single-variable surface: uniform color from the colormap midpoint
+        colors = self.colormap.map_scalars(
+            np.full(surface.n_points, self.isovalue), *self.scalar_range
+        )
+        return surface.with_colors(colors.astype(np.float32))
+
+    def build_scene(self) -> Scene:
+        scene = Scene()
+        surface = self.extract_surface()
+        if surface.n_points:
+            scene.add_actor(Actor(surface, lighting=True, name="isosurface"))
+        scene.add_actor(
+            Actor(box_outline(self.volume.bounds()), line_color=(0.7, 0.7, 0.75),
+                  lighting=False, name="frame")
+        )
+        return scene
+
+    # -- state ---------------------------------------------------------------------
+
+    def state(self) -> Dict[str, Any]:
+        base = super().state()
+        base.update(
+            {
+                "isovalue": self.isovalue,
+                "color_variable": None if self.color_variable is None else self.color_variable.id,
+                "color_range": None if self.color_range is None else list(self.color_range),
+            }
+        )
+        return base
+
+    def apply_state(self, state: Dict[str, Any]) -> None:
+        super().apply_state(state)
+        if "isovalue" in state:
+            self.set_isovalue(float(state["isovalue"]))
+        if state.get("color_range"):
+            lo, hi = state["color_range"]
+            self.color_range = (float(lo), float(hi))

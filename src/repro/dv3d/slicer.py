@@ -1,0 +1,206 @@
+"""The Slicer plot.
+
+"The Slicer plot provides a set of slice planes that can be
+interactively dragged over the dataset.  A slice through the data
+volume at the plane's location is displayed as a pseudocolor image on
+the plane.  A slice through a second data volume can also be overlaid
+as a contour map over the first.  This tool allows scientists to very
+quickly and easily browse the 3D structure of the dataset, compare
+variables in 3D, and probe data values."
+
+Implementation: each enabled plane (x/y/z) is a Gouraud-colored
+triangle mesh built from the interpolated slice values; the optional
+second variable contributes marching-squares contour polylines lifted
+onto the same plane.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cdms.variable import Variable
+from repro.dv3d.plot import Plot3D
+from repro.dv3d.translation import add_variable_to_volume
+from repro.rendering.contour2d import contour_levels, marching_squares
+from repro.rendering.geometry import PolyData, box_outline
+from repro.rendering.image_data import ImageData
+from repro.rendering.scene import Actor, Scene
+from repro.util.errors import DV3DError
+
+_AXIS_NAMES = {"x": 0, "y": 1, "z": 2}
+
+
+class SlicerPlot(Plot3D):
+    """Draggable orthogonal slice planes with pseudocolor + contours."""
+
+    plot_type = "slicer"
+
+    def __init__(
+        self,
+        variable: Variable,
+        overlay_variable: Optional[Variable] = None,
+        enabled_planes: Tuple[str, ...] = ("x", "y", "z"),
+        contour_count: int = 8,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(variable, **kwargs)
+        for plane in enabled_planes:
+            if plane not in _AXIS_NAMES:
+                raise DV3DError(f"unknown slice plane {plane!r} (use x/y/z)")
+        self.overlay_variable = overlay_variable
+        self.enabled_planes: Tuple[str, ...] = tuple(enabled_planes)
+        self.contour_count = int(contour_count)
+        # positions are fractions [0, 1] of each axis span
+        self.plane_positions: Dict[str, float] = {"x": 0.5, "y": 0.5, "z": 0.25}
+
+    # -- data -------------------------------------------------------------
+
+    def _build_volume(self) -> ImageData:
+        volume = super()._build_volume()
+        if self.overlay_variable is not None:
+            add_variable_to_volume(volume, self.overlay_variable, self.time_index)
+        return volume
+
+    def plane_world_coordinate(self, plane: str) -> float:
+        axis = _AXIS_NAMES[plane]
+        bounds = self.volume.bounds()
+        lo, hi = bounds[2 * axis], bounds[2 * axis + 1]
+        return lo + self.plane_positions[plane] * (hi - lo)
+
+    # -- interactive ops ------------------------------------------------------
+
+    def drag_slice(self, plane: str, delta: float) -> float:
+        """Drag a plane by *delta* (fraction of its axis span).
+
+        This is the paper's headline slicer interaction; returns the
+        new fractional position.
+        """
+        if plane not in _AXIS_NAMES:
+            raise DV3DError(f"unknown slice plane {plane!r}")
+        pos = float(np.clip(self.plane_positions[plane] + delta, 0.0, 1.0))
+        self.plane_positions[plane] = pos
+        return pos
+
+    def toggle_plane(self, plane: str) -> bool:
+        """Enable/disable a plane; returns the new enabled state."""
+        if plane not in _AXIS_NAMES:
+            raise DV3DError(f"unknown slice plane {plane!r}")
+        if plane in self.enabled_planes:
+            self.enabled_planes = tuple(p for p in self.enabled_planes if p != plane)
+            return False
+        self.enabled_planes = tuple(list(self.enabled_planes) + [plane])
+        return True
+
+    def probe(self, plane: str, u_frac: float, v_frac: float) -> Dict[str, float]:
+        """Probe the data value at fractional coordinates on a plane."""
+        axis = _AXIS_NAMES[plane]
+        bounds = self.volume.bounds()
+        other = [a for a in range(3) if a != axis]
+        point = np.empty(3)
+        point[axis] = self.plane_world_coordinate(plane)
+        for frac, oax in zip((u_frac, v_frac), other):
+            lo, hi = bounds[2 * oax], bounds[2 * oax + 1]
+            point[oax] = lo + float(np.clip(frac, 0.0, 1.0)) * (hi - lo)
+        return self.pick(point)
+
+    # -- geometry construction ---------------------------------------------------
+
+    def _slice_mesh(self, plane: str) -> PolyData:
+        """Pseudocolor mesh of one slice plane."""
+        axis = _AXIS_NAMES[plane]
+        world = self.plane_world_coordinate(plane)
+        values, u_coords, v_coords = self.volume.extract_slice(
+            axis, world, name=self.variable.id
+        )
+        nu, nv = values.shape
+        other = [a for a in range(3) if a != axis]
+        gu, gv = np.meshgrid(u_coords, v_coords, indexing="ij")
+        pts = np.empty((nu * nv, 3))
+        pts[:, axis] = world
+        pts[:, other[0]] = gu.reshape(-1)
+        pts[:, other[1]] = gv.reshape(-1)
+        ii, jj = np.meshgrid(np.arange(nu - 1), np.arange(nv - 1), indexing="ij")
+        base = (ii * nv + jj).reshape(-1)
+        tri_a = np.stack([base, base + nv, base + 1], axis=1)
+        tri_b = np.stack([base + nv, base + nv + 1, base + 1], axis=1)
+        colors = self.colormap.map_scalars(
+            values.reshape(-1), *self.scalar_range
+        )
+        return PolyData(
+            pts,
+            np.concatenate([tri_a, tri_b]),
+            scalars=np.nan_to_num(values.reshape(-1), nan=0.0),
+            colors=colors.astype(np.float32),
+        )
+
+    def _contour_overlay(self, plane: str) -> Optional[PolyData]:
+        """Second-variable contour polylines lifted onto a plane."""
+        if self.overlay_variable is None:
+            return None
+        axis = _AXIS_NAMES[plane]
+        world = self.plane_world_coordinate(plane)
+        values, u_coords, v_coords = self.volume.extract_slice(
+            axis, world, name=self.overlay_variable.id
+        )
+        if not np.isfinite(values).any():
+            return None
+        other = [a for a in range(3) if a != axis]
+        pieces: List[np.ndarray] = []
+        for level in contour_levels(values, self.contour_count):
+            pieces.extend(marching_squares(values, float(level), u_coords, v_coords))
+        if not pieces:
+            return None
+        n_seg = len(pieces)
+        pts = np.empty((2 * n_seg, 3))
+        seg = np.asarray(pieces)  # (n_seg, 2, 2)
+        flat = seg.reshape(-1, 2)
+        pts[:, axis] = world
+        pts[:, other[0]] = flat[:, 0]
+        pts[:, other[1]] = flat[:, 1]
+        # nudge contours off the plane toward the camera side to avoid z-fighting
+        pts[:, axis] += 1e-3 * max(self.volume.spacing)
+        lines = [np.array([2 * i, 2 * i + 1]) for i in range(n_seg)]
+        return PolyData(pts, lines=lines)
+
+    def build_scene(self) -> Scene:
+        scene = Scene()
+        for plane in self.enabled_planes:
+            scene.add_actor(Actor(self._slice_mesh(plane), lighting=False,
+                                  name=f"slice-{plane}"))
+            overlay = self._contour_overlay(plane)
+            if overlay is not None:
+                scene.add_actor(
+                    Actor(overlay, line_color=(0.05, 0.05, 0.05), lighting=False,
+                          name=f"contours-{plane}")
+                )
+        scene.add_actor(
+            Actor(box_outline(self.volume.bounds()), line_color=(0.7, 0.7, 0.75),
+                  lighting=False, name="frame")
+        )
+        return scene
+
+    # -- state ----------------------------------------------------------------------
+
+    def state(self) -> Dict[str, Any]:
+        base = super().state()
+        base.update(
+            {
+                "enabled_planes": list(self.enabled_planes),
+                "plane_positions": dict(self.plane_positions),
+                "contour_count": self.contour_count,
+            }
+        )
+        return base
+
+    def apply_state(self, state: Dict[str, Any]) -> None:
+        super().apply_state(state)
+        if "enabled_planes" in state:
+            self.enabled_planes = tuple(state["enabled_planes"])
+        if "plane_positions" in state:
+            for plane, pos in state["plane_positions"].items():
+                if plane in _AXIS_NAMES:
+                    self.plane_positions[plane] = float(np.clip(pos, 0.0, 1.0))
+        if "contour_count" in state:
+            self.contour_count = int(state["contour_count"])

@@ -1,0 +1,168 @@
+"""The Vector slicer plot.
+
+"The Vector slicer plot provides a set of slice planes that can be
+interactively dragged over a vector field dataset.  A slice through the
+field at the plane's location is displayed as a vector glyph or
+streamline plot on the plane.  This plot allows scientists to browse
+the structure of variables (such as wind velocity) that have both
+magnitude and direction."
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.cdms.variable import Variable
+from repro.dv3d.plot import Plot3D
+from repro.dv3d.translation import translate_vector_field
+from repro.rendering.geometry import PolyData, box_outline
+from repro.rendering.glyphs import slice_plane_glyphs
+from repro.rendering.image_data import ImageData
+from repro.rendering.scene import Actor, Scene
+from repro.rendering.streamline import (
+    integrate_streamlines,
+    plane_seed_grid,
+    streamlines_to_polydata,
+)
+from repro.util.errors import DV3DError
+
+_AXIS_NAMES = {"x": 0, "y": 1, "z": 2}
+
+
+class VectorSlicerPlot(Plot3D):
+    """Glyph or streamline rendering of a vector field on slice planes."""
+
+    plot_type = "vector_slicer"
+
+    def __init__(
+        self,
+        u: Variable,
+        v: Variable,
+        w: Optional[Variable] = None,
+        mode: str = "glyphs",
+        plane: str = "z",
+        glyph_stride: int = 4,
+        seed_density: int = 10,
+        **kwargs: Any,
+    ) -> None:
+        if mode not in ("glyphs", "streamlines"):
+            raise DV3DError(f"mode must be 'glyphs' or 'streamlines', got {mode!r}")
+        if plane not in _AXIS_NAMES:
+            raise DV3DError(f"unknown plane {plane!r}")
+        self.u, self.v, self.w = u, v, w
+        self.mode = mode
+        self.plane = plane
+        self.glyph_stride = int(glyph_stride)
+        self.seed_density = int(seed_density)
+        self.plane_position = 0.5
+        # the base class treats u as "the variable" (for animation/pick);
+        # the scalar range colors by speed
+        speed_sample = np.sqrt(u.filled(np.nan) ** 2 + v.filled(np.nan) ** 2)
+        finite = speed_sample[np.isfinite(speed_sample)]
+        if finite.size == 0:
+            raise DV3DError("vector field has no valid data")
+        kwargs.setdefault("scalar_range", (0.0, float(finite.max())))
+        super().__init__(u, **kwargs)
+
+    def _build_volume(self) -> ImageData:
+        return translate_vector_field(
+            self.u, self.v, self.w, self.time_index, self.vertical_exaggeration
+        )
+
+    # -- interactive ops ------------------------------------------------------
+
+    def drag_slice(self, delta: float) -> float:
+        self.plane_position = float(np.clip(self.plane_position + delta, 0.0, 1.0))
+        return self.plane_position
+
+    def set_mode(self, mode: str) -> str:
+        if mode not in ("glyphs", "streamlines"):
+            raise DV3DError(f"mode must be 'glyphs' or 'streamlines', got {mode!r}")
+        self.mode = mode
+        return self.mode
+
+    def toggle_mode(self) -> str:
+        return self.set_mode("streamlines" if self.mode == "glyphs" else "glyphs")
+
+    def plane_world_coordinate(self) -> float:
+        axis = _AXIS_NAMES[self.plane]
+        bounds = self.volume.bounds()
+        lo, hi = bounds[2 * axis], bounds[2 * axis + 1]
+        return lo + self.plane_position * (hi - lo)
+
+    # -- geometry ----------------------------------------------------------------
+
+    def _field_geometry(self) -> PolyData:
+        axis = _AXIS_NAMES[self.plane]
+        world = self.plane_world_coordinate()
+        if self.mode == "glyphs":
+            poly = slice_plane_glyphs(
+                self.volume, "vectors", axis, world, stride=self.glyph_stride
+            )
+        else:
+            seeds = plane_seed_grid(
+                self.volume, axis, world, self.seed_density, self.seed_density
+            )
+            lines = integrate_streamlines(
+                self.volume, "vectors", seeds, max_steps=150
+            )
+            poly = streamlines_to_polydata(lines, self.volume, "vectors")
+        if poly.n_points and poly.scalars is not None:
+            colors = self.colormap.map_scalars(poly.scalars, *self.scalar_range)
+            poly = poly.with_colors(colors.astype(np.float32))
+        return poly
+
+    def build_scene(self) -> Scene:
+        scene = Scene()
+        geometry = self._field_geometry()
+        if geometry.n_points:
+            scene.add_actor(Actor(geometry, lighting=False, name=f"field-{self.mode}"))
+        scene.add_actor(
+            Actor(box_outline(self.volume.bounds()), line_color=(0.7, 0.7, 0.75),
+                  lighting=False, name="frame")
+        )
+        return scene
+
+    # -- picking: report the vector, not just a scalar ------------------------------
+
+    def pick_vector(self, world_point: np.ndarray) -> Dict[str, float]:
+        point = np.asarray(world_point, dtype=np.float64).reshape(1, 3)
+        vec = self.volume.sample_vector(point, "vectors")[0]
+        return {
+            "u": float(vec[0]),
+            "v": float(vec[1]),
+            "w": float(vec[2]),
+            "speed": float(np.linalg.norm(vec)),
+            "longitude": float(point[0, 0]),
+            "latitude": float(point[0, 1]),
+        }
+
+    # -- state -------------------------------------------------------------------------
+
+    def state(self) -> Dict[str, Any]:
+        base = super().state()
+        base.update(
+            {
+                "mode": self.mode,
+                "plane": self.plane,
+                "plane_position": self.plane_position,
+                "glyph_stride": self.glyph_stride,
+                "seed_density": self.seed_density,
+            }
+        )
+        return base
+
+    def apply_state(self, state: Dict[str, Any]) -> None:
+        super().apply_state(state)
+        if "mode" in state:
+            self.set_mode(str(state["mode"]))
+        if "plane" in state and state["plane"] in _AXIS_NAMES:
+            self.plane = str(state["plane"])
+        if "plane_position" in state:
+            self.plane_position = float(np.clip(state["plane_position"], 0.0, 1.0))
+        if "glyph_stride" in state:
+            self.glyph_stride = int(state["glyph_stride"])
+        if "seed_density" in state:
+            self.seed_density = int(state["seed_density"])

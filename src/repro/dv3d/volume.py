@@ -1,0 +1,137 @@
+"""The Volume render plot.
+
+"The Volume render plot maps variable values within a data volume to
+opacity and color.  It enables scientists to create an overview of the
+topology of the data, revealing complex 3D structures at a glance ...
+DV3D offers interfaces that greatly simplify this process" — chiefly
+the *leveling* gesture: pressing the leveling button and dragging in
+the cell reshapes the opacity transfer function's window interactively.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.cdms.variable import Variable
+from repro.dv3d.plot import Plot3D
+from repro.rendering.geometry import box_outline
+from repro.rendering.scene import Actor, Scene, VolumeActor
+from repro.rendering.transfer_function import TransferFunction
+from repro.util.errors import DV3DError
+
+
+class VolumePlot(Plot3D):
+    """Volume rendering with an interactively leveled transfer function."""
+
+    plot_type = "volume"
+
+    def __init__(
+        self,
+        variable: Variable,
+        center: float = 0.75,
+        width: float = 0.3,
+        peak_opacity: float = 0.8,
+        step_size: Optional[float] = None,
+        lighting: bool = True,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(variable, **kwargs)
+        self.step_size = step_size
+        self.lighting = bool(lighting)
+        self.transfer = TransferFunction(
+            self.scalar_range,
+            colormap=self.colormap,
+            center=center,
+            width=width,
+            peak_opacity=peak_opacity,
+        )
+
+    # -- interactive leveling ------------------------------------------------
+
+    def level(self, d_center: float, d_width: float) -> Dict[str, float]:
+        """The leveling drag: move/scale the opacity window.
+
+        "Pressing a button in a configuration panel and then clicking
+        and dragging in a spreadsheet cell ... initiates a leveling
+        operation that controls the shape of the plot's opacity or
+        color transfer function.  The volume render plot changes
+        interactively as the user drags the mouse around the cell."
+        """
+        self.transfer = self.transfer.level(d_center, d_width)
+        return {"center": self.transfer.center, "width": self.transfer.width}
+
+    def level_color(self, d_center: float, d_width: float) -> Dict[str, Any]:
+        """The color-side leveling drag: remap the colormap sub-window."""
+        self.transfer = self.transfer.level_color(d_center, d_width)
+        return {"color_window": list(self.transfer.color_window)}
+
+    def set_window(self, center: float, width: float) -> None:
+        self.transfer = TransferFunction(
+            self.scalar_range,
+            colormap=self.colormap,
+            center=float(np.clip(center, 0.0, 1.0)),
+            width=float(np.clip(width, 1e-3, 2.0)),
+            peak_opacity=self.transfer.peak_opacity,
+            color_window=self.transfer.color_window,
+        )
+
+    def cycle_colormap(self) -> str:
+        name = super().cycle_colormap()
+        self.transfer = self.transfer.with_colormap(self.colormap)
+        return name
+
+    def invert_colormap(self) -> bool:
+        inverted = super().invert_colormap()
+        self.transfer = self.transfer.with_colormap(self.colormap)
+        return inverted
+
+    # -- scene -------------------------------------------------------------------
+
+    def build_scene(self) -> Scene:
+        scene = Scene()
+        scene.add_actor(
+            Actor(box_outline(self.volume.bounds()), line_color=(0.7, 0.7, 0.75),
+                  lighting=False, name="frame")
+        )
+        scene.add_volume(
+            VolumeActor(
+                self.volume,
+                self.transfer,
+                array_name=self.variable.id,
+                step_size=self.step_size,
+                lighting=self.lighting,
+                name="volume",
+            )
+        )
+        return scene
+
+    # -- state ---------------------------------------------------------------------
+
+    def state(self) -> Dict[str, Any]:
+        base = super().state()
+        base.update(
+            {
+                "tf_center": self.transfer.center,
+                "tf_width": self.transfer.width,
+                "peak_opacity": self.transfer.peak_opacity,
+                "color_window": list(self.transfer.color_window),
+                "lighting": self.lighting,
+            }
+        )
+        return base
+
+    def apply_state(self, state: Dict[str, Any]) -> None:
+        super().apply_state(state)
+        center = float(state.get("tf_center", self.transfer.center))
+        width = float(state.get("tf_width", self.transfer.width))
+        peak = float(state.get("peak_opacity", self.transfer.peak_opacity))
+        color_window = tuple(state.get("color_window", self.transfer.color_window))
+        if "lighting" in state:
+            self.lighting = bool(state["lighting"])
+        self.transfer = TransferFunction(
+            self.scalar_range, colormap=self.colormap,
+            center=center, width=width, peak_opacity=peak,
+            color_window=color_window,  # type: ignore[arg-type]
+        )

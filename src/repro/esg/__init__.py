@@ -1,0 +1,21 @@
+"""Simulated Earth System Grid (ESG) federation.
+
+The paper's workflows access "data from disparate data sources
+including the Earth System Grid (ESG)".  The real ESG is a federated
+archive of climate model output; offline we simulate the federation:
+named nodes publish dataset *records* (metadata + a deterministic
+generator), search fans out across nodes, and fetching a dataset
+"transfers" it through a bandwidth/latency model into the local store —
+so the discover → search → fetch → open code path a DV3D workflow
+exercises is real even though the bytes are synthesized locally.
+"""
+
+from repro.esg.federation import DatasetRecord, ESGFederation, ESGNode, TransferRecord, default_federation
+
+__all__ = [
+    "DatasetRecord",
+    "ESGNode",
+    "ESGFederation",
+    "TransferRecord",
+    "default_federation",
+]

@@ -1,0 +1,50 @@
+"""Distributed visualization for the hyperwall (§III.H).
+
+The paper's deployment: a 5×3 array of displays, each backed by a
+client node, plus one control (server) node.  "At execution time the
+server instance sends edited versions of the workflow to each client
+node for local execution.  Each client workflow consists of one of the
+cell modules (and all its upstream modules) from the server workflow.
+The server instance executes a reduced resolution instance of the full
+(15-cell) workflow, whereas each client instance executes a full
+resolution 1-cell sub-workflow. ... All interactive navigation and
+configuration operations ... are propagated to the corresponding
+client display cells."
+
+* :mod:`repro.hyperwall.display` — wall tile geometry;
+* :mod:`repro.hyperwall.partition` — per-cell sub-workflow extraction
+  and server-side resolution reduction;
+* :mod:`repro.hyperwall.protocol` — length-prefixed JSON messages over
+  sockets;
+* :mod:`repro.hyperwall.server` / :mod:`repro.hyperwall.client` — the
+  socket-based control/display node implementations;
+* :mod:`repro.hyperwall.cluster` — a localhost multiprocessing harness
+  standing in for the physical cluster;
+* :mod:`repro.hyperwall.inproc` — a deterministic in-process simulation
+  of the same protocol for tests and benchmarks.
+"""
+
+from repro.hyperwall.display import WallGeometry
+from repro.hyperwall.partition import (
+    find_cell_modules,
+    make_reduced_pipeline,
+    partition_by_cell,
+)
+from repro.hyperwall.protocol import Message
+from repro.hyperwall.inproc import InProcessHyperwall
+from repro.hyperwall.server import HyperwallServer
+from repro.hyperwall.client import HyperwallClient, run_client
+from repro.hyperwall.cluster import LocalCluster
+
+__all__ = [
+    "WallGeometry",
+    "find_cell_modules",
+    "make_reduced_pipeline",
+    "partition_by_cell",
+    "Message",
+    "InProcessHyperwall",
+    "HyperwallServer",
+    "HyperwallClient",
+    "run_client",
+    "LocalCluster",
+]

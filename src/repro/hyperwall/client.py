@@ -1,0 +1,190 @@
+"""The hyperwall client (display) node.
+
+"Each client instance opens a single-cell visualization spreadsheet
+window, covering its hyperwall display."  The client connects to the
+server, receives its 1-cell sub-workflow, executes it at full display
+resolution, applies propagated interaction events, and reports results
+(timings and image summaries — pixels stay local to the display node).
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict, Optional
+
+from repro.dv3d.cell import DV3DCell
+from repro.hyperwall import protocol
+from repro.hyperwall.protocol import Message
+from repro.util.errors import HyperwallError
+from repro.workflow.executor import Executor
+from repro.workflow.pipeline import Pipeline
+
+
+class HyperwallClient:
+    """One display node's control loop."""
+
+    def __init__(self, host: str, port: int, client_id: int) -> None:
+        self.host = host
+        self.port = port
+        self.client_id = int(client_id)
+        self.pipeline: Optional[Pipeline] = None
+        self.cell_id: Optional[int] = None
+        self.cell: Optional[DV3DCell] = None
+        self.executor = Executor(caching=True)
+        self._sock: Optional[socket.socket] = None
+
+    # -- connection -------------------------------------------------------
+
+    def connect(self, timeout: float = 10.0) -> None:
+        sock = socket.create_connection((self.host, self.port), timeout=timeout)
+        sock.settimeout(60.0)
+        self._sock = sock
+        protocol.send_message(sock, Message(protocol.KIND_HELLO, {"client_id": self.client_id}))
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    # -- message handling -------------------------------------------------------
+
+    def _handle(self, message: Message) -> Optional[Message]:
+        """Process one message; returns the reply (None = no reply)."""
+        if message.kind == protocol.KIND_WORKFLOW:
+            self.pipeline = Pipeline.from_dict(message.payload["pipeline"])
+            self.cell_id = int(message.payload["cell_id"])
+            return Message(protocol.KIND_ACK, {"client_id": self.client_id})
+        if message.kind == protocol.KIND_EXECUTE:
+            return self._execute()
+        if message.kind == protocol.KIND_EVENT:
+            return self._apply_event(message.payload)
+        if message.kind == protocol.KIND_RENDER:
+            return self._render(message.payload)
+        if message.kind == protocol.KIND_SHUTDOWN:
+            return None
+        return Message(
+            protocol.KIND_ERROR,
+            {"client_id": self.client_id, "error": f"unknown kind {message.kind!r}"},
+        )
+
+    def _execute(self) -> Message:
+        if self.pipeline is None or self.cell_id is None:
+            return Message(
+                protocol.KIND_ERROR,
+                {"client_id": self.client_id, "error": "no workflow received"},
+            )
+        start = time.perf_counter()
+        try:
+            result = self.executor.execute(self.pipeline)
+            self.cell = result.output(self.cell_id, "cell")
+            image = result.output(self.cell_id, "image")
+        except Exception as exc:  # noqa: BLE001 - reported to the server
+            return Message(
+                protocol.KIND_ERROR, {"client_id": self.client_id, "error": repr(exc)}
+            )
+        return Message(
+            protocol.KIND_REPORT,
+            {
+                "client_id": self.client_id,
+                "cell_id": self.cell_id,
+                "duration": time.perf_counter() - start,
+                "image_shape": list(image.shape),
+                "image_mean": float(image.mean()),
+                "cache_hits": result.cache_hits,
+                "cache_misses": result.cache_misses,
+            },
+        )
+
+    def _apply_event(self, payload: Dict[str, Any]) -> Message:
+        if self.cell is None:
+            return Message(
+                protocol.KIND_ERROR,
+                {"client_id": self.client_id, "error": "event before execution"},
+            )
+        from repro.util.errors import DV3DError
+
+        try:
+            delta = self.cell.handle_event(
+                str(payload.get("event_kind", "key")), **dict(payload.get("event", {}))
+            )
+        except DV3DError:
+            # incompatible gesture for this cell's plot type: acknowledged
+            # and ignored (heterogeneous-wall semantics)
+            delta = {}
+        except Exception as exc:  # noqa: BLE001
+            return Message(
+                protocol.KIND_ERROR, {"client_id": self.client_id, "error": repr(exc)}
+            )
+        return Message(
+            protocol.KIND_ACK, {"client_id": self.client_id, "delta_keys": sorted(delta)}
+        )
+
+    def _render(self, payload: Dict[str, Any]) -> Message:
+        """Re-render the live cell (after propagated events changed it).
+
+        This is the interactive refresh loop: events mutate the cell's
+        plot state cheaply; a render message produces the new frame for
+        the display without re-executing the data pipeline.
+        """
+        if self.cell is None:
+            return Message(
+                protocol.KIND_ERROR,
+                {"client_id": self.client_id, "error": "render before execution"},
+            )
+        width = int(payload.get("width", 0))
+        height = int(payload.get("height", 0))
+        start = time.perf_counter()
+        try:
+            if width > 0 and height > 0:
+                frame = self.cell.render(width, height)
+            else:
+                # reuse the executed cell's own size via a fresh render
+                frame = self.cell.render(320, 240)
+            image = frame.to_uint8()
+        except Exception as exc:  # noqa: BLE001
+            return Message(
+                protocol.KIND_ERROR, {"client_id": self.client_id, "error": repr(exc)}
+            )
+        return Message(
+            protocol.KIND_REPORT,
+            {
+                "client_id": self.client_id,
+                "cell_id": self.cell_id,
+                "duration": time.perf_counter() - start,
+                "image_shape": list(image.shape),
+                "image_mean": float(image.mean()),
+            },
+        )
+
+    # -- main loop ---------------------------------------------------------------
+
+    def run(self) -> int:
+        """Serve until shutdown; returns the number of messages handled."""
+        if self._sock is None:
+            raise HyperwallError("client not connected")
+        handled = 0
+        while True:
+            message = protocol.recv_message(self._sock)
+            if message is None:
+                break
+            handled += 1
+            if message.kind == protocol.KIND_SHUTDOWN:
+                break
+            reply = self._handle(message)
+            if reply is not None:
+                protocol.send_message(self._sock, reply)
+        self.close()
+        return handled
+
+
+def run_client(host: str, port: int, client_id: int) -> int:
+    """Process entry point: connect, serve, exit (used by the cluster)."""
+    client = HyperwallClient(host, port, client_id)
+    client.connect()
+    try:
+        return client.run()
+    finally:
+        client.close()

@@ -1,0 +1,94 @@
+"""A localhost cluster standing in for the physical hyperwall.
+
+The NCCS wall's client nodes become ``multiprocessing`` processes on
+this machine, each running the real socket client against the real
+socket server — so the full network protocol (workflow shipping,
+execution triggering, event propagation, shutdown) is exercised
+end-to-end, just without the 46-inch displays.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.hyperwall.client import run_client
+from repro.hyperwall.display import WallGeometry
+from repro.hyperwall.server import HyperwallServer
+from repro.util.errors import HyperwallError
+from repro.workflow.pipeline import Pipeline
+
+
+def _client_main(host: str, port: int, client_id: int) -> None:
+    # child-process entry point; exceptions surface via exit code
+    run_client(host, port, client_id)
+
+
+class LocalCluster:
+    """Run a server plus N client processes for one hyperwall session."""
+
+    def __init__(
+        self,
+        workflow: Pipeline,
+        n_clients: int,
+        wall: Optional[WallGeometry] = None,
+        reduction: int = 4,
+    ) -> None:
+        self.server = HyperwallServer(workflow, wall=wall, reduction=reduction)
+        self.n_clients = int(n_clients)
+        self._processes: List[mp.Process] = []
+
+    def start(self, timeout: float = 60.0) -> List[int]:
+        """Spawn client processes and wait for all to connect."""
+        ctx = mp.get_context("fork")
+        for client_id in range(self.n_clients):
+            proc = ctx.Process(
+                target=_client_main,
+                args=(self.server.host, self.server.port, client_id),
+                daemon=True,
+            )
+            proc.start()
+            self._processes.append(proc)
+        return self.server.accept_clients(self.n_clients, timeout=timeout)
+
+    def run_session(self, events: Optional[List[Dict[str, Any]]] = None) -> Dict[str, Any]:
+        """One full session: distribute, execute everywhere, propagate events.
+
+        *events* is a list like ``[{"event_kind": "key", "key": "c"}]``.
+        Returns all reports and timings.
+        """
+        assignment = self.server.distribute_workflows()
+        server_report = self.server.execute_server()
+        start = time.perf_counter()
+        client_reports = self.server.execute_clients()
+        clients_wall = time.perf_counter() - start
+        event_results = []
+        for event in events or []:
+            payload = dict(event)
+            kind = str(payload.pop("event_kind", "key"))
+            event_results.append(self.server.broadcast_event(kind, **payload))
+        return {
+            "assignment": assignment,
+            "server": server_report,
+            "clients": client_reports,
+            "clients_wall_time": clients_wall,
+            "events": event_results,
+        }
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self.server.shutdown()
+        deadline = time.time() + timeout
+        for proc in self._processes:
+            proc.join(max(deadline - time.time(), 0.1))
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(1.0)
+        self._processes.clear()
+
+    def __enter__(self) -> "LocalCluster":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

@@ -1,0 +1,64 @@
+"""Wall tile geometry.
+
+The NCCS hyperwall of Fig. 5: "a 5×3 array of 46-inch displays, each
+with a dedicated compute (client) node, plus a single control (server)
+node ... a 17 by 6-foot, 15.7 million pixel display".  The geometry
+object maps cell indices to wall tiles and provides the resolution
+bookkeeping the benchmarks report (server reduced-resolution pixels vs
+wall full-resolution pixels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.util.errors import HyperwallError
+
+
+@dataclass(frozen=True)
+class WallGeometry:
+    """A columns × rows tiled display wall."""
+
+    columns: int = 5
+    rows: int = 3
+    tile_width: int = 1024
+    tile_height: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.columns < 1 or self.rows < 1:
+            raise HyperwallError("wall must have at least one tile")
+        if self.tile_width < 1 or self.tile_height < 1:
+            raise HyperwallError("bad tile resolution")
+
+    @property
+    def n_tiles(self) -> int:
+        return self.columns * self.rows
+
+    @property
+    def total_pixels(self) -> int:
+        return self.n_tiles * self.tile_width * self.tile_height
+
+    def tile_of(self, index: int) -> Tuple[int, int]:
+        """Cell index (row-major) → (row, column) wall position."""
+        if not 0 <= index < self.n_tiles:
+            raise HyperwallError(f"tile index {index} outside wall of {self.n_tiles}")
+        return divmod(index, self.columns)
+
+    def index_of(self, row: int, column: int) -> int:
+        if not (0 <= row < self.rows and 0 <= column < self.columns):
+            raise HyperwallError(f"tile ({row}, {column}) outside {self.rows}x{self.columns}")
+        return row * self.columns + column
+
+    def tiles(self) -> List[Tuple[int, int]]:
+        return [self.tile_of(i) for i in range(self.n_tiles)]
+
+    def server_mirror_size(self, reduction: int) -> Tuple[int, int]:
+        """Size of one reduced-resolution server mirror cell."""
+        if reduction < 1:
+            raise HyperwallError("reduction factor must be >= 1")
+        return (max(self.tile_width // reduction, 1), max(self.tile_height // reduction, 1))
+
+
+#: the Fig. 5 NCCS configuration: 5×3 wall, 15.7 Mpixel total
+NCCS_WALL = WallGeometry(columns=5, rows=3, tile_width=1024, tile_height=1024)

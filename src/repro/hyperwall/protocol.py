@@ -1,0 +1,90 @@
+"""The hyperwall wire protocol.
+
+"An instance of UV-CDAT runs on each node, coordinated using socket
+connections between the client nodes and the server node."  Messages
+are JSON objects with a 4-byte big-endian length prefix — simple,
+inspectable, and sufficient for workflow shipping and event
+propagation.  Pixel data never crosses the wire (each node renders its
+own display); clients report image *summaries* (shape, checksum,
+timing) instead.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.util.errors import HyperwallError
+
+_LENGTH = struct.Struct(">I")
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+#: message kinds used by the server/client pair
+KIND_HELLO = "hello"
+KIND_WORKFLOW = "workflow"
+KIND_EXECUTE = "execute"
+KIND_EVENT = "event"
+KIND_RENDER = "render"
+KIND_REPORT = "report"
+KIND_ACK = "ack"
+KIND_SHUTDOWN = "shutdown"
+KIND_ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One protocol message: a kind plus a JSON-serializable payload."""
+
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def encode(self) -> bytes:
+        body = json.dumps({"kind": self.kind, "payload": self.payload}).encode("utf-8")
+        if len(body) > MAX_MESSAGE_BYTES:
+            raise HyperwallError(f"message of {len(body)} bytes exceeds limit")
+        return _LENGTH.pack(len(body)) + body
+
+    @staticmethod
+    def decode(body: bytes) -> "Message":
+        try:
+            data = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HyperwallError(f"malformed message: {exc}") from exc
+        if not isinstance(data, dict) or "kind" not in data:
+            raise HyperwallError(f"malformed message structure: {data!r}")
+        return Message(str(data["kind"]), dict(data.get("payload", {})))
+
+
+def send_message(sock: socket.socket, message: Message) -> None:
+    sock.sendall(message.encode())
+
+
+def recv_message(sock: socket.socket) -> Optional[Message]:
+    """Read one framed message; None on orderly EOF at a frame boundary."""
+    header = _recv_exact(sock, _LENGTH.size)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_MESSAGE_BYTES:
+        raise HyperwallError(f"incoming message of {length} bytes exceeds limit")
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise HyperwallError("connection closed mid-message")
+    return Message.decode(body)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if chunks:
+                raise HyperwallError("connection closed mid-frame")
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)

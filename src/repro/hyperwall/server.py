@@ -1,0 +1,225 @@
+"""The hyperwall server (control) node.
+
+"In a typical scenario the user would open (or construct) a workflow
+with 15 cell modules on the server node.  At execution time the server
+instance sends edited versions of the workflow to each client node for
+local execution."  The server here:
+
+1. accepts client connections (one per wall tile),
+2. partitions the multi-cell workflow and ships each client its
+   1-cell sub-workflow (full tile resolution),
+3. executes the reduced-resolution full workflow locally (the GUI
+   mirror spreadsheet),
+4. broadcasts interaction events to all clients and collects replies.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.dv3d.cell import DV3DCell
+from repro.hyperwall import protocol
+from repro.hyperwall.display import WallGeometry
+from repro.hyperwall.partition import (
+    find_cell_modules,
+    make_reduced_pipeline,
+    partition_by_cell,
+    set_cell_resolution,
+)
+from repro.hyperwall.protocol import Message
+from repro.util.errors import HyperwallError
+from repro.workflow.executor import Executor
+from repro.workflow.pipeline import Pipeline
+
+
+class HyperwallServer:
+    """The control node: owns the listening socket and the mirror cells."""
+
+    def __init__(
+        self,
+        workflow: Pipeline,
+        wall: Optional[WallGeometry] = None,
+        reduction: int = 4,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.workflow = workflow
+        cells = find_cell_modules(workflow)
+        if not cells:
+            raise HyperwallError("workflow has no DV3DCell modules")
+        self.wall = wall or WallGeometry(columns=max(len(cells), 1), rows=1)
+        if len(cells) > self.wall.n_tiles:
+            raise HyperwallError(
+                f"{len(cells)} cells exceed the wall's {self.wall.n_tiles} tiles"
+            )
+        self.cell_ids = cells
+        self.reduction = int(reduction)
+        self.server_pipeline = make_reduced_pipeline(workflow, self.reduction)
+        self.server_executor = Executor(caching=True)
+        self.server_cells: Dict[int, DV3DCell] = {}
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(self.wall.n_tiles)
+        self.host, self.port = self._listener.getsockname()
+        self._connections: Dict[int, socket.socket] = {}
+        self._lock = threading.Lock()
+
+    # -- connection management ------------------------------------------------
+
+    def accept_clients(self, count: int, timeout: float = 30.0) -> List[int]:
+        """Accept *count* client connections; returns their ids in order."""
+        self._listener.settimeout(timeout)
+        accepted = []
+        while len(accepted) < count:
+            conn, _addr = self._listener.accept()
+            conn.settimeout(120.0)
+            hello = protocol.recv_message(conn)
+            if hello is None or hello.kind != protocol.KIND_HELLO:
+                conn.close()
+                raise HyperwallError("client failed to introduce itself")
+            client_id = int(hello.payload["client_id"])
+            with self._lock:
+                self._connections[client_id] = conn
+            accepted.append(client_id)
+        return accepted
+
+    def _conn(self, client_id: int) -> socket.socket:
+        try:
+            return self._connections[client_id]
+        except KeyError:
+            raise HyperwallError(f"no connected client {client_id}") from None
+
+    # -- workflow distribution --------------------------------------------------
+
+    def distribute_workflows(self) -> Dict[int, int]:
+        """Ship each connected client its 1-cell sub-workflow.
+
+        Clients are assigned cells in (client_id-sorted, cell_id-sorted)
+        order.  Returns ``{client_id: cell_id}``.
+        """
+        partitions = partition_by_cell(self.workflow)
+        assignment: Dict[int, int] = {}
+        client_ids = sorted(self._connections)
+        if len(client_ids) < len(partitions):
+            raise HyperwallError(
+                f"{len(partitions)} cells need {len(partitions)} clients; "
+                f"only {len(client_ids)} connected"
+            )
+        for client_id, cell_id in zip(client_ids, sorted(partitions)):
+            sub = partitions[cell_id]
+            set_cell_resolution(sub, cell_id, self.wall.tile_width, self.wall.tile_height)
+            message = Message(
+                protocol.KIND_WORKFLOW,
+                {"pipeline": sub.to_dict(), "cell_id": cell_id},
+            )
+            conn = self._conn(client_id)
+            protocol.send_message(conn, message)
+            ack = protocol.recv_message(conn)
+            if ack is None or ack.kind != protocol.KIND_ACK:
+                raise HyperwallError(f"client {client_id} failed to ack its workflow")
+            assignment[client_id] = cell_id
+        return assignment
+
+    # -- execution ------------------------------------------------------------------
+
+    def execute_server(self) -> Dict[str, Any]:
+        """Run the reduced-resolution mirror workflow on this node."""
+        start = time.perf_counter()
+        result = self.server_executor.execute(self.server_pipeline)
+        self.server_cells = {
+            cid: result.output(cid, "cell")
+            for cid in find_cell_modules(self.server_pipeline)
+        }
+        return {"duration": time.perf_counter() - start, "n_cells": len(self.server_cells)}
+
+    def execute_clients(self) -> List[Dict[str, Any]]:
+        """Trigger all clients and gather their reports (in parallel —
+        each client is its own process/machine)."""
+        client_ids = sorted(self._connections)
+        for client_id in client_ids:
+            protocol.send_message(self._conn(client_id), Message(protocol.KIND_EXECUTE))
+        reports = []
+        for client_id in client_ids:
+            reply = protocol.recv_message(self._conn(client_id))
+            if reply is None:
+                raise HyperwallError(f"client {client_id} disconnected during execution")
+            if reply.kind == protocol.KIND_ERROR:
+                raise HyperwallError(
+                    f"client {client_id} failed: {reply.payload.get('error')}"
+                )
+            reports.append(reply.payload)
+        return reports
+
+    # -- interaction propagation -------------------------------------------------------
+
+    def broadcast_event(self, event_kind: str, **event: Any) -> Dict[str, Any]:
+        """Apply an interaction locally, then propagate to every client.
+
+        Cells whose plot type has no binding for the gesture ignore it
+        (heterogeneous-wall semantics, mirroring the spreadsheet).
+        """
+        from repro.util.errors import DV3DError
+
+        server_deltas: Dict[int, Any] = {}
+        for cid, cell in self.server_cells.items():
+            try:
+                server_deltas[cid] = cell.handle_event(event_kind, **event)
+            except DV3DError:
+                server_deltas[cid] = {}
+        message = Message(
+            protocol.KIND_EVENT, {"event_kind": event_kind, "event": event}
+        )
+        client_ids = sorted(self._connections)
+        for client_id in client_ids:
+            protocol.send_message(self._conn(client_id), message)
+        acks = {}
+        for client_id in client_ids:
+            reply = protocol.recv_message(self._conn(client_id))
+            if reply is None or reply.kind == protocol.KIND_ERROR:
+                raise HyperwallError(
+                    f"client {client_id} failed to apply event: "
+                    f"{None if reply is None else reply.payload}"
+                )
+            acks[client_id] = reply.payload
+        return {"server": server_deltas, "clients": acks}
+
+    def request_renders(self, width: int = 0, height: int = 0) -> List[Dict[str, Any]]:
+        """Ask every client for a fresh frame of its (possibly event-
+        mutated) cell — the display refresh after interaction."""
+        client_ids = sorted(self._connections)
+        message = Message(protocol.KIND_RENDER, {"width": width, "height": height})
+        for client_id in client_ids:
+            protocol.send_message(self._conn(client_id), message)
+        reports = []
+        for client_id in client_ids:
+            reply = protocol.recv_message(self._conn(client_id))
+            if reply is None:
+                raise HyperwallError(f"client {client_id} disconnected during render")
+            if reply.kind == protocol.KIND_ERROR:
+                raise HyperwallError(
+                    f"client {client_id} failed to render: {reply.payload.get('error')}"
+                )
+            reports.append(reply.payload)
+        return reports
+
+    # -- teardown -------------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        for client_id in sorted(self._connections):
+            try:
+                protocol.send_message(
+                    self._connections[client_id], Message(protocol.KIND_SHUTDOWN)
+                )
+            except OSError:
+                pass
+        for conn in self._connections.values():
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._connections.clear()
+        self._listener.close()

@@ -1,0 +1,33 @@
+"""The traditional 2-D plotting toolkit (the paper's baseline).
+
+§II.A: "Exploratory climate data analysis relies heavily on such
+mapping techniques but has traditionally been confined to two dimension
+views such as contour plots, line and scatter graphs, and histograms."
+DV3D's pitch is measured against that baseline, so the baseline is
+implemented here: a small headless charting library rendering into the
+same :class:`~repro.rendering.framebuffer.Framebuffer` the 3-D plots
+use.
+
+* :mod:`repro.plots2d.chart` — the chart canvas: margins, data→pixel
+  transforms, ticked and labeled axes;
+* :mod:`repro.plots2d.plots` — line graphs, scatter plots, histograms,
+  contour plots and pseudocolor maps over CDMS variables.
+"""
+
+from repro.plots2d.chart import Chart2D
+from repro.plots2d.plots import (
+    contour_plot,
+    histogram_plot,
+    line_plot,
+    pseudocolor_plot,
+    scatter_plot,
+)
+
+__all__ = [
+    "Chart2D",
+    "line_plot",
+    "scatter_plot",
+    "histogram_plot",
+    "contour_plot",
+    "pseudocolor_plot",
+]

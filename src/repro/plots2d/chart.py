@@ -1,0 +1,196 @@
+"""The 2-D chart canvas.
+
+A :class:`Chart2D` owns a framebuffer with margins, maps data
+coordinates to pixels, and draws the axes frame with nice ticks and
+bitmap-font labels.  The plot functions in :mod:`repro.plots2d.plots`
+draw their marks through its primitive operations (polyline, markers,
+filled columns, image patch).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.rendering.annotation import nice_ticks
+from repro.rendering.framebuffer import Framebuffer
+from repro.rendering.text import render_text, text_width
+from repro.util.errors import RenderingError
+
+RGB = Tuple[float, float, float]
+
+_AXIS_COLOR = (0.75, 0.75, 0.78)
+_GRID_COLOR = (0.22, 0.22, 0.28)
+
+
+class Chart2D:
+    """A framed, ticked 2-D plotting surface."""
+
+    def __init__(
+        self,
+        width: int = 400,
+        height: int = 300,
+        x_range: Tuple[float, float] = (0.0, 1.0),
+        y_range: Tuple[float, float] = (0.0, 1.0),
+        title: str = "",
+        x_label: str = "",
+        y_label: str = "",
+        background: RGB = (0.08, 0.08, 0.12),
+        margin: Tuple[int, int, int, int] = (22, 10, 28, 46),  # top right bottom left
+    ) -> None:
+        if x_range[1] <= x_range[0] or y_range[1] <= y_range[0]:
+            raise RenderingError(
+                f"degenerate chart ranges x={x_range!r} y={y_range!r}"
+            )
+        self.fb = Framebuffer(width, height, background=background)
+        self.x_range = (float(x_range[0]), float(x_range[1]))
+        self.y_range = (float(y_range[0]), float(y_range[1]))
+        self.title = title
+        self.x_label = x_label
+        self.y_label = y_label
+        self.margin = margin
+        top, right, bottom, left = margin
+        self._plot_box = (left, top, width - right, height - bottom)  # x0 y0 x1 y1
+        if self._plot_box[2] - self._plot_box[0] < 10 or self._plot_box[3] - self._plot_box[1] < 10:
+            raise RenderingError("chart too small for its margins")
+
+    # -- transforms --------------------------------------------------------
+
+    @property
+    def plot_box(self) -> Tuple[int, int, int, int]:
+        return self._plot_box
+
+    def to_pixel(self, x: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Data coordinates → (col, row) pixel coordinates (float)."""
+        x0, y0, x1, y1 = self._plot_box
+        fx = (np.asarray(x, dtype=np.float64) - self.x_range[0]) / (
+            self.x_range[1] - self.x_range[0]
+        )
+        fy = (np.asarray(y, dtype=np.float64) - self.y_range[0]) / (
+            self.y_range[1] - self.y_range[0]
+        )
+        return x0 + fx * (x1 - x0), y1 - fy * (y1 - y0)
+
+    # -- primitives -----------------------------------------------------------
+
+    def _put_pixels(self, cols: np.ndarray, rows: np.ndarray, color: RGB) -> None:
+        x0, y0, x1, y1 = self._plot_box
+        cols = np.round(cols).astype(np.intp)
+        rows = np.round(rows).astype(np.intp)
+        inside = (cols >= x0) & (cols <= x1) & (rows >= y0) & (rows <= y1)
+        self.fb.color[rows[inside], cols[inside]] = np.asarray(color, dtype=np.float32)
+
+    def polyline(self, x: Sequence[float], y: Sequence[float], color: RGB = (1.0, 0.8, 0.2)) -> None:
+        """A data-space polyline; NaNs break the line into segments."""
+        px, py = self.to_pixel(np.asarray(x), np.asarray(y))
+        for i in range(len(px) - 1):
+            if not (np.isfinite(px[i]) and np.isfinite(px[i + 1])
+                    and np.isfinite(py[i]) and np.isfinite(py[i + 1])):
+                continue
+            n = int(max(abs(px[i + 1] - px[i]), abs(py[i + 1] - py[i]))) + 2
+            t = np.linspace(0.0, 1.0, n)
+            self._put_pixels(px[i] + (px[i + 1] - px[i]) * t,
+                             py[i] + (py[i + 1] - py[i]) * t, color)
+
+    def markers(self, x: Sequence[float], y: Sequence[float],
+                color: RGB = (0.4, 0.8, 1.0), size: int = 2) -> None:
+        """Square markers at data points."""
+        px, py = self.to_pixel(np.asarray(x), np.asarray(y))
+        finite = np.isfinite(px) & np.isfinite(py)
+        px, py = px[finite], py[finite]
+        offsets = np.arange(size) - size // 2
+        ox, oy = np.meshgrid(offsets, offsets)
+        cols = (px[:, None] + ox.reshape(1, -1)).reshape(-1)
+        rows = (py[:, None] + oy.reshape(1, -1)).reshape(-1)
+        self._put_pixels(cols, rows, color)
+
+    def filled_columns(self, edges: Sequence[float], heights: Sequence[float],
+                       color: RGB = (0.35, 0.65, 0.95)) -> None:
+        """Histogram bars: ``edges`` has len(heights)+1 entries."""
+        edges = np.asarray(edges, dtype=np.float64)
+        heights = np.asarray(heights, dtype=np.float64)
+        if edges.size != heights.size + 1:
+            raise RenderingError("filled_columns: need len(edges) == len(heights) + 1")
+        baseline = max(self.y_range[0], 0.0)
+        for i, h in enumerate(heights):
+            lx, _ = self.to_pixel(np.array([edges[i]]), np.array([baseline]))
+            rx, _ = self.to_pixel(np.array([edges[i + 1]]), np.array([baseline]))
+            _, top = self.to_pixel(np.array([edges[i]]), np.array([h]))
+            _, bottom = self.to_pixel(np.array([edges[i]]), np.array([baseline]))
+            c0, c1 = int(np.ceil(min(lx[0], rx[0]))), int(np.floor(max(lx[0], rx[0]) - 1))
+            r0, r1 = int(np.round(min(top[0], bottom[0]))), int(np.round(max(top[0], bottom[0])))
+            if c1 < c0:
+                continue
+            gx, gy = np.meshgrid(np.arange(c0, c1 + 1), np.arange(r0, r1 + 1))
+            self._put_pixels(gx.reshape(-1), gy.reshape(-1), color)
+
+    def image(self, rgb: np.ndarray) -> None:
+        """Stretch an ``(ny, nx, 3)`` float image over the plot box
+        (nearest-neighbor), rows mapping top→high y."""
+        if rgb.ndim != 3 or rgb.shape[2] != 3:
+            raise RenderingError("image: need (ny, nx, 3)")
+        x0, y0, x1, y1 = self._plot_box
+        w, h = x1 - x0 + 1, y1 - y0 + 1
+        src_rows = np.clip(
+            (np.arange(h) / max(h - 1, 1) * (rgb.shape[0] - 1)).astype(np.intp),
+            0, rgb.shape[0] - 1,
+        )
+        src_cols = np.clip(
+            (np.arange(w) / max(w - 1, 1) * (rgb.shape[1] - 1)).astype(np.intp),
+            0, rgb.shape[1] - 1,
+        )
+        self.fb.color[y0 : y1 + 1, x0 : x1 + 1] = rgb[np.ix_(src_rows, src_cols)].astype(
+            np.float32
+        )
+
+    # -- decoration --------------------------------------------------------------
+
+    def draw_axes(self, n_ticks: int = 5, grid: bool = True) -> None:
+        """Frame, ticks, tick labels, axis labels and title."""
+        x0, y0, x1, y1 = self._plot_box
+        frame_color = np.asarray(_AXIS_COLOR, dtype=np.float32)
+        self.fb.color[y0, x0:x1 + 1] = frame_color
+        self.fb.color[y1, x0:x1 + 1] = frame_color
+        self.fb.color[y0:y1 + 1, x0] = frame_color
+        self.fb.color[y0:y1 + 1, x1] = frame_color
+
+        for tick in nice_ticks(*self.x_range, n_ticks):
+            px, _ = self.to_pixel(np.array([tick]), np.array([self.y_range[0]]))
+            col = int(round(px[0]))
+            if not x0 <= col <= x1:
+                continue
+            if grid:
+                self.fb.color[y0 + 1 : y1, col] = np.asarray(_GRID_COLOR, np.float32)
+            self.fb.color[y1 : min(y1 + 3, self.fb.height), col] = frame_color
+            label = render_text(f"{tick:g}")
+            self.fb.blend_patch(y1 + 5, col - label.shape[1] // 2, label)
+        for tick in nice_ticks(*self.y_range, n_ticks):
+            _, py = self.to_pixel(np.array([self.x_range[0]]), np.array([tick]))
+            row = int(round(py[0]))
+            if not y0 <= row <= y1:
+                continue
+            if grid:
+                self.fb.color[row, x0 + 1 : x1] = np.asarray(_GRID_COLOR, np.float32)
+            self.fb.color[row, max(x0 - 3, 0) : x0] = frame_color
+            label = render_text(f"{tick:g}")
+            self.fb.blend_patch(row - 3, max(x0 - 5 - label.shape[1], 0), label)
+
+        if self.title:
+            patch = render_text(self.title, color=(1.0, 1.0, 1.0))
+            self.fb.blend_patch(4, (self.fb.width - patch.shape[1]) // 2, patch)
+        if self.x_label:
+            patch = render_text(self.x_label, color=(0.85, 0.85, 0.85))
+            self.fb.blend_patch(self.fb.height - patch.shape[0] - 1,
+                                (self.fb.width - patch.shape[1]) // 2, patch)
+        if self.y_label:
+            patch = render_text(self.y_label, color=(0.85, 0.85, 0.85))
+            self.fb.blend_patch(max(y0 - patch.shape[0] - 3, 0), 2, patch)
+
+    # -- output ---------------------------------------------------------------------
+
+    def to_uint8(self) -> np.ndarray:
+        return self.fb.to_uint8()
+
+    def save(self, path: str) -> None:
+        self.fb.save(path)

@@ -1,0 +1,205 @@
+"""The baseline plot functions over CDMS variables.
+
+Each function accepts :class:`~repro.cdms.variable.Variable` inputs (or
+plain arrays where noted), builds a :class:`~repro.plots2d.chart.Chart2D`,
+draws, decorates, and returns the chart — caller renders with
+``chart.to_uint8()`` or ``chart.save(path)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.cdms.variable import Variable
+from repro.plots2d.chart import Chart2D
+from repro.rendering.colormap import Colormap
+from repro.rendering.contour2d import contour_levels, marching_squares
+from repro.util.errors import RenderingError
+
+_SERIES_COLORS = [
+    (1.0, 0.75, 0.2),
+    (0.4, 0.8, 1.0),
+    (0.95, 0.45, 0.5),
+    (0.55, 0.9, 0.55),
+    (0.8, 0.6, 1.0),
+]
+
+
+def _pad_range(lo: float, hi: float) -> Tuple[float, float]:
+    if hi <= lo:
+        hi = lo + max(abs(lo) * 1e-6, 1e-6)
+    pad = 0.05 * (hi - lo)
+    return lo - pad, hi + pad
+
+
+def _series_1d(variable: Union[Variable, np.ndarray]) -> Tuple[np.ndarray, np.ndarray, str]:
+    """(x, y, x_label) for a 1-D variable (x = its axis coordinates)."""
+    if isinstance(variable, Variable):
+        squeezed = variable.squeeze()
+        if squeezed.ndim != 1:
+            raise RenderingError(
+                f"need a 1-D series, got shape {variable.shape}"
+            )
+        return (
+            squeezed.axes[0].values,
+            np.asarray(squeezed.data.filled(np.nan)),
+            squeezed.axes[0].id,
+        )
+    arr = np.asarray(variable, dtype=np.float64).reshape(-1)
+    return np.arange(arr.size, dtype=np.float64), arr, "index"
+
+
+def line_plot(
+    *series: Union[Variable, np.ndarray],
+    width: int = 400,
+    height: int = 300,
+    title: str = "",
+) -> Chart2D:
+    """Overlaid line graphs of 1-D series (the classic time-series view)."""
+    if not series:
+        raise RenderingError("line_plot: no series")
+    parsed = [_series_1d(s) for s in series]
+    all_x = np.concatenate([p[0] for p in parsed])
+    all_y = np.concatenate([p[1] for p in parsed])
+    finite = np.isfinite(all_y)
+    if not finite.any():
+        raise RenderingError("line_plot: no finite data")
+    chart = Chart2D(
+        width, height,
+        x_range=_pad_range(float(all_x.min()), float(all_x.max())),
+        y_range=_pad_range(float(all_y[finite].min()), float(all_y[finite].max())),
+        title=title, x_label=parsed[0][2],
+    )
+    chart.draw_axes()
+    for i, (x, y, _) in enumerate(parsed):
+        chart.polyline(x, y, color=_SERIES_COLORS[i % len(_SERIES_COLORS)])
+    return chart
+
+
+def scatter_plot(
+    a: Variable,
+    b: Variable,
+    width: int = 400,
+    height: int = 300,
+    title: str = "",
+    max_points: int = 5000,
+) -> Chart2D:
+    """Scatter of two same-shape variables (joint-distribution view)."""
+    if a.shape != b.shape:
+        raise RenderingError(f"scatter_plot: shape mismatch {a.shape} vs {b.shape}")
+    xs = np.asarray(a.data.filled(np.nan)).reshape(-1)
+    ys = np.asarray(b.data.filled(np.nan)).reshape(-1)
+    finite = np.isfinite(xs) & np.isfinite(ys)
+    xs, ys = xs[finite], ys[finite]
+    if xs.size == 0:
+        raise RenderingError("scatter_plot: no jointly finite data")
+    if xs.size > max_points:  # deterministic thinning
+        stride = xs.size // max_points + 1
+        xs, ys = xs[::stride], ys[::stride]
+    chart = Chart2D(
+        width, height,
+        x_range=_pad_range(float(xs.min()), float(xs.max())),
+        y_range=_pad_range(float(ys.min()), float(ys.max())),
+        title=title or f"{b.id} vs {a.id}", x_label=a.id, y_label=b.id,
+    )
+    chart.draw_axes()
+    chart.markers(xs, ys)
+    return chart
+
+
+def histogram_plot(
+    variable: Variable,
+    bins: int = 20,
+    width: int = 400,
+    height: int = 300,
+    title: str = "",
+) -> Chart2D:
+    """Histogram of a variable's valid values."""
+    values = variable.compressed()
+    values = values[np.isfinite(values)]
+    if values.size == 0:
+        raise RenderingError("histogram_plot: no valid data")
+    if bins < 1:
+        raise RenderingError("histogram_plot: bins must be >= 1")
+    counts, edges = np.histogram(values, bins=bins)
+    chart = Chart2D(
+        width, height,
+        x_range=_pad_range(float(edges[0]), float(edges[-1])),
+        y_range=(0.0, float(counts.max()) * 1.08),
+        title=title or f"histogram of {variable.id}", x_label=variable.units or variable.id,
+    )
+    chart.draw_axes()
+    chart.filled_columns(edges, counts)
+    return chart
+
+
+def _lat_lon_field(variable: Variable) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(field[lat, lon], lats, lons) from a gridded variable (squeezed)."""
+    squeezed = variable.squeeze()
+    lat = squeezed.get_latitude()
+    lon = squeezed.get_longitude()
+    if lat is None or lon is None or squeezed.ndim != 2:
+        raise RenderingError(
+            f"need a 2-D lat/lon field, got {variable.shape} "
+            "(select one time/level first)"
+        )
+    ordered = squeezed.reorder(["latitude", "longitude"])
+    return ordered.filled(np.nan), lat.values, lon.values
+
+
+def contour_plot(
+    variable: Variable,
+    n_levels: int = 8,
+    width: int = 400,
+    height: int = 300,
+    title: str = "",
+) -> Chart2D:
+    """Contour lines of a 2-D lat/lon field — *the* traditional view."""
+    field, lats, lons = _lat_lon_field(variable)
+    chart = Chart2D(
+        width, height,
+        x_range=_pad_range(float(lons.min()), float(lons.max())),
+        y_range=_pad_range(float(lats.min()), float(lats.max())),
+        title=title or f"{variable.id} contours",
+        x_label="longitude", y_label="latitude",
+    )
+    chart.draw_axes()
+    # marching_squares wants [i, j] with i along x: transpose to (lon, lat)
+    levels = contour_levels(field, n_levels)
+    for k, level in enumerate(levels):
+        segments = marching_squares(field.T, float(level), lons, lats)
+        color = _SERIES_COLORS[k % len(_SERIES_COLORS)]
+        for seg in segments:
+            chart.polyline(seg[:, 0], seg[:, 1], color=color)
+    return chart
+
+
+def pseudocolor_plot(
+    variable: Variable,
+    colormap: str = "default",
+    width: int = 400,
+    height: int = 300,
+    title: str = "",
+    value_range: Optional[Tuple[float, float]] = None,
+) -> Chart2D:
+    """Filled (imshow-style) map of a 2-D lat/lon field."""
+    field, lats, lons = _lat_lon_field(variable)
+    cmap = Colormap(colormap)
+    finite = field[np.isfinite(field)]
+    if finite.size == 0:
+        raise RenderingError("pseudocolor_plot: no finite data")
+    vmin, vmax = value_range or (float(finite.min()), float(finite.max()))
+    rgb = cmap.map_scalars(field, vmin, vmax)
+    if lats[0] < lats[-1]:  # image rows go top→down = high→low latitude
+        rgb = rgb[::-1]
+    chart = Chart2D(
+        width, height,
+        x_range=(float(lons.min()), float(lons.max())),
+        y_range=(float(lats.min()), float(lats.max())),
+        title=title or f"{variable.id}", x_label="longitude", y_label="latitude",
+    )
+    chart.image(rgb)
+    chart.draw_axes(grid=False)
+    return chart

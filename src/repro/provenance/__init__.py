@@ -1,0 +1,55 @@
+"""Provenance subsystem (the VisTrails provenance architecture).
+
+The paper (§II.B): "A comprehensive provenance infrastructure records
+detailed history information about the steps followed ... maintains a
+record of every step of the workflow development and configuration
+process ... Users can easily back up to earlier stages of the
+exploration and start a new branch of investigation without losing the
+previous results."
+
+The implementation follows the VisTrails change-action model:
+
+* :mod:`repro.provenance.actions` — the atomic workflow edits
+  (add/delete module, add/delete connection, set parameter), each
+  replayable against a pipeline;
+* :mod:`repro.provenance.version_tree` — the tree of versions, every
+  node one action away from its parent; any version's pipeline is
+  materialized by replaying its root path;
+* :mod:`repro.provenance.vistrail` — the controller binding a version
+  tree to a current-version pointer, with tagging, branching and
+  JSON persistence;
+* :mod:`repro.provenance.log` — execution provenance (which version
+  ran, per-module timings, results annotations);
+* :mod:`repro.provenance.query` — history queries and version diffs.
+"""
+
+from repro.provenance.actions import (
+    Action,
+    AddConnection,
+    AddModule,
+    DeleteConnection,
+    DeleteModule,
+    SetParameter,
+    action_from_dict,
+)
+from repro.provenance.version_tree import VersionTree
+from repro.provenance.vistrail import Vistrail
+from repro.provenance.log import ExecutionLog, LogEntry
+from repro.provenance.query import diff_versions, find_versions_by_tag, version_history
+
+__all__ = [
+    "Action",
+    "AddModule",
+    "DeleteModule",
+    "AddConnection",
+    "DeleteConnection",
+    "SetParameter",
+    "action_from_dict",
+    "VersionTree",
+    "Vistrail",
+    "ExecutionLog",
+    "LogEntry",
+    "diff_versions",
+    "find_versions_by_tag",
+    "version_history",
+]

@@ -1,0 +1,145 @@
+"""Change actions: the atomic, replayable workflow edits.
+
+Every mutation a user makes through any interface (workflow builder,
+plot GUI, spreadsheet drag, key command) is reified as one of these
+action objects before it touches a pipeline.  The version tree stores
+actions, not pipelines — a version's pipeline is reproduced by
+replaying its action path from the root, which is precisely what makes
+"every step of the discovery process" reproducible.
+
+All payloads must be JSON-serializable (enforced at construction) so
+vistrails persist losslessly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.workflow.pipeline import Pipeline
+from repro.util.errors import ProvenanceError
+
+
+def _check_json(value: Any, context: str) -> Any:
+    try:
+        json.dumps(value)
+    except (TypeError, ValueError) as exc:
+        raise ProvenanceError(f"{context}: value not JSON-serializable: {value!r}") from exc
+    return value
+
+
+@dataclass(frozen=True)
+class Action:
+    """Base class; subclasses implement :meth:`apply` and :meth:`describe`."""
+
+    def apply(self, pipeline: Pipeline) -> None:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = {"kind": type(self).__name__}
+        data.update(self.__dict__)
+        return data
+
+
+@dataclass(frozen=True)
+class AddModule(Action):
+    """Add a module (with explicit id, so replay is deterministic)."""
+
+    module_id: int
+    name: str
+    parameters: Dict[str, Any]
+
+    def __post_init__(self) -> None:
+        _check_json(self.parameters, f"AddModule({self.name})")
+
+    def apply(self, pipeline: Pipeline) -> None:
+        pipeline.add_module(self.name, dict(self.parameters), module_id=self.module_id)
+
+    def describe(self) -> str:
+        return f"add module {self.name} (id {self.module_id})"
+
+
+@dataclass(frozen=True)
+class DeleteModule(Action):
+    module_id: int
+
+    def apply(self, pipeline: Pipeline) -> None:
+        pipeline.delete_module(self.module_id)
+
+    def describe(self) -> str:
+        return f"delete module id {self.module_id}"
+
+
+@dataclass(frozen=True)
+class AddConnection(Action):
+    connection_id: int
+    source_id: int
+    source_port: str
+    target_id: int
+    target_port: str
+
+    def apply(self, pipeline: Pipeline) -> None:
+        pipeline.add_connection(
+            self.source_id, self.source_port, self.target_id, self.target_port,
+            connection_id=self.connection_id,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"connect {self.source_id}.{self.source_port} → "
+            f"{self.target_id}.{self.target_port}"
+        )
+
+
+@dataclass(frozen=True)
+class DeleteConnection(Action):
+    connection_id: int
+
+    def apply(self, pipeline: Pipeline) -> None:
+        pipeline.delete_connection(self.connection_id)
+
+    def describe(self) -> str:
+        return f"delete connection id {self.connection_id}"
+
+
+@dataclass(frozen=True)
+class SetParameter(Action):
+    """Set one module parameter — the action every interactive
+    configuration gesture (leveling drags, colormap keys, slice moves)
+    ultimately records ("All configuration operations are saved as
+    Vistrails provenance")."""
+
+    module_id: int
+    parameter: str
+    value: Any
+
+    def __post_init__(self) -> None:
+        _check_json(self.value, f"SetParameter({self.parameter})")
+
+    def apply(self, pipeline: Pipeline) -> None:
+        pipeline.set_parameter(self.module_id, self.parameter, self.value)
+
+    def describe(self) -> str:
+        return f"set {self.module_id}.{self.parameter} = {self.value!r}"
+
+
+_ACTION_KINDS = {
+    cls.__name__: cls
+    for cls in (AddModule, DeleteModule, AddConnection, DeleteConnection, SetParameter)
+}
+
+
+def action_from_dict(data: Dict[str, Any]) -> Action:
+    """Inverse of :meth:`Action.to_dict`."""
+    kind = data.get("kind")
+    if kind not in _ACTION_KINDS:
+        raise ProvenanceError(f"unknown action kind {kind!r}")
+    payload = {k: v for k, v in data.items() if k != "kind"}
+    try:
+        return _ACTION_KINDS[kind](**payload)  # type: ignore[arg-type]
+    except TypeError as exc:
+        raise ProvenanceError(f"malformed {kind} action: {data!r}") from exc

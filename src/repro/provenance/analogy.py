@@ -1,0 +1,148 @@
+"""Analogies: transplanting one branch's refinements onto another.
+
+A signature VisTrails capability implied by the paper's "knowledge
+embedded in existing workflows can be reused to simplify the
+construction of new workflows": take the actions that turned version A
+into version A′ (a colormap treatment, a transfer-function window, an
+added overlay) and replay them on an *unrelated* version B, producing
+B′ — "apply the same change by analogy".
+
+Actions referencing entities that do not exist at B (a deleted module,
+a connection slot already occupied) are skipped and reported, matching
+the best-effort semantics of the original feature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.provenance.actions import (
+    Action,
+    AddConnection,
+    AddModule,
+    DeleteConnection,
+    DeleteModule,
+    SetParameter,
+)
+from repro.provenance.vistrail import Vistrail
+from repro.util.errors import ProvenanceError
+
+
+@dataclass
+class AnalogyReport:
+    """What happened when the analogy was applied."""
+
+    new_version: int
+    applied: List[str] = field(default_factory=list)
+    skipped: List[Tuple[str, str]] = field(default_factory=list)  # (action, reason)
+
+    @property
+    def fully_applied(self) -> bool:
+        return not self.skipped
+
+
+def branch_actions(vistrail: Vistrail, source: int, target: int) -> List[Action]:
+    """The actions that turn version *source* into its descendant *target*.
+
+    Raises when *source* is not an ancestor of *target* (an analogy
+    needs a coherent delta, not a diff across branches).
+    """
+    path = vistrail.tree.path_to_root(target)
+    if source not in path:
+        raise ProvenanceError(
+            f"version {source} is not an ancestor of {target}; "
+            "use diff_versions for cross-branch comparison"
+        )
+    actions: List[Action] = []
+    for version in reversed(path[: path.index(source)]):
+        action = vistrail.tree.node(version).action
+        if action is not None:
+            actions.append(action)
+    return actions
+
+
+def _remap_module_id(action: Action, id_map: dict) -> Action:
+    """Rewrite module ids through the analogy's id translation."""
+    if isinstance(action, AddModule):
+        return AddModule(id_map.get(action.module_id, action.module_id),
+                         action.name, dict(action.parameters))
+    if isinstance(action, DeleteModule):
+        return DeleteModule(id_map.get(action.module_id, action.module_id))
+    if isinstance(action, SetParameter):
+        return SetParameter(id_map.get(action.module_id, action.module_id),
+                            action.parameter, action.value)
+    if isinstance(action, AddConnection):
+        return AddConnection(
+            action.connection_id,
+            id_map.get(action.source_id, action.source_id), action.source_port,
+            id_map.get(action.target_id, action.target_id), action.target_port,
+        )
+    return action
+
+
+def apply_analogy(
+    vistrail: Vistrail,
+    source: int,
+    target: int,
+    destination: int,
+) -> AnalogyReport:
+    """Replay the source→target delta on *destination*.
+
+    Module ids are translated *by module type*: a ``SetParameter`` on
+    the delta's Slicer module applies to the destination's Slicer
+    module when exactly one exists.  New modules/connections receive
+    fresh ids.  The vistrail is left checked out at the new version.
+    """
+    delta = branch_actions(vistrail, source, target)
+    source_pipeline = vistrail.tree.materialize(source, vistrail.registry)
+    vistrail.checkout(destination)
+
+    # build the type-based id translation for modules present at `source`
+    id_map: dict = {}
+    for module_id, spec in source_pipeline.modules.items():
+        candidates = vistrail.pipeline.modules_of_type(spec.name)
+        if len(candidates) == 1:
+            id_map[module_id] = candidates[0]
+
+    report = AnalogyReport(new_version=destination)
+    for action in delta:
+        remapped = _remap_module_id(action, id_map)
+        if isinstance(remapped, AddModule):
+            # fresh module id on the destination side
+            new_id = vistrail.add_module(remapped.name, dict(remapped.parameters))
+            id_map[action.module_id] = new_id  # type: ignore[attr-defined]
+            report.applied.append(f"add module {remapped.name} (as id {new_id})")
+            continue
+        if isinstance(remapped, AddConnection):
+            try:
+                vistrail.add_connection(
+                    remapped.source_id, remapped.source_port,
+                    remapped.target_id, remapped.target_port,
+                )
+                report.applied.append(remapped.describe())
+            except Exception as exc:  # noqa: BLE001 - best-effort semantics
+                report.skipped.append((remapped.describe(), str(exc)))
+            continue
+        if isinstance(remapped, SetParameter):
+            try:
+                vistrail.set_parameter(
+                    remapped.module_id, remapped.parameter, remapped.value
+                )
+                report.applied.append(remapped.describe())
+            except Exception as exc:  # noqa: BLE001
+                report.skipped.append((remapped.describe(), str(exc)))
+            continue
+        if isinstance(remapped, (DeleteModule, DeleteConnection)):
+            try:
+                if isinstance(remapped, DeleteModule):
+                    vistrail.delete_module(remapped.module_id)
+                else:
+                    vistrail.delete_connection(remapped.connection_id)
+                report.applied.append(remapped.describe())
+            except Exception as exc:  # noqa: BLE001
+                report.skipped.append((remapped.describe(), str(exc)))
+            continue
+        report.skipped.append((remapped.describe(), "unsupported action kind"))
+    report.new_version = vistrail.current_version
+    return report

@@ -1,0 +1,78 @@
+"""Provenance queries and version diffs.
+
+"The provenance trail allows users to query, interact with, and
+understand the history of an analysis process ... and compare analysis
+products as well as their corresponding workflows."  These functions
+answer the standard questions: how did this version come to be
+(:func:`version_history`), what distinguishes two exploration branches
+(:func:`diff_versions`), and which versions involve a given module or
+tag (:func:`find_versions_by_module`, :func:`find_versions_by_tag`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.provenance.actions import AddModule
+from repro.provenance.version_tree import VersionTree
+from repro.provenance.vistrail import Vistrail
+
+
+def version_history(vistrail: Vistrail, version: int) -> List[str]:
+    """Human-readable descriptions of every action leading to *version*."""
+    return [action.describe() for action in vistrail.tree.actions_to(version)]
+
+
+def find_versions_by_tag(vistrail: Vistrail) -> Dict[str, int]:
+    """All tagged versions as ``tag → version``."""
+    result: Dict[str, int] = {}
+    for version in range(len(vistrail.tree) + 1):
+        if version in vistrail.tree:
+            tag = vistrail.tree.node(version).tag
+            if tag:
+                result[tag] = version
+    return result
+
+
+def find_versions_by_module(vistrail: Vistrail, module_name: str) -> List[int]:
+    """Versions whose *introducing action* adds a module of this type.
+
+    (Versions downstream of those also contain the module; this finds
+    where each instance entered the history.)
+    """
+    qualified = vistrail.registry.qualified_name(module_name)
+    hits = []
+    for version in range(len(vistrail.tree) + 1):
+        if version not in vistrail.tree:
+            continue
+        action = vistrail.tree.node(version).action
+        if isinstance(action, AddModule) and action.name == qualified:
+            hits.append(version)
+    return hits
+
+
+def diff_versions(tree: VersionTree, version_a: int, version_b: int) -> Dict[str, List[str]]:
+    """Compare two versions via their common ancestor.
+
+    Returns ``{"common_ancestor": [...], "only_a": [...], "only_b": [...]}``
+    where the branch lists hold action descriptions applied on each side
+    after the fork — the "compare ... their corresponding workflows" view.
+    """
+    ancestor = tree.common_ancestor(version_a, version_b)
+
+    def branch_actions(version: int) -> List[str]:
+        path = tree.path_to_root(version)
+        out: List[str] = []
+        for v in path:
+            if v == ancestor:
+                break
+            action = tree.node(v).action
+            if action is not None:
+                out.append(action.describe())
+        return list(reversed(out))
+
+    return {
+        "common_ancestor": [f"version {ancestor}"],
+        "only_a": branch_actions(version_a),
+        "only_b": branch_actions(version_b),
+    }

@@ -1,0 +1,183 @@
+"""The version tree.
+
+Every workflow edit creates a *new version* — a child node holding the
+action that distinguishes it from its parent.  Nothing is ever
+destroyed: "users can easily back up to earlier stages of the
+exploration and start a new branch of investigation without losing the
+previous results" is simply adding a child to a non-leaf node.
+
+Version 0 is the root (the empty pipeline).  Materializing a version
+replays its root-path actions against a fresh pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.provenance.actions import Action, action_from_dict
+from repro.workflow.pipeline import Pipeline
+from repro.workflow.registry import ModuleRegistry
+from repro.util.errors import ProvenanceError
+
+ROOT_VERSION = 0
+
+
+@dataclass
+class VersionNode:
+    """One node: the action that produced it plus tree bookkeeping."""
+
+    version: int
+    parent: Optional[int]
+    action: Optional[Action]  # None only for the root
+    tag: str = ""
+    annotation: str = ""
+
+
+class VersionTree:
+    """The append-only tree of workflow versions."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[int, VersionNode] = {
+            ROOT_VERSION: VersionNode(ROOT_VERSION, None, None, tag="root")
+        }
+        self._children: Dict[int, List[int]] = {ROOT_VERSION: []}
+        self._next_version = 1
+
+    def __contains__(self, version: int) -> bool:
+        return version in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(self, version: int) -> VersionNode:
+        try:
+            return self._nodes[version]
+        except KeyError:
+            raise ProvenanceError(f"no version {version}") from None
+
+    def children(self, version: int) -> List[int]:
+        self.node(version)
+        return list(self._children.get(version, []))
+
+    def leaves(self) -> List[int]:
+        return sorted(v for v in self._nodes if not self._children.get(v))
+
+    def branch_points(self) -> List[int]:
+        """Versions with more than one child (developmental branches)."""
+        return sorted(v for v, kids in self._children.items() if len(kids) > 1)
+
+    # -- growth -------------------------------------------------------------
+
+    def add_action(self, parent: int, action: Action, annotation: str = "") -> int:
+        """Append *action* as a child of *parent*; returns the new version."""
+        self.node(parent)
+        version = self._next_version
+        self._next_version += 1
+        self._nodes[version] = VersionNode(version, parent, action, annotation=annotation)
+        self._children.setdefault(parent, []).append(version)
+        self._children[version] = []
+        return version
+
+    def tag(self, version: int, name: str) -> None:
+        """Name a version (names are unique; re-tagging moves the name)."""
+        self.node(version)
+        for node in self._nodes.values():
+            if node.tag == name and node.version != version:
+                node.tag = ""
+        self._nodes[version].tag = name
+
+    def annotate(self, version: int, text: str) -> None:
+        """Attach free-form notes to a version (searchable, persisted)."""
+        self.node(version).annotation = str(text)
+
+    def find_annotated(self, needle: str = "") -> List[int]:
+        """Versions whose annotation contains *needle* (all annotated if empty)."""
+        hits = []
+        for version in sorted(self._nodes):
+            annotation = self._nodes[version].annotation
+            if annotation and (not needle or needle.lower() in annotation.lower()):
+                hits.append(version)
+        return hits
+
+    def version_by_tag(self, name: str) -> int:
+        for node in self._nodes.values():
+            if node.tag == name:
+                return node.version
+        raise ProvenanceError(f"no version tagged {name!r}")
+
+    # -- paths & ancestry ------------------------------------------------------
+
+    def path_to_root(self, version: int) -> List[int]:
+        """Versions from *version* up to (and including) the root."""
+        path = []
+        current: Optional[int] = version
+        while current is not None:
+            path.append(current)
+            current = self.node(current).parent
+        return path
+
+    def actions_to(self, version: int) -> List[Action]:
+        """Actions to replay, root-first, to materialize *version*."""
+        path = list(reversed(self.path_to_root(version)))
+        return [self.node(v).action for v in path if self.node(v).action is not None]  # type: ignore[misc]
+
+    def common_ancestor(self, a: int, b: int) -> int:
+        ancestors_a = set(self.path_to_root(a))
+        current = b
+        while current not in ancestors_a:
+            parent = self.node(current).parent
+            if parent is None:
+                return ROOT_VERSION
+            current = parent
+        return current
+
+    def materialize(self, version: int, registry: Optional[ModuleRegistry] = None) -> Pipeline:
+        """Replay the root path of *version* into a fresh pipeline."""
+        pipeline = Pipeline(registry)
+        for action in self.actions_to(version):
+            try:
+                action.apply(pipeline)
+            except Exception as exc:
+                raise ProvenanceError(
+                    f"replaying version {version}: action {action.describe()!r} failed: {exc}"
+                ) from exc
+        return pipeline
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "next_version": self._next_version,
+            "nodes": [
+                {
+                    "version": n.version,
+                    "parent": n.parent,
+                    "action": None if n.action is None else n.action.to_dict(),
+                    "tag": n.tag,
+                    "annotation": n.annotation,
+                }
+                for n in sorted(self._nodes.values(), key=lambda n: n.version)
+            ],
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "VersionTree":
+        tree = VersionTree()
+        nodes = data.get("nodes", [])
+        for raw in nodes:  # type: ignore[union-attr]
+            version = int(raw["version"])  # type: ignore[index]
+            if version == ROOT_VERSION:
+                tree._nodes[ROOT_VERSION].tag = str(raw.get("tag", "root"))  # type: ignore[union-attr]
+                continue
+            parent = raw["parent"]  # type: ignore[index]
+            action = action_from_dict(raw["action"])  # type: ignore[index, arg-type]
+            node = VersionNode(
+                version, int(parent), action,
+                tag=str(raw.get("tag", "")), annotation=str(raw.get("annotation", "")),  # type: ignore[union-attr]
+            )
+            tree._nodes[version] = node
+            tree._children.setdefault(int(parent), []).append(version)
+            tree._children.setdefault(version, [])
+        tree._next_version = int(data.get("next_version", max(tree._nodes) + 1))  # type: ignore[arg-type]
+        return tree

@@ -1,0 +1,62 @@
+"""Software rendering substrate (the VTK analog).
+
+DV3D "builds on VTK, an open-source, object-oriented library, for
+visualization and analysis" and its value proposition is hiding VTK's
+low-level objects ("actors, cameras, renderers, and transfer
+functions") behind climate-scientist-level interfaces.  This package
+provides those low-level objects in pure numpy so the DV3D layer has a
+real pipeline to encapsulate:
+
+* :mod:`repro.rendering.image_data` — structured volumes (vtkImageData);
+* :mod:`repro.rendering.colormap` / :mod:`repro.rendering.transfer_function`
+  — scalar→color and scalar→opacity mappings;
+* :mod:`repro.rendering.camera` — perspective camera with orbit/zoom/pan
+  and stereo eye offsets;
+* :mod:`repro.rendering.geometry` — triangle/line polydata;
+* :mod:`repro.rendering.rasterizer` — z-buffered triangle/line raster;
+* :mod:`repro.rendering.isosurface` — marching-tetrahedra extraction;
+* :mod:`repro.rendering.contour2d` — marching-squares contour lines;
+* :mod:`repro.rendering.raycast` — front-to-back volume ray casting;
+* :mod:`repro.rendering.streamline` — RK4 streamline integration;
+* :mod:`repro.rendering.glyphs` — vector arrow glyphs;
+* :mod:`repro.rendering.scene` — actors, lights, renderer;
+* :mod:`repro.rendering.text` — bitmap-font overlay labels;
+* :mod:`repro.rendering.ppm` — PPM/PGM image output.
+"""
+
+from repro.rendering.image_data import ImageData
+from repro.rendering.colormap import Colormap, colormap_names, get_colormap
+from repro.rendering.transfer_function import ColorTransferFunction, OpacityTransferFunction, TransferFunction
+from repro.rendering.camera import Camera
+from repro.rendering.framebuffer import Framebuffer
+from repro.rendering.geometry import PolyData
+from repro.rendering.isosurface import marching_tetrahedra
+from repro.rendering.contour2d import marching_squares
+from repro.rendering.raycast import raycast_volume
+from repro.rendering.streamline import integrate_streamlines
+from repro.rendering.scene import Actor, DirectionalLight, Renderer, Scene, VolumeActor
+from repro.rendering.ppm import write_ppm, read_ppm
+
+__all__ = [
+    "ImageData",
+    "Colormap",
+    "colormap_names",
+    "get_colormap",
+    "ColorTransferFunction",
+    "OpacityTransferFunction",
+    "TransferFunction",
+    "Camera",
+    "Framebuffer",
+    "PolyData",
+    "marching_tetrahedra",
+    "marching_squares",
+    "raycast_volume",
+    "integrate_streamlines",
+    "Actor",
+    "DirectionalLight",
+    "Renderer",
+    "Scene",
+    "VolumeActor",
+    "write_ppm",
+    "read_ppm",
+]

@@ -1,0 +1,115 @@
+"""Axis annotations: ticks and coordinate labels around the plot box.
+
+DV3D cells carry geographic context: the base map below the volume plus
+labeled axes so a scientist reads positions directly off the view.
+This module generates tick geometry (small line segments along the box
+edges) and the screen-space label placements the cell blends over the
+frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.rendering.camera import Camera
+from repro.rendering.geometry import PolyData
+from repro.util.errors import RenderingError
+
+Bounds = Tuple[float, float, float, float, float, float]
+
+
+def nice_ticks(lo: float, hi: float, target_count: int = 5) -> np.ndarray:
+    """Round tick positions covering [lo, hi] (the classic 1-2-5 ladder)."""
+    if hi <= lo:
+        raise RenderingError(f"bad tick range ({lo}, {hi})")
+    span = hi - lo
+    raw_step = span / max(target_count, 1)
+    magnitude = 10.0 ** np.floor(np.log10(raw_step))
+    for multiple in (1.0, 2.0, 5.0, 10.0):
+        step = multiple * magnitude
+        if span / step <= target_count + 1:
+            break
+    first = np.ceil(lo / step) * step
+    ticks = np.arange(first, hi + step * 1e-9, step)
+    return np.round(ticks, 10)
+
+
+@dataclass(frozen=True)
+class AxisLabel:
+    """One tick's label and its world-space anchor point."""
+
+    text: str
+    world: Tuple[float, float, float]
+
+
+def _format_geo(value: float, axis: int) -> str:
+    if axis == 0:  # longitude
+        lon = value % 360.0
+        if lon == 0 or lon == 180:
+            return f"{lon:.0f}"
+        return f"{lon:.0f}E" if lon < 180 else f"{360 - lon:.0f}W"
+    if axis == 1:  # latitude
+        if value == 0:
+            return "EQ"
+        return f"{abs(value):.0f}{'N' if value > 0 else 'S'}"
+    return f"{value:g}"
+
+
+def axis_annotations(
+    bounds: Bounds,
+    target_count: int = 5,
+    tick_fraction: float = 0.02,
+) -> Tuple[PolyData, List[AxisLabel]]:
+    """Tick geometry + labels for the x (lon) and y (lat) box edges.
+
+    Ticks are drawn along the front-bottom edges of the bounding box
+    (y = ymin for longitude ticks, x = xmin for latitude ticks), poking
+    outward; labels anchor just beyond the tick tips.
+    """
+    x0, x1, y0, y1, z0, _z1 = bounds
+    if x1 <= x0 or y1 <= y0:
+        raise RenderingError(f"degenerate bounds {bounds!r}")
+    tick_len = tick_fraction * max(x1 - x0, y1 - y0)
+    points: List[np.ndarray] = []
+    lines: List[np.ndarray] = []
+    labels: List[AxisLabel] = []
+
+    def add_tick(p_from: Sequence[float], p_to: Sequence[float]) -> None:
+        index = len(points)
+        points.append(np.asarray(p_from, dtype=np.float64))
+        points.append(np.asarray(p_to, dtype=np.float64))
+        lines.append(np.array([index, index + 1], dtype=np.intp))
+
+    for x in nice_ticks(x0, x1, target_count):
+        add_tick((x, y0, z0), (x, y0 - tick_len, z0))
+        labels.append(AxisLabel(_format_geo(float(x), 0), (float(x), y0 - 2.5 * tick_len, z0)))
+    for y in nice_ticks(y0, y1, target_count):
+        add_tick((x0, y, z0), (x0 - tick_len, y, z0))
+        labels.append(AxisLabel(_format_geo(float(y), 1), (x0 - 2.5 * tick_len, float(y), z0)))
+
+    if not points:
+        return PolyData(np.zeros((0, 3))), []
+    return PolyData(np.stack(points), lines=lines), labels
+
+
+def project_labels(
+    labels: List[AxisLabel],
+    camera: Camera,
+    width: int,
+    height: int,
+) -> List[Tuple[str, int, int]]:
+    """Screen placements ``(text, row, col)`` for visible labels."""
+    if not labels:
+        return []
+    world = np.array([label.world for label in labels], dtype=np.float64)
+    projected = camera.project(world, width, height)
+    out: List[Tuple[str, int, int]] = []
+    for label, (px, py, depth) in zip(labels, projected):
+        if not (np.isfinite(px) and np.isfinite(py)) or depth <= 0:
+            continue
+        if -50 <= px <= width + 50 and -20 <= py <= height + 20:
+            out.append((label.text, int(round(py)), int(round(px))))
+    return out

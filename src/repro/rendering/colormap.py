@@ -1,0 +1,193 @@
+"""Colormaps: named scalar→RGB lookup tables.
+
+DV3D spreadsheet cells offer "interactive key press and mouse drag
+operations facilitating the configuration of colormaps" — cycling the
+map, inverting it, and re-windowing its range.  A :class:`Colormap`
+here is an interpolated control-point table supporting exactly those
+operations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.errors import RenderingError
+
+RGB = Tuple[float, float, float]
+
+#: control points (position in [0,1], rgb in [0,1]) for the built-in maps
+_COLORMAP_POINTS: Dict[str, List[Tuple[float, RGB]]] = {
+    # perceptually-ordered dark-to-light map (viridis-like)
+    "default": [
+        (0.00, (0.267, 0.005, 0.329)),
+        (0.25, (0.229, 0.322, 0.546)),
+        (0.50, (0.128, 0.567, 0.551)),
+        (0.75, (0.369, 0.789, 0.383)),
+        (1.00, (0.993, 0.906, 0.144)),
+    ],
+    # the classic rainbow scientists keep asking for
+    "jet": [
+        (0.000, (0.0, 0.0, 0.5)),
+        (0.125, (0.0, 0.0, 1.0)),
+        (0.375, (0.0, 1.0, 1.0)),
+        (0.625, (1.0, 1.0, 0.0)),
+        (0.875, (1.0, 0.0, 0.0)),
+        (1.000, (0.5, 0.0, 0.0)),
+    ],
+    # diverging blue-white-red for anomaly fields
+    "coolwarm": [
+        (0.00, (0.230, 0.299, 0.754)),
+        (0.50, (0.865, 0.865, 0.865)),
+        (1.00, (0.706, 0.016, 0.150)),
+    ],
+    "grayscale": [
+        (0.0, (0.0, 0.0, 0.0)),
+        (1.0, (1.0, 1.0, 1.0)),
+    ],
+    # hue sweep (the VTK default lookup table)
+    "rainbow": [
+        (0.00, (1.0, 0.0, 0.0)),
+        (0.20, (1.0, 1.0, 0.0)),
+        (0.40, (0.0, 1.0, 0.0)),
+        (0.60, (0.0, 1.0, 1.0)),
+        (0.80, (0.0, 0.0, 1.0)),
+        (1.00, (1.0, 0.0, 1.0)),
+    ],
+    # single-hue sequential for precipitation-like fields
+    "blues": [
+        (0.0, (0.97, 0.98, 1.00)),
+        (0.5, (0.42, 0.68, 0.84)),
+        (1.0, (0.03, 0.19, 0.42)),
+    ],
+}
+
+
+def colormap_names() -> List[str]:
+    """Names of the registered colormaps, in cycling order."""
+    return sorted(_COLORMAP_POINTS)
+
+
+def register_colormap(name: str, points: List[Tuple[float, RGB]], overwrite: bool = False) -> None:
+    """Register a user-defined colormap from control points.
+
+    *points* is a list of ``(position, (r, g, b))`` with positions
+    covering 0 and 1; the map then participates in cycling, inversion
+    and serialization like the built-ins.
+    """
+    if name in _COLORMAP_POINTS and not overwrite:
+        raise RenderingError(f"colormap {name!r} already registered")
+    if len(points) < 2:
+        raise RenderingError("a colormap needs at least 2 control points")
+    positions = sorted(p for p, _ in points)
+    if positions[0] != 0.0 or positions[-1] != 1.0:
+        raise RenderingError("control points must cover positions 0.0 and 1.0")
+    for position, rgb in points:
+        if not 0.0 <= position <= 1.0:
+            raise RenderingError(f"control position {position} outside [0, 1]")
+        if len(rgb) != 3 or any(not 0.0 <= c <= 1.0 for c in rgb):
+            raise RenderingError(f"bad RGB {rgb!r}")
+    _COLORMAP_POINTS[name] = sorted(points)
+
+
+class Colormap:
+    """An interpolated lookup table mapping scalars to RGB.
+
+    Parameters
+    ----------
+    name:
+        A built-in name from :func:`colormap_names`.
+    n_colors:
+        Table resolution.
+    inverted:
+        Reverse the map (the DV3D "invert colormap" key command).
+    """
+
+    def __init__(self, name: str = "default", n_colors: int = 256, inverted: bool = False) -> None:
+        if name not in _COLORMAP_POINTS:
+            raise RenderingError(f"unknown colormap {name!r}; available: {colormap_names()}")
+        if n_colors < 2:
+            raise RenderingError("n_colors must be >= 2")
+        self.name = name
+        self.n_colors = int(n_colors)
+        self.inverted = bool(inverted)
+        self._table = self._build_table()
+
+    def _build_table(self) -> np.ndarray:
+        points = _COLORMAP_POINTS[self.name]
+        positions = np.array([p for p, _ in points])
+        colors = np.array([c for _, c in points])
+        x = np.linspace(0.0, 1.0, self.n_colors)
+        table = np.empty((self.n_colors, 3), dtype=np.float32)
+        for channel in range(3):
+            table[:, channel] = np.interp(x, positions, colors[:, channel])
+        if self.inverted:
+            table = table[::-1].copy()
+        return table
+
+    @property
+    def table(self) -> np.ndarray:
+        """The ``(n_colors, 3)`` float32 RGB table in [0, 1]."""
+        return self._table
+
+    def invert(self) -> "Colormap":
+        """A reversed copy (key command in the DV3D cell interface)."""
+        return Colormap(self.name, self.n_colors, inverted=not self.inverted)
+
+    def next_map(self) -> "Colormap":
+        """Cycle to the next built-in map (another DV3D key command)."""
+        names = colormap_names()
+        idx = (names.index(self.name) + 1) % len(names)
+        return Colormap(names[idx], self.n_colors, inverted=self.inverted)
+
+    def map_scalars(
+        self,
+        values: np.ndarray,
+        vmin: float,
+        vmax: float,
+        nan_color: RGB = (0.35, 0.35, 0.35),
+    ) -> np.ndarray:
+        """Map *values* into RGB, normalising by ``[vmin, vmax]``.
+
+        NaN (missing) values map to *nan_color*.  Output shape is
+        ``values.shape + (3,)``, dtype float32.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if vmax <= vmin:
+            # widen degenerate ranges relative to their magnitude so the
+            # division below stays finite even for large vmin
+            vmax = vmin + max(1e-30, abs(vmin) * 1e-9)
+        norm = (values - vmin) / (vmax - vmin)
+        nan_mask = ~np.isfinite(norm)
+        norm = np.where(nan_mask, 0.0, np.clip(norm, 0.0, 1.0))
+        indices = np.minimum((norm * (self.n_colors - 1)).astype(np.intp), self.n_colors - 1)
+        rgb = self._table[indices]
+        if nan_mask.any():
+            rgb = rgb.copy()
+            rgb[nan_mask] = np.asarray(nan_color, dtype=np.float32)
+        return rgb
+
+    def colorbar_strip(self, width: int = 20, height: int = 128) -> np.ndarray:
+        """An RGB strip (height, width, 3) for legend rendering, low→high bottom→top."""
+        column = self._table[
+            np.linspace(self.n_colors - 1, 0, height).astype(np.intp)
+        ]
+        return np.repeat(column[:, None, :], width, axis=1)
+
+    def state(self) -> Dict[str, object]:
+        """Serializable configuration (used by provenance and hyperwall sync)."""
+        return {"name": self.name, "n_colors": self.n_colors, "inverted": self.inverted}
+
+    @staticmethod
+    def from_state(state: Dict[str, object]) -> "Colormap":
+        return Colormap(
+            str(state.get("name", "default")),
+            int(state.get("n_colors", 256)),  # type: ignore[arg-type]
+            bool(state.get("inverted", False)),
+        )
+
+
+def get_colormap(name: str, n_colors: int = 256) -> Colormap:
+    """Fetch a built-in colormap by name."""
+    return Colormap(name, n_colors)

@@ -1,0 +1,144 @@
+"""2-D contour lines via marching squares.
+
+The Slicer plot can overlay "a slice through a second data volume ...
+as a contour map over the first" — this module produces those contour
+polylines from a 2-D scalar field.  The 16-case marching-squares table
+is resolved per cell; saddle cases (5, 10) are disambiguated with the
+cell-center average, the standard rule.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.errors import RenderingError
+
+# cell corner order: 0=(i,j) 1=(i+1,j) 2=(i+1,j+1) 3=(i,j+1)  (x=i, y=j)
+# edge order: 0 = bottom (0-1), 1 = right (1-2), 2 = top (3-2), 3 = left (0-3)
+#: case → list of (edge, edge) segments
+_SEGMENTS: dict = {
+    0: [], 15: [],
+    1: [(3, 0)], 14: [(3, 0)],
+    2: [(0, 1)], 13: [(0, 1)],
+    3: [(3, 1)], 12: [(3, 1)],
+    4: [(1, 2)], 11: [(1, 2)],
+    6: [(0, 2)], 9: [(0, 2)],
+    7: [(3, 2)], 8: [(3, 2)],
+    # saddles resolved at runtime
+    5: None, 10: None,
+}
+
+
+def marching_squares(
+    field: np.ndarray,
+    level: float,
+    x_coords: Sequence[float] | None = None,
+    y_coords: Sequence[float] | None = None,
+) -> List[np.ndarray]:
+    """Contour polyline segments of ``field == level``.
+
+    Parameters
+    ----------
+    field:
+        2-D array indexed ``[i, j]`` with i along x and j along y.
+        NaNs suppress contours through their cells.
+    level:
+        The contour level.
+    x_coords, y_coords:
+        Coordinates of the grid points (defaults to indices).
+
+    Returns
+    -------
+    A list of ``(2, 2)`` arrays, each one contour segment
+    ``[[x0, y0], [x1, y1]]`` in coordinate space.  (Segments are not
+    chained into long polylines; the renderer draws them directly.)
+    """
+    field = np.asarray(field, dtype=np.float64)
+    if field.ndim != 2:
+        raise RenderingError("marching_squares requires a 2-D field")
+    ni, nj = field.shape
+    if ni < 2 or nj < 2:
+        return []
+    xs = np.asarray(x_coords if x_coords is not None else np.arange(ni), dtype=np.float64)
+    ys = np.asarray(y_coords if y_coords is not None else np.arange(nj), dtype=np.float64)
+    if xs.size != ni or ys.size != nj:
+        raise RenderingError("coordinate lengths do not match field shape")
+
+    safe = np.where(np.isfinite(field), field, -np.inf)
+    inside = safe > level
+    c0 = inside[:-1, :-1]
+    c1 = inside[1:, :-1]
+    c2 = inside[1:, 1:]
+    c3 = inside[:-1, 1:]
+    codes = (
+        c0.astype(np.uint8)
+        | (c1.astype(np.uint8) << 1)
+        | (c2.astype(np.uint8) << 2)
+        | (c3.astype(np.uint8) << 3)
+    )
+    # cells touching non-finite corners produce no segments
+    finite = (
+        np.isfinite(field[:-1, :-1]) & np.isfinite(field[1:, :-1])
+        & np.isfinite(field[1:, 1:]) & np.isfinite(field[:-1, 1:])
+    )
+    active = np.nonzero((codes != 0) & (codes != 15) & finite)
+    if active[0].size == 0:
+        return []
+
+    def interp(va: np.ndarray, vb: np.ndarray) -> np.ndarray:
+        denom = vb - va
+        with np.errstate(invalid="ignore", divide="ignore"):
+            t = (level - va) / np.where(np.abs(denom) < 1e-300, 1.0, denom)
+        return np.clip(np.where(np.isfinite(t), t, 0.5), 0.0, 1.0)
+
+    ii, jj = active
+    f00 = field[ii, jj]
+    f10 = field[ii + 1, jj]
+    f11 = field[ii + 1, jj + 1]
+    f01 = field[ii, jj + 1]
+    cell_codes = codes[ii, jj]
+
+    # crossing point on each of the 4 edges, for all active cells
+    x0, x1 = xs[ii], xs[ii + 1]
+    y0, y1 = ys[jj], ys[jj + 1]
+    edge_pts = np.empty((4, ii.size, 2), dtype=np.float64)
+    t = interp(f00, f10)  # bottom
+    edge_pts[0, :, 0] = x0 + (x1 - x0) * t
+    edge_pts[0, :, 1] = y0
+    t = interp(f10, f11)  # right
+    edge_pts[1, :, 0] = x1
+    edge_pts[1, :, 1] = y0 + (y1 - y0) * t
+    t = interp(f01, f11)  # top
+    edge_pts[2, :, 0] = x0 + (x1 - x0) * t
+    edge_pts[2, :, 1] = y1
+    t = interp(f00, f01)  # left
+    edge_pts[3, :, 0] = x0
+    edge_pts[3, :, 1] = y0 + (y1 - y0) * t
+
+    segments: List[np.ndarray] = []
+    for k in range(ii.size):
+        code = int(cell_codes[k])
+        pairs = _SEGMENTS[code]
+        if pairs is None:  # saddle: use the cell-center mean to connect
+            center_above = (f00[k] + f10[k] + f11[k] + f01[k]) / 4.0 > level
+            if code == 5:
+                pairs = [(3, 2), (0, 1)] if center_above else [(3, 0), (1, 2)]
+            else:  # code == 10
+                pairs = [(3, 0), (1, 2)] if center_above else [(3, 2), (0, 1)]
+        for ea, eb in pairs:
+            segments.append(np.stack([edge_pts[ea, k], edge_pts[eb, k]]))
+    return segments
+
+
+def contour_levels(field: np.ndarray, n_levels: int = 8) -> np.ndarray:
+    """Evenly spaced contour levels inside the finite data range."""
+    finite = field[np.isfinite(field)]
+    if finite.size == 0:
+        raise RenderingError("no finite data for contour levels")
+    lo, hi = float(finite.min()), float(finite.max())
+    if hi <= lo:
+        return np.array([lo])
+    # exclude the exact extremes (they produce empty/degenerate contours)
+    return np.linspace(lo, hi, n_levels + 2)[1:-1]

@@ -1,0 +1,115 @@
+"""RGB + depth framebuffer.
+
+The render target shared by the rasterizer, the volume ray caster
+(composited via the depth buffer) and the 2-D overlay layer (labels,
+legends).  Color is float32 RGB in [0, 1]; depth is view-space distance
+(smaller = nearer), initialised to +inf.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.util.errors import RenderingError
+
+
+class Framebuffer:
+    """A ``(height, width)`` RGB color buffer with a z-buffer."""
+
+    def __init__(self, width: int, height: int, background: Tuple[float, float, float] = (0.08, 0.08, 0.12)) -> None:
+        if width < 1 or height < 1:
+            raise RenderingError(f"bad framebuffer size {width}x{height}")
+        self.width = int(width)
+        self.height = int(height)
+        self.background = tuple(float(c) for c in background)
+        self.color = np.empty((self.height, self.width, 3), dtype=np.float32)
+        self.depth = np.empty((self.height, self.width), dtype=np.float32)
+        self.clear()
+
+    def clear(self) -> None:
+        self.color[:] = np.asarray(self.background, dtype=np.float32)
+        self.depth[:] = np.inf
+
+    def __repr__(self) -> str:
+        return f"Framebuffer({self.width}x{self.height})"
+
+    # -- pixel writes ----------------------------------------------------
+
+    def write_pixels(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        depths: np.ndarray,
+        colors: np.ndarray,
+    ) -> int:
+        """Depth-tested opaque write of scattered pixels; returns count drawn.
+
+        Duplicate pixels within one call are resolved nearest-first.
+        """
+        rows = np.asarray(rows, dtype=np.intp)
+        cols = np.asarray(cols, dtype=np.intp)
+        depths = np.asarray(depths, dtype=np.float32)
+        inside = (rows >= 0) & (rows < self.height) & (cols >= 0) & (cols < self.width)
+        rows, cols, depths, colors = rows[inside], cols[inside], depths[inside], colors[inside]
+        if rows.size == 0:
+            return 0
+        # sort far-to-near so the final (nearest) write wins per pixel
+        order = np.argsort(-depths, kind="stable")
+        rows, cols, depths, colors = rows[order], cols[order], depths[order], colors[order]
+        passed = depths < self.depth[rows, cols]
+        rows, cols, depths, colors = rows[passed], cols[passed], depths[passed], colors[passed]
+        self.color[rows, cols] = colors.astype(np.float32)
+        self.depth[rows, cols] = depths
+        return int(rows.size)
+
+    def blend_image(self, rgba: np.ndarray) -> None:
+        """Alpha-blend a full-frame ``(h, w, 4)`` image over the buffer
+        (no depth test — used for volume-render composites and overlays)."""
+        if rgba.shape != (self.height, self.width, 4):
+            raise RenderingError(
+                f"blend_image: shape {rgba.shape} != ({self.height}, {self.width}, 4)"
+            )
+        alpha = rgba[..., 3:4].astype(np.float32)
+        self.color[:] = rgba[..., :3].astype(np.float32) * alpha + self.color * (1.0 - alpha)
+
+    def blend_patch(self, row: int, col: int, rgba: np.ndarray) -> None:
+        """Alpha-blend a small ``(h, w, 4)`` patch at (row, col), clipped."""
+        ph, pw = rgba.shape[:2]
+        r0, c0 = max(row, 0), max(col, 0)
+        r1, c1 = min(row + ph, self.height), min(col + pw, self.width)
+        if r0 >= r1 or c0 >= c1:
+            return
+        patch = rgba[r0 - row : r1 - row, c0 - col : c1 - col]
+        alpha = patch[..., 3:4].astype(np.float32)
+        dest = self.color[r0:r1, c0:c1]
+        dest[:] = patch[..., :3].astype(np.float32) * alpha + dest * (1.0 - alpha)
+
+    # -- output -----------------------------------------------------------
+
+    def to_uint8(self) -> np.ndarray:
+        """The color buffer as ``(h, w, 3)`` uint8."""
+        return (np.clip(self.color, 0.0, 1.0) * 255.0 + 0.5).astype(np.uint8)
+
+    def save(self, path: str) -> None:
+        """Write the color buffer as a binary PPM file."""
+        from repro.rendering.ppm import write_ppm
+
+        write_ppm(path, self.to_uint8())
+
+    def coverage(self) -> float:
+        """Fraction of pixels whose depth was written (geometry coverage)."""
+        return float(np.isfinite(self.depth).mean())
+
+    def downsample(self, factor: int) -> np.ndarray:
+        """Box-filtered uint8 image at 1/factor resolution.
+
+        Used by the hyperwall server's reduced-resolution mirror cells.
+        """
+        if factor < 1:
+            raise RenderingError("downsample factor must be >= 1")
+        h = (self.height // factor) * factor
+        w = (self.width // factor) * factor
+        img = self.color[:h, :w].reshape(h // factor, factor, w // factor, factor, 3)
+        return (np.clip(img.mean(axis=(1, 3)), 0.0, 1.0) * 255.0 + 0.5).astype(np.uint8)

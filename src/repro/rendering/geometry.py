@@ -1,0 +1,182 @@
+"""Polygonal geometry — the ``vtkPolyData`` analog.
+
+A :class:`PolyData` holds points plus triangle and polyline
+connectivity, with optional per-point scalars (for colormapping) and
+per-point RGB colors.  Isosurface extraction, slice planes, streamlines
+and glyphs all produce PolyData; the rasterizer consumes it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.util.errors import RenderingError
+
+
+class PolyData:
+    """Points + triangles + polylines with optional point attributes."""
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        triangles: Optional[np.ndarray] = None,
+        lines: Optional[list] = None,
+        scalars: Optional[np.ndarray] = None,
+        colors: Optional[np.ndarray] = None,
+    ) -> None:
+        self.points = np.ascontiguousarray(np.atleast_2d(points), dtype=np.float64)
+        if self.points.ndim != 2 or self.points.shape[1] != 3:
+            raise RenderingError(f"points must be (n, 3), got {self.points.shape}")
+        n = self.points.shape[0]
+        if triangles is None:
+            triangles = np.zeros((0, 3), dtype=np.intp)
+        self.triangles = np.ascontiguousarray(triangles, dtype=np.intp).reshape(-1, 3)
+        if self.triangles.size and (self.triangles.min() < 0 or self.triangles.max() >= n):
+            raise RenderingError("triangle indices out of range")
+        self.lines: list = [np.asarray(l, dtype=np.intp) for l in (lines or [])]
+        for line in self.lines:
+            if line.size and (line.min() < 0 or line.max() >= n):
+                raise RenderingError("line indices out of range")
+        self.scalars = None if scalars is None else np.asarray(scalars, dtype=np.float64).reshape(-1)
+        if self.scalars is not None and self.scalars.shape[0] != n:
+            raise RenderingError("scalars length mismatch")
+        self.colors = None if colors is None else np.asarray(colors, dtype=np.float32).reshape(-1, 3)
+        if self.colors is not None and self.colors.shape[0] != n:
+            raise RenderingError("colors length mismatch")
+
+    def __repr__(self) -> str:
+        return (
+            f"PolyData(points={len(self.points)}, triangles={len(self.triangles)}, "
+            f"lines={len(self.lines)})"
+        )
+
+    @property
+    def n_points(self) -> int:
+        return int(self.points.shape[0])
+
+    @property
+    def n_triangles(self) -> int:
+        return int(self.triangles.shape[0])
+
+    def bounds(self) -> Tuple[float, float, float, float, float, float]:
+        if self.n_points == 0:
+            return (0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        mins = self.points.min(axis=0)
+        maxs = self.points.max(axis=0)
+        return (mins[0], maxs[0], mins[1], maxs[1], mins[2], maxs[2])
+
+    # -- attribute helpers ----------------------------------------------------
+
+    def with_colors(self, colors: np.ndarray) -> "PolyData":
+        return PolyData(self.points, self.triangles, self.lines, self.scalars, colors)
+
+    def with_scalars(self, scalars: np.ndarray) -> "PolyData":
+        return PolyData(self.points, self.triangles, self.lines, scalars, self.colors)
+
+    # -- derived quantities ------------------------------------------------------
+
+    def triangle_normals(self) -> np.ndarray:
+        """Per-triangle unit normals, ``(n_triangles, 3)`` (vectorized)."""
+        p = self.points
+        t = self.triangles
+        e1 = p[t[:, 1]] - p[t[:, 0]]
+        e2 = p[t[:, 2]] - p[t[:, 0]]
+        normals = np.cross(e1, e2)
+        lengths = np.linalg.norm(normals, axis=1, keepdims=True)
+        return normals / np.maximum(lengths, 1e-30)
+
+    def point_normals(self) -> np.ndarray:
+        """Area-weighted per-point normals (smooth shading), ``(n, 3)``."""
+        tri_normals = np.cross(
+            self.points[self.triangles[:, 1]] - self.points[self.triangles[:, 0]],
+            self.points[self.triangles[:, 2]] - self.points[self.triangles[:, 0]],
+        )  # unnormalized = area-weighted
+        normals = np.zeros_like(self.points)
+        for corner in range(3):
+            np.add.at(normals, self.triangles[:, corner], tri_normals)
+        lengths = np.linalg.norm(normals, axis=1, keepdims=True)
+        return normals / np.maximum(lengths, 1e-30)
+
+    def surface_area(self) -> float:
+        """Total triangle surface area."""
+        tri_normals = np.cross(
+            self.points[self.triangles[:, 1]] - self.points[self.triangles[:, 0]],
+            self.points[self.triangles[:, 2]] - self.points[self.triangles[:, 0]],
+        )
+        return float(0.5 * np.linalg.norm(tri_normals, axis=1).sum())
+
+    def transformed(self, matrix: np.ndarray, translation: np.ndarray | None = None) -> "PolyData":
+        """Apply a 3×3 linear transform (plus optional translation)."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.shape != (3, 3):
+            raise RenderingError("transform matrix must be 3x3")
+        pts = self.points @ matrix.T
+        if translation is not None:
+            pts = pts + np.asarray(translation, dtype=np.float64)
+        return PolyData(pts, self.triangles, self.lines, self.scalars, self.colors)
+
+    @staticmethod
+    def merge(*pieces: "PolyData") -> "PolyData":
+        """Concatenate several PolyData objects into one."""
+        pieces = tuple(p for p in pieces if p.n_points)
+        if not pieces:
+            return PolyData(np.zeros((0, 3)))
+        points = np.concatenate([p.points for p in pieces])
+        offsets = np.cumsum([0] + [p.n_points for p in pieces[:-1]])
+        triangles = np.concatenate(
+            [p.triangles + off for p, off in zip(pieces, offsets)]
+        ) if any(p.n_triangles for p in pieces) else None
+        lines: list = []
+        for p, off in zip(pieces, offsets):
+            lines.extend(line + off for line in p.lines)
+        def gather(attr: str, default: float) -> Optional[np.ndarray]:
+            if all(getattr(p, attr) is None for p in pieces):
+                return None
+            parts = []
+            for p in pieces:
+                value = getattr(p, attr)
+                if value is None:
+                    shape = (p.n_points,) if attr == "scalars" else (p.n_points, 3)
+                    value = np.full(shape, default)
+                parts.append(value)
+            return np.concatenate(parts)
+        return PolyData(points, triangles, lines, gather("scalars", 0.0), gather("colors", 0.7))
+
+
+def plane_quad(corner: np.ndarray, edge_u: np.ndarray, edge_v: np.ndarray, nu: int = 2, nv: int = 2) -> PolyData:
+    """A tessellated quad patch: corner + s·edge_u + t·edge_v, s,t ∈ [0,1]."""
+    if nu < 2 or nv < 2:
+        raise RenderingError("plane_quad needs nu, nv >= 2")
+    s = np.linspace(0.0, 1.0, nu)
+    t = np.linspace(0.0, 1.0, nv)
+    gs, gt = np.meshgrid(s, t, indexing="ij")
+    pts = (
+        np.asarray(corner)[None, :]
+        + gs.reshape(-1, 1) * np.asarray(edge_u)[None, :]
+        + gt.reshape(-1, 1) * np.asarray(edge_v)[None, :]
+    )
+    # two triangles per grid cell
+    ii, jj = np.meshgrid(np.arange(nu - 1), np.arange(nv - 1), indexing="ij")
+    base = (ii * nv + jj).reshape(-1)
+    tri_a = np.stack([base, base + nv, base + 1], axis=1)
+    tri_b = np.stack([base + nv, base + nv + 1, base + 1], axis=1)
+    return PolyData(pts, np.concatenate([tri_a, tri_b]))
+
+
+def box_outline(bounds: Tuple[float, float, float, float, float, float]) -> PolyData:
+    """The 12-edge wireframe of an axis-aligned box (plot frame)."""
+    x0, x1, y0, y1, z0, z1 = bounds
+    corners = np.array(
+        [
+            [x0, y0, z0], [x1, y0, z0], [x1, y1, z0], [x0, y1, z0],
+            [x0, y0, z1], [x1, y0, z1], [x1, y1, z1], [x0, y1, z1],
+        ]
+    )
+    edges = [
+        [0, 1], [1, 2], [2, 3], [3, 0],
+        [4, 5], [5, 6], [6, 7], [7, 4],
+        [0, 4], [1, 5], [2, 6], [3, 7],
+    ]
+    return PolyData(corners, lines=[np.array(e) for e in edges])

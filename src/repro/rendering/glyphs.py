@@ -1,0 +1,106 @@
+"""Vector glyphs (arrows) for the Vector slicer plot.
+
+Each glyph is a shaft polyline plus a two-stroke arrowhead oriented in
+the glyph's own plane.  Glyph length scales with local field magnitude,
+clamped so dense grids stay readable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.rendering.geometry import PolyData
+from repro.rendering.image_data import ImageData
+from repro.util.errors import RenderingError
+
+
+def arrow_glyphs(
+    points: np.ndarray,
+    vectors: np.ndarray,
+    scale: float = 1.0,
+    max_length: Optional[float] = None,
+    head_fraction: float = 0.3,
+) -> PolyData:
+    """Build arrow glyphs at *points* along *vectors*.
+
+    Returns PolyData whose ``lines`` hold one 5-point polyline per
+    glyph: tail → tip → left barb → tip → right barb; per-point scalars
+    carry the vector magnitude for colormapping.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+    if points.shape != vectors.shape or points.shape[1] != 3:
+        raise RenderingError("points and vectors must both be (n, 3)")
+    magnitude = np.linalg.norm(vectors, axis=1)
+    keep = magnitude > 1e-12
+    points, vectors, magnitude = points[keep], vectors[keep], magnitude[keep]
+    n = points.shape[0]
+    if n == 0:
+        return PolyData(np.zeros((0, 3)))
+
+    lengths = magnitude * scale
+    if max_length is not None:
+        lengths = np.minimum(lengths, max_length)
+    direction = vectors / magnitude[:, None]
+    tips = points + direction * lengths[:, None]
+
+    # barbs lie in the plane spanned by the direction and a reference
+    # vector least aligned with it
+    ref = np.where(
+        np.abs(direction[:, 2:3]) < 0.9,
+        np.array([[0.0, 0.0, 1.0]]),
+        np.array([[0.0, 1.0, 0.0]]),
+    )
+    side = np.cross(direction, ref)
+    side /= np.maximum(np.linalg.norm(side, axis=1, keepdims=True), 1e-30)
+    head = lengths[:, None] * head_fraction
+    left = tips - direction * head + side * head * 0.5
+    right = tips - direction * head - side * head * 0.5
+
+    # vertex layout per glyph: [tail, tip, left, right]
+    all_points = np.concatenate([points, tips, left, right])
+    scalars = np.tile(magnitude, 4)
+    lines = []
+    for i in range(n):
+        tail, tip, lf, rt = i, n + i, 2 * n + i, 3 * n + i
+        lines.append(np.array([tail, tip, lf, tip, rt], dtype=np.intp))
+    return PolyData(all_points, lines=lines, scalars=scalars)
+
+
+def slice_plane_glyphs(
+    volume: ImageData,
+    vector_name: str,
+    axis: int,
+    world_coord: float,
+    stride: int = 4,
+    scale: Optional[float] = None,
+) -> PolyData:
+    """Arrow glyphs sampled on a regular sub-grid of a slice plane.
+
+    *stride* controls glyph density (every stride-th grid point).  The
+    default *scale* targets glyphs about ``stride`` cells long at the
+    field's 95th-percentile magnitude.
+    """
+    if axis not in (0, 1, 2):
+        raise RenderingError("axis must be 0, 1 or 2")
+    if stride < 1:
+        raise RenderingError("stride must be >= 1")
+    other = [a for a in range(3) if a != axis]
+    coords_u = volume.axis_coordinates(other[0])[::stride]
+    coords_v = volume.axis_coordinates(other[1])[::stride]
+    gu, gv = np.meshgrid(coords_u, coords_v, indexing="ij")
+    pts = np.empty((gu.size, 3), dtype=np.float64)
+    pts[:, axis] = world_coord
+    pts[:, other[0]] = gu.reshape(-1)
+    pts[:, other[1]] = gv.reshape(-1)
+    vectors = volume.sample_vector(pts, vector_name)
+    # project vectors into the slice plane so glyphs stay on it
+    vectors[:, axis] = 0.0
+    if scale is None:
+        speeds = np.linalg.norm(vectors, axis=1)
+        ref = float(np.percentile(speeds, 95)) if speeds.size else 1.0
+        cell = volume.spacing[other[0]]
+        scale = stride * cell / max(ref, 1e-12)
+    return arrow_glyphs(pts, vectors, scale=scale)

@@ -1,0 +1,21 @@
+"""The visualization spreadsheet (the VisTrails spreadsheet analog).
+
+§III.E: "the UV-CDAT GUI ... extends the Vistrails spreadsheet, a
+resizable grid of visualization cells.  Visualizations can be created,
+modified, copied, rearranged, and compared using drag-and-drop
+operations.  Spreadsheets maintain their provenance and can be saved
+and reloaded."
+
+* :mod:`repro.spreadsheet.sheet` — the cell grid with place / move /
+  copy / compare operations and activation state;
+* :mod:`repro.spreadsheet.sync` — propagation of configuration and
+  navigation operations to all active cells;
+* :mod:`repro.spreadsheet.project` — projects organizing spreadsheets,
+  vistrails and the execution log, with save/reload.
+"""
+
+from repro.spreadsheet.sheet import CellBinding, SheetCell, Spreadsheet
+from repro.spreadsheet.sync import SyncGroup
+from repro.spreadsheet.project import Project
+
+__all__ = ["CellBinding", "SheetCell", "Spreadsheet", "SyncGroup", "Project"]

@@ -1,0 +1,39 @@
+"""Shared utilities used across all ``repro`` subsystems.
+
+This package deliberately stays tiny and dependency-free (numpy only):
+error hierarchy, deterministic identifiers, an in-process event bus, a
+wall-clock timer, and deterministic random-number helpers.  Everything
+higher up the stack (CDMS data model, rendering, workflow engine, DV3D)
+builds on these primitives.
+"""
+
+from repro.util.errors import (
+    ReproError,
+    CDMSError,
+    WorkflowError,
+    ProvenanceError,
+    RenderingError,
+    HyperwallError,
+    SpreadsheetError,
+)
+from repro.util.events import Event, EventBus
+from repro.util.ids import IdGenerator, new_uuid
+from repro.util.rng import deterministic_rng
+from repro.util.timing import Stopwatch, timed
+
+__all__ = [
+    "ReproError",
+    "CDMSError",
+    "WorkflowError",
+    "ProvenanceError",
+    "RenderingError",
+    "HyperwallError",
+    "SpreadsheetError",
+    "Event",
+    "EventBus",
+    "IdGenerator",
+    "new_uuid",
+    "deterministic_rng",
+    "Stopwatch",
+    "timed",
+]

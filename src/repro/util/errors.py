@@ -1,0 +1,61 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch library failures without accidentally swallowing programming errors
+(`TypeError`, `KeyError`, ...) from their own code.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CDMSError(ReproError):
+    """Raised by the climate data management subsystem (:mod:`repro.cdms`)."""
+
+
+class CDATError(ReproError):
+    """Raised by the climate data analysis toolkit (:mod:`repro.cdat`)."""
+
+
+class ESGError(ReproError):
+    """Raised by the simulated Earth System Grid (:mod:`repro.esg`)."""
+
+
+class RenderingError(ReproError):
+    """Raised by the software rendering substrate (:mod:`repro.rendering`)."""
+
+
+class WorkflowError(ReproError):
+    """Raised by the workflow engine (:mod:`repro.workflow`)."""
+
+
+class ModuleExecutionError(WorkflowError):
+    """A workflow module raised during execution.
+
+    Wraps the original exception and records the module responsible, so
+    the executor (and the provenance log) can attribute failures.
+    """
+
+    def __init__(self, module_name: str, original: BaseException):
+        self.module_name = module_name
+        self.original = original
+        super().__init__(f"module {module_name!r} failed: {original!r}")
+
+
+class ProvenanceError(ReproError):
+    """Raised by the provenance subsystem (:mod:`repro.provenance`)."""
+
+
+class SpreadsheetError(ReproError):
+    """Raised by the spreadsheet model (:mod:`repro.spreadsheet`)."""
+
+
+class HyperwallError(ReproError):
+    """Raised by the hyperwall distributed framework (:mod:`repro.hyperwall`)."""
+
+
+class DV3DError(ReproError):
+    """Raised by the DV3D plot package (:mod:`repro.dv3d`)."""

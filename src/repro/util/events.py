@@ -1,0 +1,112 @@
+"""A minimal synchronous event bus.
+
+DV3D propagates interaction events (key presses, mouse drags, slice
+moves, camera changes) between plots, spreadsheet cells, and hyperwall
+nodes.  The paper describes this as "configuration and navigation
+operations are propagated to all active cells".  The :class:`EventBus`
+is the in-process backbone of that propagation; the hyperwall protocol
+serializes the same :class:`Event` objects over sockets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class Event:
+    """An immutable named event with a payload dictionary.
+
+    Attributes
+    ----------
+    topic:
+        Dotted topic string, e.g. ``"cell.configure"`` or
+        ``"camera.moved"``.  Subscriptions match on exact topic or on a
+        prefix followed by ``.*``.
+    payload:
+        Arbitrary JSON-serializable data (the hyperwall layer requires
+        serializability; in-process use does not).
+    source:
+        Identifier of the emitting component, used to break propagation
+        cycles (a cell ignores events it emitted itself).
+    """
+
+    topic: str
+    payload: Tuple[Tuple[str, Any], ...] = ()
+    source: str = ""
+
+    @staticmethod
+    def make(topic: str, source: str = "", **payload: Any) -> "Event":
+        return Event(topic=topic, payload=tuple(sorted(payload.items())), source=source)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        for k, v in self.payload:
+            if k == key:
+                return v
+        return default
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dict(self.payload)
+
+
+Handler = Callable[[Event], None]
+
+
+class EventBus:
+    """Synchronous publish/subscribe hub.
+
+    Handlers run in subscription order on the publisher's thread.  A
+    handler raising does not prevent later handlers from running; the
+    first exception is re-raised after delivery completes so bugs are
+    not silently swallowed.
+    """
+
+    def __init__(self) -> None:
+        self._subs: Dict[str, List[Handler]] = {}
+        self._delivered = 0
+
+    @property
+    def delivered_count(self) -> int:
+        """Total number of handler invocations performed by this bus."""
+        return self._delivered
+
+    def subscribe(self, topic: str, handler: Handler) -> Callable[[], None]:
+        """Register *handler* for *topic*.
+
+        ``topic`` may end with ``.*`` to match any event whose topic
+        starts with the prefix before the wildcard.  Returns an
+        unsubscribe callable.
+        """
+        self._subs.setdefault(topic, []).append(handler)
+
+        def unsubscribe() -> None:
+            handlers = self._subs.get(topic, [])
+            if handler in handlers:
+                handlers.remove(handler)
+
+        return unsubscribe
+
+    def publish(self, event: Event) -> int:
+        """Deliver *event* to all matching handlers; return delivery count."""
+        matched: List[Handler] = []
+        for pattern, handlers in self._subs.items():
+            if pattern == event.topic:
+                matched.extend(handlers)
+            elif pattern.endswith(".*") and event.topic.startswith(pattern[:-1]):
+                matched.extend(handlers)
+        first_error: BaseException | None = None
+        for handler in list(matched):
+            try:
+                handler(event)
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = exc
+            self._delivered += 1
+        if first_error is not None:
+            raise first_error
+        return len(matched)
+
+    def emit(self, topic: str, source: str = "", **payload: Any) -> int:
+        """Convenience: build an :class:`Event` and publish it."""
+        return self.publish(Event.make(topic, source=source, **payload))

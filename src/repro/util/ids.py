@@ -1,0 +1,45 @@
+"""Identifier generation.
+
+Workflow modules, connections, provenance actions, spreadsheet cells and
+hyperwall messages all need stable integer or string identifiers.  The
+:class:`IdGenerator` hands out monotonically increasing integers (the
+VisTrails convention for module/action ids); :func:`new_uuid` produces
+random string ids for entities that cross process boundaries.
+"""
+
+from __future__ import annotations
+
+import itertools
+import uuid
+
+
+class IdGenerator:
+    """Monotonic integer id source, optionally starting above existing ids."""
+
+    def __init__(self, start: int = 0) -> None:
+        self._counter = itertools.count(start)
+        self._last = start - 1
+
+    def next(self) -> int:
+        self._last = next(self._counter)
+        return self._last
+
+    @property
+    def last(self) -> int:
+        """The most recently issued id (``start - 1`` if none issued)."""
+        return self._last
+
+    def reserve_through(self, value: int) -> None:
+        """Ensure future ids are strictly greater than *value*.
+
+        Used when deserializing a pipeline/vistrail so new entities do
+        not collide with persisted ones.
+        """
+        if value >= self._last:
+            self._counter = itertools.count(value + 1)
+            self._last = value
+
+
+def new_uuid() -> str:
+    """A random 32-hex-character identifier."""
+    return uuid.uuid4().hex

@@ -1,0 +1,70 @@
+"""Lightweight wall-clock instrumentation.
+
+The workflow executor records per-module execution times in the
+provenance log (the paper: provenance "maintains a record of every step
+... as well as the datasets and parameters used in each workflow
+execution"); the hyperwall benchmarks report end-to-end latencies.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named timing samples.
+
+    >>> sw = Stopwatch()
+    >>> with sw.measure("render"):
+    ...     pass
+    >>> sw.count("render")
+    1
+    """
+
+    samples: Dict[str, List[float]] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.samples.setdefault(name, []).append(time.perf_counter() - start)
+
+    def total(self, name: str) -> float:
+        return float(sum(self.samples.get(name, ())))
+
+    def count(self, name: str) -> int:
+        return len(self.samples.get(name, ()))
+
+    def mean(self, name: str) -> float:
+        values = self.samples.get(name, ())
+        return float(sum(values) / len(values)) if values else 0.0
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        return {
+            name: {"count": len(vals), "total": float(sum(vals)), "mean": float(sum(vals) / len(vals))}
+            for name, vals in self.samples.items()
+            if vals
+        }
+
+
+@contextmanager
+def timed() -> Iterator[List[float]]:
+    """Context manager yielding a one-element list holding elapsed seconds.
+
+    >>> with timed() as t:
+    ...     pass
+    >>> t[0] >= 0
+    True
+    """
+    box: List[float] = [0.0]
+    start = time.perf_counter()
+    try:
+        yield box
+    finally:
+        box[0] = time.perf_counter() - start

@@ -1,0 +1,47 @@
+"""Workflow engine (the VisTrails substrate).
+
+The paper (§II.B, §III.A): workflows are assemblies of typed modules —
+"each module within a workflow can wrap a distinct tool, script, or
+library" — connected into pipelines whose framework "transparently maps
+the data structures exported from each module into the data structures
+required as inputs to the connected modules".  VisTrails additionally
+provides a *package mechanism* through which UV-CDAT registers the CDAT
+and DV3D module suites.
+
+This package implements that machinery:
+
+* :mod:`repro.workflow.ports` — typed input/output port specifications;
+* :mod:`repro.workflow.module` — the module base class and its
+  compute contract;
+* :mod:`repro.workflow.registry` / :mod:`repro.workflow.package` —
+  module registration and the package mechanism;
+* :mod:`repro.workflow.pipeline` — the pipeline graph (modules,
+  connections, parameters) with validation, topological ordering,
+  upstream closure and serialization;
+* :mod:`repro.workflow.executor` — execution with upstream result
+  caching and optional parallel evaluation of independent branches.
+"""
+
+from repro.workflow.ports import PortSpec
+from repro.workflow.module import Module, ParameterSpec
+from repro.workflow.registry import ModuleRegistry, global_registry
+from repro.workflow.package import Package
+from repro.workflow.pipeline import Connection, ModuleSpec, Pipeline
+from repro.workflow.executor import ExecutionResult, Executor
+from repro.workflow.group import create_group, register_group
+
+__all__ = [
+    "PortSpec",
+    "Module",
+    "ParameterSpec",
+    "ModuleRegistry",
+    "global_registry",
+    "Package",
+    "Connection",
+    "ModuleSpec",
+    "Pipeline",
+    "ExecutionResult",
+    "Executor",
+    "create_group",
+    "register_group",
+]

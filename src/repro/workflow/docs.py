@@ -1,0 +1,70 @@
+"""Module reference generation.
+
+The workflow builder GUI shows each module's ports and parameters; the
+headless equivalent is a generated markdown reference.  Used by
+``tools/generate_module_docs.py`` to produce ``docs/MODULES.md`` and by
+tests to assert documentation coverage (every registered module must
+carry a docstring).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workflow.registry import ModuleRegistry
+
+
+def document_module(cls) -> str:
+    """Markdown section describing one module class."""
+    description = cls.describe()
+    lines: List[str] = [f"### `{description['name']}`", ""]
+    if description["doc"]:
+        lines += [description["doc"], ""]
+    if description["inputs"]:
+        lines.append("| input port | type | optional |")
+        lines.append("|---|---|---|")
+        for name, tag, optional in description["inputs"]:
+            lines.append(f"| `{name}` | `{tag}` | {'yes' if optional else 'no'} |")
+        lines.append("")
+    if description["outputs"]:
+        lines.append("| output port | type |")
+        lines.append("|---|---|")
+        for name, tag in description["outputs"]:
+            lines.append(f"| `{name}` | `{tag}` |")
+        lines.append("")
+    if description["parameters"]:
+        lines.append("| parameter | default |")
+        lines.append("|---|---|")
+        for name, default in description["parameters"]:
+            lines.append(f"| `{name}` | `{default!r}` |")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def document_registry(registry: ModuleRegistry) -> str:
+    """The full markdown module reference, grouped by package."""
+    lines: List[str] = [
+        "# Workflow module reference",
+        "",
+        "Generated from the live module registry "
+        "(`python tools/generate_module_docs.py`).  Every module below can "
+        "be placed in a pipeline by its bare name (when unambiguous) or its "
+        "qualified `package:Name` form.",
+        "",
+    ]
+    for package_id in registry.packages():
+        lines += [f"## Package `{package_id}`", ""]
+        for module_name in registry.modules_in(package_id):
+            cls = registry.resolve(f"{package_id}:{module_name}")
+            lines.append(document_module(cls))
+    return "\n".join(lines)
+
+
+def undocumented_modules(registry: ModuleRegistry) -> List[str]:
+    """Qualified names of modules missing a docstring (should be empty)."""
+    missing = []
+    for qualified in registry.all_modules():
+        cls = registry.resolve(qualified)
+        if not (cls.__doc__ or "").strip():
+            missing.append(qualified)
+    return missing

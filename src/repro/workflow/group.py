@@ -1,0 +1,152 @@
+"""Group modules: encapsulating a pipeline as a single module.
+
+§II.B: workflows "can also embody complex analytical processes at
+various levels of encapsulation".  A *group* packages a whole pipeline
+behind a module facade: selected inner input ports become the group's
+input ports, selected inner outputs become its outputs, and executing
+the group executes the inner pipeline.  Groups register like any other
+module class, so they compose — groups of groups work.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple, Type
+
+from repro.workflow.executor import Executor
+from repro.workflow.module import Module, ParameterSpec
+from repro.workflow.pipeline import Pipeline
+from repro.workflow.ports import PortSpec
+from repro.workflow.registry import ModuleRegistry
+from repro.util.errors import WorkflowError
+
+#: (exposed_port_name, inner_module_id, inner_port_name)
+PortMap = List[Tuple[str, int, str]]
+
+
+def create_group(
+    name: str,
+    pipeline: Pipeline,
+    inputs: Optional[PortMap] = None,
+    outputs: Optional[PortMap] = None,
+    doc: str = "",
+) -> Type[Module]:
+    """Build a Module subclass wrapping *pipeline*.
+
+    Parameters
+    ----------
+    name:
+        The module name the group registers under.
+    pipeline:
+        The inner pipeline (copied; later edits to the original do not
+        affect the group).
+    inputs:
+        Exposed input ports: ``(exposed_name, module_id, port_name)``
+        triples.  Each target inner port must exist and be unconnected
+        inside the pipeline.  Exposed inputs are optional for the
+        group's callers only if the inner port is optional.
+    outputs:
+        Exposed output ports, same triple format.  Defaults to every
+        output port of the pipeline's sink modules, named
+        ``"<module_id>_<port>"`` (or just ``port`` if unambiguous).
+    """
+    inner = pipeline.copy()
+    inner_inputs: PortMap = list(inputs or [])
+    for exposed, module_id, port in inner_inputs:
+        spec = inner.modules.get(module_id)
+        if spec is None:
+            raise WorkflowError(f"group {name!r}: no inner module {module_id}")
+        cls = inner.registry.resolve(spec.name)
+        cls.input_port(port)  # raises if missing
+        for conn in inner.incoming(module_id):
+            if conn.target_port == port:
+                raise WorkflowError(
+                    f"group {name!r}: inner port {module_id}.{port} is already "
+                    "connected inside the group"
+                )
+
+    if outputs is None:
+        auto: PortMap = []
+        sink_ports: Dict[str, int] = {}
+        for sink in inner.sinks():
+            cls = inner.registry.resolve(inner.modules[sink].name)
+            for port in cls.output_ports:
+                sink_ports[port.name] = sink_ports.get(port.name, 0) + 1
+        for sink in inner.sinks():
+            cls = inner.registry.resolve(inner.modules[sink].name)
+            for port in cls.output_ports:
+                exposed = port.name if sink_ports[port.name] == 1 else f"m{sink}_{port.name}"
+                auto.append((exposed, sink, port.name))
+        inner_outputs = auto
+    else:
+        inner_outputs = list(outputs)
+    if not inner_outputs:
+        raise WorkflowError(f"group {name!r}: no outputs to expose")
+    for exposed, module_id, port in inner_outputs:
+        spec = inner.modules.get(module_id)
+        if spec is None:
+            raise WorkflowError(f"group {name!r}: no inner module {module_id}")
+        inner.registry.resolve(spec.name).output_port(port)
+
+    input_specs = []
+    for exposed, module_id, port in inner_inputs:
+        inner_spec = inner.registry.resolve(inner.modules[module_id].name).input_port(port)
+        input_specs.append(PortSpec(exposed, inner_spec.type_tag, inner_spec.optional))
+    output_specs = []
+    for exposed, module_id, port in inner_outputs:
+        inner_spec = inner.registry.resolve(inner.modules[module_id].name).output_port(port)
+        output_specs.append(PortSpec(exposed, inner_spec.type_tag))
+
+    pipeline_dict = inner.to_dict()
+
+    class GroupModule(Module):
+        input_ports = tuple(input_specs)
+        output_ports = tuple(output_specs)
+        parameters = (
+            ParameterSpec("overrides", {},
+                          "inner parameter overrides: {module_id: {param: value}}"),
+        )
+        #: groups may wrap stateful plot/cell modules; play safe
+        cacheable = False
+
+        _pipeline_dict = pipeline_dict
+        _input_map = list(inner_inputs)
+        _output_map = list(inner_outputs)
+        _registry = inner.registry
+
+        def compute(self, inputs_values: Dict[str, Any]) -> Dict[str, Any]:
+            run = Pipeline.from_dict(self._pipeline_dict, self._registry)
+            for module_id_str, params in dict(
+                self.parameter_values.get("overrides") or {}
+            ).items():
+                for param, value in dict(params).items():
+                    run.set_parameter(int(module_id_str), param, value)
+            # feed exposed inputs through injected Constant modules
+            for exposed, module_id, port in self._input_map:
+                if exposed not in inputs_values:
+                    continue
+                feeder = run.add_module("basic:Constant",
+                                        {"value": inputs_values[exposed]})
+                run.add_connection(feeder, "value", module_id, port)
+            result = Executor(caching=False).execute(run)
+            outputs: Dict[str, Any] = {}
+            for exposed, module_id, port in self._output_map:
+                outputs[exposed] = result.output(module_id, port)
+            return outputs
+
+    GroupModule.name = name
+    GroupModule.__name__ = name
+    GroupModule.__doc__ = doc or f"Group module encapsulating a {len(inner.modules)}-module pipeline."
+    return GroupModule
+
+
+def register_group(
+    registry: ModuleRegistry,
+    package_id: str,
+    name: str,
+    pipeline: Pipeline,
+    inputs: Optional[PortMap] = None,
+    outputs: Optional[PortMap] = None,
+    doc: str = "",
+) -> str:
+    """Create and register a group in one step; returns the qualified name."""
+    return registry.register(package_id, create_group(name, pipeline, inputs, outputs, doc))

@@ -1,0 +1,127 @@
+"""The workflow module base class.
+
+A module declares input ports, output ports and configuration
+parameters as class attributes, and implements :meth:`Module.compute`,
+a pure mapping from an input dictionary to an output dictionary.  The
+executor owns instantiation and data routing; modules never see the
+pipeline graph.  (This mirrors the VisTrails module contract that lets
+"each module wrap a distinct tool, script, or library".)
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict, Tuple
+
+from repro.workflow.ports import PortSpec
+from repro.util.errors import WorkflowError
+
+
+@dataclass(frozen=True)
+class ParameterSpec:
+    """A named configuration parameter with a default value.
+
+    Parameters are the knobs each module's per-module GUI exposes
+    ("Each DV3D module offers a distinctive GUI interface ... enabling
+    the configuration of workflow parameters").  Values must be
+    JSON-serializable so provenance can persist every configuration.
+    """
+
+    name: str
+    default: Any = None
+    doc: str = ""
+
+
+class Module:
+    """Base class for all workflow modules.
+
+    Subclasses set the class attributes and implement :meth:`compute`:
+
+    >>> class Doubler(Module):
+    ...     name = "Doubler"
+    ...     input_ports = (PortSpec("value"),)
+    ...     output_ports = (PortSpec("value"),)
+    ...     def compute(self, inputs):
+    ...         return {"value": inputs["value"] * 2}
+    """
+
+    #: registry name of the module (defaults to the class name)
+    name: ClassVar[str] = ""
+    input_ports: ClassVar[Tuple[PortSpec, ...]] = ()
+    output_ports: ClassVar[Tuple[PortSpec, ...]] = ()
+    parameters: ClassVar[Tuple[ParameterSpec, ...]] = ()
+    #: stateful modules (interactive plots/cells) must opt out of result
+    #: caching: a cached result would be *shared* between pipeline
+    #: branches, so interacting with one branch would mutate the other
+    cacheable: ClassVar[bool] = True
+
+    def __init__(self, parameter_values: Dict[str, Any] | None = None) -> None:
+        values = dict(parameter_values or {})
+        known = {p.name for p in self.parameters}
+        unknown = set(values) - known
+        if unknown:
+            raise WorkflowError(
+                f"module {self.module_name()!r}: unknown parameters {sorted(unknown)}"
+            )
+        self.parameter_values: Dict[str, Any] = {
+            p.name: values.get(p.name, p.default) for p in self.parameters
+        }
+
+    # -- introspection -----------------------------------------------------
+
+    @classmethod
+    def module_name(cls) -> str:
+        return cls.name or cls.__name__
+
+    @classmethod
+    def input_port(cls, name: str) -> PortSpec:
+        for port in cls.input_ports:
+            if port.name == name:
+                return port
+        raise WorkflowError(f"module {cls.module_name()!r}: no input port {name!r}")
+
+    @classmethod
+    def output_port(cls, name: str) -> PortSpec:
+        for port in cls.output_ports:
+            if port.name == name:
+                return port
+        raise WorkflowError(f"module {cls.module_name()!r}: no output port {name!r}")
+
+    @classmethod
+    def describe(cls) -> Dict[str, Any]:
+        """Structural description (used by the plot palette / builder GUI)."""
+        return {
+            "name": cls.module_name(),
+            "doc": (cls.__doc__ or "").strip().splitlines()[0] if cls.__doc__ else "",
+            "inputs": [(p.name, p.type_tag, p.optional) for p in cls.input_ports],
+            "outputs": [(p.name, p.type_tag) for p in cls.output_ports],
+            "parameters": [(p.name, p.default) for p in cls.parameters],
+        }
+
+    def parameter_signature(self) -> str:
+        """Deterministic string of parameter values (cache keying)."""
+        try:
+            return json.dumps(self.parameter_values, sort_keys=True, default=repr)
+        except (TypeError, ValueError):
+            return repr(sorted(self.parameter_values.items()))
+
+    # -- execution contract -------------------------------------------------
+
+    def compute(self, inputs: Dict[str, Any]) -> Dict[str, Any]:
+        """Transform *inputs* (by port name) into outputs (by port name).
+
+        Implementations must return a dict covering every declared
+        output port.  They must not mutate their inputs: upstream
+        results are shared across downstream modules and cached.
+        """
+        raise NotImplementedError
+
+    def check_outputs(self, outputs: Dict[str, Any]) -> Dict[str, Any]:
+        """Validate that compute() covered all declared output ports."""
+        missing = {p.name for p in self.output_ports} - set(outputs)
+        if missing:
+            raise WorkflowError(
+                f"module {self.module_name()!r}: compute() omitted outputs {sorted(missing)}"
+            )
+        return outputs

@@ -1,0 +1,158 @@
+"""Packages: named, versioned collections of workflow modules.
+
+A :class:`Package` bundles module classes under a package id — the
+VisTrails mechanism through which "UV-CDAT uses this mechanism to
+tightly integrate the CDAT and DV3D modules" (Fig. 1's
+tightly-coupled integration path).  The *loosely-coupled* path (VisIt,
+ParaView, R, MatLab in Fig. 1) is modelled by
+:class:`ExternalToolAdapter`, a module that shells data through a
+serialize→call→deserialize boundary instead of passing Python objects
+directly; the Fig. 1 benchmark measures the overhead difference.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Tuple, Type
+
+from repro.workflow.module import Module, ParameterSpec
+from repro.workflow.ports import PortSpec
+from repro.workflow.registry import ModuleRegistry
+from repro.util.errors import WorkflowError
+
+
+@dataclass
+class Package:
+    """A named collection of module classes with a version string."""
+
+    package_id: str
+    version: str = "1.0"
+    description: str = ""
+    modules: List[Type[Module]] = field(default_factory=list)
+
+    def add(self, module_class: Type[Module]) -> Type[Module]:
+        self.modules.append(module_class)
+        return module_class
+
+    def register_all(self, registry: ModuleRegistry) -> List[str]:
+        return [registry.register(self.package_id, cls) for cls in self.modules]
+
+
+# -- basic package -----------------------------------------------------------
+
+
+class Constant(Module):
+    """Emit a constant value (set via the ``value`` parameter)."""
+
+    name = "Constant"
+    output_ports = (PortSpec("value", "any"),)
+    parameters = (ParameterSpec("value", None, "the constant to emit"),)
+
+    def compute(self, inputs: Dict[str, Any]) -> Dict[str, Any]:
+        return {"value": self.parameter_values["value"]}
+
+
+class PythonSource(Module):
+    """Run a user Python snippet over named inputs.
+
+    The snippet (parameter ``source``) sees its inputs as local
+    variables plus ``inputs`` itself, and must assign a dict to a local
+    named ``outputs``.  This is the VisTrails ``PythonSource`` module
+    that makes workflows user-extensible without writing a package.
+    """
+
+    name = "PythonSource"
+    input_ports = (
+        PortSpec("a", "any", optional=True),
+        PortSpec("b", "any", optional=True),
+        PortSpec("c", "any", optional=True),
+    )
+    output_ports = (PortSpec("result", "any"),)
+    parameters = (ParameterSpec("source", "outputs = {'result': None}", "python snippet"),)
+
+    def compute(self, inputs: Dict[str, Any]) -> Dict[str, Any]:
+        source = str(self.parameter_values["source"])
+        namespace: Dict[str, Any] = {"inputs": dict(inputs)}
+        namespace.update(inputs)
+        exec(source, {"__builtins__": __builtins__}, namespace)  # noqa: S102 - user scripting hook
+        outputs = namespace.get("outputs")
+        if not isinstance(outputs, dict) or "result" not in outputs:
+            raise WorkflowError(
+                "PythonSource snippet must assign outputs = {'result': ...}"
+            )
+        return {"result": outputs["result"]}
+
+
+class Tee(Module):
+    """Pass a value through unchanged (fan-out helper / probe point)."""
+
+    name = "Tee"
+    input_ports = (PortSpec("value", "any"),)
+    output_ports = (PortSpec("value", "any"),)
+
+    def compute(self, inputs: Dict[str, Any]) -> Dict[str, Any]:
+        return {"value": inputs["value"]}
+
+
+class ExternalToolAdapter(Module):
+    """Loosely-coupled integration of an external tool (Fig. 1, right side).
+
+    The wrapped callable is invoked through a JSON serialize /
+    deserialize boundary, emulating handing data to an external process
+    (VisIt, ParaView, R, MatLab) instead of sharing Python objects.
+    Register concrete tools with :meth:`register_tool`.
+    """
+
+    name = "ExternalToolAdapter"
+    input_ports = (PortSpec("payload", "any"),)
+    output_ports = (PortSpec("payload", "any"),)
+    parameters = (ParameterSpec("tool", "identity", "registered external tool name"),)
+
+    _tools: Dict[str, Callable[[Any], Any]] = {"identity": lambda payload: payload}
+
+    @classmethod
+    def register_tool(cls, name: str, func: Callable[[Any], Any]) -> None:
+        cls._tools[name] = func
+
+    def compute(self, inputs: Dict[str, Any]) -> Dict[str, Any]:
+        tool_name = str(self.parameter_values["tool"])
+        try:
+            tool = self._tools[tool_name]
+        except KeyError:
+            raise WorkflowError(f"no external tool {tool_name!r} registered") from None
+        # the loose-coupling boundary: everything crosses as JSON text
+        wire_in = json.dumps(inputs["payload"], default=_jsonify)
+        result = tool(json.loads(wire_in))
+        wire_out = json.dumps(result, default=_jsonify)
+        return {"payload": json.loads(wire_out)}
+
+
+def _jsonify(obj: Any) -> Any:
+    """Best-effort JSON coercion for the loose-coupling wire format."""
+    import numpy as np
+
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.floating, np.integer)):
+        return obj.item()
+    raise TypeError(f"not JSON-serializable: {type(obj)!r}")
+
+
+def basic_package() -> Package:
+    pkg = Package("basic", description="constants, scripting, loose coupling")
+    pkg.add(Constant)
+    pkg.add(PythonSource)
+    pkg.add(Tee)
+    pkg.add(ExternalToolAdapter)
+    return pkg
+
+
+def load_builtin_packages(registry: ModuleRegistry) -> None:
+    """Register the basic, cdms, cdat and dv3d packages (Fig. 1 stack)."""
+    basic_package().register_all(registry)
+    from repro.dv3d.package import cdms_package, cdat_package, dv3d_package
+
+    cdms_package().register_all(registry)
+    cdat_package().register_all(registry)
+    dv3d_package().register_all(registry)

@@ -1,0 +1,47 @@
+"""Typed port specifications.
+
+Ports are the connection points of workflow modules.  Each has a name
+and a *type tag* — a short string like ``"variable"``, ``"image_data"``
+or ``"any"`` — used to validate connections when a pipeline is built,
+long before execution (the workflow builder rejects mis-typed
+connections at drag time, as the VisTrails GUI does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: tags accepted anywhere (produced or consumed)
+WILDCARD = "any"
+
+
+@dataclass(frozen=True)
+class PortSpec:
+    """One input or output port of a module class.
+
+    Attributes
+    ----------
+    name:
+        Port name, unique among the module's ports of the same polarity.
+    type_tag:
+        Data-kind tag; connections require equal tags unless either
+        side is ``"any"``.
+    optional:
+        Optional input ports may be left unconnected; required ports
+        must be satisfied for a pipeline to validate.
+    doc:
+        One-line description shown by module introspection.
+    """
+
+    name: str
+    type_tag: str = WILDCARD
+    optional: bool = False
+    doc: str = ""
+
+    def compatible_with(self, other: "PortSpec") -> bool:
+        """Whether data flowing from *self* (output) can feed *other* (input)."""
+        return (
+            self.type_tag == other.type_tag
+            or self.type_tag == WILDCARD
+            or other.type_tag == WILDCARD
+        )

@@ -1,0 +1,96 @@
+"""The module registry.
+
+VisTrails "provides a package mechanism enabling developers to expose
+their libraries ... through a set of VisTrails workflow modules".  The
+registry is where those modules live: a mapping from
+``package_id:ModuleName`` to module classes, with lookup by qualified
+or bare name (bare names resolve when unambiguous).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+from repro.workflow.module import Module
+from repro.util.errors import WorkflowError
+
+
+class ModuleRegistry:
+    """Registered module classes, namespaced by package id."""
+
+    def __init__(self) -> None:
+        self._modules: Dict[str, Type[Module]] = {}  # "pkg:Name" → class
+        self._packages: Dict[str, List[str]] = {}  # pkg → [Name, ...]
+
+    def register(self, package_id: str, module_class: Type[Module], overwrite: bool = False) -> str:
+        if not issubclass(module_class, Module):
+            raise WorkflowError(f"{module_class!r} is not a Module subclass")
+        qualified = f"{package_id}:{module_class.module_name()}"
+        if qualified in self._modules and not overwrite:
+            raise WorkflowError(f"module {qualified!r} already registered")
+        self._modules[qualified] = module_class
+        names = self._packages.setdefault(package_id, [])
+        if module_class.module_name() not in names:
+            names.append(module_class.module_name())
+        return qualified
+
+    def resolve(self, name: str) -> Type[Module]:
+        """Look up by ``pkg:Name`` or bare ``Name`` (must be unambiguous)."""
+        if name in self._modules:
+            return self._modules[name]
+        matches = [q for q in self._modules if q.split(":", 1)[1] == name]
+        if len(matches) == 1:
+            return self._modules[matches[0]]
+        if not matches:
+            raise WorkflowError(f"unknown module {name!r}")
+        raise WorkflowError(f"ambiguous module {name!r}: {sorted(matches)}")
+
+    def qualified_name(self, name: str) -> str:
+        """Canonical ``pkg:Name`` form of a module reference."""
+        if name in self._modules:
+            return name
+        matches = [q for q in self._modules if q.split(":", 1)[1] == name]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise WorkflowError(f"unknown module {name!r}")
+        raise WorkflowError(f"ambiguous module {name!r}: {sorted(matches)}")
+
+    def create(self, name: str, parameter_values: Optional[dict] = None) -> Module:
+        return self.resolve(name)(parameter_values)
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            self.resolve(name)
+            return True
+        except WorkflowError:
+            return False
+
+    def packages(self) -> List[str]:
+        return sorted(self._packages)
+
+    def modules_in(self, package_id: str) -> List[str]:
+        return sorted(self._packages.get(package_id, []))
+
+    def all_modules(self) -> List[str]:
+        return sorted(self._modules)
+
+
+_GLOBAL: Optional[ModuleRegistry] = None
+
+
+def global_registry() -> ModuleRegistry:
+    """The process-wide registry with all built-in packages loaded.
+
+    Loads the ``cdms``, ``cdat``, ``dv3d`` and ``basic`` packages on
+    first use (the UV-CDAT configuration of Fig. 1).
+    """
+    global _GLOBAL
+    if _GLOBAL is None:
+        _GLOBAL = ModuleRegistry()
+        # deferred imports: packages register module classes that import
+        # heavier subsystems
+        from repro.workflow.package import load_builtin_packages
+
+        load_builtin_packages(_GLOBAL)
+    return _GLOBAL

@@ -1,0 +1,122 @@
+"""The application facade and the plot palette."""
+
+import numpy as np
+import pytest
+
+from repro.app.application import Application
+from repro.app.plot_palette import PlotPalette
+from repro.provenance.query import version_history
+from repro.util.errors import DV3DError, SpreadsheetError
+
+SIZE = {"nlat": 12, "nlon": 16, "nlev": 4, "ntime": 2}
+
+
+@pytest.fixture()
+def app(registry):
+    application = Application(registry)
+    application.new_project("demo")
+    return application
+
+
+class TestPalette:
+    def test_all_plot_types_present(self):
+        palette = PlotPalette()
+        assert set(palette.names()) == {
+            "Slicer", "Volume", "Isosurface",
+            "HovmollerSlicer", "HovmollerVolume", "VectorSlicer",
+            "VolumeSlicer",
+        }
+
+    def test_unknown_template(self):
+        with pytest.raises(DV3DError):
+            PlotPalette().get("PieChart")
+
+    def test_describe(self):
+        descriptions = PlotPalette().describe()
+        assert "leveling" in descriptions["Volume"]
+
+
+class TestApplication:
+    def test_project_management(self, registry):
+        app = Application(registry)
+        with pytest.raises(SpreadsheetError):
+            _ = app.project  # no project yet
+        app.new_project("one")
+        assert app.project.name == "one"
+        with pytest.raises(SpreadsheetError):
+            app.new_project("one")
+
+    def test_create_plot_end_to_end(self, app):
+        cell = app.create_plot(
+            "Slicer", "main", (0, 0),
+            dataset_source="synthetic_reanalysis",
+            variables={"variable": "ta"},
+            size=SIZE,
+            cell_params={"width": 48, "height": 36},
+        )
+        assert cell is not None
+        image = cell.render(48, 36).to_uint8()
+        assert image.shape == (36, 48, 3)
+        # the workflow construction was recorded as provenance
+        vistrail = next(iter(app.project.vistrails.values()))
+        history = version_history(vistrail, vistrail.current_version)
+        assert any("Slicer" in line for line in history)
+        assert any("DV3DCell" in line for line in history)
+
+    def test_create_plot_without_execute(self, app):
+        result = app.create_plot(
+            "Volume", "main", (0, 1),
+            dataset_source="synthetic_reanalysis",
+            variables={"variable": "ta"}, size=SIZE, execute=False,
+        )
+        assert result is None
+        slot = app.project.sheets["main"].get(0, 1)
+        assert slot is not None and slot.cell is None
+
+    def test_two_variable_plot(self, app):
+        cell = app.create_plot(
+            "Isosurface", "main", (1, 0),
+            dataset_source="synthetic_reanalysis",
+            variables={"variable": "ta", "color_variable": "zg"},
+            size=SIZE,
+            cell_params={"width": 32, "height": 24},
+        )
+        assert cell.plot.color_variable is not None
+
+    def test_missing_required_variable(self, app):
+        with pytest.raises(DV3DError, match="missing"):
+            app.create_plot(
+                "Slicer", "main", (0, 0),
+                dataset_source="synthetic_reanalysis", variables={},
+            )
+
+    def test_sync_group_propagates(self, app):
+        for col in range(2):
+            app.create_plot(
+                "Slicer", "main", (0, col),
+                dataset_source="synthetic_reanalysis",
+                variables={"variable": "ta"}, size=SIZE,
+                cell_params={"width": 24, "height": 18},
+            )
+        group = app.sync_group("main")
+        group.key("t")
+        cells = app.project.sheets["main"].live_cells()
+        assert all(c.plot.time_index == 1 for c in cells)
+
+    def test_esg_integration(self, app):
+        ds = app.open_esg_dataset("storm_case_study")
+        assert "wspd" in ds
+        assert app.esg.transfers
+
+    def test_panel_views(self, app):
+        app.create_plot(
+            "Slicer", "main", (0, 0),
+            dataset_source="synthetic_reanalysis",
+            variables={"variable": "ta"}, size=SIZE, execute=False,
+        )
+        assert "Volume" in app.plot_view()
+        project_view = app.project_view()
+        assert "main" in project_view["demo"][0]
+        ds = app.open_esg_dataset("storm_case_study")
+        app.variables.load(ds, "wspd")
+        assert "wspd" in app.variable_view()

@@ -1,0 +1,158 @@
+"""The variable view and the calculator interface."""
+
+import numpy as np
+import pytest
+
+from repro.app.calculator import Calculator
+from repro.app.variable_view import VariableView
+from repro.cdms.variable import Variable
+from repro.util.errors import CDATError, CDMSError
+
+
+@pytest.fixture()
+def view(reanalysis):
+    view = VariableView()
+    view.load(reanalysis, "ta")
+    view.load(reanalysis, "zg")
+    return view
+
+
+@pytest.fixture()
+def calculator(view):
+    return Calculator(view)
+
+
+class TestVariableView:
+    def test_load_and_names(self, view):
+        assert view.names() == ["ta", "zg"]
+        assert "ta" in view
+
+    def test_load_with_subsetting(self, reanalysis):
+        view = VariableView()
+        tropics = view.load(reanalysis, "ta", name="ta_tropics", latitude=(-30, 30))
+        assert tropics.get_latitude().values.max() <= 30
+        assert "ta_tropics" in view
+
+    def test_subset_existing(self, view):
+        view.subset("ta", new_name="ta500", level=500)
+        assert view.get("ta500").shape[1] == 1
+
+    def test_rename(self, view):
+        view.rename("ta", "temperature")
+        assert "temperature" in view and "ta" not in view
+        assert view.get("temperature").id == "temperature"
+
+    def test_rename_collision(self, view):
+        with pytest.raises(CDMSError):
+            view.rename("ta", "zg")
+
+    def test_delete(self, view):
+        view.delete("zg")
+        assert "zg" not in view
+        with pytest.raises(CDMSError):
+            view.delete("zg")
+
+    def test_missing_variable_message(self, view):
+        with pytest.raises(CDMSError, match="ta"):
+            view.get("hus")
+
+    def test_history_records_edits(self, view):
+        view.subset("ta", new_name="x", level=500)
+        view.rename("x", "y")
+        assert any("subset" in h for h in view.history)
+        assert any("rename" in h for h in view.history)
+
+    def test_summary_structure(self, view):
+        summary = view.summary()
+        assert summary["ta"]["order"] == "tzyx"
+        assert summary["ta"]["valid_fraction"] == 1.0
+
+
+class TestCalculator:
+    def test_arithmetic_expression(self, calculator, view):
+        result = calculator.evaluate("ta - 273.15")
+        assert isinstance(result, Variable)
+        assert float(result.max()) == pytest.approx(float(view.get("ta").max()) - 273.15)
+
+    def test_registry_function_call(self, calculator):
+        result = calculator.evaluate("anomalies(ta)")
+        assert isinstance(result, Variable)
+        assert abs(float(result.mean())) < 5.0
+
+    def test_two_variable_function(self, calculator):
+        result = calculator.evaluate("correlation(ta, zg)")
+        assert isinstance(result, float)
+        assert -1.0 <= result <= 1.0
+
+    def test_keyword_arguments(self, calculator):
+        result = calculator.evaluate("running_mean(ta, window=3)")
+        assert isinstance(result, Variable)
+
+    def test_assignment_defines_variable(self, calculator, view):
+        calculator.assign("warm = ta - 273.15")
+        assert "warm" in view
+        assert view.get("warm").id == "warm"
+
+    def test_conditioned_keep(self, calculator):
+        result = calculator.evaluate("keep(ta, ta > 280)")
+        assert isinstance(result, Variable)
+        assert result.valid_fraction() < 1.0
+
+    def test_compound_expression(self, calculator):
+        result = calculator.evaluate("(ta * 2 + zg / 100) - ta")
+        assert isinstance(result, Variable)
+
+    def test_unary_minus_and_power(self, calculator):
+        result = calculator.evaluate("-(ta ** 2)")
+        assert float(result.max()) <= 0.0
+
+    def test_script_interface(self, calculator, view):
+        results = calculator.run_script([
+            "# comment line",
+            "celsius = ta - 273.15",
+            "",
+            "z = standardize(celsius)",
+        ])
+        assert len(results) == 2
+        assert "celsius" in view and "z" in view
+
+    def test_unknown_variable(self, calculator):
+        with pytest.raises(CDMSError):
+            calculator.evaluate("missing + 1")
+
+    def test_unknown_function(self, calculator):
+        with pytest.raises(CDATError, match="unknown function"):
+            calculator.evaluate("frobnicate(ta)")
+
+    def test_syntax_error(self, calculator):
+        with pytest.raises(CDATError, match="syntax"):
+            calculator.evaluate("ta +* 2")
+
+    def test_attribute_access_forbidden(self, calculator):
+        with pytest.raises(CDATError):
+            calculator.evaluate("ta.data")
+
+    def test_subscript_forbidden(self, calculator):
+        with pytest.raises(CDATError):
+            calculator.evaluate("ta[0]")
+
+    def test_import_forbidden(self, calculator):
+        with pytest.raises(CDATError):
+            calculator.evaluate("__import__('os')")
+
+    def test_bad_assignment_target(self, calculator):
+        with pytest.raises(CDATError):
+            calculator.assign("2x = ta")
+
+    def test_scalar_assignment_not_stored(self, calculator, view):
+        calculator.assign("c = correlation(ta, zg)")
+        assert "c" not in view  # only Variables enter the workspace
+
+    def test_transcript(self, calculator):
+        calculator.evaluate("ta + 1")
+        assert calculator.transcript[-1][0] == "ta + 1"
+
+    def test_help_lists_operations(self, calculator):
+        listing = calculator.help()
+        assert "anomalies" in listing
+        assert "keep" in listing

@@ -1,0 +1,67 @@
+"""Conditioned comparisons: masking semantics, region summaries."""
+
+import numpy as np
+import pytest
+
+from repro.cdat.conditioned import compare_where, keep_where, mask_where, masked_fraction
+from repro.util.errors import CDATError
+
+
+class TestMaskWhere:
+    def test_masks_condition_true(self, ta):
+        cond = ta > float(ta.mean())
+        out = mask_where(ta, cond)
+        truth = np.asarray(cond.data.filled(0)) != 0
+        assert np.ma.getmaskarray(out.data)[truth].all()
+
+    def test_keeps_condition_false(self, ta):
+        cond = ta > float(ta.max()) + 1.0  # nowhere true
+        out = mask_where(ta, cond)
+        np.testing.assert_array_equal(
+            np.ma.getmaskarray(out.data), np.ma.getmaskarray(ta.data)
+        )
+
+    def test_keep_is_complement(self, ta):
+        cond = ta > float(ta.mean())
+        masked = mask_where(ta, cond)
+        kept = keep_where(ta, cond)
+        overlap = ~np.ma.getmaskarray(masked.data) & ~np.ma.getmaskarray(kept.data)
+        assert not overlap.any()
+
+    def test_shape_mismatch(self, ta):
+        with pytest.raises(CDATError):
+            mask_where(ta, (ta > 0)[0:1])
+
+    def test_original_untouched(self, ta):
+        before = ta.valid_fraction()
+        mask_where(ta, ta > float(ta.mean()))
+        assert ta.valid_fraction() == before
+
+
+class TestCompareWhere:
+    def test_identical_fields(self, ta):
+        cond = ta > float(ta.mean())
+        result = compare_where(ta, ta, cond)
+        assert result["mean_difference"] == pytest.approx(0.0)
+        assert result["rms_difference"] == pytest.approx(0.0, abs=1e-9)
+        assert result["count"] > 0
+
+    def test_offset_detected(self, ta):
+        cond = ta > float(ta.mean())
+        result = compare_where(ta, ta + 1.5, cond)
+        assert result["mean_difference"] == pytest.approx(-1.5)
+        assert result["rms_difference"] == pytest.approx(1.5)
+
+    def test_correlation_in_summary(self, ta):
+        cond = ta > float(ta.mean())
+        result = compare_where(ta, ta * 1.1, cond)
+        assert result["correlation"] == pytest.approx(1.0)
+
+    def test_empty_region_raises(self, ta):
+        cond = ta > float(ta.max()) + 1.0
+        with pytest.raises(CDATError):
+            compare_where(ta, ta, cond)
+
+
+def test_masked_fraction(simple_variable):
+    assert masked_fraction(simple_variable) == pytest.approx(1.0 / simple_variable.size)

@@ -1,0 +1,145 @@
+"""Filters: spatial smoothing, detrending, lag correlation, band-pass."""
+
+import numpy as np
+import pytest
+
+from repro.cdat.filters import bandpass_running_mean, detrend, lag_correlation, spatial_smooth
+from repro.cdms.axis import latitude_axis, longitude_axis, time_axis, uniform_latitude, uniform_longitude
+from repro.cdms.variable import Variable
+from repro.util.errors import CDATError
+
+
+class TestSpatialSmooth:
+    def make_noisy(self, nlat=24, nlon=36, seed=0):
+        rng = np.random.default_rng(seed)
+        lat = uniform_latitude(nlat)
+        lon = uniform_longitude(nlon)
+        smooth_part = np.outer(np.cos(np.radians(lat.values)),
+                               np.sin(2 * np.radians(lon.values)))
+        noise = rng.standard_normal((nlat, nlon))
+        return Variable(smooth_part + noise, (lat, lon), id="f"), smooth_part, noise
+
+    def test_reduces_noise_variance(self):
+        var, smooth_part, _ = self.make_noisy()
+        out = spatial_smooth(var, sigma_points=2.0)
+        residual_before = float(np.var(var.filled(0) - smooth_part))
+        residual_after = float(np.var(out.filled(0) - smooth_part))
+        assert residual_after < residual_before * 0.5
+
+    def test_constant_field_unchanged(self):
+        lat = uniform_latitude(8)
+        lon = uniform_longitude(12)
+        var = Variable(np.full((8, 12), 5.0), (lat, lon), id="c")
+        out = spatial_smooth(var, 1.5)
+        np.testing.assert_allclose(out.filled(0), 5.0, rtol=1e-9)
+
+    def test_mask_not_smeared(self):
+        var, _, _ = self.make_noisy()
+        data = np.ma.MaskedArray(var.filled(0))
+        data[10:14, 10:20] = np.ma.masked
+        masked = Variable(data, var.axes, id="m")
+        out = spatial_smooth(masked, 1.0)
+        # the hole stays masked at its center
+        assert bool(np.ma.getmaskarray(out.data)[12, 15])
+        # far-away values are finite and close to the unmasked smooth
+        assert np.isfinite(out.filled(np.nan)[0]).all()
+
+    def test_longitude_periodicity(self):
+        # a spike at lon index 0 must leak to the last column (wrap)
+        lat = uniform_latitude(6)
+        lon = uniform_longitude(24)
+        data = np.zeros((6, 24))
+        data[3, 0] = 100.0
+        var = Variable(data, (lat, lon), id="s")
+        out = spatial_smooth(var, sigma_points=1.5)
+        assert out.filled(0)[3, -1] > 0.5
+
+    def test_bad_sigma(self, ta):
+        with pytest.raises(CDATError):
+            spatial_smooth(ta, 0.0)
+
+    def test_requires_grid(self):
+        var = Variable(np.zeros(4), (time_axis(np.arange(4.0)),), id="t")
+        with pytest.raises(CDATError):
+            spatial_smooth(var)
+
+
+class TestDetrend:
+    def test_removes_linear_trend_exactly(self):
+        t = time_axis(np.arange(30.0))
+        lat = latitude_axis([0.0, 10.0])
+        trend = np.array([0.5, -0.2])
+        data = trend[None, :] * np.arange(30.0)[:, None] + 7.0
+        var = Variable(data, (t, lat), id="x")
+        out = detrend(var)
+        np.testing.assert_allclose(np.asarray(out.data), 0.0, atol=1e-10)
+
+    def test_preserves_oscillation(self):
+        t = time_axis(np.arange(60.0))
+        lat = latitude_axis([0.0])
+        wave = np.sin(2 * np.pi * np.arange(60.0) / 12)
+        data = (wave + 0.1 * np.arange(60.0)).reshape(60, 1)
+        var = Variable(data, (t, lat), id="x")
+        out = detrend(var)
+        recovered = np.asarray(out.data).reshape(-1)
+        corr = np.corrcoef(recovered, wave)[0, 1]
+        # the removed straight line slightly leaks into an incomplete
+        # number of wave cycles; > 0.95 still means the wave survived
+        assert corr > 0.95
+
+
+class TestLagCorrelation:
+    def series(self, values):
+        t = time_axis(np.arange(len(values), dtype=float))
+        return Variable(np.asarray(values, dtype=float), (t,), id="s")
+
+    def test_self_correlation_peaks_at_zero(self):
+        rng = np.random.default_rng(1)
+        s = self.series(rng.standard_normal(50))
+        lags, corr = lag_correlation(s, s, max_lag=5)
+        assert corr[5] == pytest.approx(1.0)
+        assert np.nanargmax(corr) == 5
+
+    def test_shifted_series_peak_at_shift(self):
+        rng = np.random.default_rng(2)
+        base = rng.standard_normal(80)
+        a = self.series(base)
+        b = self.series(np.roll(base, 4))  # b lags a by 4
+        lags, corr = lag_correlation(a, b, max_lag=8)
+        assert lags[int(np.nanargmax(corr))] == 4
+
+    def test_length_mismatch(self):
+        with pytest.raises(CDATError):
+            lag_correlation(self.series([1, 2, 3]), self.series([1, 2]))
+
+    def test_bad_max_lag(self):
+        s = self.series([1.0, 2.0, 3.0])
+        with pytest.raises(CDATError):
+            lag_correlation(s, s, max_lag=10)
+
+    def test_constant_series_nan(self):
+        s = self.series(np.ones(20))
+        _, corr = lag_correlation(s, s, max_lag=2)
+        assert np.isnan(corr).all()
+
+
+class TestBandpass:
+    def test_isolates_mid_frequency(self):
+        t = time_axis(np.arange(120.0))
+        lat = latitude_axis([0.0])
+        slow = np.sin(2 * np.pi * np.arange(120.0) / 60)  # period 60
+        mid = np.sin(2 * np.pi * np.arange(120.0) / 12)  # period 12
+        fast = np.sin(2 * np.pi * np.arange(120.0) / 2.5)  # period 2.5
+        var = Variable((slow + mid + fast).reshape(120, 1), (t, lat), id="x")
+        out = bandpass_running_mean(var, short_window=3, long_window=31)
+        valid = ~np.ma.getmaskarray(out.data).reshape(-1)
+        recovered = np.asarray(out.data).reshape(-1)[valid]
+        target = mid[valid]
+        corr = np.corrcoef(recovered, target)[0, 1]
+        # running-mean differences are leaky filters; 0.8 already means
+        # the mid band dominates the slow and fast bands
+        assert corr > 0.8
+
+    def test_window_order_enforced(self, ta):
+        with pytest.raises(CDATError):
+            bandpass_running_mean(ta, short_window=11, long_window=3)

@@ -1,0 +1,94 @@
+"""The operation registry and the arithmetic wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.cdat import arithmetic
+from repro.cdat.registry import OperationRegistry, default_registry
+from repro.util.errors import CDATError
+
+
+class TestRegistry:
+    def test_default_registry_is_populated(self):
+        reg = default_registry()
+        for name in ("add", "area_average", "anomalies", "correlation",
+                     "mask_where", "interpolate_to_level", "running_mean"):
+            assert name in reg
+
+    def test_default_registry_is_singleton(self):
+        assert default_registry() is default_registry()
+
+    def test_unknown_operation_lists_available(self):
+        with pytest.raises(CDATError, match="available"):
+            default_registry().get("frobnicate")
+
+    def test_duplicate_registration_rejected(self):
+        reg = OperationRegistry()
+        reg.register("op", lambda v: v)
+        with pytest.raises(CDATError):
+            reg.register("op", lambda v: v)
+
+    def test_overwrite_flag(self):
+        reg = OperationRegistry()
+        reg.register("op", lambda v: 1)
+        reg.register("op", lambda v: 2, overwrite=True)
+        assert reg.get("op")(None) == 2
+
+    def test_description_from_docstring(self):
+        reg = OperationRegistry()
+
+        def myop(v):
+            """One-line summary.
+
+            More detail here.
+            """
+            return v
+
+        op = reg.register("myop", myop)
+        assert op.description == "One-line summary."
+
+    def test_apply(self, ta):
+        out = default_registry().apply("scale", ta, factor=2.0)
+        np.testing.assert_allclose(out.filled(0), ta.filled(0) * 2)
+
+    def test_two_variable_arity_recorded(self):
+        assert default_registry().get("correlation").n_variables == 2
+        assert default_registry().get("sqrt").n_variables == 1
+
+    def test_describe_covers_all(self):
+        reg = default_registry()
+        assert set(reg.describe()) == set(reg.names())
+
+
+class TestArithmetic:
+    def test_add_subtract_inverse(self, ta):
+        back = arithmetic.subtract(arithmetic.add(ta, ta), ta)
+        np.testing.assert_allclose(back.filled(0), ta.filled(0), rtol=1e-12)
+
+    def test_sqrt_masks_negatives(self, ta):
+        centered = ta - float(ta.mean())
+        out = arithmetic.sqrt(centered)
+        negatives = np.asarray(centered.data.filled(1.0)) < 0
+        assert np.ma.getmaskarray(out.data)[negatives].all()
+
+    def test_log_exp_roundtrip(self, ta):
+        out = arithmetic.log(arithmetic.exp(ta * 0.01))
+        np.testing.assert_allclose(out.filled(0), (ta * 0.01).filled(0), rtol=1e-5)
+
+    def test_log_masks_nonpositive(self, ta):
+        out = arithmetic.log(ta - float(ta.max()))  # all <= 0
+        assert np.ma.getmaskarray(out.data).all()
+
+    def test_scale_offset_unit_conversion(self, ta):
+        celsius = arithmetic.offset(ta, -273.15)
+        assert float(celsius.max()) == pytest.approx(float(ta.max()) - 273.15)
+        doubled = arithmetic.scale(ta, 2.0)
+        assert float(doubled.max()) == pytest.approx(float(ta.max()) * 2)
+
+    def test_power_default_squares(self, ta):
+        out = arithmetic.power(ta)
+        np.testing.assert_allclose(out.filled(0), ta.filled(0) ** 2, rtol=1e-6)
+
+    def test_divide_masks_zero(self, ta):
+        out = arithmetic.divide(ta, ta * 0.0)
+        assert np.ma.getmaskarray(out.data).all()

@@ -1,0 +1,86 @@
+"""Spectral analysis: wavenumber recovery, propagation direction."""
+
+import numpy as np
+import pytest
+
+from repro.cdat.spectral import dominant_wave, space_time_power, zonal_power_spectrum
+from repro.cdms.axis import latitude_axis, time_axis, uniform_longitude
+from repro.cdms.variable import Variable
+from repro.data.fields import equatorial_wave
+from repro.util.errors import CDATError
+
+
+def single_mode_field(wavenumber=3, nlon=48):
+    lon = uniform_longitude(nlon)
+    lat = latitude_axis([0.0])
+    data = np.cos(wavenumber * np.radians(lon.values))[None, :]
+    return Variable(data, (lat, lon), id="mode")
+
+
+class TestZonalSpectrum:
+    def test_single_mode_peak(self):
+        spectrum = zonal_power_spectrum(single_mode_field(wavenumber=3))
+        power = np.asarray(spectrum.data)
+        assert int(np.argmax(power)) == 3
+
+    def test_parseval_like_normalization(self):
+        var = single_mode_field(wavenumber=5)
+        spectrum = zonal_power_spectrum(var)
+        # cos wave of amplitude 1 → variance 1/2 concentrated at k=5
+        assert float(np.asarray(spectrum.data)[5]) == pytest.approx(0.5, rel=1e-6)
+
+    def test_axis_is_wavenumber(self):
+        spectrum = zonal_power_spectrum(single_mode_field())
+        assert spectrum.axes[0].id == "wavenumber"
+
+    def test_mean_goes_to_wavenumber_zero(self):
+        var = single_mode_field(wavenumber=2) + 10.0
+        spectrum = zonal_power_spectrum(var)
+        assert float(np.asarray(spectrum.data)[0]) == pytest.approx(100.0, rel=1e-6)
+
+
+class TestSpaceTimePower:
+    def test_requires_2d(self, ta):
+        with pytest.raises(CDATError):
+            space_time_power(ta)
+
+    def test_power_shape(self):
+        wave = equatorial_wave(nlon=36, nlat=8, ntime=30, seed="st")
+        eq = wave(latitude=0.0).squeeze()
+        power, wavenumbers, freqs = space_time_power(eq)
+        assert power.shape == (30, 36)
+        assert wavenumbers.shape == (36,)
+        assert freqs.shape == (30,)
+
+
+class TestDominantWave:
+    @pytest.mark.parametrize("wavenumber,period", [(3, 10.0), (5, 20.0)])
+    def test_recovers_wavenumber(self, wavenumber, period):
+        wave = equatorial_wave(
+            nlon=48, nlat=8, ntime=60, wavenumber=wavenumber,
+            period_steps=period, seed="dom",
+        )
+        eq = wave(latitude=0.0).squeeze()
+        result = dominant_wave(eq)
+        assert result["wavenumber"] == wavenumber
+        assert result["frequency"] == pytest.approx(1.0 / period, rel=0.2)
+
+    def test_eastward_direction(self):
+        wave = equatorial_wave(nlon=48, nlat=8, ntime=60, eastward=True, seed="e")
+        result = dominant_wave(wave(latitude=0.0).squeeze())
+        assert result["direction"] == 1.0
+
+    def test_westward_direction(self):
+        wave = equatorial_wave(nlon=48, nlat=8, ntime=60, eastward=False, seed="w")
+        result = dominant_wave(wave(latitude=0.0).squeeze())
+        assert result["direction"] == -1.0
+
+    def test_phase_speed_matches_construction(self):
+        wavenumber, period = 4, 30.0
+        wave = equatorial_wave(
+            nlon=72, nlat=8, ntime=90, wavenumber=wavenumber,
+            period_steps=period, eastward=True, seed="ps",
+        )
+        result = dominant_wave(wave(latitude=0.0).squeeze())
+        expected = 360.0 / wavenumber / period  # deg/step eastward
+        assert result["phase_speed_deg_per_step"] == pytest.approx(expected, rel=0.25)

@@ -1,0 +1,91 @@
+"""Vertical operations: mass weighting, level interpolation, integrals."""
+
+import numpy as np
+import pytest
+
+from repro.cdat.vertical import interpolate_to_level, pressure_weighted_mean, vertical_integral
+from repro.cdms.axis import latitude_axis, level_axis
+from repro.cdms.variable import Variable
+from repro.util.errors import CDATError
+
+
+@pytest.fixture()
+def column():
+    """A (level, lat) variable linear in pressure: v = p / 100."""
+    lev = level_axis([1000.0, 850.0, 500.0, 250.0, 100.0])
+    lat = latitude_axis([0.0, 10.0])
+    data = (lev.values / 100.0)[:, None] * np.ones((5, 2))
+    return Variable(data, (lev, lat), id="col", units="K")
+
+
+class TestPressureWeightedMean:
+    def test_constant_profile(self):
+        lev = level_axis([1000.0, 500.0, 100.0])
+        lat = latitude_axis([0.0])
+        var = Variable(np.full((3, 1), 7.0), (lev, lat), id="c")
+        out = pressure_weighted_mean(var)
+        assert float(out.data[0]) == pytest.approx(7.0)
+
+    def test_weights_favor_thick_layers(self, column):
+        out = pressure_weighted_mean(column)
+        # thickness-weighted mean of p/100 = mean pressure / 100, which
+        # is larger than the unweighted level mean for this spacing
+        unweighted = float(np.mean(column.filled(0)[:, 0]))
+        assert float(out.data[0]) > unweighted
+
+    def test_requires_level_axis(self, ta):
+        flat = ta(level=500).squeeze()
+        with pytest.raises(CDATError):
+            pressure_weighted_mean(flat)
+
+    def test_drops_level_axis(self, ta):
+        out = pressure_weighted_mean(ta)
+        assert out.get_level() is None
+
+
+class TestInterpolateToLevel:
+    def test_exact_level_passthrough(self, column):
+        out = interpolate_to_level(column, 500.0)
+        assert float(out.data[0]) == pytest.approx(5.0)
+
+    def test_linear_between_levels(self, column):
+        out = interpolate_to_level(column, 675.0)  # midway 850 ↔ 500
+        assert float(out.data[0]) == pytest.approx(6.75)
+
+    def test_out_of_range_raises(self, column):
+        with pytest.raises(CDATError):
+            interpolate_to_level(column, 50.0)
+
+    def test_level_axis_consumed(self, ta):
+        out = interpolate_to_level(ta, 500.0)
+        assert out.ndim == ta.ndim - 1
+        assert out.get_level() is None
+
+    def test_matches_direct_selection(self, ta):
+        interp = interpolate_to_level(ta, 500.0)
+        selected = ta(level=500.0).squeeze()
+        np.testing.assert_allclose(interp.filled(0), selected.filled(0), rtol=1e-6)
+
+
+class TestVerticalIntegral:
+    def test_constant_profile_integrates_thickness(self):
+        lev = level_axis([1000.0, 800.0, 600.0])
+        lat = latitude_axis([0.0])
+        var = Variable(np.full((3, 1), 2.0), (lev, lat), id="c")
+        out = vertical_integral(var)
+        total_thickness = lev.cell_widths().sum()
+        assert float(out.data[0]) == pytest.approx(2.0 * total_thickness)
+
+    def test_annotates_integrated_axis(self, ta):
+        out = vertical_integral(ta)
+        assert out.attributes["integrated_over"] == "level"
+
+    def test_fully_masked_column_masked(self):
+        lev = level_axis([1000.0, 500.0])
+        lat = latitude_axis([0.0, 10.0])
+        data = np.ma.MaskedArray(np.ones((2, 2)))
+        data[:, 1] = np.ma.masked
+        var = Variable(data, (lev, lat), id="m")
+        out = vertical_integral(var)
+        mask = np.ma.getmaskarray(out.data)
+        assert not mask[0] and mask[1]

@@ -1,0 +1,148 @@
+"""Calendar arithmetic: serial round-trips, leap rules, CF units."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cdms.calendar import Calendar, ComponentTime, RelativeTime
+from repro.util.errors import CDMSError
+
+CALENDARS = ["standard", "noleap", "360_day"]
+
+
+class TestComponentTime:
+    def test_parse_date_only(self):
+        ct = ComponentTime.parse("1979-01-15")
+        assert (ct.year, ct.month, ct.day) == (1979, 1, 15)
+        assert ct.hour == 0 and ct.second == 0.0
+
+    def test_parse_loose_form(self):
+        assert ComponentTime.parse("1979-1-1") == ComponentTime(1979, 1, 1)
+
+    def test_parse_with_time(self):
+        ct = ComponentTime.parse("2000-06-30 12:30:15")
+        assert (ct.hour, ct.minute, ct.second) == (12, 30, 15.0)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(CDMSError):
+            ComponentTime.parse("yesterday")
+
+    def test_month_validation(self):
+        with pytest.raises(CDMSError):
+            ComponentTime(2000, 13, 1)
+
+    def test_day_validation(self):
+        with pytest.raises(CDMSError):
+            ComponentTime(2000, 1, 32)
+
+    def test_ordering(self):
+        assert ComponentTime(1999, 12, 31) < ComponentTime(2000, 1, 1)
+
+    def test_isoformat(self):
+        assert ComponentTime(7, 3, 2).isoformat().startswith("0007-03-02")
+
+
+class TestCalendar:
+    def test_canonical_aliases(self):
+        assert Calendar("gregorian") == Calendar("standard")
+        assert Calendar("365_day") == Calendar("noleap")
+
+    def test_unknown_calendar_rejected(self):
+        with pytest.raises(CDMSError):
+            Calendar("lunar")
+
+    def test_standard_leap_years(self):
+        cal = Calendar("standard")
+        assert cal.days_in_month(2000, 2) == 29  # divisible by 400
+        assert cal.days_in_month(1900, 2) == 28  # divisible by 100 only
+        assert cal.days_in_month(2004, 2) == 29
+        assert cal.days_in_month(2003, 2) == 28
+
+    def test_noleap_february(self):
+        assert Calendar("noleap").days_in_month(2000, 2) == 28
+
+    def test_360_day_months(self):
+        cal = Calendar("360_day")
+        assert all(cal.days_in_month(1999, m) == 30 for m in range(1, 13))
+        assert cal.days_in_year(1999) == 360
+
+    def test_days_in_year(self):
+        assert Calendar("standard").days_in_year(2000) == 366
+        assert Calendar("noleap").days_in_year(2000) == 365
+
+    @pytest.mark.parametrize("name", CALENDARS)
+    def test_serial_roundtrip_known_dates(self, name):
+        cal = Calendar(name)
+        for ct in [
+            ComponentTime(1979, 1, 1),
+            ComponentTime(2000, 2, 28, 23, 59, 30.0),
+            ComponentTime(1850, 12, 30, 6),
+            ComponentTime(1, 1, 1),
+        ]:
+            back = cal.from_serial(cal.to_serial(ct))
+            assert (back.year, back.month, back.day, back.hour, back.minute) == (
+                ct.year, ct.month, ct.day, ct.hour, ct.minute
+            )
+            assert back.second == pytest.approx(ct.second, abs=1e-3)
+
+    def test_serial_is_monotonic_over_days(self):
+        cal = Calendar("standard")
+        previous = cal.to_serial(ComponentTime(1999, 12, 28))
+        for day in [29, 30, 31]:
+            current = cal.to_serial(ComponentTime(1999, 12, day))
+            assert current == previous + 1
+            previous = current
+
+    def test_invalid_day_for_calendar(self):
+        with pytest.raises(CDMSError):
+            Calendar("360_day").to_serial(ComponentTime(2000, 1, 31))
+
+    @given(
+        st.sampled_from(CALENDARS),
+        st.integers(min_value=1, max_value=3000),
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=28),
+        st.integers(min_value=0, max_value=23),
+    )
+    def test_serial_roundtrip_property(self, name, year, month, day, hour):
+        cal = Calendar(name)
+        ct = ComponentTime(year, month, day, hour)
+        back = cal.from_serial(cal.to_serial(ct))
+        assert (back.year, back.month, back.day, back.hour) == (year, month, day, hour)
+
+
+class TestRelativeTime:
+    def test_parse_units(self):
+        seconds, epoch = RelativeTime.parse_units("days since 1979-01-01")
+        assert seconds == 86400.0
+        assert epoch == ComponentTime(1979, 1, 1)
+
+    def test_parse_units_with_time_of_day(self):
+        _, epoch = RelativeTime.parse_units("hours since 2000-01-01 06:30")
+        assert epoch.hour == 6 and epoch.minute == 30
+
+    def test_bad_units_rejected(self):
+        with pytest.raises(CDMSError):
+            RelativeTime.parse_units("fortnights since 1979-01-01")
+        with pytest.raises(CDMSError):
+            RelativeTime.parse_units("days after 1979-01-01")
+
+    def test_to_component(self):
+        rt = RelativeTime(31.0, "days since 1979-01-01")
+        assert rt.to_component(Calendar("standard")) == ComponentTime(1979, 2, 1)
+
+    def test_noleap_crosses_february(self):
+        rt = RelativeTime(59.0, "days since 2000-01-01")  # noleap: Jan(31)+Feb(28)
+        assert rt.to_component(Calendar("noleap")) == ComponentTime(2000, 3, 1)
+
+    def test_from_component_inverse(self):
+        cal = Calendar("standard")
+        units = "hours since 1979-01-01"
+        original = ComponentTime(1980, 7, 4, 18)
+        rt = RelativeTime.from_component(original, units, cal)
+        assert rt.to_component(cal) == original
+
+    def test_rebase(self):
+        cal = Calendar("standard")
+        rt = RelativeTime(365.0, "days since 1979-01-01")
+        rebased = rt.rebase("days since 1980-01-01", cal)
+        assert rebased.value == pytest.approx(0.0)

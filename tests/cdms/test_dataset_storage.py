@@ -1,0 +1,123 @@
+"""Datasets and the .cdz container: round-trips, validation, errors."""
+
+import json
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.cdms.axis import latitude_axis, longitude_axis, time_axis
+from repro.cdms.dataset import Dataset, open_dataset
+from repro.cdms.storage import read_cdz, write_cdz
+from repro.cdms.variable import Variable
+from repro.util.errors import CDMSError
+
+
+@pytest.fixture()
+def dataset(simple_variable):
+    second = simple_variable * 2.0
+    second.id = "tvar2"
+    return Dataset("unit", [simple_variable, second], attributes={"title": "test"})
+
+
+class TestDataset:
+    def test_membership_and_iteration(self, dataset):
+        assert "tvar" in dataset
+        assert list(dataset) == ["tvar", "tvar2"]
+        assert len(dataset) == 2
+
+    def test_duplicate_variable_rejected(self, dataset, simple_variable):
+        with pytest.raises(CDMSError):
+            dataset.add_variable(simple_variable)
+
+    def test_missing_variable_raises_with_listing(self, dataset):
+        with pytest.raises(CDMSError, match="tvar"):
+            dataset.get_variable("nope")
+
+    def test_call_subsets(self, dataset):
+        sub = dataset("tvar", latitude=(-45, 45))
+        lat = sub.get_latitude()
+        assert lat.values.min() >= -45 and lat.values.max() <= 45
+
+    def test_summary(self, dataset):
+        summary = dataset.summary()
+        assert summary["tvar"]["order"] == "tzyx"
+        assert summary["tvar"]["units"] == "K"
+
+
+class TestStorageRoundtrip:
+    def test_full_roundtrip(self, dataset, tmp_path):
+        path = tmp_path / "unit.cdz"
+        dataset.save(path)
+        loaded = open_dataset(path)
+        assert loaded.id == "unit"
+        assert loaded.attributes["title"] == "test"
+        assert loaded.variable_ids == ["tvar", "tvar2"]
+        original = dataset("tvar")
+        restored = loaded("tvar")
+        np.testing.assert_allclose(restored.filled(), original.filled(), rtol=1e-6)
+        assert restored.units == "K"
+        # masked point survives the trip
+        assert bool(np.ma.getmaskarray(restored.data)[0, 0, 0, 0])
+
+    def test_axes_roundtrip_with_calendar(self, tmp_path):
+        t = time_axis([0.0, 30.0], calendar="noleap")
+        var = Variable(np.zeros(2), (t,), id="x")
+        write_cdz(tmp_path / "a.cdz", [var])
+        _, _, variables = read_cdz(tmp_path / "a.cdz")
+        assert variables[0].get_time().calendar.name == "noleap"
+
+    def test_bounds_roundtrip(self, tmp_path):
+        lat = latitude_axis([0.0, 10.0])
+        lat.gen_bounds()
+        var = Variable(np.zeros(2), (lat,), id="x")
+        write_cdz(tmp_path / "b.cdz", [var])
+        _, _, variables = read_cdz(tmp_path / "b.cdz")
+        np.testing.assert_allclose(
+            variables[0].get_latitude().get_bounds(), lat.gen_bounds()
+        )
+
+    def test_shared_axes_stored_once(self, dataset, tmp_path):
+        path = tmp_path / "c.cdz"
+        dataset.save(path)
+        with zipfile.ZipFile(path) as archive:
+            axis_files = [n for n in archive.namelist() if n.startswith("axes/") and not n.endswith("bounds.npy")]
+        assert len(axis_files) == 4  # time, level, latitude, longitude
+
+
+class TestStorageErrors:
+    def test_empty_write_rejected(self, tmp_path):
+        with pytest.raises(CDMSError):
+            write_cdz(tmp_path / "x.cdz", [])
+
+    def test_conflicting_axes_rejected(self, tmp_path):
+        a = Variable(np.zeros(2), (latitude_axis([0.0, 10.0]),), id="a")
+        b = Variable(np.zeros(2), (latitude_axis([0.0, 20.0]),), id="b")
+        with pytest.raises(CDMSError, match="conflicting"):
+            write_cdz(tmp_path / "x.cdz", [a, b])
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CDMSError):
+            read_cdz(tmp_path / "absent.cdz")
+
+    def test_not_a_cdz(self, tmp_path):
+        path = tmp_path / "bad.cdz"
+        with zipfile.ZipFile(path, "w") as archive:
+            archive.writestr("something.txt", "hello")
+        with pytest.raises(CDMSError, match="manifest"):
+            read_cdz(path)
+
+    def test_wrong_version(self, tmp_path, simple_variable):
+        path = tmp_path / "v.cdz"
+        write_cdz(path, [simple_variable])
+        # tamper with the manifest version
+        with zipfile.ZipFile(path) as archive:
+            names = {n: archive.read(n) for n in archive.namelist()}
+        manifest = json.loads(names["manifest.json"])
+        manifest["format_version"] = 99
+        names["manifest.json"] = json.dumps(manifest)
+        with zipfile.ZipFile(path, "w") as archive:
+            for name, blob in names.items():
+                archive.writestr(name, blob)
+        with pytest.raises(CDMSError, match="version"):
+            read_cdz(path)

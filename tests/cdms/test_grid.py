@@ -1,0 +1,61 @@
+"""Grids: area weights, physical areas, globality."""
+
+import numpy as np
+import pytest
+
+from repro.cdms.axis import latitude_axis, longitude_axis, uniform_latitude, uniform_longitude
+from repro.cdms.grid import RectilinearGrid, uniform_grid
+from repro.util.errors import CDMSError
+
+
+class TestConstruction:
+    def test_requires_designated_axes(self):
+        lat = latitude_axis([0.0, 10.0])
+        lon = longitude_axis([0.0, 10.0])
+        with pytest.raises(CDMSError):
+            RectilinearGrid(lon, lat)  # swapped
+
+    def test_shape(self):
+        grid = uniform_grid(4, 8)
+        assert grid.shape == (4, 8)
+
+    def test_equality(self):
+        assert uniform_grid(4, 8) == uniform_grid(4, 8)
+        assert uniform_grid(4, 8) != uniform_grid(5, 8)
+
+
+class TestWeights:
+    def test_weights_sum_to_one(self):
+        weights = uniform_grid(16, 32).area_weights()
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_weights_shape(self):
+        assert uniform_grid(4, 6).area_weights().shape == (4, 6)
+
+    def test_equator_heavier_than_poles(self):
+        weights = uniform_grid(10, 4).area_weights()
+        assert weights[5, 0] > weights[0, 0]
+
+    def test_cell_areas_sum_to_sphere(self):
+        grid = uniform_grid(24, 48)
+        total = grid.cell_areas().sum()
+        sphere = 4 * np.pi * 6.371e6 ** 2
+        assert total == pytest.approx(sphere, rel=1e-6)
+
+    def test_weighted_mean_of_ones_is_one(self):
+        grid = uniform_grid(8, 16)
+        assert (np.ones(grid.shape) * grid.area_weights()).sum() == pytest.approx(1.0)
+
+
+class TestGlobality:
+    def test_uniform_grid_is_global(self):
+        assert uniform_grid(8, 16).is_global()
+
+    def test_regional_grid_is_not(self):
+        lat = latitude_axis(np.linspace(10, 40, 7))
+        lon = longitude_axis(np.linspace(120, 160, 9))
+        assert not RectilinearGrid(lat, lon).is_global()
+
+    def test_bounds_shapes(self):
+        lat_b, lon_b = uniform_grid(5, 7).bounds()
+        assert lat_b.shape == (5, 2) and lon_b.shape == (7, 2)

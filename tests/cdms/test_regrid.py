@@ -1,0 +1,131 @@
+"""Regridding: conservation, identity, masks, periodicity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cdms.axis import latitude_axis, longitude_axis, time_axis
+from repro.cdms.grid import RectilinearGrid, uniform_grid
+from repro.cdms.regrid import regrid_bilinear, regrid_conservative
+from repro.cdms.variable import Variable
+from repro.util.errors import CDMSError
+
+
+def make_field(nlat, nlon, func=None, mask_box=None):
+    grid = uniform_grid(nlat, nlon)
+    lat = np.radians(grid.latitude.values)
+    lon = np.radians(grid.longitude.values)
+    if func is None:
+        data = 280.0 + 20.0 * np.outer(np.cos(lat), np.ones(nlon)) + 3.0 * np.outer(
+            np.ones(nlat), np.sin(2 * lon)
+        )
+    else:
+        data = func(*np.meshgrid(lat, lon, indexing="ij"))
+    arr = np.ma.MaskedArray(data)
+    if mask_box:
+        arr[mask_box] = np.ma.masked
+    return Variable(arr, (grid.latitude, grid.longitude), id="f", units="K")
+
+
+def area_mean(var):
+    grid = var.get_grid()
+    w = grid.area_weights()
+    valid = ~np.ma.getmaskarray(var.data)
+    ww = np.where(valid, w, 0.0)
+    return float((var.filled(0.0) * ww).sum() / ww.sum())
+
+
+class TestConservative:
+    def test_global_mean_preserved_coarsening(self):
+        src = make_field(36, 72)
+        out = regrid_conservative(src, uniform_grid(18, 36))
+        assert area_mean(out) == pytest.approx(area_mean(src), rel=1e-10)
+
+    def test_global_mean_preserved_refining(self):
+        src = make_field(18, 36)
+        out = regrid_conservative(src, uniform_grid(36, 72))
+        assert area_mean(out) == pytest.approx(area_mean(src), rel=1e-10)
+
+    def test_constant_field_stays_constant(self):
+        src = make_field(20, 40, func=lambda la, lo: np.full_like(la, 5.0))
+        out = regrid_conservative(src, uniform_grid(13, 27))
+        np.testing.assert_allclose(out.filled(0), 5.0, rtol=1e-12)
+
+    def test_mask_produces_masked_output_cells(self):
+        src = make_field(32, 64, mask_box=(slice(0, 16), slice(None)))
+        out = regrid_conservative(src, uniform_grid(8, 16))
+        # southern half masked → southern output rows masked
+        assert np.ma.getmaskarray(out.data)[0].all()
+        assert not np.ma.getmaskarray(out.data)[-1].any()
+
+    def test_axes_replaced(self):
+        src = make_field(10, 20)
+        target = uniform_grid(5, 10)
+        out = regrid_conservative(src, target)
+        assert out.get_grid() == target
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(4, 30), st.integers(6, 40))
+    def test_conservation_property(self, nlat, nlon):
+        src = make_field(24, 48)
+        out = regrid_conservative(src, uniform_grid(nlat, nlon))
+        assert area_mean(out) == pytest.approx(area_mean(src), rel=1e-8)
+
+
+class TestBilinear:
+    def test_identity_on_same_grid(self):
+        src = make_field(16, 32)
+        out = regrid_bilinear(src, src.get_grid())
+        np.testing.assert_allclose(out.filled(0), src.filled(0), rtol=1e-10)
+
+    def test_linear_field_exact(self):
+        # a field linear in sin(longitude of the grid) interpolates; use
+        # a field linear in latitude degrees which bilinear reproduces
+        src = make_field(20, 40, func=lambda la, lo: np.degrees(la) * 2.0)
+        out = regrid_bilinear(src, uniform_grid(10, 40))
+        expected = 2.0 * out.get_latitude().values
+        np.testing.assert_allclose(out.filled(0)[:, 0], expected, atol=1e-9)
+
+    def test_periodic_longitude_wrap(self):
+        # sample at a longitude beyond the last source point: the wrap
+        # interval (last → first+360) must interpolate, not clamp
+        src = make_field(8, 8, func=lambda la, lo: np.broadcast_to(np.sin(lo), la.shape).copy())
+        target = RectilinearGrid(
+            src.get_latitude(),
+            longitude_axis([358.0]),
+        )
+        out = regrid_bilinear(src, target)
+        assert np.isfinite(out.filled(np.nan)).all()
+        assert abs(float(out.filled(0)[0, 0]) - np.sin(np.radians(358.0))) < 0.1
+
+    def test_masked_region_excluded_not_smeared(self):
+        src = make_field(16, 32, mask_box=(slice(6, 10), slice(10, 20)))
+        out = regrid_bilinear(src, uniform_grid(16, 32))
+        # unmasked far region unchanged
+        np.testing.assert_allclose(out.filled(0)[0], src.filled(0)[0], rtol=1e-10)
+
+    def test_extra_dims_carried(self):
+        grid = uniform_grid(8, 12)
+        t = time_axis([0.0, 30.0])
+        data = np.random.default_rng(3).normal(size=(2, 8, 12))
+        var = Variable(data, (t, grid.latitude, grid.longitude), id="v")
+        out = regrid_bilinear(var, uniform_grid(4, 6))
+        assert out.shape == (2, 4, 6)
+        assert out.get_time() is not None
+
+
+class TestErrors:
+    def test_requires_grid(self):
+        var = Variable(np.zeros(3), (time_axis([0.0, 1.0, 2.0]),))
+        with pytest.raises(CDMSError):
+            regrid_bilinear(var, uniform_grid(4, 8))
+
+    def test_unknown_method_via_variable(self):
+        src = make_field(8, 12)
+        with pytest.raises(CDMSError):
+            src.regrid(uniform_grid(4, 6), method="cubic")
+
+    def test_method_dispatch(self):
+        src = make_field(8, 12)
+        out = src.regrid(uniform_grid(4, 6), method="conservative")
+        assert out.shape == (4, 6)

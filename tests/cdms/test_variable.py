@@ -1,0 +1,222 @@
+"""Variables: the axes-follow-data contract, arithmetic, reductions."""
+
+import numpy as np
+import pytest
+
+from repro.cdms.axis import latitude_axis, level_axis, longitude_axis, time_axis
+from repro.cdms.grid import RectilinearGrid
+from repro.cdms.selectors import Selector
+from repro.cdms.variable import Variable, as_variable
+from repro.util.errors import CDMSError
+
+
+class TestConstruction:
+    def test_axis_length_mismatch(self):
+        with pytest.raises(CDMSError):
+            Variable(np.zeros((3, 4)), (latitude_axis([0.0] * 0 or [0.0, 1.0, 2.0]),
+                                        longitude_axis([0.0, 1.0, 2.0])))
+
+    def test_axis_count_mismatch(self):
+        with pytest.raises(CDMSError):
+            Variable(np.zeros((2, 2)), (latitude_axis([0.0, 1.0]),))
+
+    def test_integer_data_promoted_to_float(self):
+        v = Variable(np.arange(4).reshape(2, 2),
+                     (latitude_axis([0.0, 1.0]), longitude_axis([0.0, 1.0])))
+        assert v.dtype.kind == "f"
+
+    def test_units_into_attributes(self, simple_variable):
+        assert simple_variable.units == "K"
+        assert simple_variable.attributes["units"] == "K"
+
+    def test_order_string(self, simple_variable):
+        assert simple_variable.order() == "tzyx"
+
+
+class TestAxisAccess:
+    def test_get_designated_axes(self, simple_variable):
+        assert simple_variable.get_time().id == "time"
+        assert simple_variable.get_level().id == "level"
+        assert simple_variable.get_latitude().id == "latitude"
+        assert simple_variable.get_longitude().id == "longitude"
+
+    def test_axis_index_by_designation_and_id(self, simple_variable):
+        assert simple_variable.axis_index("time") == 0
+        assert simple_variable.axis_index("level") == 1
+        assert simple_variable.axis_index("latitude") == 2
+
+    def test_axis_index_unknown(self, simple_variable):
+        with pytest.raises(CDMSError):
+            simple_variable.axis_index("depth")
+
+    def test_get_grid(self, simple_variable):
+        grid = simple_variable.get_grid()
+        assert isinstance(grid, RectilinearGrid)
+        assert grid.shape == (8, 12)
+
+    def test_no_grid_without_lat(self):
+        v = Variable(np.zeros(3), (time_axis([0.0, 1.0, 2.0]),))
+        assert v.get_grid() is None
+
+
+class TestIndexing:
+    def test_slicing_slices_axes(self, simple_variable):
+        sub = simple_variable[1:3, :, 2:6]
+        assert sub.shape == (2, 3, 4, 12)
+        assert len(sub.get_time()) == 2
+        assert len(sub.get_latitude()) == 4
+        np.testing.assert_allclose(
+            sub.get_latitude().values, simple_variable.get_latitude().values[2:6]
+        )
+
+    def test_int_index_keeps_dimension(self, simple_variable):
+        sub = simple_variable[0]
+        assert sub.ndim == 4 and sub.shape[0] == 1
+
+    def test_squeeze_drops_singletons(self, simple_variable):
+        sub = simple_variable[0].squeeze()
+        assert sub.ndim == 3
+        assert sub.get_time() is None
+
+    def test_too_many_indices(self, simple_variable):
+        with pytest.raises(CDMSError):
+            simple_variable[0, 0, 0, 0, 0]
+
+    def test_mask_follows_slicing(self, simple_variable):
+        sub = simple_variable[0:1, 0:1, 0:1, 0:1]
+        assert bool(sub.mask[0, 0, 0, 0])
+
+
+class TestSelectors:
+    def test_call_with_kwargs(self, simple_variable):
+        sub = simple_variable(latitude=(-30, 30), level=500)
+        lat = sub.get_latitude()
+        assert lat.values.min() >= -30 and lat.values.max() <= 30
+        assert sub.shape[1] == 1
+        assert sub.get_level().values[0] == 500.0
+
+    def test_call_with_selector_object(self, simple_variable):
+        sub = simple_variable(Selector(lon=(0, 90)))
+        assert sub.get_longitude().values.max() <= 90
+
+    def test_time_string_selection(self, simple_variable):
+        sub = simple_variable(time=("1979-01-01", "1979-02-15"))
+        assert sub.shape[0] == 2
+
+    def test_unmatched_criterion_raises(self, simple_variable):
+        with pytest.raises(CDMSError):
+            simple_variable(depth=(0, 10))
+
+    def test_selector_composition_rhs_wins(self):
+        combined = Selector(latitude=(0, 10)) & Selector(latitude=(20, 30))
+        assert combined.criteria["latitude"] == (20, 30)
+
+    def test_sub_region_alias(self, simple_variable):
+        a = simple_variable.sub_region(latitude=(-30, 30))
+        b = simple_variable(latitude=(-30, 30))
+        np.testing.assert_allclose(a.filled(), b.filled())
+
+
+class TestArithmetic:
+    def test_add_variables(self, simple_variable):
+        total = simple_variable + simple_variable
+        np.testing.assert_allclose(total.filled(0), 2 * simple_variable.filled(0))
+        assert total.axes == simple_variable.axes
+
+    def test_scalar_operations(self, simple_variable):
+        shifted = simple_variable - 273.15
+        assert shifted.data.mean() == pytest.approx(
+            float(simple_variable.data.mean()) - 273.15
+        )
+        scaled = 2.0 * simple_variable
+        np.testing.assert_allclose(scaled.filled(0), simple_variable.filled(0) * 2)
+
+    def test_shape_mismatch_raises(self, simple_variable):
+        with pytest.raises(CDMSError):
+            simple_variable + simple_variable[0:1]
+
+    def test_division_by_zero_masks(self, simple_variable):
+        zero = simple_variable * 0.0
+        ratio = simple_variable / zero
+        assert ratio.mask.all()
+
+    def test_mask_propagates_through_add(self, simple_variable):
+        total = simple_variable + simple_variable
+        assert bool(total.mask[0, 0, 0, 0])
+
+    def test_comparison_yields_indicator(self, simple_variable):
+        cond = simple_variable > 280.0
+        values = np.unique(cond.compressed())
+        assert set(values).issubset({0.0, 1.0})
+        # masked input stays masked in the condition
+        assert bool(cond.mask[0, 0, 0, 0])
+
+    def test_neg_abs_pow(self, simple_variable):
+        assert float(abs(-simple_variable).max()) == pytest.approx(
+            float(abs(simple_variable).max())
+        )
+        squared = simple_variable ** 2
+        assert float(squared.min()) >= 0.0
+
+
+class TestReorder:
+    def test_reorder_by_string(self, simple_variable):
+        flipped = simple_variable.reorder("xyzt")
+        assert flipped.shape == simple_variable.shape[::-1]
+        assert flipped.order() == "xyzt"
+
+    def test_reorder_by_names(self, simple_variable):
+        out = simple_variable.reorder(["latitude", "longitude", "time", "level"])
+        assert out.shape == (8, 12, 3, 3)
+
+    def test_reorder_roundtrip_preserves_data(self, simple_variable):
+        back = simple_variable.reorder("xyzt").reorder("tzyx")
+        np.testing.assert_allclose(back.filled(), simple_variable.filled())
+
+    def test_reorder_incomplete_raises(self, simple_variable):
+        with pytest.raises(CDMSError):
+            simple_variable.reorder("xy")
+
+
+class TestReductions:
+    def test_mean_over_axis_drops_it(self, simple_variable):
+        out = simple_variable.mean("time")
+        assert out.ndim == 3
+        assert out.get_time() is None
+
+    def test_global_mean_is_float(self, simple_variable):
+        assert isinstance(simple_variable.mean(), float)
+
+    def test_min_max_bracket_mean(self, simple_variable):
+        assert simple_variable.min() <= simple_variable.mean() <= simple_variable.max()
+
+    def test_sum_matches_numpy(self, simple_variable):
+        assert simple_variable.sum() == pytest.approx(float(simple_variable.data.sum()))
+
+    def test_std_nonnegative(self, simple_variable):
+        out = simple_variable.std("longitude")
+        assert float(out.min()) >= 0.0
+
+
+class TestMisc:
+    def test_clone_deep_independent(self, simple_variable):
+        clone = simple_variable.clone()
+        clone.data[0, 0, 1, 1] = 999.0
+        assert simple_variable.data[0, 0, 1, 1] != 999.0
+
+    def test_valid_fraction(self, simple_variable):
+        expected = 1.0 - 1.0 / simple_variable.size
+        assert simple_variable.valid_fraction() == pytest.approx(expected)
+
+    def test_filled_uses_missing_value(self, simple_variable):
+        filled = simple_variable.filled()
+        assert filled[0, 0, 0, 0] == pytest.approx(simple_variable.missing_value)
+
+    def test_as_variable_wraps_array(self, simple_variable):
+        doubled = as_variable(simple_variable.filled(0) * 2, simple_variable, id="double")
+        assert doubled.id == "double"
+        assert doubled.axes == simple_variable.axes
+
+    def test_as_variable_shape_check(self, simple_variable):
+        with pytest.raises(CDMSError):
+            as_variable(np.zeros(3), simple_variable)

@@ -1,0 +1,111 @@
+"""CombinedPlot: scene merging, coordinated interaction, state."""
+
+import numpy as np
+import pytest
+
+from repro.dv3d.combined import CombinedPlot
+from repro.dv3d.isosurface import IsosurfacePlot
+from repro.dv3d.slicer import SlicerPlot
+from repro.dv3d.volume import VolumePlot
+from repro.util.errors import DV3DError
+
+
+@pytest.fixture()
+def combo(ta):
+    volume = VolumePlot(ta, center=0.8, width=0.3)
+    slicer = SlicerPlot(ta, enabled_planes=("z",))
+    return CombinedPlot([volume, slicer])
+
+
+class TestConstruction:
+    def test_needs_components(self):
+        with pytest.raises(DV3DError):
+            CombinedPlot([])
+
+    def test_time_length_mismatch_rejected(self, ta, waves):
+        a = SlicerPlot(ta)  # 4 steps
+        b = SlicerPlot(waves("olr_anom")(time=slice(0, 10)))  # 10 steps
+        with pytest.raises(DV3DError, match="animation length"):
+            CombinedPlot([a, b])
+
+    def test_primary_supplies_metadata(self, combo, ta):
+        assert combo.variable.id == "ta"
+        assert combo.scalar_range == combo.primary.scalar_range
+
+
+class TestScene:
+    def test_scene_merges_actor_sets(self, combo):
+        scene = combo.build_scene()
+        assert len(scene.volume_actors) == 1  # from the volume component
+        slice_actors = [a for a in scene.actors if "slice" in a.name]
+        assert len(slice_actors) == 1  # from the slicer component
+
+    def test_single_bounding_frame(self, combo):
+        scene = combo.build_scene()
+        frames = [a for a in scene.actors if a.name == "frame"]
+        assert len(frames) == 1
+
+    def test_render(self, combo):
+        fb = combo.render(48, 36)
+        assert fb.color.shape == (36, 48, 3)
+
+
+class TestInteraction:
+    def test_time_step_coordinates_components(self, combo):
+        combo.set_time_index(2)
+        assert all(c.time_index == 2 for c in combo.components)
+
+    def test_key_t_through_dispatch(self, combo):
+        delta = combo.handle_key("t")
+        assert combo.time_index == 1
+        assert all(c.time_index == 1 for c in combo.components)
+        assert "component_0" in delta
+
+    def test_leveling_reaches_volume_component(self, combo):
+        delta = combo.handle_drag(0.1, 0.0, "leveling")
+        assert "component_0" in delta  # the volume accepted it
+        assert combo.components[0].transfer.center == pytest.approx(0.9)
+
+    def test_slice_drag_reaches_slicer_component(self, combo):
+        delta = combo.handle_drag(0.0, 0.25, "slice:z")
+        assert "component_1" in delta
+        assert combo.components[1].plane_positions["z"] == pytest.approx(0.5)
+
+    def test_camera_drag_shared(self, combo):
+        combo.handle_drag(0.2, 0.1, "camera")
+        assert combo.camera is not None
+        assert all(c.camera is combo.camera for c in combo.components)
+
+    def test_unhandled_mode(self, ta):
+        only_slicer = CombinedPlot([SlicerPlot(ta)])
+        with pytest.raises(DV3DError):
+            only_slicer.handle_drag(0.1, 0.0, "leveling")
+
+    def test_colormap_cycles_every_component(self, combo):
+        combo.cycle_colormap()
+        names = {c.colormap.name for c in combo.components}
+        assert len(names) == 1
+        assert combo.colormap.name in names
+
+
+class TestState:
+    def test_state_roundtrip(self, combo, ta):
+        combo.set_time_index(1)
+        combo.handle_drag(0.1, 0.0, "leveling")
+        state = combo.state()
+        other = CombinedPlot([
+            VolumePlot(ta, center=0.8, width=0.3),
+            SlicerPlot(ta, enabled_planes=("z",)),
+        ])
+        other.apply_state(state)
+        assert other.components[0].transfer.center == pytest.approx(
+            combo.components[0].transfer.center
+        )
+        assert other.components[1].time_index == 1
+
+    def test_in_cell_with_furnishings(self, combo):
+        from repro.dv3d.cell import DV3DCell
+
+        cell = DV3DCell(combo, dataset_label="COMBO", show_axes=True)
+        fb = cell.render(96, 72)
+        assert fb.color.shape == (72, 96, 3)

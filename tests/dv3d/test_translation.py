@@ -1,0 +1,154 @@
+"""The CDMS→volume translation stage."""
+
+import numpy as np
+import pytest
+
+from repro.cdms.axis import latitude_axis, level_axis, longitude_axis, time_axis
+from repro.cdms.variable import Variable
+from repro.dv3d.translation import (
+    add_variable_to_volume,
+    translate_hovmoller,
+    translate_variable,
+    translate_vector_field,
+)
+from repro.util.errors import DV3DError
+
+
+class TestTranslateVariable:
+    def test_dimensions_xyz_order(self, ta):
+        volume = translate_variable(ta, time_index=0)
+        # (lon, lat, lev) = (24, 16, 5)
+        assert volume.dimensions == (24, 16, 5)
+
+    def test_world_x_is_longitude(self, ta):
+        volume = translate_variable(ta)
+        lon = ta.get_longitude().values
+        np.testing.assert_allclose(volume.axis_coordinates(0), lon, atol=1e-9)
+
+    def test_z_increases_with_altitude(self, ta):
+        volume = translate_variable(ta)
+        # surface (1000 hPa) at z=0; top of the data at max z
+        assert volume.origin[2] == pytest.approx(0.0, abs=1e-9)
+        assert volume.bounds()[5] > 0
+
+    def test_vertical_span_proportioned(self, ta):
+        volume = translate_variable(ta)
+        bounds = volume.bounds()
+        lon_span = bounds[1] - bounds[0]
+        z_span = bounds[5] - bounds[4]
+        assert 0.2 * lon_span < z_span < 0.6 * lon_span
+
+    def test_explicit_vertical_exaggeration(self, ta):
+        v1 = translate_variable(ta, vertical_exaggeration=1.0)
+        v2 = translate_variable(ta, vertical_exaggeration=2.0)
+        assert v2.bounds()[5] == pytest.approx(2 * v1.bounds()[5])
+
+    def test_time_index_selects_step(self, ta):
+        v0 = translate_variable(ta, time_index=0)
+        v1 = translate_variable(ta, time_index=1)
+        assert not np.array_equal(v0.scalars, v1.scalars)
+
+    def test_time_index_out_of_range(self, ta):
+        with pytest.raises(DV3DError):
+            translate_variable(ta, time_index=99)
+
+    def test_scalars_named_after_variable(self, ta):
+        volume = translate_variable(ta)
+        assert volume.active_scalars_name == "ta"
+
+    def test_data_values_match_source_at_level_endpoints(self, ta):
+        # interior levels are resampled onto a uniform height grid, but
+        # the bottom and top levels are grid-exact
+        volume = translate_variable(ta, time_index=0)
+        source = ta[0].squeeze().reorder(["longitude", "latitude", "level"])
+        src = source.filled(np.nan).astype(np.float32)
+        np.testing.assert_allclose(volume.scalars[..., 0], src[..., 0], rtol=1e-5)
+        np.testing.assert_allclose(volume.scalars[..., -1], src[..., -1], rtol=1e-5)
+        # interior values stay within the source column's range (linear resample)
+        assert volume.scalars.min() >= src.min() - 1e-3
+        assert volume.scalars.max() <= src.max() + 1e-3
+
+    def test_masked_becomes_nan(self, simple_variable):
+        volume = translate_variable(simple_variable, time_index=0)
+        assert np.isnan(volume.scalars).sum() >= 1
+
+    def test_2d_variable_gets_unit_depth(self, ta):
+        surface = ta(level=1000.0)[0].squeeze()
+        volume = translate_variable(surface)
+        assert volume.dimensions[2] == 1
+
+    def test_requires_lat_lon(self):
+        var = Variable(np.zeros((3, 2)), (time_axis([0.0, 1.0, 2.0]), level_axis([1000.0, 500.0])))
+        with pytest.raises(DV3DError):
+            translate_variable(var)
+
+    def test_nonuniform_levels_resampled_monotone(self, ta):
+        volume = translate_variable(ta)
+        z = volume.axis_coordinates(2)
+        assert np.all(np.diff(z) > 0)
+        assert np.allclose(np.diff(z), np.diff(z)[0])  # uniform
+
+
+class TestSecondVariable:
+    def test_attach_second_field(self, reanalysis):
+        volume = translate_variable(reanalysis("ta"), time_index=0)
+        add_variable_to_volume(volume, reanalysis("zg"), time_index=0)
+        assert volume.has_array("zg")
+        assert volume.active_scalars_name == "ta"
+
+    def test_shape_mismatch_rejected(self, reanalysis, ta):
+        volume = translate_variable(ta, time_index=0)
+        with pytest.raises(DV3DError):
+            add_variable_to_volume(volume, ta(latitude=(-30, 30)), time_index=0)
+
+
+class TestHovmoller:
+    def test_time_is_z_axis(self, waves):
+        volume = translate_hovmoller(waves("olr_anom"))
+        # (lon, lat, time) = (48, 12, 40)
+        assert volume.dimensions == (48, 12, 40)
+
+    def test_requires_time_axis(self, reanalysis):
+        static = reanalysis("ta")[0].squeeze()
+        with pytest.raises(DV3DError):
+            translate_hovmoller(static)
+
+    def test_level_reduced(self, ta):
+        volume = translate_hovmoller(ta, level_index=2)
+        assert volume.dimensions == (24, 16, 4)
+
+    def test_vertical_fraction(self, waves):
+        volume = translate_hovmoller(waves("olr_anom"), vertical_fraction=1.0)
+        bounds = volume.bounds()
+        assert bounds[5] - bounds[4] == pytest.approx(bounds[1] - bounds[0], rel=0.05)
+
+    def test_time_ordering_preserved(self, waves):
+        wave = waves("olr_anom")
+        volume = translate_hovmoller(wave)
+        source = wave.reorder(["longitude", "latitude", "time"]).filled(np.nan)
+        np.testing.assert_allclose(volume.scalars, source.astype(np.float32), rtol=1e-5)
+
+
+class TestVectorField:
+    def test_vector_array_built(self, reanalysis):
+        volume = translate_vector_field(reanalysis("ua"), reanalysis("va"))
+        assert volume.get_array("vectors").shape == (24, 16, 5, 3)
+        assert volume.active_scalars_name == "speed"
+
+    def test_speed_magnitude(self, reanalysis):
+        volume = translate_vector_field(reanalysis("ua"), reanalysis("va"))
+        vec = volume.get_array("vectors")
+        speed = volume.get_array("speed")
+        np.testing.assert_allclose(
+            speed, np.sqrt((vec**2).sum(axis=-1)), rtol=1e-5
+        )
+
+    def test_w_component_defaults_zero(self, reanalysis):
+        volume = translate_vector_field(reanalysis("ua"), reanalysis("va"))
+        np.testing.assert_allclose(volume.get_array("vectors")[..., 2], 0.0)
+
+    def test_shape_mismatch(self, reanalysis):
+        with pytest.raises(DV3DError):
+            translate_vector_field(
+                reanalysis("ua"), reanalysis("va")(latitude=(-30, 30))
+            )

@@ -1,0 +1,105 @@
+"""The simulated ESG federation: search, locate, fetch, transfer model."""
+
+import pytest
+
+from repro.cdms.dataset import Dataset
+from repro.esg.federation import (
+    DatasetRecord,
+    ESGFederation,
+    ESGNode,
+    default_federation,
+)
+from repro.util.errors import ESGError
+
+
+def make_record(dataset_id="ds1", size=1000):
+    return DatasetRecord(
+        dataset_id, ("ta",), "a test dataset", size,
+        lambda: Dataset(dataset_id),
+    )
+
+
+class TestNode:
+    def test_publish_and_get(self):
+        node = ESGNode("n")
+        node.publish(make_record())
+        assert node.get("ds1").dataset_id == "ds1"
+
+    def test_duplicate_publish_rejected(self):
+        node = ESGNode("n")
+        node.publish(make_record())
+        with pytest.raises(ESGError):
+            node.publish(make_record())
+
+    def test_transfer_time_model(self):
+        node = ESGNode("n", latency_seconds=0.1, bandwidth_bytes_per_s=1000.0)
+        assert node.transfer_time(500) == pytest.approx(0.1 + 0.5)
+
+    def test_bad_parameters(self):
+        with pytest.raises(ESGError):
+            ESGNode("n", latency_seconds=-1)
+
+
+class TestFederation:
+    def test_search_by_variable(self):
+        fed = default_federation()
+        hits = fed.search("wspd")
+        assert any(rec.dataset_id == "storm_case_study" for _, rec in hits)
+
+    def test_search_empty_query_lists_all(self):
+        fed = default_federation()
+        assert len(fed.search()) >= 4  # includes the replicas
+
+    def test_locate_prefers_faster_node(self):
+        fed = default_federation()
+        node, _record = fed.locate("nccs_synthetic_reanalysis")
+        assert node == "nccs"  # published on nccs (fast) and pcmdi (slow)
+
+    def test_locate_missing_dataset(self):
+        with pytest.raises(ESGError):
+            default_federation().locate("nonexistent")
+
+    def test_fetch_materializes_dataset(self):
+        fed = default_federation()
+        ds = fed.fetch("storm_case_study")
+        assert isinstance(ds, Dataset)
+        assert "wspd" in ds
+
+    def test_fetch_idempotent_no_double_transfer(self):
+        fed = default_federation()
+        fed.fetch("storm_case_study")
+        clock_after_first = fed.simulated_clock
+        fed.fetch("storm_case_study")
+        assert fed.simulated_clock == clock_after_first
+        assert len(fed.transfers) == 1
+
+    def test_fetch_records_provenance(self):
+        fed = default_federation()
+        fed.fetch("wave_case_study")
+        record = fed.transfers[0]
+        assert record.dataset_id == "wave_case_study"
+        assert record.modelled_seconds > 0.0
+
+    def test_fetch_from_named_node(self):
+        fed = default_federation()
+        fed.fetch("wave_case_study", node_name="pcmdi")
+        assert fed.transfers[0].node_name == "pcmdi"
+
+    def test_fetch_from_wrong_node(self):
+        fed = default_federation()
+        with pytest.raises(ESGError):
+            fed.fetch("storm_case_study", node_name="pcmdi")
+
+    def test_clock_accumulates(self):
+        fed = default_federation()
+        fed.fetch("storm_case_study")
+        fed.fetch("wave_case_study")
+        assert fed.simulated_clock == pytest.approx(
+            sum(t.modelled_seconds for t in fed.transfers)
+        )
+
+    def test_duplicate_node_rejected(self):
+        fed = ESGFederation()
+        fed.add_node(ESGNode("x"))
+        with pytest.raises(ESGError):
+            fed.add_node(ESGNode("x"))

@@ -1,0 +1,137 @@
+"""Wall geometry and workflow partitioning."""
+
+import pytest
+
+from repro.hyperwall.display import NCCS_WALL, WallGeometry
+from repro.hyperwall.partition import (
+    find_cell_modules,
+    make_reduced_pipeline,
+    partition_by_cell,
+    set_cell_resolution,
+)
+from repro.util.errors import HyperwallError
+from repro.workflow.pipeline import Pipeline
+from tests.conftest import build_cell_chain
+
+
+@pytest.fixture()
+def three_cell_pipeline(registry):
+    p = Pipeline(registry)
+    ids = [build_cell_chain(p) for _ in range(3)]
+    return p, ids
+
+
+class TestWallGeometry:
+    def test_nccs_wall_matches_paper(self):
+        # "a 5x3 array of 46-inch displays ... 15.7 million pixel display"
+        assert NCCS_WALL.n_tiles == 15
+        assert NCCS_WALL.total_pixels == pytest.approx(15.7e6, rel=0.02)
+
+    def test_tile_index_roundtrip(self):
+        wall = WallGeometry(columns=5, rows=3)
+        for index in range(wall.n_tiles):
+            row, col = wall.tile_of(index)
+            assert wall.index_of(row, col) == index
+
+    def test_out_of_range(self):
+        wall = WallGeometry(columns=2, rows=2)
+        with pytest.raises(HyperwallError):
+            wall.tile_of(4)
+        with pytest.raises(HyperwallError):
+            wall.index_of(2, 0)
+
+    def test_server_mirror_size(self):
+        wall = WallGeometry(tile_width=1024, tile_height=768)
+        assert wall.server_mirror_size(4) == (256, 192)
+        with pytest.raises(HyperwallError):
+            wall.server_mirror_size(0)
+
+    def test_bad_geometry(self):
+        with pytest.raises(HyperwallError):
+            WallGeometry(columns=0)
+
+
+class TestPartition:
+    def test_finds_all_cells(self, three_cell_pipeline):
+        p, ids = three_cell_pipeline
+        assert find_cell_modules(p) == sorted(chain["cell"] for chain in ids)
+
+    def test_partition_one_subworkflow_per_cell(self, three_cell_pipeline):
+        p, ids = three_cell_pipeline
+        partitions = partition_by_cell(p)
+        assert len(partitions) == 3
+        for chain in ids:
+            sub = partitions[chain["cell"]]
+            # exactly the 4-module chain, ids preserved
+            assert set(sub.modules) == set(chain.values())
+
+    def test_partition_excludes_other_branches(self, three_cell_pipeline):
+        p, ids = three_cell_pipeline
+        partitions = partition_by_cell(p)
+        sub = partitions[ids[0]["cell"]]
+        assert ids[1]["cell"] not in sub.modules
+
+    def test_partition_requires_cells(self, registry):
+        p = Pipeline(registry)
+        p.add_module("CDMSDatasetReader")
+        with pytest.raises(HyperwallError):
+            partition_by_cell(p)
+
+    def test_shared_upstream_follows_both_cells(self, registry):
+        # two cells fed from ONE reader: both sub-workflows contain it
+        p = Pipeline(registry)
+        reader = p.add_module("CDMSDatasetReader", {"source": "synthetic_reanalysis",
+                                                    "size": {"nlat": 8, "nlon": 8, "nlev": 3, "ntime": 2}})
+        cells = []
+        for _ in range(2):
+            var = p.add_module("CDMSVariableReader", {"variable": "ta"})
+            plot = p.add_module("Slicer")
+            cell = p.add_module("DV3DCell", {"width": 24, "height": 18})
+            p.add_connection(reader, "dataset", var, "dataset")
+            p.add_connection(var, "variable", plot, "variable")
+            p.add_connection(plot, "plot", cell, "plot")
+            cells.append(cell)
+        partitions = partition_by_cell(p)
+        for cell in cells:
+            assert reader in partitions[cell].modules
+
+
+class TestResolutionEditing:
+    def test_reduced_pipeline_scales_cells(self, three_cell_pipeline):
+        p, ids = three_cell_pipeline
+        reduced = make_reduced_pipeline(p, 4)
+        for chain in ids:
+            params = reduced.modules[chain["cell"]].parameters
+            assert params["width"] == 96 // 4
+            assert params["height"] == 72 // 4
+
+    def test_reduction_clamps_to_min_size(self, three_cell_pipeline):
+        p, _ = three_cell_pipeline
+        reduced = make_reduced_pipeline(p, 1000, min_size=16)
+        for cell_id in find_cell_modules(reduced):
+            assert reduced.modules[cell_id].parameters["width"] == 16
+
+    def test_original_untouched(self, three_cell_pipeline):
+        p, ids = three_cell_pipeline
+        make_reduced_pipeline(p, 4)
+        assert p.modules[ids[0]["cell"]].parameters["width"] == 96
+
+    def test_uses_defaults_when_unset(self, registry):
+        p = Pipeline(registry)
+        chain = build_cell_chain(p)
+        del p.modules[chain["cell"]].parameters["width"]
+        del p.modules[chain["cell"]].parameters["height"]
+        reduced = make_reduced_pipeline(p, 2)
+        assert reduced.modules[chain["cell"]].parameters["width"] == 160  # 320 default / 2
+
+    def test_set_cell_resolution_validates(self, three_cell_pipeline):
+        p, ids = three_cell_pipeline
+        set_cell_resolution(p, ids[0]["cell"], 640, 480)
+        assert p.modules[ids[0]["cell"]].parameters["width"] == 640
+        with pytest.raises(HyperwallError):
+            set_cell_resolution(p, ids[0]["reader"], 640, 480)
+
+    def test_bad_reduction(self, three_cell_pipeline):
+        p, _ = three_cell_pipeline
+        with pytest.raises(HyperwallError):
+            make_reduced_pipeline(p, 0)

@@ -1,0 +1,164 @@
+"""Tests for the second extension wave: custom colormaps, color-window
+leveling, version annotations, ESG failover."""
+
+import numpy as np
+import pytest
+
+from repro.rendering.colormap import Colormap, colormap_names, register_colormap
+from repro.rendering.transfer_function import TransferFunction
+from repro.util.errors import ESGError, RenderingError
+
+
+class TestCustomColormaps:
+    def test_register_and_use(self):
+        register_colormap(
+            "test-hot", [(0.0, (0.0, 0.0, 0.0)), (0.5, (1.0, 0.0, 0.0)),
+                         (1.0, (1.0, 1.0, 0.0))],
+            overwrite=True,
+        )
+        cmap = Colormap("test-hot")
+        rgb = cmap.map_scalars(np.array([0.0, 0.5, 1.0]), 0.0, 1.0)
+        np.testing.assert_allclose(rgb[0], [0, 0, 0], atol=1e-6)
+        np.testing.assert_allclose(rgb[1], [1, 0, 0], atol=0.02)
+        assert "test-hot" in colormap_names()
+
+    def test_registered_map_cycles_and_serializes(self):
+        register_colormap("test-cyc", [(0.0, (0, 0, 1)), (1.0, (1, 0, 0))],
+                          overwrite=True)
+        cmap = Colormap("test-cyc")
+        back = Colormap.from_state(cmap.state())
+        np.testing.assert_allclose(cmap.table, back.table)
+        assert cmap.next_map().name in colormap_names()
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(RenderingError):
+            register_colormap("jet", [(0.0, (0, 0, 0)), (1.0, (1, 1, 1))])
+
+    def test_must_cover_full_range(self):
+        with pytest.raises(RenderingError):
+            register_colormap("partial", [(0.1, (0, 0, 0)), (1.0, (1, 1, 1))],
+                              overwrite=True)
+
+    def test_bad_rgb_rejected(self):
+        with pytest.raises(RenderingError):
+            register_colormap("badrgb", [(0.0, (0, 0, 2.0)), (1.0, (1, 1, 1))],
+                              overwrite=True)
+
+
+class TestColorLeveling:
+    def test_level_color_shifts_window(self):
+        tf = TransferFunction((0.0, 1.0), color_window=(0.2, 0.6))
+        moved = tf.level_color(0.1, 0.0)
+        assert moved.color_window[0] == pytest.approx(0.3)
+        assert moved.color_window[1] == pytest.approx(0.7)
+        # opacity side untouched
+        assert moved.center == tf.center
+
+    def test_level_color_scales_window(self):
+        tf = TransferFunction((0.0, 1.0), color_window=(0.4, 0.6))
+        widened = tf.level_color(0.0, 1.0)
+        lo, hi = widened.color_window
+        assert hi - lo == pytest.approx(0.4, rel=1e-6)
+
+    def test_color_window_changes_mapping(self):
+        tf_full = TransferFunction((0.0, 100.0))
+        tf_narrow = TransferFunction((0.0, 100.0), color_window=(0.45, 0.55))
+        rgb_full, _ = tf_full.evaluate(np.array([30.0]))
+        rgb_narrow, _ = tf_narrow.evaluate(np.array([30.0]))
+        assert not np.allclose(rgb_full, rgb_narrow)
+
+    def test_state_roundtrip_includes_color_window(self):
+        tf = TransferFunction((0.0, 1.0), color_window=(0.25, 0.75))
+        back = TransferFunction.from_state(tf.state())
+        assert back.color_window == tf.color_window
+
+    def test_volume_plot_color_leveling_drag(self, ta):
+        from repro.dv3d.volume import VolumePlot
+
+        plot = VolumePlot(ta)
+        delta = plot.handle_drag(0.1, 0.0, "leveling:color")
+        assert "color_window" in delta
+        # the render reflects the new color mapping
+        state = plot.state()
+        other = VolumePlot(ta)
+        other.apply_state(state)
+        assert tuple(other.transfer.color_window) == tuple(plot.transfer.color_window)
+
+    def test_color_leveling_rejected_on_slicer(self, ta):
+        from repro.dv3d.slicer import SlicerPlot
+        from repro.util.errors import DV3DError
+
+        with pytest.raises(DV3DError):
+            SlicerPlot(ta).handle_drag(0.1, 0.0, "leveling:color")
+
+
+class TestVersionAnnotations:
+    def test_annotate_and_search(self, registry):
+        from repro.provenance.vistrail import Vistrail
+
+        vt = Vistrail("notes", registry)
+        vt.add_module("basic:Constant", {"value": 1})
+        v1 = vt.current_version
+        vt.add_module("basic:Constant", {"value": 2})
+        v2 = vt.current_version
+        vt.tree.annotate(v1, "good baseline for the storm case")
+        vt.tree.annotate(v2, "experimental colormap treatment")
+        assert vt.tree.find_annotated("storm") == [v1]
+        assert set(vt.tree.find_annotated()) == {v1, v2}
+
+    def test_annotations_persist(self, registry, tmp_path):
+        from repro.provenance.vistrail import Vistrail
+
+        vt = Vistrail("notes", registry)
+        vt.add_module("basic:Constant", {"value": 1})
+        vt.tree.annotate(vt.current_version, "keep this one")
+        vt.save(tmp_path / "t.json")
+        loaded = Vistrail.load(tmp_path / "t.json", registry)
+        assert loaded.tree.find_annotated("keep") == [vt.current_version]
+
+
+class TestESGFailover:
+    def test_replica_takes_over(self):
+        from repro.esg.federation import default_federation
+
+        fed = default_federation()
+        # waves are on pcmdi (primary by cost? check) and dkrz-replica
+        primary, _ = fed.locate("wave_case_study")
+        fed.set_node_available(primary, False)
+        fallback, _ = fed.locate("wave_case_study")
+        assert fallback != primary
+        ds = fed.fetch("wave_case_study")
+        assert "olr_anom" in ds
+        assert fed.transfers[0].node_name == fallback
+
+    def test_all_publishers_down(self):
+        from repro.esg.federation import default_federation
+
+        fed = default_federation()
+        fed.set_node_available("nccs", False)
+        # storm only lives on nccs
+        with pytest.raises(ESGError, match="unavailable"):
+            fed.locate("storm_case_study")
+
+    def test_explicit_fetch_from_down_node(self):
+        from repro.esg.federation import default_federation
+
+        fed = default_federation()
+        fed.set_node_available("pcmdi", False)
+        with pytest.raises(ESGError, match="unavailable"):
+            fed.fetch("wave_case_study", node_name="pcmdi")
+
+    def test_unknown_node(self):
+        from repro.esg.federation import default_federation
+
+        with pytest.raises(ESGError):
+            default_federation().set_node_available("mars", True)
+
+    def test_recovery(self):
+        from repro.esg.federation import default_federation
+
+        fed = default_federation()
+        fed.set_node_available("nccs", False)
+        fed.set_node_available("nccs", True)
+        node, _ = fed.locate("storm_case_study")
+        assert node == "nccs"

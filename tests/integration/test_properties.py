@@ -1,0 +1,186 @@
+"""Cross-cutting property-based tests (hypothesis) on system invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.cdms.axis import Axis, latitude_axis, longitude_axis, time_axis
+from repro.cdms.variable import Variable
+from repro.rendering.colormap import Colormap, colormap_names
+from repro.rendering.ppm import read_ppm, write_ppm
+from repro.rendering.transfer_function import TransferFunction
+from repro.workflow.pipeline import Pipeline
+from repro.workflow.registry import global_registry
+
+
+# ---------------------------------------------------------------------------
+# CDMS: coordinate selection ≡ manual index selection
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    lo=st.floats(min_value=-90, max_value=90),
+    hi=st.floats(min_value=-90, max_value=90),
+)
+def test_latitude_selection_matches_manual_mask(lo, hi):
+    assume(abs(hi - lo) > 12.0)  # guarantee at least one point inside
+    lat = latitude_axis(np.linspace(-84, 84, 15))
+    lon = longitude_axis(np.arange(0, 360, 45.0))
+    data = np.arange(15 * 8, dtype=float).reshape(15, 8)
+    var = Variable(data, (lat, lon), id="v")
+    sub = var(latitude=(lo, hi))
+    a, b = min(lo, hi), max(lo, hi)
+    # the library admits boundary points within 1e-12 (float tolerance)
+    inside = (lat.values >= a - 1e-12) & (lat.values <= b + 1e-12)
+    np.testing.assert_allclose(sub.filled(), data[inside])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.floats(min_value=-100, max_value=100))
+def test_scalar_selection_picks_nearest(target):
+    lat = latitude_axis(np.linspace(-80, 80, 9))
+    var = Variable(np.arange(9.0), (lat,), id="v")
+    sub = var(latitude=float(target))
+    manual = int(np.argmin(np.abs(lat.values - np.clip(target, -90, 90))))
+    assert float(sub.data[0]) == float(manual)
+
+
+# ---------------------------------------------------------------------------
+# Rendering: colormap and transfer-function invariants
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    name=st.sampled_from(colormap_names()),
+    values=st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=30),
+)
+def test_colormap_output_always_valid_rgb(name, values):
+    cmap = Colormap(name)
+    rgb = cmap.map_scalars(np.array(values), -10.0, 10.0)
+    assert rgb.shape == (len(values), 3)
+    assert np.all(rgb >= 0.0) and np.all(rgb <= 1.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    center=st.floats(min_value=0.0, max_value=1.0),
+    width=st.floats(min_value=1e-3, max_value=2.0),
+    d_center=st.floats(min_value=-2.0, max_value=2.0),
+    d_width=st.floats(min_value=-0.99, max_value=3.0),
+)
+def test_leveling_always_yields_valid_window(center, width, d_center, d_width):
+    tf = TransferFunction((0.0, 1.0), center=center, width=width)
+    leveled = tf.level(d_center, d_width)
+    assert 0.0 <= leveled.center <= 1.0
+    assert 1e-3 <= leveled.width <= 2.0
+    _, alpha = leveled.evaluate(np.linspace(0, 1, 11))
+    assert np.all(alpha >= 0.0) and np.all(alpha <= 1.0)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    h=st.integers(min_value=1, max_value=12),
+    w=st.integers(min_value=1, max_value=12),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_ppm_roundtrip_arbitrary_images(h, w, seed, tmp_path_factory):
+    rng = np.random.default_rng(seed)
+    image = rng.integers(0, 256, size=(h, w, 3), dtype=np.uint8)
+    path = tmp_path_factory.mktemp("ppm") / "img.ppm"
+    write_ppm(path, image)
+    np.testing.assert_array_equal(read_ppm(path), image)
+
+
+# ---------------------------------------------------------------------------
+# Workflow: serialization round-trips preserve signatures
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n_chains=st.integers(min_value=1, max_value=3),
+    widths=st.integers(min_value=16, max_value=64),
+)
+def test_pipeline_roundtrip_preserves_signatures(n_chains, widths):
+    from repro.workflow.executor import Executor
+
+    registry = global_registry()
+    pipeline = Pipeline(registry)
+    for _ in range(n_chains):
+        reader = pipeline.add_module(
+            "CDMSDatasetReader",
+            {"source": "synthetic_reanalysis", "size": {"nlat": 8, "nlon": 8, "nlev": 3, "ntime": 2}},
+        )
+        var = pipeline.add_module("CDMSVariableReader", {"variable": "ta"})
+        plot = pipeline.add_module("Slicer")
+        cell = pipeline.add_module("DV3DCell", {"width": int(widths), "height": 16})
+        pipeline.add_connection(reader, "dataset", var, "dataset")
+        pipeline.add_connection(var, "variable", plot, "variable")
+        pipeline.add_connection(plot, "plot", cell, "plot")
+    restored = Pipeline.from_dict(pipeline.to_dict(), registry)
+    ex = Executor()
+    assert ex.signatures(pipeline) == ex.signatures(restored)
+
+
+# ---------------------------------------------------------------------------
+# Provenance: checkout(v) after arbitrary edit/checkout sequences is stable
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=99), min_size=1, max_size=10))
+def test_vistrail_checkout_is_idempotent(edits):
+    from repro.provenance.vistrail import Vistrail
+
+    vistrail = Vistrail("prop", global_registry())
+    module = vistrail.add_module("basic:Constant", {"value": -1})
+    snapshots = {}
+    for value in edits:
+        vistrail.set_parameter(module, "value", int(value))
+        snapshots[vistrail.current_version] = int(value)
+    for version, expected in snapshots.items():
+        pipeline = vistrail.checkout(version)
+        assert pipeline.modules[module].parameters["value"] == expected
+        # checking out twice yields the same structure
+        again = vistrail.checkout(version)
+        assert again.structurally_equal(pipeline)
+
+
+# ---------------------------------------------------------------------------
+# Spreadsheet: move/swap conserve occupancy
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["move", "swap"]),
+            st.integers(0, 2), st.integers(0, 2),
+            st.integers(0, 2), st.integers(0, 2),
+        ),
+        max_size=12,
+    )
+)
+def test_spreadsheet_rearranging_conserves_cells(ops):
+    from repro.spreadsheet.sheet import CellBinding, Spreadsheet
+    from repro.util.errors import SpreadsheetError
+
+    sheet = Spreadsheet("prop", 3, 3)
+    for i, slot in enumerate([(0, 0), (1, 1), (2, 2)]):
+        sheet.place(slot[0], slot[1], CellBinding("t", i, i))
+    original_versions = sorted(
+        slot.binding.version for _, slot in sheet.cells()
+    )
+    for op, r1, c1, r2, c2 in ops:
+        try:
+            if op == "move":
+                sheet.move((r1, c1), (r2, c2))
+            else:
+                sheet.swap((r1, c1), (r2, c2))
+        except SpreadsheetError:
+            pass  # invalid ops rejected atomically
+    # exactly the same three cells exist, wherever they ended up
+    assert sorted(slot.binding.version for _, slot in sheet.cells()) == original_versions

@@ -1,0 +1,101 @@
+"""Render regression windows.
+
+Exact golden images are brittle across numpy/scipy versions; instead
+each plot type renders a fixed, seeded scene and the frame's aggregate
+statistics must stay inside recorded windows.  A broken shader, culling
+bug, or transfer-function regression moves these numbers far outside
+the windows while legitimate numerical drift does not.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dv3d.cell import DV3DCell
+from repro.dv3d.combined import CombinedPlot
+from repro.dv3d.hovmoller import HovmollerSlicerPlot
+from repro.dv3d.isosurface import IsosurfacePlot
+from repro.dv3d.slicer import SlicerPlot
+from repro.dv3d.vector_slicer import VectorSlicerPlot
+from repro.dv3d.volume import VolumePlot
+
+SIZE = (96, 72)
+
+
+def stats(frame: np.ndarray) -> dict:
+    return {
+        "mean": float(frame.mean()),
+        "std": float(frame.std()),
+        "nonbg": float((frame.std(axis=2) > 1).mean() + (frame.mean(axis=2) > 40).mean()),
+    }
+
+
+def check(frame: np.ndarray, mean_window, min_std) -> None:
+    s = stats(frame)
+    assert mean_window[0] <= s["mean"] <= mean_window[1], s
+    assert s["std"] >= min_std, s
+
+
+class TestRenderWindows:
+    def test_slicer_window(self, ta):
+        frame = SlicerPlot(ta).render(*SIZE).to_uint8()
+        # background ~ (20,20,31); slices add bright structure
+        check(frame, (20, 120), 10.0)
+
+    def test_volume_window(self, ta):
+        frame = VolumePlot(ta, center=0.8, width=0.3).render(*SIZE).to_uint8()
+        check(frame, (15, 120), 5.0)
+
+    def test_isosurface_window(self, storm):
+        plot = IsosurfacePlot(storm("wspd"), color_variable=storm("tcore"))
+        plot.set_time_index(2)
+        frame = plot.render(*SIZE).to_uint8()
+        check(frame, (15, 120), 5.0)
+
+    def test_hovmoller_window(self, waves):
+        frame = HovmollerSlicerPlot(waves("olr_anom")).render(*SIZE).to_uint8()
+        check(frame, (20, 140), 10.0)
+
+    def test_vector_window(self, reanalysis):
+        plot = VectorSlicerPlot(reanalysis("ua"), reanalysis("va"), glyph_stride=4)
+        frame = plot.render(*SIZE).to_uint8()
+        check(frame, (15, 100), 3.0)
+
+    def test_combined_window(self, ta):
+        combo = CombinedPlot([
+            VolumePlot(ta, center=0.8, width=0.3),
+            SlicerPlot(ta, enabled_planes=("z",)),
+        ])
+        frame = combo.render(*SIZE).to_uint8()
+        check(frame, (15, 130), 8.0)
+
+    def test_dressed_cell_window(self, ta):
+        cell = DV3DCell(SlicerPlot(ta), dataset_label="TA", show_axes=True)
+        frame = cell.render(*SIZE).to_uint8()
+        check(frame, (25, 130), 12.0)
+
+    def test_renders_deterministic(self, ta):
+        """The same scene renders bit-identically twice."""
+        a = SlicerPlot(ta).render(*SIZE).to_uint8()
+        b = SlicerPlot(ta).render(*SIZE).to_uint8()
+        np.testing.assert_array_equal(a, b)
+
+
+class TestExecutorProgress:
+    def test_progress_callback_fires_per_module(self, registry):
+        from repro.workflow.executor import Executor
+        from repro.workflow.pipeline import Pipeline
+        from tests.conftest import build_cell_chain
+
+        pipeline = Pipeline(registry)
+        build_cell_chain(pipeline, width=24, height=18)
+        events = []
+        ex = Executor(
+            caching=False,
+            on_module_complete=lambda run, done, total: events.append(
+                (run.module_name, done, total)
+            ),
+        )
+        ex.execute(pipeline)
+        assert len(events) == 4
+        assert events[-1][1] == events[-1][2] == 4
+        assert events[0][2] == 4

@@ -1,0 +1,174 @@
+"""The 2-D baseline plotting toolkit."""
+
+import numpy as np
+import pytest
+
+from repro.cdat import zonal_mean
+from repro.plots2d import (
+    Chart2D,
+    contour_plot,
+    histogram_plot,
+    line_plot,
+    pseudocolor_plot,
+    scatter_plot,
+)
+from repro.util.errors import RenderingError
+
+
+class TestChart2D:
+    def test_transform_corners(self):
+        chart = Chart2D(200, 150, x_range=(0, 10), y_range=(0, 5))
+        x0, y0, x1, y1 = chart.plot_box
+        px, py = chart.to_pixel(np.array([0.0, 10.0]), np.array([0.0, 5.0]))
+        assert px[0] == pytest.approx(x0)
+        assert px[1] == pytest.approx(x1)
+        assert py[0] == pytest.approx(y1)  # y grows upward in data space
+        assert py[1] == pytest.approx(y0)
+
+    def test_degenerate_range_rejected(self):
+        with pytest.raises(RenderingError):
+            Chart2D(x_range=(1.0, 1.0))
+
+    def test_too_small_rejected(self):
+        with pytest.raises(RenderingError):
+            Chart2D(width=40, height=30)
+
+    def test_polyline_draws_inside_box(self):
+        chart = Chart2D(200, 150, x_range=(0, 1), y_range=(0, 1),
+                        background=(0, 0, 0))
+        chart.polyline([0.0, 1.0], [0.0, 1.0], color=(1, 0, 0))
+        x0, y0, x1, y1 = chart.plot_box
+        red = chart.fb.color[..., 0]
+        assert red.max() == 1.0
+        # nothing outside the plot box
+        assert red[: y0, :].max() == 0.0
+        assert red[:, : x0].max() == 0.0
+
+    def test_nan_breaks_polyline(self):
+        chart = Chart2D(200, 150, x_range=(0, 1), y_range=(0, 1),
+                        background=(0, 0, 0))
+        # two short segments with a NaN gap between them
+        chart.polyline([0.0, 0.2, np.nan, 0.8, 1.0],
+                       [0.5, 0.5, np.nan, 0.5, 0.5], color=(1, 1, 1))
+        row = chart.fb.color[..., 0].max(axis=0)
+        lit = np.nonzero(row > 0)[0]
+        assert lit.size > 0
+        # a gap exists: the lit columns are not one contiguous run
+        assert (np.diff(lit) > 1).any()
+
+    def test_axes_add_frame_and_labels(self):
+        chart = Chart2D(200, 150, x_range=(0, 10), y_range=(0, 5),
+                        title="T", x_label="X", background=(0, 0, 0))
+        chart.draw_axes()
+        img = chart.to_uint8()
+        assert img.max() > 100  # frame/labels drew something bright
+
+    def test_filled_columns_validation(self):
+        chart = Chart2D(200, 150, x_range=(0, 3), y_range=(0, 5))
+        with pytest.raises(RenderingError):
+            chart.filled_columns([0, 1], [1, 2])
+
+
+class TestLinePlot:
+    def test_time_series(self, ta):
+        from repro.cdat import area_average
+
+        series = area_average(ta(level=500).squeeze())
+        chart = line_plot(series, title="TA 500")
+        img = chart.to_uint8()
+        assert img.shape == (300, 400, 3)
+
+    def test_multiple_series_colors(self, ta):
+        from repro.cdat import area_average
+
+        s1 = area_average(ta(level=1000.0).squeeze())
+        s2 = area_average(ta(level=100.0).squeeze())
+        chart = line_plot(s1, s2)
+        img = chart.to_uint8().astype(int)
+        # two distinct line colors present
+        bright = img[img.sum(axis=2) > 250]
+        assert len(np.unique(bright, axis=0)) >= 2
+
+    def test_plain_array(self):
+        chart = line_plot(np.sin(np.linspace(0, 6, 50)))
+        assert chart.to_uint8().shape == (300, 400, 3)
+
+    def test_needs_1d(self, ta):
+        with pytest.raises(RenderingError):
+            line_plot(ta)
+
+    def test_no_series(self):
+        with pytest.raises(RenderingError):
+            line_plot()
+
+
+class TestScatter:
+    def test_correlated_fields(self, reanalysis):
+        a = reanalysis("ta")(level=500).squeeze()
+        chart = scatter_plot(a, a * 2.0 + 1.0)
+        assert chart.to_uint8().shape == (300, 400, 3)
+
+    def test_shape_mismatch(self, reanalysis):
+        with pytest.raises(RenderingError):
+            scatter_plot(reanalysis("ta"), reanalysis("ta")(latitude=(-30, 30)))
+
+    def test_thinning_large_inputs(self, reanalysis):
+        a = reanalysis("ta")
+        chart = scatter_plot(a, a, max_points=100)
+        assert chart.to_uint8().shape == (300, 400, 3)
+
+
+class TestHistogram:
+    def test_counts_rendered(self, ta):
+        chart = histogram_plot(ta, bins=15)
+        img = chart.to_uint8()
+        assert (img[..., 2] > 150).sum() > 100  # blue bars present
+
+    def test_bad_bins(self, ta):
+        with pytest.raises(RenderingError):
+            histogram_plot(ta, bins=0)
+
+    def test_masked_excluded(self, simple_variable):
+        chart = histogram_plot(simple_variable)
+        assert chart.to_uint8().shape == (300, 400, 3)
+
+
+class TestFieldPlots:
+    def test_contour_plot(self, ta):
+        field = ta(level=500.0)[0].squeeze()
+        chart = contour_plot(field, n_levels=6)
+        img = chart.to_uint8()
+        # contour strokes appear inside the plot box
+        x0, y0, x1, y1 = chart.plot_box
+        interior = img[y0 + 1 : y1, x0 + 1 : x1]
+        assert (interior.max(axis=2) > 150).sum() > 50
+
+    def test_contour_requires_2d_gridded(self, ta):
+        with pytest.raises(RenderingError):
+            contour_plot(ta)  # 4-D
+
+    def test_pseudocolor_plot(self, ta):
+        field = ta(level=500.0)[0].squeeze()
+        chart = pseudocolor_plot(field, colormap="jet")
+        img = chart.to_uint8()
+        x0, y0, x1, y1 = chart.plot_box
+        interior = img[y0 + 2 : y1 - 1, x0 + 2 : x1 - 1]
+        # a filled field: essentially every interior pixel colored
+        assert (interior.sum(axis=2) > 30).mean() > 0.95
+
+    def test_pseudocolor_orientation(self, ta):
+        """North (high latitude) must land at the top of the image."""
+        field = ta(level=1000.0)[0].squeeze()
+        chart = pseudocolor_plot(field, colormap="grayscale")
+        img = chart.to_uint8().astype(float)
+        x0, y0, x1, y1 = chart.plot_box
+        top_band = img[y0 + 2 : y0 + 10, x0 + 2 : x1 - 1].mean()
+        mid_band = img[(y0 + y1) // 2 - 4 : (y0 + y1) // 2 + 4, x0 + 2 : x1 - 1].mean()
+        # surface temperature: equator (mid) brighter than pole (top)
+        assert mid_band > top_band
+
+    def test_zonal_mean_profile_plot(self, ta):
+        """The classic zonal-mean line plot via the same toolkit."""
+        profile = zonal_mean(ta(level=500.0)[0].squeeze())
+        chart = line_plot(profile, title="zonal mean")
+        assert chart.to_uint8().shape == (300, 400, 3)

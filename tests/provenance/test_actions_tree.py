@@ -1,0 +1,162 @@
+"""Change actions and the version tree: replay, branching, ancestry."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.provenance.actions import (
+    AddConnection,
+    AddModule,
+    DeleteConnection,
+    DeleteModule,
+    SetParameter,
+    action_from_dict,
+)
+from repro.provenance.version_tree import ROOT_VERSION, VersionTree
+from repro.util.errors import ProvenanceError
+from repro.workflow.module import Module, ParameterSpec
+from repro.workflow.pipeline import Pipeline
+from repro.workflow.ports import PortSpec
+from repro.workflow.registry import ModuleRegistry
+
+
+class Node(Module):
+    name = "Node"
+    input_ports = (PortSpec("in", optional=True),)
+    output_ports = (PortSpec("out"),)
+    parameters = (ParameterSpec("x", 0),)
+
+    def compute(self, inputs):
+        return {"out": self.parameter_values["x"]}
+
+
+@pytest.fixture()
+def registry():
+    reg = ModuleRegistry()
+    reg.register("t", Node)
+    return reg
+
+
+class TestActions:
+    def test_roundtrip_all_kinds(self):
+        actions = [
+            AddModule(0, "t:Node", {"x": 3}),
+            DeleteModule(0),
+            AddConnection(0, 1, "out", 2, "in"),
+            DeleteConnection(0),
+            SetParameter(1, "x", [1, 2]),
+        ]
+        for action in actions:
+            restored = action_from_dict(action.to_dict())
+            assert restored == action
+
+    def test_unknown_kind(self):
+        with pytest.raises(ProvenanceError):
+            action_from_dict({"kind": "Teleport"})
+
+    def test_malformed_payload(self):
+        with pytest.raises(ProvenanceError):
+            action_from_dict({"kind": "AddModule", "module_id": 1})
+
+    def test_non_json_value_rejected(self):
+        with pytest.raises(ProvenanceError):
+            SetParameter(0, "x", object())
+
+    def test_apply_add_module(self, registry):
+        pipeline = Pipeline(registry)
+        AddModule(5, "t:Node", {"x": 9}).apply(pipeline)
+        assert pipeline.modules[5].parameters["x"] == 9
+
+    def test_describe_is_readable(self):
+        assert "Node" in AddModule(0, "t:Node", {}).describe()
+        assert "=" in SetParameter(0, "x", 1).describe()
+
+
+class TestVersionTree:
+    def test_root_exists(self):
+        tree = VersionTree()
+        assert ROOT_VERSION in tree
+        assert len(tree) == 1
+
+    def test_add_action_creates_child(self):
+        tree = VersionTree()
+        v1 = tree.add_action(ROOT_VERSION, AddModule(0, "t:Node", {}))
+        assert tree.node(v1).parent == ROOT_VERSION
+        assert tree.children(ROOT_VERSION) == [v1]
+
+    def test_branching(self):
+        tree = VersionTree()
+        v1 = tree.add_action(ROOT_VERSION, AddModule(0, "t:Node", {}))
+        v2a = tree.add_action(v1, SetParameter(0, "x", 1))
+        v2b = tree.add_action(v1, SetParameter(0, "x", 2))
+        assert set(tree.children(v1)) == {v2a, v2b}
+        assert tree.branch_points() == [v1]
+        assert set(tree.leaves()) == {v2a, v2b}
+
+    def test_materialize_replays_actions(self, registry):
+        tree = VersionTree()
+        v1 = tree.add_action(ROOT_VERSION, AddModule(0, "t:Node", {"x": 1}))
+        v2 = tree.add_action(v1, SetParameter(0, "x", 7))
+        pipeline = tree.materialize(v2, registry)
+        assert pipeline.modules[0].parameters["x"] == 7
+        # the parent version still materializes to the older state
+        older = tree.materialize(v1, registry)
+        assert older.modules[0].parameters["x"] == 1
+
+    def test_materialize_bad_replay_attributed(self, registry):
+        tree = VersionTree()
+        v1 = tree.add_action(ROOT_VERSION, DeleteModule(99))  # invalid from root
+        with pytest.raises(ProvenanceError, match="replaying"):
+            tree.materialize(v1, registry)
+
+    def test_common_ancestor(self):
+        tree = VersionTree()
+        v1 = tree.add_action(ROOT_VERSION, AddModule(0, "t:Node", {}))
+        v2a = tree.add_action(v1, SetParameter(0, "x", 1))
+        v2b = tree.add_action(v1, SetParameter(0, "x", 2))
+        v3a = tree.add_action(v2a, SetParameter(0, "x", 3))
+        assert tree.common_ancestor(v3a, v2b) == v1
+        assert tree.common_ancestor(v3a, v2a) == v2a
+        assert tree.common_ancestor(v1, v1) == v1
+
+    def test_tags_unique(self):
+        tree = VersionTree()
+        v1 = tree.add_action(ROOT_VERSION, AddModule(0, "t:Node", {}))
+        v2 = tree.add_action(v1, SetParameter(0, "x", 1))
+        tree.tag(v1, "good")
+        tree.tag(v2, "good")  # moves the tag
+        assert tree.version_by_tag("good") == v2
+        with pytest.raises(ProvenanceError):
+            tree.version_by_tag("absent")
+
+    def test_unknown_version(self):
+        tree = VersionTree()
+        with pytest.raises(ProvenanceError):
+            tree.node(42)
+
+    def test_serialization_roundtrip(self, registry):
+        tree = VersionTree()
+        v1 = tree.add_action(ROOT_VERSION, AddModule(0, "t:Node", {"x": 5}))
+        v2 = tree.add_action(v1, SetParameter(0, "x", 6))
+        tree.add_action(v1, SetParameter(0, "x", 7))  # branch
+        tree.tag(v2, "chosen")
+        restored = VersionTree.from_dict(tree.to_dict())
+        assert len(restored) == len(tree)
+        assert restored.version_by_tag("chosen") == v2
+        assert restored.materialize(v2, registry).modules[0].parameters["x"] == 6
+        # growth continues without id collisions
+        v_new = restored.add_action(v2, SetParameter(0, "x", 8))
+        assert v_new not in (v1, v2)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=6), min_size=1, max_size=12))
+    def test_path_to_root_always_terminates(self, parent_choices):
+        """Random tree growth: every node's root path ends at ROOT."""
+        tree = VersionTree()
+        versions = [ROOT_VERSION]
+        for i, choice in enumerate(parent_choices):
+            parent = versions[choice % len(versions)]
+            versions.append(tree.add_action(parent, SetParameter(0, "x", i)))
+        for version in versions:
+            path = tree.path_to_root(version)
+            assert path[-1] == ROOT_VERSION
+            assert len(set(path)) == len(path)  # no cycles

@@ -1,0 +1,62 @@
+"""The execution log: recording, querying, persistence."""
+
+import pytest
+
+from repro.provenance.log import ExecutionLog, LogEntry
+from repro.util.errors import ProvenanceError
+from repro.workflow.executor import ExecutionResult, ModuleRun
+
+
+def fake_result(statuses=("ok", "ok"), wall=0.5):
+    return ExecutionResult(
+        outputs={},
+        runs=[ModuleRun(i, f"m{i}", s, 0.1) for i, s in enumerate(statuses)],
+        cache_hits=sum(1 for s in statuses if s == "cached"),
+        cache_misses=sum(1 for s in statuses if s != "cached"),
+        wall_time=wall,
+    )
+
+
+class TestRecording:
+    def test_record_basic(self):
+        log = ExecutionLog()
+        entry = log.record("trail", 3, fake_result(), sheet="main")
+        assert len(log) == 1
+        assert entry.version == 3
+        assert entry.annotations["sheet"] == "main"
+        assert entry.ok
+
+    def test_failed_run_not_ok(self):
+        log = ExecutionLog()
+        entry = log.record("trail", 1, fake_result(statuses=("ok", "error")))
+        assert not entry.ok
+
+    def test_for_version_filters(self):
+        log = ExecutionLog()
+        log.record("a", 1, fake_result())
+        log.record("a", 2, fake_result())
+        log.record("b", 1, fake_result())
+        assert len(log.for_version("a", 1)) == 1
+        assert len(log.for_version("a", 9)) == 0
+
+    def test_total_module_time(self):
+        log = ExecutionLog()
+        log.record("a", 1, fake_result(statuses=("ok", "ok", "ok")))
+        assert log.total_module_time() == pytest.approx(0.3)
+        assert log.total_module_time("m0") == pytest.approx(0.1)
+
+
+class TestPersistence:
+    def test_save_load(self, tmp_path):
+        log = ExecutionLog()
+        log.record("trail", 2, fake_result(), note="hi")
+        path = tmp_path / "log.json"
+        log.save(path)
+        loaded = ExecutionLog.load(path)
+        assert len(loaded) == 1
+        assert loaded.entries[0].annotations["note"] == "hi"
+        assert loaded.entries[0].module_runs[0]["module_name"] == "m0"
+
+    def test_malformed_entry(self):
+        with pytest.raises(ProvenanceError):
+            LogEntry.from_dict({"vistrail_name": "x"})

@@ -1,0 +1,164 @@
+"""The vistrail controller: transparent capture, branching, persistence."""
+
+import pytest
+
+from repro.provenance.query import diff_versions, find_versions_by_tag, version_history
+from repro.provenance.vistrail import Vistrail
+from repro.util.errors import ProvenanceError
+from repro.workflow.module import Module, ParameterSpec
+from repro.workflow.ports import PortSpec
+from repro.workflow.registry import ModuleRegistry
+
+
+class Stage(Module):
+    name = "Stage"
+    input_ports = (PortSpec("in", optional=True),)
+    output_ports = (PortSpec("out"),)
+    parameters = (ParameterSpec("level", 0),)
+
+    def compute(self, inputs):
+        return {"out": self.parameter_values["level"]}
+
+
+@pytest.fixture()
+def registry():
+    reg = ModuleRegistry()
+    reg.register("t", Stage)
+    return reg
+
+
+@pytest.fixture()
+def vistrail(registry):
+    return Vistrail("exploration", registry)
+
+
+class TestCapture:
+    def test_every_edit_creates_a_version(self, vistrail):
+        a = vistrail.add_module("Stage")
+        b = vistrail.add_module("Stage")
+        vistrail.add_connection(a, "out", b, "in")
+        vistrail.set_parameter(a, "level", 3)
+        # root + 4 edits
+        assert len(vistrail.tree) == 5
+        assert vistrail.current_version == 4
+
+    def test_pipeline_mirrors_edits(self, vistrail):
+        a = vistrail.add_module("Stage", {"level": 1})
+        assert vistrail.pipeline.modules[a].parameters["level"] == 1
+        vistrail.set_parameter(a, "level", 2)
+        assert vistrail.pipeline.modules[a].parameters["level"] == 2
+
+    def test_delete_module_records_connection_deletions(self, vistrail):
+        a = vistrail.add_module("Stage")
+        b = vistrail.add_module("Stage")
+        vistrail.add_connection(a, "out", b, "in")
+        before = vistrail.current_version
+        vistrail.delete_module(a)
+        # one DeleteConnection + one DeleteModule
+        assert vistrail.current_version == before + 2
+        # the resulting version replays cleanly
+        replayed = vistrail.tree.materialize(vistrail.current_version, vistrail.registry)
+        assert list(replayed.modules) == [b]
+
+
+class TestNavigation:
+    def test_checkout_restores_old_state(self, vistrail):
+        a = vistrail.add_module("Stage", {"level": 1})
+        v_before = vistrail.current_version
+        vistrail.set_parameter(a, "level", 99)
+        vistrail.checkout(v_before)
+        assert vistrail.pipeline.modules[a].parameters["level"] == 1
+
+    def test_branching_preserves_both_lines(self, vistrail):
+        a = vistrail.add_module("Stage")
+        fork = vistrail.current_version
+        vistrail.set_parameter(a, "level", 1)
+        branch_one = vistrail.current_version
+        vistrail.checkout(fork)
+        vistrail.set_parameter(a, "level", 2)
+        branch_two = vistrail.current_version
+        assert vistrail.tree.materialize(branch_one, vistrail.registry).modules[a].parameters["level"] == 1
+        assert vistrail.tree.materialize(branch_two, vistrail.registry).modules[a].parameters["level"] == 2
+        assert set(vistrail.tree.children(fork)) == {branch_one, branch_two}
+
+    def test_new_modules_after_checkout_do_not_collide(self, vistrail):
+        a = vistrail.add_module("Stage")
+        v1 = vistrail.current_version
+        b = vistrail.add_module("Stage")
+        vistrail.checkout(v1)
+        c = vistrail.add_module("Stage")
+        assert c not in (a, b)
+
+    def test_checkout_tag(self, vistrail):
+        vistrail.add_module("Stage")
+        vistrail.tag("setup")
+        vistrail.add_module("Stage")
+        vistrail.checkout_tag("setup")
+        assert len(vistrail.pipeline.modules) == 1
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, vistrail, registry, tmp_path):
+        a = vistrail.add_module("Stage", {"level": 4})
+        vistrail.tag("final")
+        path = tmp_path / "trail.json"
+        vistrail.save(path)
+        loaded = Vistrail.load(path, registry)
+        assert loaded.name == "exploration"
+        assert loaded.current_version == vistrail.current_version
+        assert loaded.pipeline.modules[a].parameters["level"] == 4
+        assert loaded.tree.version_by_tag("final") == vistrail.current_version
+
+    def test_load_corrupt_file(self, registry, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ProvenanceError):
+            Vistrail.load(path, registry)
+
+    def test_loaded_vistrail_continues_editing(self, vistrail, registry, tmp_path):
+        vistrail.add_module("Stage")
+        path = tmp_path / "t.json"
+        vistrail.save(path)
+        loaded = Vistrail.load(path, registry)
+        new_module = loaded.add_module("Stage")
+        assert new_module == 1  # continues the id sequence
+
+
+class TestQueries:
+    def test_version_history(self, vistrail):
+        a = vistrail.add_module("Stage")
+        vistrail.set_parameter(a, "level", 5)
+        history = version_history(vistrail, vistrail.current_version)
+        assert len(history) == 2
+        assert "add module" in history[0]
+        assert "level" in history[1]
+
+    def test_find_versions_by_tag(self, vistrail):
+        vistrail.add_module("Stage")
+        vistrail.tag("one")
+        vistrail.add_module("Stage")
+        vistrail.tag("two")
+        tags = find_versions_by_tag(vistrail)
+        assert set(tags) >= {"one", "two"}
+        assert tags["two"] > tags["one"]
+
+    def test_diff_versions(self, vistrail):
+        a = vistrail.add_module("Stage")
+        fork = vistrail.current_version
+        vistrail.set_parameter(a, "level", 1)
+        v_one = vistrail.current_version
+        vistrail.checkout(fork)
+        vistrail.set_parameter(a, "level", 2)
+        v_two = vistrail.current_version
+        diff = diff_versions(vistrail.tree, v_one, v_two)
+        assert diff["common_ancestor"] == [f"version {fork}"]
+        assert len(diff["only_a"]) == 1 and len(diff["only_b"]) == 1
+        assert "1" in diff["only_a"][0] and "2" in diff["only_b"][0]
+
+    def test_find_versions_by_module(self, vistrail):
+        from repro.provenance.query import find_versions_by_module
+
+        vistrail.add_module("Stage")
+        vistrail.add_module("Stage")
+        hits = find_versions_by_module(vistrail, "Stage")
+        assert len(hits) == 2

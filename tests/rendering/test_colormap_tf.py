@@ -1,0 +1,155 @@
+"""Colormaps and transfer functions: mapping, leveling, serialization."""
+
+import numpy as np
+import pytest
+
+from repro.rendering.colormap import Colormap, colormap_names, get_colormap
+from repro.rendering.transfer_function import (
+    ColorTransferFunction,
+    OpacityTransferFunction,
+    TransferFunction,
+)
+from repro.util.errors import RenderingError
+
+
+class TestColormap:
+    def test_table_shape_and_range(self):
+        cmap = Colormap("jet", n_colors=64)
+        assert cmap.table.shape == (64, 3)
+        assert cmap.table.min() >= 0.0 and cmap.table.max() <= 1.0
+
+    def test_unknown_name(self):
+        with pytest.raises(RenderingError):
+            Colormap("nonexistent")
+
+    def test_map_scalars_endpoints(self):
+        cmap = Colormap("grayscale")
+        rgb = cmap.map_scalars(np.array([0.0, 1.0]), 0.0, 1.0)
+        np.testing.assert_allclose(rgb[0], [0, 0, 0], atol=1e-6)
+        np.testing.assert_allclose(rgb[1], [1, 1, 1], atol=1e-6)
+
+    def test_map_scalars_clamps(self):
+        cmap = Colormap("grayscale")
+        rgb = cmap.map_scalars(np.array([-5.0, 5.0]), 0.0, 1.0)
+        np.testing.assert_allclose(rgb[0], [0, 0, 0], atol=1e-6)
+        np.testing.assert_allclose(rgb[1], [1, 1, 1], atol=1e-6)
+
+    def test_nan_gets_nan_color(self):
+        cmap = Colormap("jet")
+        rgb = cmap.map_scalars(np.array([np.nan]), 0.0, 1.0, nan_color=(1, 0, 1))
+        np.testing.assert_allclose(rgb[0], [1, 0, 1])
+
+    def test_invert_reverses(self):
+        cmap = Colormap("jet")
+        inv = cmap.invert()
+        np.testing.assert_allclose(cmap.table, inv.table[::-1], atol=1e-6)
+        assert inv.invert().inverted is False
+
+    def test_next_map_cycles_through_all(self):
+        cmap = Colormap(colormap_names()[0])
+        seen = {cmap.name}
+        for _ in range(len(colormap_names()) - 1):
+            cmap = cmap.next_map()
+            seen.add(cmap.name)
+        assert seen == set(colormap_names())
+
+    def test_degenerate_range(self):
+        cmap = Colormap("jet")
+        rgb = cmap.map_scalars(np.array([5.0]), 5.0, 5.0)
+        assert rgb.shape == (1, 3)
+
+    def test_state_roundtrip(self):
+        cmap = Colormap("coolwarm", n_colors=32, inverted=True)
+        back = Colormap.from_state(cmap.state())
+        np.testing.assert_allclose(cmap.table, back.table)
+
+    def test_colorbar_strip(self):
+        strip = get_colormap("jet").colorbar_strip(width=5, height=20)
+        assert strip.shape == (20, 5, 3)
+        # low values at the bottom
+        np.testing.assert_allclose(strip[-1, 0], Colormap("jet").table[0], atol=1e-6)
+
+    def test_preserves_shape(self):
+        cmap = Colormap("default")
+        rgb = cmap.map_scalars(np.zeros((4, 5)), 0.0, 1.0)
+        assert rgb.shape == (4, 5, 3)
+
+
+class TestOpacityFunction:
+    def test_interpolation(self):
+        otf = OpacityTransferFunction([(0.0, 0.0), (1.0, 1.0)])
+        np.testing.assert_allclose(otf(np.array([0.25, 0.75])), [0.25, 0.75])
+
+    def test_needs_two_points(self):
+        with pytest.raises(RenderingError):
+            OpacityTransferFunction([(0.5, 0.5)])
+
+    def test_rejects_out_of_range_points(self):
+        with pytest.raises(RenderingError):
+            OpacityTransferFunction([(0.0, 0.0), (1.5, 1.0)])
+
+    def test_window_peak_at_center(self):
+        otf = OpacityTransferFunction.window(0.5, 0.4, peak=0.8)
+        assert otf(np.array([0.5]))[0] == pytest.approx(0.8)
+        assert otf(np.array([0.0]))[0] == pytest.approx(0.0)
+        assert otf(np.array([1.0]))[0] == pytest.approx(0.0)
+
+    def test_window_clipped_at_edges(self):
+        otf = OpacityTransferFunction.window(0.0, 0.4)
+        assert otf(np.array([0.0]))[0] > 0.5  # peak clipped to x=0
+
+    def test_ramp(self):
+        otf = OpacityTransferFunction.ramp(0.5, 0.1)
+        assert otf(np.array([0.4]))[0] == 0.0
+        assert otf(np.array([0.8]))[0] == pytest.approx(1.0)
+
+
+class TestTransferFunction:
+    def test_evaluate_shapes(self):
+        tf = TransferFunction((0.0, 10.0))
+        rgb, alpha = tf.evaluate(np.array([1.0, 5.0, 9.0]))
+        assert rgb.shape == (3, 3) and alpha.shape == (3,)
+
+    def test_nan_zero_opacity(self):
+        tf = TransferFunction((0.0, 10.0))
+        _, alpha = tf.evaluate(np.array([np.nan]))
+        assert alpha[0] == 0.0
+
+    def test_level_moves_center(self):
+        tf = TransferFunction((0.0, 1.0), center=0.5, width=0.2)
+        moved = tf.level(0.2, 0.0)
+        assert moved.center == pytest.approx(0.7)
+        assert moved.width == pytest.approx(0.2, rel=1e-6)
+
+    def test_level_scales_width(self):
+        tf = TransferFunction((0.0, 1.0), center=0.5, width=0.2)
+        widened = tf.level(0.0, 0.5)
+        assert widened.width == pytest.approx(0.3, rel=1e-6)
+
+    def test_level_clamps(self):
+        tf = TransferFunction((0.0, 1.0), center=0.9, width=0.2)
+        assert tf.level(0.5, 0.0).center == 1.0
+        assert tf.level(0.0, -10.0).width >= 1e-3
+
+    def test_bad_range(self):
+        with pytest.raises(RenderingError):
+            TransferFunction((5.0, 5.0))
+
+    def test_state_roundtrip(self):
+        tf = TransferFunction((0.0, 10.0), center=0.3, width=0.15, peak_opacity=0.6)
+        back = TransferFunction.from_state(tf.state())
+        assert back.center == tf.center
+        assert back.width == tf.width
+        assert back.scalar_range == tf.scalar_range
+
+    def test_opacity_peaks_inside_window(self):
+        tf = TransferFunction((0.0, 100.0), center=0.5, width=0.2)
+        _, alpha_in = tf.evaluate(np.array([50.0]))
+        _, alpha_out = tf.evaluate(np.array([10.0]))
+        assert alpha_in[0] > alpha_out[0]
+
+    def test_color_window(self):
+        ctf = ColorTransferFunction(Colormap("grayscale"), window=(0.25, 0.75))
+        rgb = ctf(np.array([0.25, 0.75]))
+        np.testing.assert_allclose(rgb[0], [0, 0, 0], atol=1e-6)
+        np.testing.assert_allclose(rgb[1], [1, 1, 1], atol=1e-6)

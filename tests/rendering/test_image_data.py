@@ -1,0 +1,136 @@
+"""ImageData: structure, coordinates, sampling, slicing, gradients."""
+
+import numpy as np
+import pytest
+
+from repro.rendering.image_data import ImageData
+from repro.util.errors import RenderingError
+
+
+@pytest.fixture()
+def ramp_volume():
+    """v(x, y, z) = x + 10y + 100z on a 5×4×3 grid with spacing (1, 2, 3)."""
+    vol = ImageData((5, 4, 3), origin=(0.0, 0.0, 0.0), spacing=(1.0, 2.0, 3.0))
+    i, j, k = np.meshgrid(np.arange(5), np.arange(4), np.arange(3), indexing="ij")
+    x, y, z = i * 1.0, j * 2.0, k * 3.0
+    vol.add_array("ramp", x + 10 * y + 100 * z)
+    return vol
+
+
+class TestStructure:
+    def test_bounds(self, ramp_volume):
+        assert ramp_volume.bounds() == (0.0, 4.0, 0.0, 6.0, 0.0, 6.0)
+
+    def test_center(self, ramp_volume):
+        np.testing.assert_allclose(ramp_volume.center(), [2.0, 3.0, 3.0])
+
+    def test_diagonal(self, ramp_volume):
+        assert ramp_volume.diagonal() == pytest.approx(np.sqrt(16 + 36 + 36))
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(RenderingError):
+            ImageData((0, 2, 2))
+
+    def test_rejects_bad_spacing(self):
+        with pytest.raises(RenderingError):
+            ImageData((2, 2, 2), spacing=(1.0, 0.0, 1.0))
+
+    def test_n_points(self, ramp_volume):
+        assert ramp_volume.n_points == 60
+
+
+class TestArrays:
+    def test_shape_validation(self, ramp_volume):
+        with pytest.raises(RenderingError):
+            ramp_volume.add_array("bad", np.zeros((2, 2, 2)))
+
+    def test_vector_array(self, ramp_volume):
+        ramp_volume.add_array("vec", np.zeros((5, 4, 3, 3)), set_active=False)
+        assert ramp_volume.get_array("vec").shape == (5, 4, 3, 3)
+
+    def test_active_scalars(self, ramp_volume):
+        assert ramp_volume.active_scalars_name == "ramp"
+        ramp_volume.add_array("other", np.ones((5, 4, 3)))
+        assert ramp_volume.active_scalars_name == "other"
+        ramp_volume.set_active_scalars("ramp")
+        assert ramp_volume.active_scalars_name == "ramp"
+
+    def test_vector_cannot_be_active(self, ramp_volume):
+        ramp_volume.add_array("vec", np.zeros((5, 4, 3, 3)), set_active=False)
+        with pytest.raises(RenderingError):
+            ramp_volume.set_active_scalars("vec")
+
+    def test_missing_array_lists_available(self, ramp_volume):
+        with pytest.raises(RenderingError, match="ramp"):
+            ramp_volume.get_array("absent")
+
+    def test_scalar_range_ignores_nan(self):
+        vol = ImageData((2, 2, 2))
+        data = np.ones((2, 2, 2))
+        data[0, 0, 0] = np.nan
+        vol.add_array("x", data)
+        assert vol.scalar_range() == (1.0, 1.0)
+
+
+class TestCoordinates:
+    def test_index_world_roundtrip(self, ramp_volume):
+        ijk = np.array([[1.0, 2.0, 0.5]])
+        world = ramp_volume.index_to_world(ijk)
+        np.testing.assert_allclose(world, [[1.0, 4.0, 1.5]])
+        np.testing.assert_allclose(ramp_volume.world_to_index(world), ijk)
+
+    def test_axis_coordinates(self, ramp_volume):
+        np.testing.assert_allclose(ramp_volume.axis_coordinates(1), [0.0, 2.0, 4.0, 6.0])
+
+
+class TestSampling:
+    def test_trilinear_exact_on_linear_field(self, ramp_volume):
+        pts = np.array([[0.5, 1.0, 1.5], [2.25, 3.5, 4.5]])
+        values = ramp_volume.sample(pts)
+        expected = pts[:, 0] + 10 * pts[:, 1] + 100 * pts[:, 2]
+        np.testing.assert_allclose(values, expected, rtol=1e-6)
+
+    def test_outside_returns_fill(self, ramp_volume):
+        value = ramp_volume.sample(np.array([[100.0, 0.0, 0.0]]))
+        assert np.isnan(value[0])
+
+    def test_vector_sampling(self, ramp_volume):
+        vec = np.zeros((5, 4, 3, 3))
+        vec[..., 0] = 2.0
+        ramp_volume.add_array("vec", vec, set_active=False)
+        out = ramp_volume.sample_vector(np.array([[1.0, 1.0, 1.0]]), "vec")
+        np.testing.assert_allclose(out, [[2.0, 0.0, 0.0]])
+
+
+class TestSlicing:
+    def test_slice_on_grid_plane(self, ramp_volume):
+        values, u, v = ramp_volume.extract_slice(0, 2.0)
+        assert values.shape == (4, 3)
+        np.testing.assert_allclose(u, [0.0, 2.0, 4.0, 6.0])
+        expected = 2.0 + 10 * u[:, None] + 100 * v[None, :]
+        np.testing.assert_allclose(values, expected, rtol=1e-6)
+
+    def test_slice_interpolates_between_planes(self, ramp_volume):
+        values, _, _ = ramp_volume.extract_slice(2, 1.5)  # between z=0 and z=3
+        expected0, _, _ = ramp_volume.extract_slice(2, 0.0)
+        expected1, _, _ = ramp_volume.extract_slice(2, 3.0)
+        np.testing.assert_allclose(values, 0.5 * (expected0 + expected1), rtol=1e-6)
+
+    def test_slice_clamps_out_of_range(self, ramp_volume):
+        lo, _, _ = ramp_volume.extract_slice(0, -50.0)
+        first, _, _ = ramp_volume.extract_slice(0, 0.0)
+        np.testing.assert_allclose(lo, first)
+
+    def test_bad_axis(self, ramp_volume):
+        with pytest.raises(RenderingError):
+            ramp_volume.extract_slice(3, 0.0)
+
+
+class TestGradient:
+    def test_gradient_of_linear_field(self, ramp_volume):
+        # field = x + 10y + 100z in *world* coordinates, so the gradient
+        # per world unit is exactly (1, 10, 100) regardless of spacing
+        grad = ramp_volume.gradient()
+        np.testing.assert_allclose(grad[..., 0], 1.0, rtol=1e-5)
+        np.testing.assert_allclose(grad[..., 1], 10.0, rtol=1e-5)
+        np.testing.assert_allclose(grad[..., 2], 100.0, rtol=1e-5)

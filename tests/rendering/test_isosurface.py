@@ -1,0 +1,144 @@
+"""Marching tetrahedra: geometric correctness and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rendering.colormap import Colormap
+from repro.rendering.image_data import ImageData
+from repro.rendering.isosurface import color_surface_by_field, marching_tetrahedra
+
+
+def sphere_volume(n=32, radius_field=True):
+    x = np.linspace(-1, 1, n)
+    X, Y, Z = np.meshgrid(x, x, x, indexing="ij")
+    vol = ImageData((n, n, n), origin=(-1, -1, -1), spacing=(2 / (n - 1),) * 3)
+    vol.add_array("r", np.sqrt(X**2 + Y**2 + Z**2))
+    if radius_field:
+        vol.add_array("x", X, set_active=False)
+    return vol
+
+
+class TestSphere:
+    def test_surface_points_at_isovalue(self):
+        vol = sphere_volume(24)
+        surf = marching_tetrahedra(vol, 0.5)
+        radii = np.linalg.norm(surf.points, axis=1)
+        # linear interpolation of a radial field: small discretization error
+        np.testing.assert_allclose(radii, 0.5, atol=0.02)
+
+    def test_area_matches_analytic(self):
+        vol = sphere_volume(40)
+        surf = marching_tetrahedra(vol, 0.6)
+        expected = 4 * np.pi * 0.6**2
+        assert surf.surface_area() == pytest.approx(expected, rel=0.01)
+
+    def test_area_converges_with_resolution(self):
+        expected = 4 * np.pi * 0.6**2
+        errors = []
+        for n in (16, 32):
+            surf = marching_tetrahedra(sphere_volume(n), 0.6)
+            errors.append(abs(surf.surface_area() - expected))
+        assert errors[1] < errors[0]
+
+    def test_watertight_no_boundary_edges(self):
+        """Every interior edge must be shared by exactly two triangles."""
+        vol = sphere_volume(16)
+        surf = marching_tetrahedra(vol, 0.5)
+        tri = surf.triangles
+        edges = np.concatenate([tri[:, [0, 1]], tri[:, [1, 2]], tri[:, [2, 0]]])
+        edges = np.sort(edges, axis=1)
+        _unique, counts = np.unique(edges, axis=0, return_counts=True)
+        # a closed surface away from the volume boundary: all edges shared twice
+        assert (counts == 2).all()
+
+    def test_empty_above_max(self):
+        vol = sphere_volume(12)
+        assert marching_tetrahedra(vol, 10.0).n_points == 0
+
+    def test_empty_below_min(self):
+        vol = sphere_volume(12)
+        assert marching_tetrahedra(vol, -1.0).n_points == 0
+
+
+class TestGeneralBehavior:
+    def test_planar_field_gives_plane(self):
+        n = 10
+        vol = ImageData((n, n, n))
+        i = np.arange(n, dtype=float)
+        vol.add_array("x", np.broadcast_to(i[:, None, None], (n, n, n)).copy())
+        surf = marching_tetrahedra(vol, 4.5)
+        np.testing.assert_allclose(surf.points[:, 0], 4.5, atol=1e-6)
+        # area of the x=4.5 plane through a 9×9×9 cube of cells
+        assert surf.surface_area() == pytest.approx(81.0, rel=1e-6)
+
+    def test_nan_region_produces_no_surface(self):
+        vol = sphere_volume(16)
+        data = vol.get_array("r").copy()
+        data[:8] = np.nan  # half the volume missing
+        vol.add_array("r", data)
+        surf = marching_tetrahedra(vol, 0.5)
+        assert surf.n_points > 0
+        assert surf.points[:, 0].min() >= vol.origin[0] + 6 * vol.spacing[0]
+
+    def test_deduplication_shares_vertices(self):
+        vol = sphere_volume(16)
+        dedup = marching_tetrahedra(vol, 0.5, deduplicate=True)
+        raw = marching_tetrahedra(vol, 0.5, deduplicate=False)
+        assert dedup.n_points < raw.n_points
+        # dedup quantizes vertices at 2^-20 index units: tiny area change
+        assert dedup.surface_area() == pytest.approx(raw.surface_area(), rel=1e-5)
+
+    def test_world_coordinates_respect_origin_spacing(self):
+        n = 8
+        vol = ImageData((n, n, n), origin=(100.0, 0.0, -5.0), spacing=(2.0, 1.0, 0.5))
+        x = np.arange(n, dtype=float)
+        vol.add_array("x", np.broadcast_to(x[:, None, None], (n, n, n)).copy())
+        surf = marching_tetrahedra(vol, 3.5)
+        np.testing.assert_allclose(surf.points[:, 0], 100.0 + 3.5 * 2.0, atol=1e-6)
+
+    def test_too_small_volume(self):
+        vol = ImageData((1, 5, 5))
+        vol.add_array("x", np.zeros((1, 5, 5)))
+        assert marching_tetrahedra(vol, 0.0).n_points == 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.floats(min_value=0.15, max_value=1.2))
+    def test_watertight_property_random_isovalues(self, isovalue):
+        surf = marching_tetrahedra(sphere_volume(12), isovalue)
+        if surf.n_triangles == 0:
+            return
+        tri = surf.triangles
+        edges = np.sort(
+            np.concatenate([tri[:, [0, 1]], tri[:, [1, 2]], tri[:, [2, 0]]]), axis=1
+        )
+        _u, counts = np.unique(edges, axis=0, return_counts=True)
+        assert (counts <= 2).all()  # never more than 2 faces per edge
+
+
+class TestColoring:
+    def test_color_by_second_field(self):
+        vol = sphere_volume(20)
+        surf = marching_tetrahedra(vol, 0.5)
+        colored = color_surface_by_field(surf, vol, "x", Colormap("coolwarm"))
+        assert colored.colors is not None
+        assert colored.colors.shape == (surf.n_points, 3)
+        # x ranges over [-0.5, 0.5] on the surface: scalars reflect it
+        assert colored.scalars.min() == pytest.approx(-0.5, abs=0.05)
+        assert colored.scalars.max() == pytest.approx(0.5, abs=0.05)
+
+    def test_explicit_range(self):
+        vol = sphere_volume(16)
+        surf = marching_tetrahedra(vol, 0.5)
+        colored = color_surface_by_field(
+            surf, vol, "x", Colormap("grayscale"), value_range=(-1.0, 1.0)
+        )
+        # x=0 maps to mid-gray
+        mid = np.argmin(np.abs(colored.scalars))
+        np.testing.assert_allclose(colored.colors[mid], 0.5, atol=0.08)
+
+    def test_empty_surface_passthrough(self):
+        vol = sphere_volume(12)
+        empty = marching_tetrahedra(vol, 50.0)
+        out = color_surface_by_field(empty, vol, "x", Colormap("jet"))
+        assert out.n_points == 0

@@ -1,0 +1,148 @@
+"""Scenes, renderer composition, stereo, and text overlays."""
+
+import numpy as np
+import pytest
+
+from repro.rendering.camera import Camera
+from repro.rendering.framebuffer import Framebuffer
+from repro.rendering.geometry import PolyData, box_outline, plane_quad
+from repro.rendering.image_data import ImageData
+from repro.rendering.scene import Actor, DirectionalLight, Renderer, Scene, VolumeActor
+from repro.rendering.text import GLYPH_HEIGHT, glyph_bitmap, render_text, text_width
+from repro.rendering.transfer_function import TransferFunction
+from repro.util.errors import RenderingError
+
+
+def quad_actor(color=(1.0, 0.0, 0.0)):
+    quad = plane_quad(
+        np.array([-1.0, -1.0, 0.0]), np.array([2.0, 0, 0]), np.array([0, 2.0, 0]), 3, 3
+    )
+    return Actor(quad, color=color, name="quad")
+
+
+def small_volume():
+    n = 12
+    x = np.linspace(-1, 1, n)
+    X, Y, Z = np.meshgrid(x, x, x, indexing="ij")
+    vol = ImageData((n, n, n), origin=(-1, -1, -1), spacing=(2 / (n - 1),) * 3)
+    vol.add_array("d", np.exp(-3 * (X**2 + Y**2 + Z**2)))
+    return vol
+
+
+class TestScene:
+    def test_bounds_union(self):
+        scene = Scene()
+        scene.add_actor(quad_actor())
+        scene.add_actor(Actor(box_outline((5, 6, 5, 6, 5, 6))))
+        bounds = scene.bounds()
+        assert bounds[0] == -1.0 and bounds[1] == 6.0
+
+    def test_empty_scene_raises(self):
+        with pytest.raises(RenderingError):
+            Scene().bounds()
+
+    def test_remove_by_name(self):
+        scene = Scene()
+        scene.add_actor(quad_actor())
+        scene.add_actor(quad_actor())
+        assert scene.remove("quad") == 2
+        assert scene.actors == []
+
+    def test_invisible_actor_excluded_from_bounds(self):
+        scene = Scene()
+        scene.add_actor(quad_actor())
+        hidden = Actor(box_outline((50, 60, 50, 60, 50, 60)), visible=False)
+        scene.add_actor(hidden)
+        assert scene.bounds()[1] == 1.0
+
+
+class TestRenderer:
+    def test_render_covers_geometry(self):
+        scene = Scene(background=(0, 0, 0))
+        scene.add_actor(quad_actor())
+        fb = Renderer(40, 30).render(scene)
+        assert fb.coverage() > 0.05
+        assert fb.color.max() > 0.1
+
+    def test_invisible_actor_not_rendered(self):
+        scene = Scene(background=(0, 0, 0))
+        actor = quad_actor()
+        actor.visible = False
+        scene.add_actor(actor)
+        scene.add_actor(Actor(box_outline((-1, 1, -1, 1, -1, 1)), visible=True,
+                              line_color=(0.1, 0.1, 0.1)))
+        fb = Renderer(30, 30).render(scene)
+        assert fb.color[15, 15].max() < 0.2
+
+    def test_volume_composited_over_geometry(self):
+        scene = Scene(background=(0, 0, 0))
+        vol = small_volume()
+        tf = TransferFunction(vol.scalar_range(), center=0.9, width=0.4, peak_opacity=0.9)
+        scene.add_volume(VolumeActor(vol, tf))
+        fb = Renderer(30, 30).render(scene)
+        assert fb.color[15, 15].max() > 0.05
+
+    def test_geometry_occludes_volume(self):
+        # an opaque quad between camera and volume keeps its own color
+        scene = Scene(background=(0, 0, 0))
+        vol = small_volume()
+        tf = TransferFunction(vol.scalar_range(), center=0.9, width=0.4, peak_opacity=1.0)
+        scene.add_volume(VolumeActor(vol, tf))
+        quad = plane_quad(
+            np.array([-2.0, -2.0, 1.5]), np.array([4.0, 0, 0]), np.array([0, 4.0, 0]), 3, 3
+        )
+        scene.add_actor(Actor(quad, color=(0.0, 1.0, 0.0), lighting=False))
+        camera = Camera(position=(0, 0, 6), focal_point=(0, 0, 0), fov_degrees=40)
+        fb = Renderer(31, 31).render(scene, camera)
+        center = fb.color[15, 15]
+        assert center[1] > center[0] and center[1] > center[2]  # green wins
+
+    def test_stereo_pair_differs(self):
+        scene = Scene(background=(0, 0, 0))
+        scene.add_actor(quad_actor())
+        left, right = Renderer(30, 30).render_stereo(scene)
+        assert np.abs(left.color - right.color).max() > 0.0
+
+    def test_bad_size(self):
+        with pytest.raises(RenderingError):
+            Renderer(0, 10)
+
+
+class TestText:
+    def test_glyph_shape(self):
+        assert glyph_bitmap("A").shape == (7, 5)
+
+    def test_known_glyph_pixels(self):
+        bitmap = glyph_bitmap("I")
+        assert bitmap[0].sum() == 3  # top bar of the serif I
+        assert bool(bitmap[3, 2])  # center stroke
+
+    def test_unknown_char_blank(self):
+        assert glyph_bitmap("~").sum() == 0
+
+    def test_lowercase_uppercased(self):
+        np.testing.assert_array_equal(glyph_bitmap("a"), glyph_bitmap("A"))
+
+    def test_render_text_dimensions(self):
+        patch = render_text("AB")
+        assert patch.shape == (GLYPH_HEIGHT, 11, 4)
+        assert patch.shape[1] == text_width("AB")
+
+    def test_render_text_scaling(self):
+        patch = render_text("A", scale=3)
+        assert patch.shape == (21, 15, 4)
+
+    def test_alpha_channel(self):
+        patch = render_text("X", background_alpha=0.25)
+        assert patch[..., 3].max() == 1.0
+        assert patch[..., 3].min() == pytest.approx(0.25)
+
+    def test_empty_text(self):
+        patch = render_text("")
+        assert patch.shape[1] == 1
+
+    def test_blend_into_framebuffer(self):
+        fb = Framebuffer(40, 20, background=(0, 0, 0))
+        fb.blend_patch(2, 2, render_text("HI", color=(1.0, 1.0, 0.0)))
+        assert fb.color[..., 0].max() == pytest.approx(1.0)
+        assert fb.color[..., 2].max() == pytest.approx(0.0)

@@ -1,0 +1,148 @@
+"""Streamline integration and vector glyphs."""
+
+import numpy as np
+import pytest
+
+from repro.rendering.glyphs import arrow_glyphs, slice_plane_glyphs
+from repro.rendering.image_data import ImageData
+from repro.rendering.streamline import (
+    integrate_streamlines,
+    plane_seed_grid,
+    streamlines_to_polydata,
+)
+from repro.util.errors import RenderingError
+
+
+@pytest.fixture()
+def rotation_volume():
+    """Solid-body rotation about the z axis: streamlines are circles."""
+    n = 33
+    x = np.linspace(-2, 2, n)
+    X, Y, Z = np.meshgrid(x, x, x, indexing="ij")
+    vol = ImageData((n, n, n), origin=(-2, -2, -2), spacing=(4 / (n - 1),) * 3)
+    vec = np.stack([-Y, X, np.zeros_like(X)], axis=-1)
+    vol.add_array("rot", vec, set_active=False)
+    vol.add_array("speed", np.sqrt(X**2 + Y**2))
+    return vol
+
+
+@pytest.fixture()
+def uniform_volume():
+    """A uniform +x flow."""
+    n = 17
+    vol = ImageData((n, n, n), origin=(0, 0, 0), spacing=(1.0, 1.0, 1.0))
+    vec = np.zeros((n, n, n, 3))
+    vec[..., 0] = 2.0
+    vol.add_array("flow", vec, set_active=False)
+    return vol
+
+
+class TestStreamlines:
+    def test_uniform_flow_straight_lines(self, uniform_volume):
+        seeds = np.array([[1.0, 8.0, 8.0]])
+        lines = integrate_streamlines(uniform_volume, "flow", seeds, step_size=0.5)
+        assert len(lines) == 1
+        path = lines[0]
+        np.testing.assert_allclose(path[:, 1], 8.0, atol=1e-9)
+        np.testing.assert_allclose(path[:, 2], 8.0, atol=1e-9)
+        assert path[-1, 0] > path[0, 0]  # moved downstream
+
+    def test_terminates_at_boundary(self, uniform_volume):
+        seeds = np.array([[14.0, 8.0, 8.0]])
+        lines = integrate_streamlines(uniform_volume, "flow", seeds, step_size=0.5,
+                                      max_steps=500)
+        assert lines[0][-1, 0] <= 16.0 + 1e-9
+
+    def test_rotation_preserves_radius(self, rotation_volume):
+        seeds = np.array([[1.0, 0.0, 0.0]])
+        lines = integrate_streamlines(
+            rotation_volume, "rot", seeds, step_size=0.02, max_steps=300
+        )
+        radii = np.linalg.norm(lines[0][:, :2], axis=1)
+        np.testing.assert_allclose(radii, 1.0, atol=0.02)
+
+    def test_stalled_seed_produces_no_line(self, rotation_volume):
+        # the rotation axis has zero velocity
+        seeds = np.array([[0.0, 0.0, 0.0]])
+        lines = integrate_streamlines(rotation_volume, "rot", seeds)
+        assert lines == []
+
+    def test_outside_seed_dropped(self, uniform_volume):
+        seeds = np.array([[100.0, 0.0, 0.0]])
+        assert integrate_streamlines(uniform_volume, "flow", seeds) == []
+
+    def test_bidirectional_doubles_extent(self, uniform_volume):
+        seeds = np.array([[8.0, 8.0, 8.0]])
+        fwd = integrate_streamlines(uniform_volume, "flow", seeds, step_size=0.5)
+        both = integrate_streamlines(uniform_volume, "flow", seeds, step_size=0.5,
+                                     bidirectional=True)
+        assert both[0][:, 0].min() < fwd[0][:, 0].min()
+
+    def test_multiple_seeds_vectorized(self, uniform_volume):
+        seeds = plane_seed_grid(uniform_volume, 0, 1.0, 3, 3)
+        lines = integrate_streamlines(uniform_volume, "flow", seeds, step_size=0.5)
+        assert len(lines) == 9
+
+    def test_bad_seeds_shape(self, uniform_volume):
+        with pytest.raises(RenderingError):
+            integrate_streamlines(uniform_volume, "flow", np.zeros((2, 2)))
+
+
+class TestStreamlinePolyData:
+    def test_packing(self, uniform_volume):
+        seeds = np.array([[1.0, 4.0, 4.0], [1.0, 10.0, 10.0]])
+        lines = integrate_streamlines(uniform_volume, "flow", seeds, step_size=1.0)
+        poly = streamlines_to_polydata(lines, uniform_volume, "flow")
+        assert len(poly.lines) == 2
+        assert poly.n_points == sum(len(l) for l in lines)
+        np.testing.assert_allclose(poly.scalars, 2.0, atol=1e-6)  # |flow| = 2
+
+    def test_empty(self):
+        poly = streamlines_to_polydata([])
+        assert poly.n_points == 0
+
+
+class TestGlyphs:
+    def test_arrow_structure(self):
+        poly = arrow_glyphs(np.array([[0.0, 0.0, 0.0]]), np.array([[1.0, 0.0, 0.0]]))
+        assert poly.n_points == 4  # tail, tip, two barbs
+        assert len(poly.lines) == 1
+        assert len(poly.lines[0]) == 5
+
+    def test_glyph_length_scales_with_magnitude(self):
+        poly = arrow_glyphs(
+            np.zeros((2, 3)), np.array([[1.0, 0, 0], [3.0, 0, 0]]), scale=1.0
+        )
+        tips = poly.points[2:4]
+        assert tips[1, 0] == pytest.approx(3.0)
+        assert tips[0, 0] == pytest.approx(1.0)
+
+    def test_max_length_clamps(self):
+        poly = arrow_glyphs(
+            np.zeros((1, 3)), np.array([[100.0, 0, 0]]), scale=1.0, max_length=2.0
+        )
+        assert poly.points[1, 0] == pytest.approx(2.0)
+
+    def test_zero_vectors_dropped(self):
+        poly = arrow_glyphs(np.zeros((2, 3)), np.zeros((2, 3)))
+        assert poly.n_points == 0
+
+    def test_scalars_carry_magnitude(self):
+        poly = arrow_glyphs(np.zeros((1, 3)), np.array([[0.0, 4.0, 3.0]]))
+        np.testing.assert_allclose(poly.scalars, 5.0)
+
+    def test_slice_plane_glyphs(self, rotation_volume):
+        poly = slice_plane_glyphs(rotation_volume, "rot", 2, 0.0, stride=8)
+        assert poly.n_points > 0
+        # glyph points stay on (or near, for barbs) the slice plane
+        assert np.abs(poly.points[:, 2]).max() < 1.0
+
+    def test_slice_plane_vectors_projected(self, rotation_volume):
+        # a z-normal slice of a z-less field keeps glyphs exactly planar
+        poly = slice_plane_glyphs(rotation_volume, "rot", 2, 0.0, stride=16)
+        tails = poly.points[: poly.n_points // 4]
+        np.testing.assert_allclose(tails[:, 2], 0.0, atol=1e-9)
+
+    def test_bad_stride(self, rotation_volume):
+        with pytest.raises(RenderingError):
+            slice_plane_glyphs(rotation_volume, "rot", 2, 0.0, stride=0)

@@ -1,0 +1,131 @@
+"""The spreadsheet grid: placement, drag ops, activation, persistence."""
+
+import pytest
+
+from repro.dv3d.cell import DV3DCell
+from repro.dv3d.slicer import SlicerPlot
+from repro.spreadsheet.sheet import CellBinding, Spreadsheet
+from repro.util.errors import SpreadsheetError
+
+
+def binding(n=0):
+    return CellBinding("trail", n, 3)
+
+
+@pytest.fixture()
+def sheet():
+    return Spreadsheet("main", rows=2, columns=3)
+
+
+@pytest.fixture()
+def live_sheet(ta):
+    sheet = Spreadsheet("live", rows=1, columns=2)
+    for col in range(2):
+        slot = sheet.place(0, col, binding(col))
+        slot.cell = DV3DCell(SlicerPlot(ta))
+    return sheet
+
+
+class TestGrid:
+    def test_bad_size(self):
+        with pytest.raises(SpreadsheetError):
+            Spreadsheet(rows=0, columns=2)
+
+    def test_place_and_get(self, sheet):
+        sheet.place(0, 1, binding())
+        assert sheet.get(0, 1) is not None
+        assert sheet.get(0, 0) is None
+
+    def test_out_of_range(self, sheet):
+        with pytest.raises(SpreadsheetError):
+            sheet.place(5, 0, binding())
+
+    def test_double_place_rejected(self, sheet):
+        sheet.place(0, 0, binding())
+        with pytest.raises(SpreadsheetError):
+            sheet.place(0, 0, binding())
+
+    def test_remove(self, sheet):
+        sheet.place(0, 0, binding())
+        removed = sheet.remove(0, 0)
+        assert removed.binding.vistrail_name == "trail"
+        with pytest.raises(SpreadsheetError):
+            sheet.remove(0, 0)
+
+    def test_resize_grows(self, sheet):
+        sheet.resize(3, 4)
+        sheet.place(2, 3, binding())
+
+    def test_resize_cannot_orphan(self, sheet):
+        sheet.place(1, 2, binding())
+        with pytest.raises(SpreadsheetError):
+            sheet.resize(1, 1)
+
+
+class TestDragOps:
+    def test_move(self, sheet):
+        sheet.place(0, 0, binding())
+        sheet.move((0, 0), (1, 2))
+        assert sheet.get(0, 0) is None
+        assert sheet.get(1, 2) is not None
+
+    def test_move_to_occupied_rejected(self, sheet):
+        sheet.place(0, 0, binding(1))
+        sheet.place(0, 1, binding(2))
+        with pytest.raises(SpreadsheetError):
+            sheet.move((0, 0), (0, 1))
+
+    def test_swap(self, sheet):
+        sheet.place(0, 0, binding(1))
+        sheet.place(0, 1, binding(2))
+        sheet.swap((0, 0), (0, 1))
+        assert sheet.get(0, 0).binding.version == 2
+        assert sheet.get(0, 1).binding.version == 1
+
+    def test_swap_with_empty(self, sheet):
+        sheet.place(0, 0, binding(1))
+        sheet.swap((0, 0), (1, 1))
+        assert sheet.get(0, 0) is None
+        assert sheet.get(1, 1).binding.version == 1
+
+    def test_copy_shares_binding_values(self, sheet):
+        sheet.place(0, 0, binding(7))
+        copy = sheet.copy_cell((0, 0), (1, 1))
+        assert copy.binding.version == 7
+        assert copy.binding is not sheet.get(0, 0).binding
+
+    def test_copy_from_empty(self, sheet):
+        with pytest.raises(SpreadsheetError):
+            sheet.copy_cell((0, 0), (1, 1))
+
+
+class TestActivation:
+    def test_active_cells_tracks_state(self, live_sheet):
+        assert len(live_sheet.active_cells()) == 2
+        live_sheet.set_active(0, 0, False)
+        assert len(live_sheet.active_cells()) == 1
+
+    def test_set_active_requires_live_cell(self, sheet):
+        sheet.place(0, 0, binding())
+        with pytest.raises(SpreadsheetError):
+            sheet.set_active(0, 0, True)
+
+    def test_compare_reports_differences(self, live_sheet):
+        live_sheet.get(0, 1).cell.plot.step_time()
+        comparison = live_sheet.compare((0, 0), (0, 1))
+        assert "time_index" in comparison["state_differences"]
+
+    def test_compare_identical(self, live_sheet):
+        comparison = live_sheet.compare((0, 0), (0, 1))
+        assert comparison["state_differences"] == {}
+
+
+class TestPersistence:
+    def test_roundtrip(self, sheet):
+        sheet.place(0, 0, binding(3))
+        sheet.place(1, 2, binding(9))
+        restored = Spreadsheet.from_dict(sheet.to_dict())
+        assert restored.rows == 2 and restored.columns == 3
+        assert restored.get(0, 0).binding.version == 3
+        assert restored.get(1, 2).binding.version == 9
+        assert restored.occupied() == sheet.occupied()

@@ -1,0 +1,38 @@
+"""Module documentation generation and coverage."""
+
+import pytest
+
+from repro.workflow.docs import document_module, document_registry, undocumented_modules
+from repro.workflow.registry import global_registry
+
+
+class TestDocumentation:
+    def test_every_builtin_module_documented(self):
+        assert undocumented_modules(global_registry()) == []
+
+    def test_registry_reference_covers_all_packages(self):
+        registry = global_registry()
+        reference = document_registry(registry)
+        for package in registry.packages():
+            assert f"## Package `{package}`" in reference
+        for qualified in registry.all_modules():
+            name = qualified.split(":", 1)[1]
+            assert f"### `{name}`" in reference
+
+    def test_module_section_structure(self):
+        registry = global_registry()
+        section = document_module(registry.resolve("dv3d:DV3DCell"))
+        assert "### `DV3DCell`" in section
+        assert "| input port |" in section
+        assert "`plot`" in section
+        assert "| parameter |" in section
+        assert "`width`" in section
+
+    def test_generated_file_up_to_date(self):
+        """docs/MODULES.md must match the live registry (regenerate with
+        tools/generate_module_docs.py when modules change)."""
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[2] / "docs" / "MODULES.md"
+        assert path.exists(), "run tools/generate_module_docs.py"
+        assert path.read_text() == document_registry(global_registry())

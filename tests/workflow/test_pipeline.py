@@ -1,0 +1,209 @@
+"""Pipeline graph: mutation, validation, topology, sub-workflows."""
+
+import pytest
+
+from repro.util.errors import WorkflowError
+from repro.workflow.module import Module, ParameterSpec
+from repro.workflow.pipeline import Pipeline
+from repro.workflow.ports import PortSpec
+from repro.workflow.registry import ModuleRegistry
+
+
+class Source(Module):
+    name = "Source"
+    output_ports = (PortSpec("out", "number"),)
+    parameters = (ParameterSpec("value", 1.0),)
+
+    def compute(self, inputs):
+        return {"out": float(self.parameter_values["value"])}
+
+
+class Double(Module):
+    name = "Double"
+    input_ports = (PortSpec("in", "number"),)
+    output_ports = (PortSpec("out", "number"),)
+
+    def compute(self, inputs):
+        return {"out": inputs["in"] * 2}
+
+
+class Add(Module):
+    name = "Add"
+    input_ports = (PortSpec("a", "number"), PortSpec("b", "number"))
+    output_ports = (PortSpec("out", "number"),)
+
+    def compute(self, inputs):
+        return {"out": inputs["a"] + inputs["b"]}
+
+
+class TextSink(Module):
+    name = "TextSink"
+    input_ports = (PortSpec("text", "string"),)
+    output_ports = (PortSpec("out", "string"),)
+
+    def compute(self, inputs):
+        return {"out": str(inputs["text"])}
+
+
+@pytest.fixture()
+def registry():
+    reg = ModuleRegistry()
+    for cls in (Source, Double, Add, TextSink):
+        reg.register("test", cls)
+    return reg
+
+
+@pytest.fixture()
+def pipeline(registry):
+    return Pipeline(registry)
+
+
+class TestMutation:
+    def test_add_module_returns_increasing_ids(self, pipeline):
+        a = pipeline.add_module("Source")
+        b = pipeline.add_module("Double")
+        assert b == a + 1
+
+    def test_add_module_unknown_name(self, pipeline):
+        with pytest.raises(WorkflowError):
+            pipeline.add_module("Nonexistent")
+
+    def test_add_module_unknown_parameter(self, pipeline):
+        with pytest.raises(WorkflowError):
+            pipeline.add_module("Source", {"bogus": 1})
+
+    def test_explicit_module_id_reserved(self, pipeline):
+        pipeline.add_module("Source", module_id=10)
+        assert pipeline.add_module("Source") == 11
+
+    def test_duplicate_module_id(self, pipeline):
+        pipeline.add_module("Source", module_id=5)
+        with pytest.raises(WorkflowError):
+            pipeline.add_module("Source", module_id=5)
+
+    def test_set_parameter_validates_name(self, pipeline):
+        source = pipeline.add_module("Source")
+        pipeline.set_parameter(source, "value", 9.0)
+        assert pipeline.modules[source].parameters["value"] == 9.0
+        with pytest.raises(WorkflowError):
+            pipeline.set_parameter(source, "volume", 9.0)
+
+    def test_delete_module_cascades_connections(self, pipeline):
+        source = pipeline.add_module("Source")
+        double = pipeline.add_module("Double")
+        pipeline.add_connection(source, "out", double, "in")
+        pipeline.delete_module(source)
+        assert not pipeline.connections
+        assert double in pipeline.modules
+
+    def test_delete_missing_module(self, pipeline):
+        with pytest.raises(WorkflowError):
+            pipeline.delete_module(99)
+
+
+class TestConnections:
+    def test_type_mismatch_rejected(self, pipeline):
+        source = pipeline.add_module("Source")
+        sink = pipeline.add_module("TextSink")
+        with pytest.raises(WorkflowError, match="type mismatch"):
+            pipeline.add_connection(source, "out", sink, "text")
+
+    def test_unknown_port_rejected(self, pipeline):
+        source = pipeline.add_module("Source")
+        double = pipeline.add_module("Double")
+        with pytest.raises(WorkflowError):
+            pipeline.add_connection(source, "nope", double, "in")
+
+    def test_input_port_single_writer(self, pipeline):
+        a = pipeline.add_module("Source")
+        b = pipeline.add_module("Source")
+        double = pipeline.add_module("Double")
+        pipeline.add_connection(a, "out", double, "in")
+        with pytest.raises(WorkflowError, match="already connected"):
+            pipeline.add_connection(b, "out", double, "in")
+
+    def test_self_loop_rejected(self, pipeline):
+        double = pipeline.add_module("Double")
+        with pytest.raises(WorkflowError, match="cycle"):
+            pipeline.add_connection(double, "out", double, "in")
+
+    def test_cycle_rejected(self, pipeline):
+        d1 = pipeline.add_module("Double")
+        d2 = pipeline.add_module("Double")
+        pipeline.add_connection(d1, "out", d2, "in")
+        with pytest.raises(WorkflowError, match="cycle"):
+            pipeline.add_connection(d2, "out", d1, "in")
+
+    def test_delete_connection(self, pipeline):
+        source = pipeline.add_module("Source")
+        double = pipeline.add_module("Double")
+        conn = pipeline.add_connection(source, "out", double, "in")
+        pipeline.delete_connection(conn)
+        assert not pipeline.connections
+        with pytest.raises(WorkflowError):
+            pipeline.delete_connection(conn)
+
+
+class TestTopology:
+    def make_diamond(self, pipeline):
+        source = pipeline.add_module("Source", {"value": 3.0})
+        left = pipeline.add_module("Double")
+        right = pipeline.add_module("Double")
+        add = pipeline.add_module("Add")
+        pipeline.add_connection(source, "out", left, "in")
+        pipeline.add_connection(source, "out", right, "in")
+        pipeline.add_connection(left, "out", add, "a")
+        pipeline.add_connection(right, "out", add, "b")
+        return source, left, right, add
+
+    def test_topological_order_respects_edges(self, pipeline):
+        source, left, right, add = self.make_diamond(pipeline)
+        order = pipeline.topological_order()
+        assert order.index(source) < order.index(left)
+        assert order.index(left) < order.index(add)
+        assert order.index(right) < order.index(add)
+
+    def test_sinks(self, pipeline):
+        _, _, _, add = self.make_diamond(pipeline)
+        assert pipeline.sinks() == [add]
+
+    def test_upstream_closure(self, pipeline):
+        source, left, right, add = self.make_diamond(pipeline)
+        assert pipeline.upstream_closure([left]) == {source, left}
+        assert pipeline.upstream_closure([add]) == {source, left, right, add}
+
+    def test_subpipeline_preserves_ids(self, pipeline):
+        source, left, _, _ = self.make_diamond(pipeline)
+        sub = pipeline.subpipeline([left])
+        assert set(sub.modules) == {source, left}
+        assert all(c.source_id == source for c in sub.connections.values())
+
+    def test_validate_unconnected_required_input(self, pipeline):
+        pipeline.add_module("Double")
+        with pytest.raises(WorkflowError, match="unconnected"):
+            pipeline.validate()
+
+    def test_modules_of_type(self, pipeline):
+        self.make_diamond(pipeline)
+        assert len(pipeline.modules_of_type("Double")) == 2
+        assert len(pipeline.modules_of_type("test:Source")) == 1
+
+
+class TestSerialization:
+    def test_roundtrip(self, pipeline, registry):
+        source = pipeline.add_module("Source", {"value": 5.0})
+        double = pipeline.add_module("Double")
+        pipeline.add_connection(source, "out", double, "in")
+        restored = Pipeline.from_dict(pipeline.to_dict(), registry)
+        assert restored.structurally_equal(pipeline)
+
+    def test_copy_independent(self, pipeline):
+        source = pipeline.add_module("Source")
+        clone = pipeline.copy()
+        clone.set_parameter(source, "value", 42.0)
+        assert pipeline.modules[source].parameters.get("value") != 42.0
+
+    def test_copy_continues_id_sequence(self, pipeline):
+        pipeline.add_module("Source", module_id=7)
+        clone = pipeline.copy()
+        assert clone.add_module("Source") == 8

@@ -1,0 +1,181 @@
+"""Module registry, packages, and the basic module suite."""
+
+import numpy as np
+import pytest
+
+from repro.util.errors import WorkflowError
+from repro.workflow.executor import Executor
+from repro.workflow.module import Module, ParameterSpec
+from repro.workflow.package import (
+    Constant,
+    ExternalToolAdapter,
+    Package,
+    PythonSource,
+    Tee,
+    basic_package,
+)
+from repro.workflow.pipeline import Pipeline
+from repro.workflow.ports import PortSpec
+from repro.workflow.registry import ModuleRegistry, global_registry
+
+
+class Widget(Module):
+    name = "Widget"
+    output_ports = (PortSpec("out"),)
+
+    def compute(self, inputs):
+        return {"out": 1}
+
+
+class TestRegistry:
+    def test_register_and_resolve_qualified(self):
+        reg = ModuleRegistry()
+        qualified = reg.register("pkg", Widget)
+        assert qualified == "pkg:Widget"
+        assert reg.resolve("pkg:Widget") is Widget
+
+    def test_bare_name_resolves_when_unique(self):
+        reg = ModuleRegistry()
+        reg.register("pkg", Widget)
+        assert reg.resolve("Widget") is Widget
+        assert reg.qualified_name("Widget") == "pkg:Widget"
+
+    def test_ambiguous_bare_name(self):
+        reg = ModuleRegistry()
+        reg.register("a", Widget)
+        reg.register("b", Widget)
+        with pytest.raises(WorkflowError, match="ambiguous"):
+            reg.resolve("Widget")
+
+    def test_duplicate_registration(self):
+        reg = ModuleRegistry()
+        reg.register("pkg", Widget)
+        with pytest.raises(WorkflowError):
+            reg.register("pkg", Widget)
+
+    def test_non_module_rejected(self):
+        reg = ModuleRegistry()
+        with pytest.raises(WorkflowError):
+            reg.register("pkg", dict)  # type: ignore[arg-type]
+
+    def test_contains(self):
+        reg = ModuleRegistry()
+        reg.register("pkg", Widget)
+        assert "Widget" in reg
+        assert "Gadget" not in reg
+
+    def test_global_registry_has_builtin_packages(self):
+        reg = global_registry()
+        assert set(reg.packages()) >= {"basic", "cdms", "cdat", "dv3d"}
+        assert "DV3DCell" in reg.modules_in("dv3d")
+        assert "CDMSDatasetReader" in reg.modules_in("cdms")
+
+    def test_module_describe(self):
+        desc = Widget.describe()
+        assert desc["name"] == "Widget"
+        assert desc["outputs"] == [("out", "any")]
+
+
+class TestBasicModules:
+    def exec_single(self, module_name, params, registry=None):
+        reg = registry or ModuleRegistry()
+        if registry is None:
+            basic_package().register_all(reg)
+        p = Pipeline(reg)
+        mid = p.add_module(module_name, params)
+        return Executor(caching=False).execute(p), mid
+
+    def test_constant(self):
+        result, mid = self.exec_single("Constant", {"value": 42})
+        assert result.output(mid, "value") == 42
+
+    def test_tee_passthrough(self):
+        reg = ModuleRegistry()
+        basic_package().register_all(reg)
+        p = Pipeline(reg)
+        const = p.add_module("Constant", {"value": "hello"})
+        tee = p.add_module("Tee")
+        p.add_connection(const, "value", tee, "value")
+        result = Executor(caching=False).execute(p)
+        assert result.output(tee, "value") == "hello"
+
+    def test_python_source(self):
+        reg = ModuleRegistry()
+        basic_package().register_all(reg)
+        p = Pipeline(reg)
+        const = p.add_module("Constant", {"value": 10})
+        script = p.add_module(
+            "PythonSource", {"source": "outputs = {'result': a * 3}"}
+        )
+        p.add_connection(const, "value", script, "a")
+        result = Executor(caching=False).execute(p)
+        assert result.output(script, "result") == 30
+
+    def test_python_source_must_set_outputs(self):
+        from repro.util.errors import ModuleExecutionError
+
+        reg = ModuleRegistry()
+        basic_package().register_all(reg)
+        p = Pipeline(reg)
+        p.add_module("PythonSource", {"source": "x = 1"})
+        with pytest.raises(ModuleExecutionError):
+            Executor(caching=False).execute(p)
+
+    def test_external_tool_json_boundary(self):
+        ExternalToolAdapter.register_tool("sum_list", lambda payload: sum(payload))
+        reg = ModuleRegistry()
+        basic_package().register_all(reg)
+        p = Pipeline(reg)
+        const = p.add_module("Constant", {"value": [1, 2, 3]})
+        tool = p.add_module("ExternalToolAdapter", {"tool": "sum_list"})
+        p.add_connection(const, "value", tool, "payload")
+        result = Executor(caching=False).execute(p)
+        assert result.output(tool, "payload") == 6
+
+    def test_external_tool_numpy_coerced(self):
+        ExternalToolAdapter.register_tool("identity2", lambda payload: payload)
+        reg = ModuleRegistry()
+        basic_package().register_all(reg)
+        p = Pipeline(reg)
+        const = p.add_module("Constant", {"value": None})
+        tool = p.add_module("ExternalToolAdapter", {"tool": "identity2"})
+        p.add_connection(const, "value", tool, "payload")
+        # numpy arrays cross as lists
+        p.set_parameter(const, "value", np.arange(3).tolist())
+        result = Executor(caching=False).execute(p)
+        assert result.output(tool, "payload") == [0, 1, 2]
+
+    def test_external_tool_unknown(self):
+        from repro.util.errors import ModuleExecutionError
+
+        reg = ModuleRegistry()
+        basic_package().register_all(reg)
+        p = Pipeline(reg)
+        const = p.add_module("Constant", {"value": 1})
+        tool = p.add_module("ExternalToolAdapter", {"tool": "missing-tool"})
+        p.add_connection(const, "value", tool, "payload")
+        with pytest.raises(ModuleExecutionError):
+            Executor(caching=False).execute(p)
+
+
+class TestPorts:
+    def test_wildcard_compatibility(self):
+        any_port = PortSpec("x", "any")
+        typed = PortSpec("y", "variable")
+        assert any_port.compatible_with(typed)
+        assert typed.compatible_with(any_port)
+        assert typed.compatible_with(PortSpec("z", "variable"))
+        assert not typed.compatible_with(PortSpec("z", "image"))
+
+    def test_module_unknown_parameter_rejected(self):
+        with pytest.raises(WorkflowError):
+            Constant({"nope": 1})
+
+    def test_parameter_defaults_applied(self):
+        const = Constant()
+        assert const.parameter_values == {"value": None}
+
+    def test_parameter_signature_deterministic(self):
+        a = Constant({"value": {"b": 1, "a": 2}})
+        b = Constant({"value": {"a": 2, "b": 1}})
+        assert a.parameter_signature() == b.parameter_signature()

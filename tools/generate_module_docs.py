@@ -1,0 +1,22 @@
+#!/usr/bin/env python
+"""Regenerate docs/MODULES.md from the live module registry."""
+
+from pathlib import Path
+
+from repro.workflow.docs import document_registry, undocumented_modules
+from repro.workflow.registry import global_registry
+
+
+def main() -> None:
+    registry = global_registry()
+    missing = undocumented_modules(registry)
+    if missing:
+        raise SystemExit(f"undocumented modules: {missing}")
+    out = Path(__file__).resolve().parent.parent / "docs" / "MODULES.md"
+    out.parent.mkdir(exist_ok=True)
+    out.write_text(document_registry(registry))
+    print(f"wrote {out} ({len(registry.all_modules())} modules)")
+
+
+if __name__ == "__main__":
+    main()
