@@ -8,7 +8,6 @@ The ablation quantifies both sides of that trade.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import report

@@ -10,7 +10,6 @@ the same structure by dragging.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import report

@@ -10,7 +10,6 @@ first execution, cached re-execution, and frame rendering.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import BENCH_SIZE, report
 from repro.app.application import Application

@@ -16,8 +16,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
-import pytest
 
 from benchmarks.conftest import build_cell_chain, report
 from repro.hyperwall.display import NCCS_WALL, WallGeometry

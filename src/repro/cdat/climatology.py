@@ -35,7 +35,10 @@ def _time_months_years(var: Variable) -> Tuple[int, np.ndarray, np.ndarray]:
     return var.axis_index("time"), months, years
 
 
-def _group_mean(var: Variable, dim: int, groups: List[np.ndarray], coords: List[float], axis_id: str, units: str) -> Variable:
+def _group_mean(
+    var: Variable, dim: int, groups: List[np.ndarray], coords: List[float],
+    axis_id: str, units: str,
+) -> Variable:
     """Mean of *var* over each index group along *dim*; groups become a new axis."""
     data = np.moveaxis(var.data, dim, 0)
     pieces = []

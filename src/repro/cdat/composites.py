@@ -11,7 +11,6 @@ conditioned comparison).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
 
 import numpy as np
 from scipy import stats

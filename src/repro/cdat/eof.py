@@ -15,7 +15,7 @@ loading is positive (signs of EOF/PC pairs are otherwise arbitrary).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 

@@ -9,7 +9,7 @@ time series via running-mean differences.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 from scipy import ndimage

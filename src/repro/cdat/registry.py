@@ -131,7 +131,8 @@ def _populate(reg: OperationRegistry) -> None:
     reg.register("mask_where", conditioned.mask_where, "mask a variable where a condition holds", 2)
     reg.register("compare_where", conditioned.compare_where, "conditioned comparison of two variables", 2)
     reg.register("pressure_weighted_mean", vertical.pressure_weighted_mean, "mass-weighted vertical mean", 1)
-    reg.register("interpolate_to_level", vertical.interpolate_to_level, "interpolate to one vertical level", 1)
+    reg.register("interpolate_to_level", vertical.interpolate_to_level,
+                 "interpolate to one vertical level", 1)
     reg.register("vertical_integral", vertical.vertical_integral, "integral over the level axis", 1)
     from repro.cdat import filters
 

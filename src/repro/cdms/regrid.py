@@ -22,7 +22,7 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.cdms.axis import Axis
+from repro import obs
 from repro.cdms.grid import RectilinearGrid
 from repro.cdms.variable import Variable
 from repro.util.errors import CDMSError
@@ -146,9 +146,14 @@ def regrid_bilinear(var: Variable, target: RectilinearGrid) -> Variable:
     """Bilinear regrid of *var* onto *target* (mask-aware)."""
     source = _require_grid(var)
     periodic = source.is_global()
-    lat_matrix = _bilinear_matrix(source.latitude.values, target.latitude.values, periodic=False)
-    lon_matrix = _bilinear_matrix(source.longitude.values, target.longitude.values, periodic=periodic)
-    return _apply_separable(var, target, lat_matrix, lon_matrix, weight_floor=1e-9)
+    with obs.span("regrid.bilinear", src=str(var.shape)) as _span:
+        lat_matrix = _bilinear_matrix(source.latitude.values, target.latitude.values, periodic=False)
+        lon_matrix = _bilinear_matrix(source.longitude.values, target.longitude.values, periodic=periodic)
+        out = _apply_separable(var, target, lat_matrix, lon_matrix, weight_floor=1e-9)
+        if obs.enabled():
+            obs.counter("regrid.cells", int(np.prod(out.shape)))
+            _span.set(dst=str(out.shape))
+    return out
 
 
 def regrid_conservative(var: Variable, target: RectilinearGrid) -> Variable:
@@ -159,14 +164,19 @@ def regrid_conservative(var: Variable, target: RectilinearGrid) -> Variable:
     """
     source = _require_grid(var)
     periodic = source.is_global()
-    lat_matrix = _overlap_matrix(
-        source.latitude.gen_bounds(),
-        target.latitude.gen_bounds(),
-        transform=lambda x: np.sin(np.radians(x)),
-    )
-    lon_matrix = _overlap_matrix(
-        source.longitude.gen_bounds(),
-        target.longitude.gen_bounds(),
-        periodic=periodic,
-    )
-    return _apply_separable(var, target, lat_matrix, lon_matrix, weight_floor=_VALID_WEIGHT_FLOOR)
+    with obs.span("regrid.conservative", src=str(var.shape)) as _span:
+        lat_matrix = _overlap_matrix(
+            source.latitude.gen_bounds(),
+            target.latitude.gen_bounds(),
+            transform=lambda x: np.sin(np.radians(x)),
+        )
+        lon_matrix = _overlap_matrix(
+            source.longitude.gen_bounds(),
+            target.longitude.gen_bounds(),
+            periodic=periodic,
+        )
+        out = _apply_separable(var, target, lat_matrix, lon_matrix, weight_floor=_VALID_WEIGHT_FLOOR)
+        if obs.enabled():
+            obs.counter("regrid.cells", int(np.prod(out.shape)))
+            _span.set(dst=str(out.shape))
+    return out

@@ -17,7 +17,8 @@ from repro.cdms.axis import Axis, level_axis, time_axis, uniform_latitude, unifo
 from repro.cdms.variable import Variable
 from repro.util.rng import deterministic_rng
 
-DEFAULT_LEVELS = (1000.0, 925.0, 850.0, 700.0, 500.0, 400.0, 300.0, 250.0, 200.0, 150.0, 100.0, 70.0, 50.0, 30.0, 20.0, 10.0)
+DEFAULT_LEVELS = (1000.0, 925.0, 850.0, 700.0, 500.0, 400.0, 300.0, 250.0,
+                  200.0, 150.0, 100.0, 70.0, 50.0, 30.0, 20.0, 10.0)
 
 _EARTH_OMEGA = 7.2921e-5  # rad/s
 _EARTH_RADIUS = 6.371e6  # m

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence
 
-import numpy as np
 
 from repro.dv3d.plot import Plot3D
 from repro.rendering.camera import Camera

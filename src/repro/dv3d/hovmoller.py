@@ -15,7 +15,7 @@ extracts it directly for quantitative use.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Tuple
 
 import numpy as np
 

@@ -14,9 +14,8 @@ displays.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict
 
-import numpy as np
 
 from repro.cdms.dataset import Dataset, open_dataset
 from repro.cdms.grid import uniform_grid

@@ -10,7 +10,7 @@ the cell reshapes the opacity transfer function's window interactively.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional
 
 import numpy as np
 
@@ -19,7 +19,6 @@ from repro.dv3d.plot import Plot3D
 from repro.rendering.geometry import box_outline
 from repro.rendering.scene import Actor, Scene, VolumeActor
 from repro.rendering.transfer_function import TransferFunction
-from repro.util.errors import DV3DError
 
 
 class VolumePlot(Plot3D):

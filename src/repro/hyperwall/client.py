@@ -13,6 +13,7 @@ import socket
 import time
 from typing import Any, Dict, Optional
 
+from repro import obs
 from repro.dv3d.cell import DV3DCell
 from repro.hyperwall import protocol
 from repro.hyperwall.protocol import Message
@@ -78,7 +79,12 @@ class HyperwallClient:
             )
         start = time.perf_counter()
         try:
-            result = self.executor.execute(self.pipeline)
+            with obs.span(
+                "hyperwall.client.execute",
+                node=f"client-{self.client_id}",
+                cell=self.cell_id,
+            ):
+                result = self.executor.execute(self.pipeline)
             self.cell = result.output(self.cell_id, "cell")
             image = result.output(self.cell_id, "image")
         except Exception as exc:  # noqa: BLE001 - reported to the server
@@ -138,12 +144,17 @@ class HyperwallClient:
         height = int(payload.get("height", 0))
         start = time.perf_counter()
         try:
-            if width > 0 and height > 0:
-                frame = self.cell.render(width, height)
-            else:
-                # reuse the executed cell's own size via a fresh render
-                frame = self.cell.render(320, 240)
-            image = frame.to_uint8()
+            with obs.span(
+                "hyperwall.client.render",
+                node=f"client-{self.client_id}",
+                cell=self.cell_id,
+            ):
+                if width > 0 and height > 0:
+                    frame = self.cell.render(width, height)
+                else:
+                    # reuse the executed cell's own size via a fresh render
+                    frame = self.cell.render(320, 240)
+                image = frame.to_uint8()
         except Exception as exc:  # noqa: BLE001
             return Message(
                 protocol.KIND_ERROR, {"client_id": self.client_id, "error": repr(exc)}

@@ -16,7 +16,6 @@ from typing import Any, Dict, List, Optional
 from repro.hyperwall.client import run_client
 from repro.hyperwall.display import WallGeometry
 from repro.hyperwall.server import HyperwallServer
-from repro.util.errors import HyperwallError
 from repro.workflow.pipeline import Pipeline
 
 

@@ -16,6 +16,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from repro import obs
 from repro.dv3d.cell import DV3DCell
 from repro.hyperwall.display import WallGeometry
 from repro.hyperwall.partition import (
@@ -53,9 +54,15 @@ class _SimulatedClient:
     cell: Optional[DV3DCell] = None
     last_image: Any = None
 
-    def execute(self) -> ClientReport:
+    def execute(self, parent_span_id: Optional[int] = None) -> ClientReport:
         start = time.perf_counter()
-        result = self.executor.execute(self.pipeline)
+        with obs.span(
+            "hyperwall.client.execute",
+            parent_id=parent_span_id,
+            node=f"client-{self.cell_id}",
+            cell=self.cell_id,
+        ):
+            result = self.executor.execute(self.pipeline)
         self.cell = result.output(self.cell_id, "cell")
         self.last_image = result.output(self.cell_id, "image")
         return ClientReport(
@@ -125,7 +132,8 @@ class InProcessHyperwall:
     def execute_server(self) -> Dict[str, Any]:
         """Run the reduced-resolution full workflow on the server node."""
         start = time.perf_counter()
-        result = self.server_executor.execute(self.server_pipeline)
+        with obs.span("hyperwall.server.execute", node="server"):
+            result = self.server_executor.execute(self.server_pipeline)
         self.server_cells = {
             cid: result.output(cid, "cell")
             for cid in find_cell_modules(self.server_pipeline)
@@ -147,10 +155,15 @@ class InProcessHyperwall:
         wall's clients are separate machines; a thread pool models the
         parallelism on one host).
         """
-        if self.max_workers == 1:
-            return [client.execute() for client in self.clients]
-        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-            return list(pool.map(lambda c: c.execute(), self.clients))
+        with obs.span(
+            "hyperwall.execute_clients", clients=len(self.clients)
+        ) as _span:
+            if self.max_workers == 1:
+                return [client.execute(_span.id) for client in self.clients]
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                # client spans open on pool threads, so the parent edge
+                # is passed explicitly (thread-local stacks are empty)
+                return list(pool.map(lambda c: c.execute(_span.id), self.clients))
 
     def execute_all(self) -> Dict[str, Any]:
         """The full Fig. 5 cycle: server mirror plus all wall tiles."""
@@ -173,6 +186,17 @@ class InProcessHyperwall:
                 server_deltas[cid] = cell.handle_event(kind, **payload)
             except DV3DError:
                 server_deltas[cid] = {}
+        if obs.enabled():
+            # the simulation has no wire; account for the event frames a
+            # socket deployment would have sent (one per client)
+            from repro.hyperwall.protocol import KIND_EVENT, Message
+
+            frame = len(
+                Message(KIND_EVENT, {"event_kind": kind, "event": payload}).encode()
+            )
+            n_clients = sum(1 for c in self.clients if c.cell is not None)
+            obs.counter("hyperwall.messages.sent", n_clients, kind=KIND_EVENT)
+            obs.counter("hyperwall.bytes.sent", frame * n_clients, kind=KIND_EVENT)
         client_deltas = {}
         for client in self.clients:
             if client.cell is not None:

@@ -14,7 +14,7 @@ edits:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.util.errors import HyperwallError
 from repro.workflow.pipeline import Pipeline

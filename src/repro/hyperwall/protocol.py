@@ -17,6 +17,7 @@ import struct
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
+from repro import obs
 from repro.util.errors import HyperwallError
 
 _LENGTH = struct.Struct(">I")
@@ -59,7 +60,11 @@ class Message:
 
 
 def send_message(sock: socket.socket, message: Message) -> None:
-    sock.sendall(message.encode())
+    frame = message.encode()
+    if obs.enabled():
+        obs.counter("hyperwall.messages.sent", kind=message.kind)
+        obs.counter("hyperwall.bytes.sent", len(frame), kind=message.kind)
+    sock.sendall(frame)
 
 
 def recv_message(sock: socket.socket) -> Optional[Message]:
@@ -73,7 +78,13 @@ def recv_message(sock: socket.socket) -> Optional[Message]:
     body = _recv_exact(sock, length)
     if body is None:
         raise HyperwallError("connection closed mid-message")
-    return Message.decode(body)
+    message = Message.decode(body)
+    if obs.enabled():
+        obs.counter("hyperwall.messages.received", kind=message.kind)
+        obs.counter(
+            "hyperwall.bytes.received", _LENGTH.size + length, kind=message.kind
+        )
+    return message
 
 
 def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:

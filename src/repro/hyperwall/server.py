@@ -18,8 +18,9 @@ from __future__ import annotations
 import socket
 import threading
 import time
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
+from repro import obs
 from repro.dv3d.cell import DV3DCell
 from repro.hyperwall import protocol
 from repro.hyperwall.display import WallGeometry
@@ -129,7 +130,8 @@ class HyperwallServer:
     def execute_server(self) -> Dict[str, Any]:
         """Run the reduced-resolution mirror workflow on this node."""
         start = time.perf_counter()
-        result = self.server_executor.execute(self.server_pipeline)
+        with obs.span("hyperwall.server.execute", node="server"):
+            result = self.server_executor.execute(self.server_pipeline)
         self.server_cells = {
             cid: result.output(cid, "cell")
             for cid in find_cell_modules(self.server_pipeline)
@@ -140,18 +142,25 @@ class HyperwallServer:
         """Trigger all clients and gather their reports (in parallel —
         each client is its own process/machine)."""
         client_ids = sorted(self._connections)
-        for client_id in client_ids:
-            protocol.send_message(self._conn(client_id), Message(protocol.KIND_EXECUTE))
-        reports = []
-        for client_id in client_ids:
-            reply = protocol.recv_message(self._conn(client_id))
-            if reply is None:
-                raise HyperwallError(f"client {client_id} disconnected during execution")
-            if reply.kind == protocol.KIND_ERROR:
-                raise HyperwallError(
-                    f"client {client_id} failed: {reply.payload.get('error')}"
-                )
-            reports.append(reply.payload)
+        with obs.span("hyperwall.server.execute_clients", clients=len(client_ids)):
+            for client_id in client_ids:
+                protocol.send_message(self._conn(client_id), Message(protocol.KIND_EXECUTE))
+            reports = []
+            for client_id in client_ids:
+                reply = protocol.recv_message(self._conn(client_id))
+                if reply is None:
+                    raise HyperwallError(f"client {client_id} disconnected during execution")
+                if reply.kind == protocol.KIND_ERROR:
+                    raise HyperwallError(
+                        f"client {client_id} failed: {reply.payload.get('error')}"
+                    )
+                if obs.enabled():
+                    obs.histogram(
+                        "hyperwall.client.duration",
+                        float(reply.payload.get("duration", 0.0)),
+                        client=str(client_id),
+                    )
+                reports.append(reply.payload)
         return reports
 
     # -- interaction propagation -------------------------------------------------------
@@ -164,6 +173,7 @@ class HyperwallServer:
         """
         from repro.util.errors import DV3DError
 
+        obs.counter("hyperwall.events.broadcast", kind=event_kind)
         server_deltas: Dict[int, Any] = {}
         for cid, cell in self.server_cells.items():
             try:

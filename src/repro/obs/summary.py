@@ -1,0 +1,85 @@
+"""Human-readable summary of a recorder's contents.
+
+Spans are aggregated by *tree path* (the chain of span names from the
+root), so a thousand ``executor.module`` spans under one
+``executor.execute`` collapse into a single line with count/total/mean
+statistics.  Metrics print below the tree, sorted by name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.recorder import Recorder, SpanRecord
+
+
+def _span_paths(recorder: Recorder) -> Dict[Tuple[str, ...], List[SpanRecord]]:
+    """Group spans by their name-path from the root."""
+    by_id: Dict[int, SpanRecord] = {s.span_id: s for s in recorder.spans}
+
+    def path_of(record: SpanRecord) -> Tuple[str, ...]:
+        names = [record.name]
+        seen = {record.span_id}
+        parent: Optional[int] = record.parent_id
+        while parent is not None and parent in by_id and parent not in seen:
+            seen.add(parent)
+            parent_record = by_id[parent]
+            names.append(parent_record.name)
+            parent = parent_record.parent_id
+        return tuple(reversed(names))
+
+    groups: Dict[Tuple[str, ...], List[SpanRecord]] = {}
+    for record in recorder.spans:
+        groups.setdefault(path_of(record), []).append(record)
+    return groups
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.1f}us"
+
+
+def render_summary_tree(recorder: Recorder) -> str:
+    """The indented count/total/mean tree plus a metrics appendix."""
+    groups = _span_paths(recorder)
+    lines: List[str] = ["spans:"] if groups else ["spans: (none)"]
+    for path in sorted(groups):
+        records = groups[path]
+        total = sum(r.duration for r in records)
+        mean = total / len(records)
+        indent = "  " * len(path)
+        lines.append(
+            f"{indent}{path[-1]}  count={len(records)} "
+            f"total={_format_seconds(total)} mean={_format_seconds(mean)}"
+        )
+
+    def label_suffix(key) -> str:
+        if not key.labels:
+            return ""
+        inner = ",".join(f"{k}={v}" for k, v in key.labels)
+        return "{" + inner + "}"
+
+    if recorder.counters:
+        lines.append("counters:")
+        for key in sorted(recorder.counters, key=lambda k: (k.name, k.labels)):
+            lines.append(
+                f"  {key.name}{label_suffix(key)} = {recorder.counters[key]:g}"
+            )
+    if recorder.gauges:
+        lines.append("gauges:")
+        for key in sorted(recorder.gauges, key=lambda k: (k.name, k.labels)):
+            lines.append(f"  {key.name}{label_suffix(key)} = {recorder.gauges[key]:g}")
+    if recorder.histograms:
+        lines.append("histograms:")
+        for key in sorted(recorder.histograms, key=lambda k: (k.name, k.labels)):
+            hist = recorder.histograms[key]
+            lines.append(
+                f"  {key.name}{label_suffix(key)}  count={hist.count} "
+                f"mean={_format_seconds(hist.mean)} "
+                f"min={_format_seconds(hist.min if hist.count else 0.0)} "
+                f"max={_format_seconds(hist.max if hist.count else 0.0)}"
+            )
+    return "\n".join(lines)

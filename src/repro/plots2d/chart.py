@@ -9,13 +9,13 @@ filled columns, image patch).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
 from repro.rendering.annotation import nice_ticks
 from repro.rendering.framebuffer import Framebuffer
-from repro.rendering.text import render_text, text_width
+from repro.rendering.text import render_text
 from repro.util.errors import RenderingError
 
 RGB = Tuple[float, float, float]

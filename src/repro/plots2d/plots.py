@@ -8,7 +8,7 @@ draws, decorates, and returns the chart — caller renders with
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple, Union
+from typing import Optional, Tuple, Union
 
 import numpy as np
 

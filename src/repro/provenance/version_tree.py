@@ -12,7 +12,7 @@ replays its root-path actions against a fresh pipeline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.provenance.actions import Action, action_from_dict
@@ -174,7 +174,8 @@ class VersionTree:
             action = action_from_dict(raw["action"])  # type: ignore[index, arg-type]
             node = VersionNode(
                 version, int(parent), action,
-                tag=str(raw.get("tag", "")), annotation=str(raw.get("annotation", "")),  # type: ignore[union-attr]
+                tag=str(raw.get("tag", "")),  # type: ignore[union-attr]
+                annotation=str(raw.get("annotation", "")),
             )
             tree._nodes[version] = node
             tree._children.setdefault(int(parent), []).append(version)

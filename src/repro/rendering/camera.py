@@ -13,7 +13,7 @@ NDC x/y in [-1, 1]; screen origin at the top-left pixel.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, Tuple
 
 import numpy as np

@@ -9,7 +9,7 @@ cell-center average, the standard rule.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 

@@ -18,7 +18,8 @@ from repro.util.errors import RenderingError
 class Framebuffer:
     """A ``(height, width)`` RGB color buffer with a z-buffer."""
 
-    def __init__(self, width: int, height: int, background: Tuple[float, float, float] = (0.08, 0.08, 0.12)) -> None:
+    def __init__(self, width: int, height: int,
+                 background: Tuple[float, float, float] = (0.08, 0.08, 0.12)) -> None:
         if width < 1 or height < 1:
             raise RenderingError(f"bad framebuffer size {width}x{height}")
         self.width = int(width)

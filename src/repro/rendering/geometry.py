@@ -145,7 +145,8 @@ class PolyData:
         return PolyData(points, triangles, lines, gather("scalars", 0.0), gather("colors", 0.7))
 
 
-def plane_quad(corner: np.ndarray, edge_u: np.ndarray, edge_v: np.ndarray, nu: int = 2, nv: int = 2) -> PolyData:
+def plane_quad(corner: np.ndarray, edge_u: np.ndarray, edge_v: np.ndarray,
+               nu: int = 2, nv: int = 2) -> PolyData:
     """A tessellated quad patch: corner + s·edge_u + t·edge_v, s,t ∈ [0,1]."""
     if nu < 2 or nv < 2:
         raise RenderingError("plane_quad needs nu, nv >= 2")

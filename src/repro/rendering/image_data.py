@@ -177,7 +177,9 @@ class ImageData:
 
     # -- slicing ----------------------------------------------------------------
 
-    def extract_slice(self, axis: int, world_coord: float, name: Optional[str] = None) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def extract_slice(
+        self, axis: int, world_coord: float, name: Optional[str] = None
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Interpolated planar slice at ``world_coord`` along *axis*.
 
         Returns ``(values, u_coords, v_coords)`` where ``values`` is the

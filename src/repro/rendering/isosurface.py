@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.rendering.geometry import PolyData
 from repro.rendering.image_data import ImageData
 from repro.util.errors import RenderingError
@@ -107,6 +108,25 @@ def marching_tetrahedra(
     nx, ny, nz = scalars.shape
     if min(nx, ny, nz) < 2:
         return PolyData(np.zeros((0, 3)))
+    with obs.span(
+        "isosurface.marching_tetrahedra",
+        cells=int((nx - 1) * (ny - 1) * (nz - 1)),
+        isovalue=float(isovalue),
+    ) as _span:
+        surface = _marching_tetrahedra_body(
+            volume, scalars, float(isovalue), deduplicate, _span
+        )
+    return surface
+
+
+def _marching_tetrahedra_body(
+    volume: ImageData,
+    scalars: np.ndarray,
+    isovalue: float,
+    deduplicate: bool,
+    _span,
+) -> PolyData:
+    nx, ny, nz = scalars.shape
     values = np.where(np.isfinite(scalars), scalars, -np.inf).astype(np.float64)
 
     # corner values for every cell: shape (8, cx, cy, cz)
@@ -187,6 +207,10 @@ def marching_tetrahedra(
 
     points_world = volume.index_to_world(points_index)
     scalars_out = np.full(points_world.shape[0], float(isovalue))
+    if obs.enabled():
+        obs.counter("isosurface.triangles", int(triangles.shape[0]))
+        obs.counter("isosurface.cells", int((nx - 1) * (ny - 1) * (nz - 1)))
+        _span.set(triangles=int(triangles.shape[0]), points=int(points_world.shape[0]))
     return PolyData(points_world, triangles, scalars=scalars_out)
 
 

@@ -16,10 +16,10 @@ from typing import Optional
 
 import numpy as np
 
+from repro import obs
 from repro.rendering.camera import Camera
 from repro.rendering.framebuffer import Framebuffer
 from repro.rendering.geometry import PolyData
-from repro.util.errors import RenderingError
 
 
 def shade_colors(
@@ -54,29 +54,39 @@ def rasterize(
     """
     if poly.n_points == 0:
         return 0
-    width, height = framebuffer.width, framebuffer.height
-    projected = camera.project(poly.points, width, height)  # (n, 3): px, py, depth
+    with obs.span(
+        "rasterizer.rasterize",
+        points=int(poly.n_points),
+        triangles=int(poly.n_triangles),
+        lines=len(poly.lines),
+    ) as _span:
+        width, height = framebuffer.width, framebuffer.height
+        projected = camera.project(poly.points, width, height)  # (n, 3): px, py, depth
 
-    if poly.colors is not None:
-        base = poly.colors.astype(np.float64)
-    else:
-        base = np.tile(np.asarray(flat_color, dtype=np.float64), (poly.n_points, 1))
-    if light_direction is not None and poly.n_triangles:
-        shaded = shade_colors(base, poly.point_normals(), light_direction)
-    else:
-        shaded = np.clip(base, 0.0, 1.0).astype(np.float32)
+        if poly.colors is not None:
+            base = poly.colors.astype(np.float64)
+        else:
+            base = np.tile(np.asarray(flat_color, dtype=np.float64), (poly.n_points, 1))
+        if light_direction is not None and poly.n_triangles:
+            shaded = shade_colors(base, poly.point_normals(), light_direction)
+        else:
+            shaded = np.clip(base, 0.0, 1.0).astype(np.float32)
 
-    written = 0
-    if poly.n_triangles:
-        written += _rasterize_triangles(poly.triangles, projected, shaded, framebuffer)
-    for line in poly.lines:
-        if line.size >= 2:
-            color = (
-                np.asarray(line_color, dtype=np.float32)
-                if line_color is not None
-                else None
-            )
-            written += _rasterize_polyline(line, projected, shaded, color, framebuffer, point_size)
+        written = 0
+        if poly.n_triangles:
+            written += _rasterize_triangles(poly.triangles, projected, shaded, framebuffer)
+        for line in poly.lines:
+            if line.size >= 2:
+                color = (
+                    np.asarray(line_color, dtype=np.float32)
+                    if line_color is not None
+                    else None
+                )
+                written += _rasterize_polyline(line, projected, shaded, color, framebuffer, point_size)
+        if obs.enabled():
+            obs.counter("rasterizer.triangles", int(poly.n_triangles))
+            obs.counter("rasterizer.pixels_written", int(written))
+            _span.set(pixels=int(written))
     return written
 
 

@@ -21,6 +21,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.rendering.camera import Camera
 from repro.rendering.image_data import ImageData
 from repro.rendering.transfer_function import TransferFunction
@@ -117,37 +118,54 @@ def raycast_volume(
     # unit step of the smallest spacing
     reference_step = float(min(volume.spacing))
 
+    # instrumentation state is accumulated in plain locals so the
+    # per-step cost with recording off is a single branch
+    _obs_on = obs.enabled()
+    _samples = 0
+    _steps = 0
+
     max_steps = int(np.ceil(volume.diagonal() / step)) + 2
-    for _ in range(max_steps):
-        if active.size == 0:
-            break
-        t = t_current[active]
-        pts = origins[active] + dirs[active] * t[:, None]
-        samples = volume.sample(pts, name=name)
-        rgb, alpha = transfer.evaluate(samples)
-        # correct opacity for the actual step length
-        alpha = 1.0 - np.power(1.0 - np.clip(alpha, 0.0, 0.999), step / reference_step)
-        if gradient is not None:
-            idx = volume.world_to_index(pts).T
-            from scipy import ndimage
-            g = np.empty((pts.shape[0], 3))
-            for c in range(3):
-                g[:, c] = ndimage.map_coordinates(
-                    gradient[..., c], idx, order=1, mode="nearest", prefilter=False
+    with obs.span(
+        "raycast.render", rays=int(n_rays), width=int(width), height=int(height)
+    ) as _span:
+        for _ in range(max_steps):
+            if active.size == 0:
+                break
+            if _obs_on:
+                _samples += int(active.size)
+                _steps += 1
+            t = t_current[active]
+            pts = origins[active] + dirs[active] * t[:, None]
+            samples = volume.sample(pts, name=name)
+            rgb, alpha = transfer.evaluate(samples)
+            # correct opacity for the actual step length
+            alpha = 1.0 - np.power(1.0 - np.clip(alpha, 0.0, 0.999), step / reference_step)
+            if gradient is not None:
+                idx = volume.world_to_index(pts).T
+                from scipy import ndimage
+                g = np.empty((pts.shape[0], 3))
+                for c in range(3):
+                    g[:, c] = ndimage.map_coordinates(
+                        gradient[..., c], idx, order=1, mode="nearest", prefilter=False
+                    )
+                glen = np.linalg.norm(g, axis=1)
+                shading = np.where(
+                    glen > 1e-12,
+                    0.4 + 0.6 * np.abs((g / np.maximum(glen, 1e-12)[:, None]) @ light),
+                    1.0,
                 )
-            glen = np.linalg.norm(g, axis=1)
-            shading = np.where(
-                glen > 1e-12,
-                0.4 + 0.6 * np.abs((g / np.maximum(glen, 1e-12)[:, None]) @ light),
-                1.0,
-            )
-            rgb = rgb * shading[:, None]
-        tr = transmittance[active]
-        color[active] += (tr * alpha)[:, None] * rgb
-        transmittance[active] = tr * (1.0 - alpha)
-        t_current[active] = t + step
-        keep = (transmittance[active] > _MIN_TRANSMITTANCE) & (t_current[active] < t_exit[active])
-        active = active[keep]
+                rgb = rgb * shading[:, None]
+            tr = transmittance[active]
+            color[active] += (tr * alpha)[:, None] * rgb
+            transmittance[active] = tr * (1.0 - alpha)
+            t_current[active] = t + step
+            keep = (transmittance[active] > _MIN_TRANSMITTANCE) & (t_current[active] < t_exit[active])
+            active = active[keep]
+
+        if _obs_on:
+            obs.counter("raycast.samples", _samples)
+            obs.counter("raycast.rays", int(n_rays))
+            _span.set(steps=_steps, samples=_samples)
 
     alpha_out = 1.0 - transmittance
     rgba = np.concatenate([color, alpha_out[:, None]], axis=1)

@@ -10,7 +10,7 @@ opaque geometry correctly occludes translucent volume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np

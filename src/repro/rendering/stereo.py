@@ -16,7 +16,7 @@ artifacts:
 
 from __future__ import annotations
 
-from typing import Tuple, Union
+from typing import Union
 
 import numpy as np
 

@@ -9,10 +9,11 @@ simultaneously; a seed retires when it leaves the volume, stalls
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.rendering.geometry import PolyData
 from repro.rendering.image_data import ImageData
 from repro.util.errors import RenderingError
@@ -59,13 +60,20 @@ def integrate_streamlines(
             ok &= (points[:, axis] >= bounds[2 * axis]) & (points[:, axis] <= bounds[2 * axis + 1])
         return ok
 
+    _obs_on = obs.enabled()
+
     def march(direction: float) -> List[List[np.ndarray]]:
         pts = seeds.copy()
         alive = inside(pts)
         paths: List[List[np.ndarray]] = [[p.copy()] for p in pts]
+        steps = 0
+        advanced = 0
         for _ in range(max_steps):
             if not alive.any():
                 break
+            if _obs_on:
+                steps += 1
+                advanced += int(alive.sum())
             idx = np.nonzero(alive)[0]
             p = pts[idx]
             k1 = field(p) * direction
@@ -82,18 +90,31 @@ def integrate_streamlines(
                     paths[ray].append(new_p[local].copy())
                 else:
                     alive[ray] = False
+        if _obs_on:
+            obs.counter("streamline.rk4_steps", steps)
+            obs.counter("streamline.seed_advances", advanced)
         return paths
 
-    forward = march(+1.0)
-    if not bidirectional:
-        return [np.asarray(path) for path in forward if len(path) >= 2]
-    backward = march(-1.0)
-    out: List[np.ndarray] = []
-    for fwd, bwd in zip(forward, backward):
-        joined = list(reversed(bwd[1:])) + fwd
-        if len(joined) >= 2:
-            out.append(np.asarray(joined))
-    return out
+    with obs.span(
+        "streamline.integrate",
+        seeds=int(seeds.shape[0]),
+        bidirectional=bool(bidirectional),
+    ) as _span:
+        forward = march(+1.0)
+        if not bidirectional:
+            lines = [np.asarray(path) for path in forward if len(path) >= 2]
+        else:
+            backward = march(-1.0)
+            lines = []
+            for fwd, bwd in zip(forward, backward):
+                joined = list(reversed(bwd[1:])) + fwd
+                if len(joined) >= 2:
+                    lines.append(np.asarray(joined))
+        if _obs_on:
+            n_points = int(sum(line.shape[0] for line in lines))
+            obs.counter("streamline.points", n_points)
+            _span.set(lines=len(lines), points=n_points)
+    return lines
 
 
 def streamlines_to_polydata(

@@ -12,12 +12,12 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Union
 
 from repro.dv3d.cell import DV3DCell
 from repro.provenance.log import ExecutionLog
 from repro.provenance.vistrail import Vistrail
-from repro.spreadsheet.sheet import CellBinding, Spreadsheet
+from repro.spreadsheet.sheet import Spreadsheet
 from repro.util.errors import SpreadsheetError
 from repro.workflow.executor import Executor
 from repro.workflow.registry import ModuleRegistry

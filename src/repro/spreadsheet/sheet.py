@@ -11,7 +11,7 @@ promise ("visualizations ... fully customizable and reproducible").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.dv3d.cell import DV3DCell

@@ -10,7 +10,7 @@ serializes the same :class:`Event` objects over sockets.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Tuple
 
 

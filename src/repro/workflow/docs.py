@@ -9,9 +9,40 @@ carry a docstring).
 
 from __future__ import annotations
 
-from typing import List
+import importlib
+import pkgutil
+from typing import List, Tuple
 
 from repro.workflow.registry import ModuleRegistry
+
+
+def package_summaries() -> List[Tuple[str, str]]:
+    """``(dotted name, first docstring line)`` for every ``repro`` subpackage."""
+    import repro
+
+    summaries = []
+    for info in sorted(pkgutil.iter_modules(repro.__path__), key=lambda m: m.name):
+        module = importlib.import_module(f"repro.{info.name}")
+        doc = (module.__doc__ or "").strip()
+        first_line = doc.splitlines()[0] if doc else ""
+        summaries.append((f"repro.{info.name}", first_line))
+    return summaries
+
+
+def document_packages() -> str:
+    """Markdown overview table of every ``repro`` subpackage."""
+    lines: List[str] = [
+        "## Package overview",
+        "",
+        "Every top-level `repro` subpackage, workflow-visible or not:",
+        "",
+        "| package | summary |",
+        "|---|---|",
+    ]
+    for name, summary in package_summaries():
+        lines.append(f"| `{name}` | {summary} |")
+    lines.append("")
+    return "\n".join(lines)
 
 
 def document_module(cls) -> str:
@@ -51,6 +82,7 @@ def document_registry(registry: ModuleRegistry) -> str:
         "be placed in a pipeline by its bare name (when unambiguous) or its "
         "qualified `package:Name` form.",
         "",
+        document_packages(),
     ]
     for package_id in registry.packages():
         lines += [f"## Package `{package_id}`", ""]

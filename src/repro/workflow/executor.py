@@ -24,6 +24,7 @@ from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.workflow.pipeline import Pipeline
 from repro.util.errors import ModuleExecutionError, WorkflowError
 
@@ -49,7 +50,7 @@ class ExecutionResult:
     cache_misses: int = 0
     wall_time: float = 0.0
 
-    def output(self, module_id: int, port: str = None) -> Any:  # type: ignore[assignment]
+    def output(self, module_id: int, port: Optional[str] = None) -> Any:
         """Output of a module; port may be omitted when there is exactly one."""
         if port is not None:
             try:
@@ -152,77 +153,94 @@ class Executor:
             mid: {c.source_id for c in pipeline.incoming(mid)} for mid in order
         }
 
+        # run_module executes on pool worker threads, whose obs span
+        # stacks are empty — the execute-level span id is captured here
+        # and passed explicitly so per-module spans nest under it.
+        exec_span = obs.span(
+            "executor.execute", modules=len(order), workers=self.max_workers
+        )
+
         def run_module(mid: int) -> Tuple[int, Dict[str, Any], ModuleRun]:
             spec = pipeline.modules[mid]
             t0 = time.perf_counter()
             sig = signatures[mid]
             cls = pipeline.registry.resolve(spec.name)
             use_cache = self.caching and cls.cacheable
-            if use_cache and sig in self._cache:
-                outputs = self._cache[sig]
-                return mid, outputs, ModuleRun(
-                    mid, spec.name, "cached", time.perf_counter() - t0
-                )
-            instance = cls(spec.parameters)
-            inputs: Dict[str, Any] = {}
-            for conn in pipeline.incoming(mid):
-                inputs[conn.target_port] = module_outputs[conn.source_id][conn.source_port]
-            try:
-                outputs = instance.check_outputs(instance.compute(inputs))
-            except ModuleExecutionError:
-                raise
-            except Exception as exc:  # noqa: BLE001 - attributed and re-raised
-                raise ModuleExecutionError(spec.name, exc) from exc
-            if use_cache:
-                self._cache[sig] = outputs
-            return mid, outputs, ModuleRun(mid, spec.name, "ok", time.perf_counter() - t0)
+            with obs.span(
+                "executor.module", parent_id=exec_span.id, module=spec.name
+            ) as mspan:
+                if use_cache and sig in self._cache:
+                    outputs = self._cache[sig]
+                    mspan.set(status="cached")
+                    obs.counter("executor.cache.hit", module=spec.name)
+                    return mid, outputs, ModuleRun(
+                        mid, spec.name, "cached", time.perf_counter() - t0
+                    )
+                obs.counter("executor.cache.miss", module=spec.name)
+                instance = cls(spec.parameters)
+                inputs: Dict[str, Any] = {}
+                for conn in pipeline.incoming(mid):
+                    inputs[conn.target_port] = module_outputs[conn.source_id][conn.source_port]
+                try:
+                    outputs = instance.check_outputs(instance.compute(inputs))
+                except ModuleExecutionError:
+                    raise
+                except Exception as exc:  # noqa: BLE001 - attributed and re-raised
+                    raise ModuleExecutionError(spec.name, exc) from exc
+                if use_cache:
+                    self._cache[sig] = outputs
+                mspan.set(status="ok")
+            duration = time.perf_counter() - t0
+            obs.histogram("executor.module.duration", duration, module=spec.name)
+            return mid, outputs, ModuleRun(mid, spec.name, "ok", duration)
 
         def finish(mid: int, outputs: Dict[str, Any], run: ModuleRun) -> None:
             module_outputs[mid] = outputs
             result.runs.append(run)
-            if run.status == "cached":
-                result.cache_hits += 1
-            else:
-                result.cache_misses += 1
             for port, value in outputs.items():
                 result.outputs[(mid, port)] = value
             if self.on_module_complete is not None:
                 self.on_module_complete(run, len(result.runs), len(order))
 
-        if self.max_workers == 1:
-            for mid in order:
-                finish(*run_module(mid))
-        else:
-            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-                pending: Dict[Future, int] = {}
-                done_set: Set[int] = set()
+        with exec_span:
+            if self.max_workers == 1:
+                for mid in order:
+                    finish(*run_module(mid))
+            else:
+                with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                    pending: Dict[Future, int] = {}
+                    done_set: Set[int] = set()
 
-                def dispatch_ready() -> None:
-                    for mid in sorted(remaining):
-                        if dependencies[mid] <= done_set and mid not in {
-                            m for m in pending.values()
-                        }:
-                            pending[pool.submit(run_module, mid)] = mid
+                    def dispatch_ready() -> None:
+                        for mid in sorted(remaining):
+                            if dependencies[mid] <= done_set and mid not in {
+                                m for m in pending.values()
+                            }:
+                                pending[pool.submit(run_module, mid)] = mid
 
-                dispatch_ready()
-                first_error: Optional[BaseException] = None
-                while pending:
-                    done, _ = wait(pending, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        mid = pending.pop(future)
-                        try:
-                            finish(*future.result())
-                        except BaseException as exc:  # noqa: BLE001
-                            if first_error is None:
-                                first_error = exc
+                    dispatch_ready()
+                    first_error: Optional[BaseException] = None
+                    while pending:
+                        done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                        for future in done:
+                            mid = pending.pop(future)
+                            try:
+                                finish(*future.result())
+                            except BaseException as exc:  # noqa: BLE001
+                                if first_error is None:
+                                    first_error = exc
+                                remaining.discard(mid)
+                                continue
                             remaining.discard(mid)
-                            continue
-                        remaining.discard(mid)
-                        done_set.add(mid)
-                    if first_error is None:
-                        dispatch_ready()
-                if first_error is not None:
-                    raise first_error
+                            done_set.add(mid)
+                        if first_error is None:
+                            dispatch_ready()
+                    if first_error is not None:
+                        raise first_error
 
+        # cache statistics are derived from the run records (the obs
+        # counters above carry the per-module breakdown)
+        result.cache_hits = sum(1 for run in result.runs if run.status == "cached")
+        result.cache_misses = len(result.runs) - result.cache_hits
         result.wall_time = time.perf_counter() - start_wall
         return result

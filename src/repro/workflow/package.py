@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Tuple, Type
+from typing import Any, Callable, Dict, List, Type
 
 from repro.workflow.module import Module, ParameterSpec
 from repro.workflow.ports import PortSpec

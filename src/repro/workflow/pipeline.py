@@ -14,7 +14,7 @@ coverage (at execution time).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Set
 
 from repro.workflow.registry import ModuleRegistry
 from repro.util.errors import WorkflowError

@@ -1,6 +1,5 @@
 """The application facade and the plot palette."""
 
-import numpy as np
 import pytest
 
 from repro.app.application import Application

@@ -1,6 +1,5 @@
 """The variable view and the calculator interface."""
 
-import numpy as np
 import pytest
 
 from repro.app.calculator import Calculator

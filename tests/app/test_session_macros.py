@@ -1,6 +1,5 @@
 """Session macros: record, replay, persist."""
 
-import numpy as np
 import pytest
 
 from repro.app.session import Macro, MacroRecorder, MacroStep

@@ -10,7 +10,7 @@ from repro.cdat.averages import (
     running_mean,
     zonal_mean,
 )
-from repro.cdms.axis import latitude_axis, longitude_axis, time_axis
+from repro.cdms.axis import time_axis
 from repro.cdms.variable import Variable
 from repro.util.errors import CDATError
 

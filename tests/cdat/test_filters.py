@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cdat.filters import bandpass_running_mean, detrend, lag_correlation, spatial_smooth
-from repro.cdms.axis import latitude_axis, longitude_axis, time_axis, uniform_latitude, uniform_longitude
+from repro.cdms.axis import latitude_axis, time_axis, uniform_latitude, uniform_longitude
 from repro.cdms.variable import Variable
 from repro.util.errors import CDATError
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cdat.spectral import dominant_wave, space_time_power, zonal_power_spectrum
-from repro.cdms.axis import latitude_axis, time_axis, uniform_longitude
+from repro.cdms.axis import latitude_axis, uniform_longitude
 from repro.cdms.variable import Variable
 from repro.data.fields import equatorial_wave
 from repro.util.errors import CDATError

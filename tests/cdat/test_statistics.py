@@ -12,7 +12,7 @@ from repro.cdat.statistics import (
     standardize,
     variance,
 )
-from repro.cdms.axis import latitude_axis, longitude_axis, time_axis
+from repro.cdms.axis import latitude_axis, time_axis
 from repro.cdms.grid import uniform_grid
 from repro.cdms.variable import Variable
 from repro.util.errors import CDATError

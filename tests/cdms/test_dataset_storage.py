@@ -6,7 +6,7 @@ import zipfile
 import numpy as np
 import pytest
 
-from repro.cdms.axis import latitude_axis, longitude_axis, time_axis
+from repro.cdms.axis import latitude_axis, time_axis
 from repro.cdms.dataset import Dataset, open_dataset
 from repro.cdms.storage import read_cdz, write_cdz
 from repro.cdms.variable import Variable
@@ -81,7 +81,8 @@ class TestStorageRoundtrip:
         path = tmp_path / "c.cdz"
         dataset.save(path)
         with zipfile.ZipFile(path) as archive:
-            axis_files = [n for n in archive.namelist() if n.startswith("axes/") and not n.endswith("bounds.npy")]
+            axis_files = [n for n in archive.namelist()
+                          if n.startswith("axes/") and not n.endswith("bounds.npy")]
         assert len(axis_files) == 4  # time, level, latitude, longitude
 
 

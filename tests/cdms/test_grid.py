@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.cdms.axis import latitude_axis, longitude_axis, uniform_latitude, uniform_longitude
+from repro.cdms.axis import latitude_axis, longitude_axis
 from repro.cdms.grid import RectilinearGrid, uniform_grid
 from repro.util.errors import CDMSError
 

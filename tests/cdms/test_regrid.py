@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.cdms.axis import latitude_axis, longitude_axis, time_axis
+from repro.cdms.axis import longitude_axis, time_axis
 from repro.cdms.grid import RectilinearGrid, uniform_grid
 from repro.cdms.regrid import regrid_bilinear, regrid_conservative
 from repro.cdms.variable import Variable

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.cdms.axis import latitude_axis, level_axis, longitude_axis, time_axis
+from repro.cdms.axis import latitude_axis, longitude_axis, time_axis
 from repro.cdms.grid import RectilinearGrid
 from repro.cdms.selectors import Selector
 from repro.cdms.variable import Variable, as_variable

@@ -1,10 +1,8 @@
 """Synthetic data generators: determinism, physical structure, metadata."""
 
 import numpy as np
-import pytest
 
 from repro.data import fields
-from repro.data.catalog import storm_case_study, synthetic_reanalysis, wave_case_study
 
 
 class TestDeterminism:

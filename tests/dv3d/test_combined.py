@@ -1,10 +1,8 @@
 """CombinedPlot: scene merging, coordinated interaction, state."""
 
-import numpy as np
 import pytest
 
 from repro.dv3d.combined import CombinedPlot
-from repro.dv3d.isosurface import IsosurfacePlot
 from repro.dv3d.slicer import SlicerPlot
 from repro.dv3d.volume import VolumePlot
 from repro.util.errors import DV3DError

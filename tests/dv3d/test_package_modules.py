@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.util.errors import ModuleExecutionError, WorkflowError
+from repro.util.errors import ModuleExecutionError
 from repro.workflow.executor import Executor
 from repro.workflow.pipeline import Pipeline
 

@@ -5,7 +5,6 @@ import pytest
 
 from repro.dv3d.hovmoller import HovmollerSlicerPlot, HovmollerVolumePlot
 from repro.dv3d.isosurface import IsosurfacePlot
-from repro.dv3d.plot import Plot3D
 from repro.dv3d.slicer import SlicerPlot
 from repro.dv3d.vector_slicer import VectorSlicerPlot
 from repro.dv3d.volume import VolumePlot

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.cdms.axis import latitude_axis, level_axis, longitude_axis, time_axis
+from repro.cdms.axis import level_axis, time_axis
 from repro.cdms.variable import Variable
 from repro.dv3d.translation import (
     add_variable_to_volume,

@@ -1,7 +1,6 @@
 """The wire protocol and the in-process hyperwall simulation."""
 
 import socket
-import threading
 
 import numpy as np
 import pytest

@@ -7,10 +7,10 @@ import pytest
 from repro.app.application import Application
 from repro.dv3d.animation import Animator
 from repro.hyperwall.inproc import InProcessHyperwall
-from repro.provenance.query import diff_versions, version_history
+from repro.provenance.query import diff_versions
 from repro.workflow.executor import Executor
 from repro.workflow.pipeline import Pipeline
-from tests.conftest import SMALL, build_cell_chain
+from tests.conftest import build_cell_chain
 
 SIZE = {"nlat": 12, "nlon": 16, "nlev": 4, "ntime": 3}
 

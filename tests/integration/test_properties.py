@@ -1,10 +1,9 @@
 """Cross-cutting property-based tests (hypothesis) on system invariants."""
 
 import numpy as np
-import pytest
 from hypothesis import assume, given, settings, strategies as st
 
-from repro.cdms.axis import Axis, latitude_axis, longitude_axis, time_axis
+from repro.cdms.axis import latitude_axis, longitude_axis
 from repro.cdms.variable import Variable
 from repro.rendering.colormap import Colormap, colormap_names
 from repro.rendering.ppm import read_ppm, write_ppm

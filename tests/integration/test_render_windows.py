@@ -8,7 +8,6 @@ the windows while legitimate numerical drift does not.
 """
 
 import numpy as np
-import pytest
 
 from repro.dv3d.cell import DV3DCell
 from repro.dv3d.combined import CombinedPlot

@@ -1,0 +1,100 @@
+"""End-to-end: executor runs surface spans and cache counters in obs."""
+
+import pytest
+
+from repro import obs
+from repro.workflow.executor import Executor
+from repro.workflow.module import Module, ParameterSpec
+from repro.workflow.pipeline import Pipeline
+from repro.workflow.ports import PortSpec
+from repro.workflow.registry import ModuleRegistry
+
+
+class Source(Module):
+    name = "Source"
+    output_ports = (PortSpec("out", "number"),)
+    parameters = (ParameterSpec("value", 1.0),)
+
+    def compute(self, inputs):
+        return {"out": float(self.parameter_values["value"])}
+
+
+class Double(Module):
+    name = "Double"
+    input_ports = (PortSpec("in", "number"),)
+    output_ports = (PortSpec("out", "number"),)
+
+    def compute(self, inputs):
+        return {"out": inputs["in"] * 2}
+
+
+@pytest.fixture()
+def pipeline():
+    reg = ModuleRegistry()
+    reg.register("test", Source)
+    reg.register("test", Double)
+    p = Pipeline(reg)
+    source = p.add_module("Source", {"value": 3.0})
+    double = p.add_module("Double")
+    p.add_connection(source, "out", double, "in")
+    return p
+
+
+class TestExecutorInstrumentation:
+    def test_cache_counters_in_exported_metrics(self, pipeline):
+        executor = Executor(caching=True, max_workers=2)
+        with obs.recording() as rec:
+            executor.execute(pipeline)  # cold: all misses
+            executor.execute(pipeline)  # warm: all hits
+        assert rec.counter_total("executor.cache.miss") == 2.0
+        assert rec.counter_total("executor.cache.hit") == 2.0
+        # per-module label breakdown
+        assert rec.counter_value("executor.cache.miss", module="test:Source") == 1.0
+        assert rec.counter_value("executor.cache.hit", module="test:Double") == 1.0
+        # and the same series survive JSON export
+        exported = rec.to_dict()
+        names = {row["name"] for row in exported["counters"]}
+        assert {"executor.cache.hit", "executor.cache.miss"} <= names
+
+    def test_module_spans_parented_under_execute(self, pipeline):
+        with obs.recording() as rec:
+            Executor(caching=False, max_workers=2).execute(pipeline)
+        execute = [s for s in rec.spans if s.name == "executor.execute"]
+        modules = [s for s in rec.spans if s.name == "executor.module"]
+        assert len(execute) == 1
+        assert len(modules) == 2
+        assert all(m.parent_id == execute[0].span_id for m in modules)
+        assert {m.attrs["module"] for m in modules} == {"test:Source", "test:Double"}
+        assert {m.attrs["status"] for m in modules} == {"ok"}
+
+    def test_cached_runs_marked_in_span_attrs(self, pipeline):
+        executor = Executor(caching=True)
+        with obs.recording() as rec:
+            executor.execute(pipeline)
+            executor.execute(pipeline)
+        statuses = [s.attrs["status"] for s in rec.spans if s.name == "executor.module"]
+        assert statuses.count("ok") == 2
+        assert statuses.count("cached") == 2
+
+    def test_module_duration_histograms_recorded(self, pipeline):
+        with obs.recording() as rec:
+            Executor(caching=False).execute(pipeline)
+        series = {k.name: v for k, v in rec.histograms.items()}
+        assert "executor.module.duration" in series
+
+    def test_result_cache_fields_match_counters(self, pipeline):
+        executor = Executor(caching=True)
+        with obs.recording() as rec:
+            cold = executor.execute(pipeline)
+            warm = executor.execute(pipeline)
+        assert cold.cache_hits == 0 and cold.cache_misses == 2
+        assert warm.cache_hits == 2 and warm.cache_misses == 0
+        assert rec.counter_total("executor.cache.hit") == warm.cache_hits
+        assert rec.counter_total("executor.cache.miss") == cold.cache_misses
+
+    def test_executor_untraced_when_disabled(self, pipeline):
+        assert not obs.enabled()
+        before = len(obs.get_recorder().spans)
+        result = Executor(caching=True).execute(pipeline)
+        assert result.cache_misses == 2
+        assert len(obs.get_recorder().spans) == before

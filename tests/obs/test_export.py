@@ -1,0 +1,68 @@
+"""Recorder export: JSON round-trip and the human-readable summary tree."""
+
+import json
+
+from repro import obs
+from repro.obs import Recorder, render_summary_tree
+
+
+def populate():
+    with obs.recording() as rec:
+        with obs.span("render", frame=1):
+            with obs.span("raycast", rays=100):
+                obs.counter("raycast.samples", 4200)
+            with obs.span("raycast", rays=100):
+                pass
+        obs.gauge("workers", 4.0)
+        obs.histogram("module.duration", 0.25, module="Slicer")
+        obs.histogram("module.duration", 0.5, module="Slicer")
+    return rec
+
+
+class TestJsonRoundTrip:
+    def test_to_json_is_valid_sorted_json(self):
+        payload = populate().to_json()
+        data = json.loads(payload)
+        assert set(data) == {"spans", "counters", "gauges", "histograms"}
+        assert payload == json.dumps(data, sort_keys=True)
+
+    def test_round_trip_preserves_everything(self):
+        rec = populate()
+        clone = Recorder.from_json(rec.to_json())
+        assert clone.spans == rec.spans
+        assert clone.counters == rec.counters
+        assert clone.gauges == rec.gauges
+        assert clone.histograms == rec.histograms
+        # and the round trip is a fixed point
+        assert clone.to_json() == rec.to_json()
+
+    def test_restored_recorder_continues_id_sequence(self):
+        rec = populate()
+        clone = Recorder.from_dict(rec.to_dict())
+        top = clone.span("later")
+        assert top.id > max(s.span_id for s in rec.spans)
+
+
+class TestSummaryTree:
+    def test_tree_aggregates_repeated_spans(self):
+        text = populate().summary_tree()
+        lines = text.splitlines()
+        render_line = next(line for line in lines if "render" in line)
+        raycast_line = next(line for line in lines if "raycast" in line)
+        assert "1" in render_line  # one render span
+        assert "2" in raycast_line  # two raycast spans aggregated
+        # children are indented under their parent
+        assert lines.index(raycast_line) > lines.index(render_line)
+        assert len(raycast_line) - len(raycast_line.lstrip()) > (
+            len(render_line) - len(render_line.lstrip())
+        )
+
+    def test_tree_lists_metrics(self):
+        text = render_summary_tree(populate())
+        assert "raycast.samples" in text
+        assert "workers" in text
+        assert "module.duration" in text
+        assert "module=Slicer" in text
+
+    def test_empty_recorder_renders(self):
+        assert isinstance(render_summary_tree(Recorder()), str)

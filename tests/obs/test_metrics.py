@@ -1,0 +1,84 @@
+"""Metric primitives: keys, buckets, histogram merge, series codecs."""
+
+import math
+
+from repro.obs import HistogramData, MetricKey, bucket_bounds
+from repro.obs.metrics import bucket_index, decode_series, encode_series
+
+
+class TestMetricKey:
+    def test_label_order_is_canonical(self):
+        a = MetricKey.make("m", {"x": 1, "y": 2})
+        b = MetricKey.make("m", {"y": 2, "x": 1})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_values_are_stringified(self):
+        key = MetricKey.make("m", {"n": 3})
+        assert key.label_dict() == {"n": "3"}
+
+    def test_no_labels(self):
+        assert MetricKey.make("m", {}) == MetricKey("m")
+
+
+class TestBuckets:
+    def test_powers_of_two(self):
+        assert bucket_index(1.0) == 0
+        assert bucket_index(1.5) == 1
+        assert bucket_index(2.0) == 1
+        assert bucket_index(0.25) == -2
+
+    def test_nonpositive_and_nonfinite_clamp_low(self):
+        """Invalid samples (<= 0, nan, inf) all land in the floor bucket."""
+        floor = bucket_index(0.0)
+        assert bucket_index(-5.0) == floor
+        assert bucket_index(math.nan) == floor
+        assert bucket_index(math.inf) == floor
+
+    def test_bounds_bracket_their_values(self):
+        for value in (0.001, 0.7, 1.0, 3.0, 1000.0):
+            lo, hi = bucket_bounds(bucket_index(value))
+            assert lo < value <= hi
+
+
+class TestHistogramData:
+    def test_merge_matches_combined_observation(self):
+        separate_a, separate_b, combined = HistogramData(), HistogramData(), HistogramData()
+        for v in (0.5, 1.5, 4.0):
+            separate_a.observe(v)
+            combined.observe(v)
+        for v in (0.1, 8.0):
+            separate_b.observe(v)
+            combined.observe(v)
+        separate_a.merge(separate_b)
+        assert separate_a == combined
+
+    def test_dict_round_trip(self):
+        hist = HistogramData()
+        for v in (0.02, 0.5, 0.5, 9.0):
+            hist.observe(v)
+        assert HistogramData.from_dict(hist.to_dict()) == hist
+
+    def test_empty_histogram_exports_null_extrema(self):
+        data = HistogramData().to_dict()
+        assert data["count"] == 0
+        assert data["min"] is None and data["max"] is None
+        assert HistogramData.from_dict(data).count == 0
+
+
+class TestSeriesCodec:
+    def test_counter_series_round_trip(self):
+        series = {
+            MetricKey.make("hits", {"module": "a"}): 4.0,
+            MetricKey.make("hits", {"module": "b"}): 1.0,
+            MetricKey.make("misses", {}): 2.0,
+        }
+        rows = encode_series(series, "counter")
+        assert [r["name"] for r in rows] == ["hits", "hits", "misses"]  # sorted
+        assert decode_series(rows, "counter") == series
+
+    def test_histogram_series_round_trip(self):
+        hist = HistogramData()
+        hist.observe(0.25)
+        series = {MetricKey.make("lat", {"op": "x"}): hist}
+        assert decode_series(encode_series(series, "histogram"), "histogram") == series

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.rendering.camera import Camera
-from repro.rendering.colormap import Colormap
 from repro.rendering.contour2d import contour_levels, marching_squares
 from repro.rendering.image_data import ImageData
 from repro.rendering.raycast import _ray_box_intersection, raycast_volume

@@ -5,9 +5,9 @@ import pytest
 
 from repro.rendering.camera import Camera
 from repro.rendering.framebuffer import Framebuffer
-from repro.rendering.geometry import PolyData, box_outline, plane_quad
+from repro.rendering.geometry import box_outline, plane_quad
 from repro.rendering.image_data import ImageData
-from repro.rendering.scene import Actor, DirectionalLight, Renderer, Scene, VolumeActor
+from repro.rendering.scene import Actor, Renderer, Scene, VolumeActor
 from repro.rendering.text import GLYPH_HEIGHT, glyph_bitmap, render_text, text_width
 from repro.rendering.transfer_function import TransferFunction
 from repro.util.errors import RenderingError

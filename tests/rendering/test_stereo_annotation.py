@@ -3,12 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.rendering.annotation import (
-    AxisLabel,
-    axis_annotations,
-    nice_ticks,
-    project_labels,
-)
+from repro.rendering.annotation import axis_annotations, nice_ticks, project_labels
 from repro.rendering.camera import Camera
 from repro.rendering.framebuffer import Framebuffer
 from repro.rendering.stereo import anaglyph, disparity_estimate, interlaced, side_by_side

@@ -10,7 +10,7 @@ from repro.spreadsheet.project import Project
 from repro.spreadsheet.sheet import CellBinding, Spreadsheet
 from repro.spreadsheet.sync import SyncGroup
 from repro.util.errors import SpreadsheetError
-from tests.conftest import SMALL, build_cell_chain
+from tests.conftest import SMALL
 
 
 @pytest.fixture()

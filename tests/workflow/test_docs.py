@@ -1,6 +1,5 @@
 """Module documentation generation and coverage."""
 
-import pytest
 
 from repro.workflow.docs import document_module, document_registry, undocumented_modules
 from repro.workflow.registry import global_registry

@@ -5,15 +5,8 @@ import pytest
 
 from repro.util.errors import WorkflowError
 from repro.workflow.executor import Executor
-from repro.workflow.module import Module, ParameterSpec
-from repro.workflow.package import (
-    Constant,
-    ExternalToolAdapter,
-    Package,
-    PythonSource,
-    Tee,
-    basic_package,
-)
+from repro.workflow.module import Module
+from repro.workflow.package import Constant, ExternalToolAdapter, PythonSource, Tee, basic_package
 from repro.workflow.pipeline import Pipeline
 from repro.workflow.ports import PortSpec
 from repro.workflow.registry import ModuleRegistry, global_registry

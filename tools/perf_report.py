@@ -1,0 +1,259 @@
+#!/usr/bin/env python
+"""Replay the benchmark scenarios with the obs recorder on.
+
+Produces ``BENCH_obs.json`` — the observability artifact CI uploads on
+every build so per-kernel span timings, executor cache behaviour and
+hyperwall traffic can be compared across PRs.  The artifact contains:
+
+* ``aggregates.spans`` — per-span-name count/total/mean/max seconds for
+  every instrumented kernel (``raycast.render``,
+  ``isosurface.marching_tetrahedra``, ``streamline.integrate``,
+  ``rasterizer.rasterize``, ``regrid.*``, ``executor.*``,
+  ``hyperwall.*``);
+* ``aggregates.counters`` — cache hits/misses, voxel/triangle/pixel
+  throughput, hyperwall message and byte counts, summed over labels
+  (the labelled breakdown stays in ``recorder.counters``);
+* ``recorder`` — the full span/metric dump (``Recorder.to_dict()``).
+
+Usage::
+
+    PYTHONPATH=src python tools/perf_report.py            # full sizes
+    PYTHONPATH=src python tools/perf_report.py --quick    # CI sizes
+    PYTHONPATH=src python tools/perf_report.py --out path.json --summary
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import obs  # noqa: E402
+from repro.cdms.grid import uniform_grid  # noqa: E402
+from repro.cdms.regrid import regrid_bilinear, regrid_conservative  # noqa: E402
+from repro.data.fields import global_temperature  # noqa: E402
+from repro.hyperwall.inproc import InProcessHyperwall  # noqa: E402
+from repro.rendering.camera import Camera  # noqa: E402
+from repro.rendering.framebuffer import Framebuffer  # noqa: E402
+from repro.rendering.image_data import ImageData  # noqa: E402
+from repro.rendering.isosurface import marching_tetrahedra  # noqa: E402
+from repro.rendering.rasterizer import rasterize  # noqa: E402
+from repro.rendering.raycast import raycast_volume  # noqa: E402
+from repro.rendering.streamline import (  # noqa: E402
+    integrate_streamlines,
+    plane_seed_grid,
+)
+from repro.rendering.transfer_function import TransferFunction  # noqa: E402
+from repro.workflow.executor import Executor  # noqa: E402
+from repro.workflow.pipeline import Pipeline  # noqa: E402
+from repro.workflow.registry import global_registry  # noqa: E402
+
+#: scenario workload sizes; --quick is what CI runs on every build
+SIZES = {
+    "full": {
+        "volume_n": 40,
+        "image": (96, 72),
+        "seeds": (12, 12),
+        "regrid_src": (72, 144),
+        "regrid_dst": (46, 72),
+        "dataset": {"nlat": 46, "nlon": 72, "nlev": 8, "ntime": 3},
+        "cells": 4,
+        "cell_size": (128, 96),
+    },
+    "quick": {
+        "volume_n": 24,
+        "image": (48, 36),
+        "seeds": (6, 6),
+        "regrid_src": (36, 72),
+        "regrid_dst": (24, 36),
+        "dataset": {"nlat": 24, "nlon": 36, "nlev": 4, "ntime": 2},
+        "cells": 2,
+        "cell_size": (64, 48),
+    },
+}
+
+
+def make_volume(n: int) -> ImageData:
+    """Gaussian-blob scalar + swirling vector field on one grid."""
+    x = np.linspace(-1, 1, n)
+    X, Y, Z = np.meshgrid(x, x, x, indexing="ij")
+    vol = ImageData((n, n, n), origin=(-1, -1, -1), spacing=(2 / (n - 1),) * 3)
+    vol.add_array("blob", np.exp(-3 * (X**2 + Y**2 + Z**2)))
+    vec = np.stack([-Y, X, 0.2 * np.ones_like(Z)], axis=-1)
+    vol.add_array("swirl", vec, set_active=False)
+    return vol
+
+
+def build_workflow(size: Dict[str, Any], cells: int, cell_size) -> Pipeline:
+    """Reader → variable → plot → cell chains (one chain per wall cell)."""
+    pipeline = Pipeline(registry=global_registry())
+    reader = pipeline.add_module(
+        "CDMSDatasetReader", {"source": "synthetic_reanalysis", "size": dict(size)}
+    )
+    plots = ["Slicer", "VolumeRender", "Isosurface", "HovmollerSlicer"]
+    for index in range(cells):
+        var = pipeline.add_module("CDMSVariableReader", {"variable": "ta"})
+        plot = pipeline.add_module(plots[index % len(plots)])
+        cell = pipeline.add_module(
+            "DV3DCell", {"width": cell_size[0], "height": cell_size[1]}
+        )
+        pipeline.add_connection(reader, "dataset", var, "dataset")
+        pipeline.add_connection(var, "variable", plot, "variable")
+        pipeline.add_connection(plot, "plot", cell, "plot")
+    return pipeline
+
+
+# -- scenarios ---------------------------------------------------------------
+
+
+def scenario_executor(sizes: Dict[str, Any]) -> None:
+    """Cold run then warm re-run: exercises cache miss *and* hit paths."""
+    with obs.span("scenario.executor"):
+        pipeline = build_workflow(sizes["dataset"], 2, sizes["cell_size"])
+        executor = Executor(caching=True, max_workers=2)
+        executor.execute(pipeline)
+        executor.execute(pipeline)  # warm: upstream modules come from cache
+
+
+def scenario_rendering(sizes: Dict[str, Any]) -> None:
+    """The three kernel benchmarks plus a rasterization pass."""
+    volume = make_volume(sizes["volume_n"])
+    camera = Camera.fit_bounds(volume.bounds())
+    width, height = sizes["image"]
+    with obs.span("scenario.raycast"):
+        transfer = TransferFunction(volume.scalar_range(), center=0.8, width=0.4)
+        raycast_volume(volume, transfer, camera, width, height, lighting=True)
+    with obs.span("scenario.isosurface"):
+        surface = marching_tetrahedra(volume, 0.5)
+    with obs.span("scenario.rasterize"):
+        framebuffer = Framebuffer(width, height)
+        rasterize(surface, camera, framebuffer, light_direction=np.array([0.3, -0.4, 0.8]))
+    with obs.span("scenario.streamline"):
+        seeds = plane_seed_grid(volume, 2, 0.0, *sizes["seeds"])
+        integrate_streamlines(volume, "swirl", seeds, max_steps=100)
+
+
+def scenario_regrid(sizes: Dict[str, Any]) -> None:
+    nlat, nlon = sizes["regrid_src"]
+    field = global_temperature(
+        nlat=nlat, nlon=nlon, nlev=2, ntime=2, seed="perf-report"
+    )
+    target = uniform_grid(*sizes["regrid_dst"])
+    with obs.span("scenario.regrid"):
+        regrid_bilinear(field, target)
+        regrid_conservative(field, target)
+
+
+def scenario_hyperwall(sizes: Dict[str, Any]) -> None:
+    """In-process wall: server mirror + full-res clients + an event."""
+    with obs.span("scenario.hyperwall"):
+        workflow = build_workflow(sizes["dataset"], sizes["cells"], sizes["cell_size"])
+        wall = InProcessHyperwall(
+            workflow,
+            reduction=4,
+            client_resolution=sizes["cell_size"],
+            max_workers=2,
+        )
+        wall.execute_all()
+        wall.propagate_event("key", key="c")
+
+
+SCENARIOS = [
+    ("executor", scenario_executor),
+    ("rendering", scenario_rendering),
+    ("regrid", scenario_regrid),
+    ("hyperwall", scenario_hyperwall),
+]
+
+
+# -- aggregation -------------------------------------------------------------
+
+
+def aggregate(recorder: obs.Recorder) -> Dict[str, Any]:
+    """Collapse the raw recorder dump into the stable shape CI tracks."""
+    spans: Dict[str, Dict[str, float]] = {}
+    for record in recorder.spans:
+        agg = spans.setdefault(
+            record.name, {"count": 0, "total_s": 0.0, "max_s": 0.0}
+        )
+        agg["count"] += 1
+        agg["total_s"] += record.duration
+        agg["max_s"] = max(agg["max_s"], record.duration)
+    for agg in spans.values():
+        agg["mean_s"] = agg["total_s"] / agg["count"]
+    counters: Dict[str, float] = {}
+    for key, value in recorder.counters.items():
+        counters[key.name] = counters.get(key.name, 0.0) + value
+    return {"spans": spans, "counters": counters}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small workloads (what CI runs)"
+    )
+    parser.add_argument(
+        "--out", default="BENCH_obs.json", help="output path (default: %(default)s)"
+    )
+    parser.add_argument(
+        "--summary", action="store_true", help="also print the span summary tree"
+    )
+    args = parser.parse_args(argv)
+    sizes = SIZES["quick" if args.quick else "full"]
+
+    recorder = obs.Recorder()
+    start = time.perf_counter()
+    with obs.recording(recorder):
+        for name, scenario in SCENARIOS:
+            t0 = time.perf_counter()
+            scenario(sizes)
+            print(f"  scenario {name:<10} {time.perf_counter() - t0:8.3f}s")
+    wall = time.perf_counter() - start
+
+    payload = {
+        "meta": {
+            "tool": "perf_report",
+            "mode": "quick" if args.quick else "full",
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "wall_s": wall,
+        },
+        "aggregates": aggregate(recorder),
+        "recorder": recorder.to_dict(),
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=1, sort_keys=True))
+    print(f"wrote {out} ({out.stat().st_size} bytes, {wall:.2f}s total)")
+    if args.summary:
+        print(recorder.summary_tree())
+
+    # the artifact must carry the signals CI regression-tracks
+    required_spans = [
+        "raycast.render",
+        "isosurface.marching_tetrahedra",
+        "streamline.integrate",
+        "rasterizer.rasterize",
+        "executor.execute",
+    ]
+    missing = [n for n in required_spans if n not in payload["aggregates"]["spans"]]
+    counters = payload["aggregates"]["counters"]
+    for counter in ("executor.cache.hit", "executor.cache.miss",
+                    "hyperwall.messages.sent", "hyperwall.bytes.sent"):
+        if counters.get(counter, 0) <= 0:
+            missing.append(counter)
+    if missing:
+        print(f"ERROR: artifact is missing expected signals: {missing}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
