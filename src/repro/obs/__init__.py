@@ -52,6 +52,7 @@ from repro.obs.recorder import (
     gauge,
     get_recorder,
     histogram,
+    record_span,
     recording,
     set_recorder,
     span,
@@ -74,6 +75,7 @@ __all__ = [
     "gauge",
     "get_recorder",
     "histogram",
+    "record_span",
     "recording",
     "render_summary_tree",
     "set_recorder",

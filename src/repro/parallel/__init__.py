@@ -1,0 +1,68 @@
+"""Process-parallel tiled rendering kernels (shared-memory pool; serial fallback, deterministic output, crash containment).
+
+The software-rendering hot paths — ray casting, rasterization,
+isosurface extraction, streamline integration and conservative
+regridding — tile their domains across worker processes that write
+into ``multiprocessing.shared_memory`` buffers.  Parallelism is
+strictly opt-in:
+
+    from repro import parallel
+
+    parallel.configure(workers=4)          # ambient: all plots pick it up
+    ...
+    with parallel.use_config(parallel.ParallelConfig(workers=4)):
+        img = plot.render(width=640, height=480)    # scoped
+
+Guarantees (see README "Parallel kernels"):
+
+* **serial fallback** — ``workers <= 1``, missing POSIX shared memory,
+  or workloads under ``min_items`` silently run the serial kernels;
+* **determinism** — the render kernels produce *bitwise identical*
+  framebuffers/surfaces/lines at any worker count (golden-image tested);
+  regridding is near-exact (einsum reassociation only);
+* **crash containment** — a worker death, tile exception or pool
+  timeout raises :class:`~repro.util.errors.KernelPoolError` (never a
+  hang) and shared-memory segments are always unlinked.
+"""
+
+from repro.parallel.config import (
+    ParallelConfig,
+    configure,
+    get_config,
+    set_config,
+    shared_memory_supported,
+    use_config,
+)
+from repro.parallel.kernels import (
+    parallel_integrate_streamlines,
+    parallel_marching_tetrahedra,
+    parallel_rasterize,
+    parallel_raycast,
+    parallel_separable_products,
+)
+from repro.parallel.partition import index_bands, row_bands, sized_bands, z_slabs
+from repro.parallel.pool import KernelPool, attach_ndarray, run_tiles, shared_ndarray
+from repro.util.errors import KernelPoolError
+
+__all__ = [
+    "KernelPool",
+    "KernelPoolError",
+    "ParallelConfig",
+    "attach_ndarray",
+    "configure",
+    "get_config",
+    "index_bands",
+    "parallel_integrate_streamlines",
+    "parallel_marching_tetrahedra",
+    "parallel_rasterize",
+    "parallel_raycast",
+    "parallel_separable_products",
+    "row_bands",
+    "run_tiles",
+    "set_config",
+    "shared_memory_supported",
+    "shared_ndarray",
+    "sized_bands",
+    "use_config",
+    "z_slabs",
+]

@@ -1,0 +1,142 @@
+"""Configuration for the process-parallel kernel pool.
+
+A :class:`ParallelConfig` describes how the tiled rendering kernels
+distribute work: how many worker processes, how the framebuffer /
+volume / seed domain is partitioned, and the pool-wide timeout.  The
+pool is strictly **opt-in**: the default configuration has ``workers=1``
+and every kernel falls back to its serial implementation whenever the
+config is not :attr:`ParallelConfig.enabled` — including on platforms
+without POSIX shared memory.
+
+The ambient default config (:func:`get_config` / :func:`set_config` /
+:func:`use_config`) is what lets DV3D plot types pick up parallelism
+without API changes: ``Renderer``, ``marching_tetrahedra``,
+``integrate_streamlines`` and ``regrid_conservative`` all consult it
+when no explicit config is passed.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Iterator, Optional
+
+from repro.util.errors import KernelPoolError
+
+
+def shared_memory_supported() -> bool:
+    """Whether ``multiprocessing.shared_memory`` works on this platform."""
+    global _SHM_SUPPORTED
+    if _SHM_SUPPORTED is None:
+        try:
+            from multiprocessing import shared_memory
+
+            probe = shared_memory.SharedMemory(create=True, size=16)
+            probe.close()
+            probe.unlink()
+            _SHM_SUPPORTED = True
+        except Exception:
+            _SHM_SUPPORTED = False
+    return _SHM_SUPPORTED
+
+
+_SHM_SUPPORTED: Optional[bool] = None
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How the kernel pool tiles and distributes work.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count; ``<= 1`` selects the serial path.
+    tile_rows:
+        Framebuffer row-band height for raycast/rasterize tiles
+        (0 = one contiguous band per worker).
+    slab_cells:
+        Isosurface z-slab thickness in cells (0 = one slab per worker).
+    min_items:
+        Work-size floor (rays, triangles, cells, seeds, output rows)
+        below which kernels run serially — fork + IPC overhead dwarfs
+        tiny workloads.  Determinism is unaffected: the parallel path
+        is bitwise-identical to the serial one for the render kernels.
+    timeout:
+        Pool-wide wall-clock limit in seconds; exceeding it raises
+        :class:`~repro.util.errors.KernelPoolError` after the pool
+        tears down its workers.
+    start_method:
+        ``multiprocessing`` start method (default: ``fork`` where
+        available — zero-copy payload inheritance — else ``spawn``).
+    """
+
+    workers: int = 1
+    tile_rows: int = 0
+    slab_cells: int = 0
+    min_items: int = 2048
+    timeout: float = 120.0
+    start_method: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise KernelPoolError(f"workers must be >= 1, got {self.workers}")
+        if self.timeout <= 0:
+            raise KernelPoolError(f"timeout must be positive, got {self.timeout}")
+        if self.tile_rows < 0 or self.slab_cells < 0 or self.min_items < 0:
+            raise KernelPoolError("tile_rows, slab_cells and min_items must be >= 0")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether kernels should take the process-parallel path."""
+        return self.workers > 1 and shared_memory_supported()
+
+    def wants(self, n_items: int) -> bool:
+        """Whether a workload of *n_items* is worth distributing."""
+        return self.enabled and n_items >= self.min_items
+
+    def resolved_start_method(self) -> str:
+        if self.start_method is not None:
+            return self.start_method
+        return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+    def serial(self) -> "ParallelConfig":
+        """This config with the pool disabled (worker-side re-entry guard)."""
+        return replace(self, workers=1)
+
+
+#: the ambient default — serial unless the application opts in
+_DEFAULT = ParallelConfig()
+
+
+def get_config() -> ParallelConfig:
+    """The ambient config consulted by kernels when none is passed."""
+    return _DEFAULT
+
+
+def set_config(config: ParallelConfig) -> ParallelConfig:
+    """Install *config* as the ambient default; returns the previous one."""
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = config
+    return previous
+
+
+def configure(**kwargs) -> ParallelConfig:
+    """Build a :class:`ParallelConfig` and install it as the default."""
+    config = ParallelConfig(**kwargs)
+    set_config(config)
+    return config
+
+
+@contextmanager
+def use_config(config: Optional[ParallelConfig]) -> Iterator[ParallelConfig]:
+    """Temporarily install *config* as the ambient default (None = no-op)."""
+    if config is None:
+        yield get_config()
+        return
+    previous = set_config(config)
+    try:
+        yield config
+    finally:
+        set_config(previous)

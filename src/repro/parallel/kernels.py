@@ -1,0 +1,310 @@
+"""Process-parallel tiled versions of the rendering hot paths.
+
+Each kernel here partitions its domain (framebuffer rows, volume
+z-slabs, seed chunks, output-latitude bands), runs the existing serial
+kernel on each tile in a worker process, and merges the results:
+
+=====================  =========================  =====================
+kernel                 partition                  merge
+=====================  =========================  =====================
+``parallel_raycast``   framebuffer row bands      write into shared RGBA
+``parallel_rasterize``  framebuffer row bands     shared color+depth
+``parallel_marching_tetrahedra``  volume z-slabs  concat + dedup + sort
+``parallel_integrate_streamlines``  seed chunks   ordered concat
+``parallel_separable_products``  output-lat bands  ordered concat
+=====================  =========================  =====================
+
+Determinism: the render kernels (raycast, rasterize, isosurface,
+streamlines) are **bitwise identical** to their serial counterparts —
+every per-ray / per-pixel / per-cell / per-seed quantity is computed
+elementwise by the shared serial code paths, and the isosurface output
+is canonicalized (vertex dedup + triangle lexsort) on both paths.  The
+regrid products are near-exact only (banded einsum may reassociate
+BLAS reductions).
+
+Every kernel takes a ``config`` (:class:`~repro.parallel.config.ParallelConfig`)
+and falls back to the serial implementation when the config is
+disabled or the workload is below ``config.min_items``.  Worker-side
+re-entry is guarded by passing ``config.serial()`` into any nested
+kernel call, so a forked worker never spawns its own pool.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.parallel.config import ParallelConfig, get_config
+from repro.parallel.partition import index_bands, row_bands, z_slabs
+from repro.parallel.pool import attach_ndarray, run_tiles, shared_ndarray
+
+# ---------------------------------------------------------------------------
+# raycast
+
+
+def _raycast_tile(payload: Tuple[Any, ...], band: Tuple[int, int]) -> int:
+    from repro.rendering.raycast import raycast_rows
+
+    (volume, transfer, camera, width, height, step_size, array_name,
+     depth_limit, lighting, light_direction, shm_name) = payload
+    row0, row1 = band
+    block = raycast_rows(
+        volume, transfer, camera, width, height, row0, row1,
+        step_size=step_size, array_name=array_name, depth_limit=depth_limit,
+        lighting=lighting, light_direction=light_direction,
+    )
+    with attach_ndarray(shm_name, (height, width, 4), np.float32) as out:
+        out[row0:row1] = block
+    return row1 - row0
+
+
+def parallel_raycast(
+    volume,
+    transfer,
+    camera,
+    width: int,
+    height: int,
+    step_size: Optional[float] = None,
+    array_name: Optional[str] = None,
+    depth_limit: Optional[np.ndarray] = None,
+    lighting: bool = True,
+    light_direction: Tuple[float, float, float] = (0.4, -0.5, 0.8),
+    config: Optional[ParallelConfig] = None,
+) -> np.ndarray:
+    """Tiled :func:`repro.rendering.raycast.raycast_volume` — bitwise identical."""
+    from repro.rendering.raycast import raycast_volume
+
+    config = config if config is not None else get_config()
+    if not config.wants(width * height):
+        return raycast_volume(
+            volume, transfer, camera, width, height,
+            step_size=step_size, array_name=array_name, depth_limit=depth_limit,
+            lighting=lighting, light_direction=light_direction,
+        )
+    bands = row_bands(height, config.workers, config.tile_rows)
+    with obs.span(
+        "raycast.render", rays=int(width * height), width=int(width),
+        height=int(height), parallel=True,
+    ):
+        with shared_ndarray((height, width, 4), np.float32) as (shm_name, out):
+            payload = (
+                volume, transfer, camera, width, height, step_size, array_name,
+                depth_limit, lighting, light_direction, shm_name,
+            )
+            run_tiles(config, _raycast_tile, bands, payload=payload, label="raycast")
+            rgba = out.copy()
+        if obs.enabled():
+            obs.counter("raycast.rays", int(width * height))
+    return rgba
+
+
+# ---------------------------------------------------------------------------
+# rasterize
+
+
+def _rasterize_tile(payload: Tuple[Any, ...], band: Tuple[int, int]) -> int:
+    from repro.rendering.framebuffer import Framebuffer
+    from repro.rendering.rasterizer import rasterize
+
+    (poly, camera, height, width, light_direction, flat_color, line_color,
+     point_size, color_name, depth_name) = payload
+    with attach_ndarray(color_name, (height, width, 3), np.float32) as color:
+        with attach_ndarray(depth_name, (height, width), np.float32) as depth:
+            fb = Framebuffer.from_arrays(color, depth)
+            return rasterize(
+                poly, camera, fb,
+                light_direction=light_direction, flat_color=flat_color,
+                line_color=line_color, point_size=point_size, row_range=band,
+            )
+
+
+def parallel_rasterize(
+    poly,
+    camera,
+    framebuffer,
+    light_direction: Optional[np.ndarray] = None,
+    flat_color: tuple = (0.8, 0.8, 0.8),
+    line_color: Optional[tuple] = None,
+    point_size: int = 1,
+    config: Optional[ParallelConfig] = None,
+) -> int:
+    """Tiled :func:`repro.rendering.rasterizer.rasterize` — bitwise identical.
+
+    The framebuffer's color and depth planes are copied into shared
+    memory, each worker rasterizes its row band in place, and the
+    result is copied back; returns total pixels written.
+    """
+    from repro.rendering.rasterizer import rasterize
+
+    config = config if config is not None else get_config()
+    n_work = int(poly.n_triangles) + sum(int(line.size) for line in poly.lines)
+    if not config.wants(n_work):
+        return rasterize(
+            poly, camera, framebuffer,
+            light_direction=light_direction, flat_color=flat_color,
+            line_color=line_color, point_size=point_size,
+        )
+    height, width = framebuffer.height, framebuffer.width
+    bands = row_bands(height, config.workers, config.tile_rows)
+    with shared_ndarray((height, width, 3), np.float32) as (color_name, color):
+        with shared_ndarray((height, width), np.float32) as (depth_name, depth):
+            color[:] = framebuffer.color
+            depth[:] = framebuffer.depth
+            payload = (
+                poly, camera, height, width, light_direction, flat_color,
+                line_color, point_size, color_name, depth_name,
+            )
+            counts = run_tiles(
+                config, _rasterize_tile, bands, payload=payload, label="rasterize"
+            )
+            framebuffer.color[:] = color
+            framebuffer.depth[:] = depth
+    return int(sum(counts))
+
+
+# ---------------------------------------------------------------------------
+# isosurface
+
+
+def _isosurface_tile(payload: Tuple[Any, ...], slab: Tuple[int, int]) -> np.ndarray:
+    from repro.rendering.isosurface import _slab_triangle_points
+
+    values, isovalue = payload
+    return _slab_triangle_points(values, isovalue, slab[0], slab[1])
+
+
+def parallel_marching_tetrahedra(
+    volume,
+    isovalue: float,
+    array_name: Optional[str] = None,
+    config: Optional[ParallelConfig] = None,
+):
+    """Z-slab-parallel marching tetrahedra — identical surface to serial.
+
+    Slab triangle lists are concatenated in slab order, then vertices
+    are deduplicated and triangles canonically ordered by the same
+    finalization the serial path uses, so the merged surface is
+    array-identical (shared-edge vertices appear once).
+    """
+    from repro.rendering.geometry import PolyData
+    from repro.rendering.isosurface import (
+        _finalize_surface,
+        _prepared_values,
+        marching_tetrahedra,
+    )
+    from repro.util.errors import RenderingError
+
+    config = config if config is not None else get_config()
+    scalars = volume.get_array(array_name or volume.active_scalars_name)
+    if scalars.ndim != 3:
+        raise RenderingError("marching_tetrahedra requires a scalar array")
+    nx, ny, nz = scalars.shape
+    if min(nx, ny, nz) < 2:
+        return PolyData(np.zeros((0, 3)))
+    n_cells = (nx - 1) * (ny - 1) * (nz - 1)
+    if not config.wants(n_cells) or nz - 1 < 2:
+        return marching_tetrahedra(
+            volume, isovalue, array_name=array_name, parallel=config.serial()
+        )
+    with obs.span(
+        "isosurface.marching_tetrahedra",
+        cells=int(n_cells), isovalue=float(isovalue), parallel=True,
+    ) as _span:
+        values = _prepared_values(scalars)
+        slabs = z_slabs(nz - 1, config.workers, config.slab_cells)
+        blocks = run_tiles(
+            config, _isosurface_tile, slabs,
+            payload=(values, float(isovalue)), label="isosurface",
+        )
+        non_empty = [block for block in blocks if block.shape[0]]
+        tri_pts = (
+            np.concatenate(non_empty) if non_empty
+            else np.zeros((0, 3, 3), dtype=np.float64)
+        )
+        surface = _finalize_surface(
+            volume, tri_pts, float(isovalue), True, n_cells, _span
+        )
+    return surface
+
+
+# ---------------------------------------------------------------------------
+# streamlines
+
+
+def _streamline_tile(payload: Tuple[Any, ...], chunk: Tuple[int, int]) -> List[np.ndarray]:
+    from repro.rendering.streamline import integrate_streamlines
+
+    (volume, vector_name, seeds, step_size, max_steps, min_speed,
+     bidirectional, serial_config) = payload
+    s0, s1 = chunk
+    return integrate_streamlines(
+        volume, vector_name, seeds[s0:s1],
+        step_size=step_size, max_steps=max_steps, min_speed=min_speed,
+        bidirectional=bidirectional, parallel=serial_config,
+    )
+
+
+def parallel_integrate_streamlines(
+    volume,
+    vector_name: str,
+    seeds: np.ndarray,
+    step_size: Optional[float] = None,
+    max_steps: int = 200,
+    min_speed: float = 1e-6,
+    bidirectional: bool = False,
+    config: Optional[ParallelConfig] = None,
+) -> List[np.ndarray]:
+    """Seed-chunked streamline integration — identical lines, same order."""
+    from repro.rendering.streamline import integrate_streamlines
+
+    config = config if config is not None else get_config()
+    seeds = np.atleast_2d(np.asarray(seeds, dtype=np.float64))
+    if not config.wants(seeds.shape[0]):
+        return integrate_streamlines(
+            volume, vector_name, seeds,
+            step_size=step_size, max_steps=max_steps, min_speed=min_speed,
+            bidirectional=bidirectional, parallel=config.serial(),
+        )
+    chunks = index_bands(seeds.shape[0], config.workers)
+    payload = (
+        volume, vector_name, seeds, step_size, max_steps, min_speed,
+        bidirectional, config.serial(),
+    )
+    results = run_tiles(config, _streamline_tile, chunks, payload=payload, label="streamline")
+    return [line for chunk_lines in results for line in chunk_lines]
+
+
+# ---------------------------------------------------------------------------
+# regrid
+
+
+def _regrid_tile(payload: Tuple[Any, ...], band: Tuple[int, int]):
+    from repro.cdms.regrid import _separable_products
+
+    filled, valid, lat_matrix, lon_matrix = payload
+    l0, l1 = band
+    return _separable_products(filled, valid, lat_matrix[l0:l1], lon_matrix)
+
+
+def parallel_separable_products(
+    filled: np.ndarray,
+    valid: np.ndarray,
+    lat_matrix: np.ndarray,
+    lon_matrix: np.ndarray,
+    config: Optional[ParallelConfig] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Output-latitude-banded separable regrid products (near-exact)."""
+    from repro.cdms.regrid import _separable_products
+
+    config = config if config is not None else get_config()
+    n_lat = lat_matrix.shape[0]
+    if not config.enabled or n_lat < 2:
+        return _separable_products(filled, valid, lat_matrix, lon_matrix)
+    bands = index_bands(n_lat, config.workers)
+    payload = (filled, valid, lat_matrix, lon_matrix)
+    parts = run_tiles(config, _regrid_tile, bands, payload=payload, label="regrid")
+    numerator = np.concatenate([p[0] for p in parts], axis=-2)
+    denominator = np.concatenate([p[1] for p in parts], axis=-2)
+    return numerator, denominator

@@ -1,0 +1,216 @@
+"""The shared-memory multiprocessing kernel pool.
+
+:class:`KernelPool` runs a module-level *tile function* over a list of
+pre-partitioned tasks on worker processes.  Tasks are statically
+assigned round-robin (tiles are near-equal by construction, see
+:mod:`repro.parallel.partition`), results stream back over a queue, and
+large outputs travel through ``multiprocessing.shared_memory`` segments
+created with :func:`shared_ndarray` — workers write their tile slice in
+place, so nothing big is ever pickled back.
+
+Failure containment is the design center:
+
+* a worker that **dies mid-tile** (segfault, ``SIGKILL``, OOM) is
+  detected by exit-code polling and surfaces as a
+  :class:`~repro.util.errors.KernelPoolError`, never a hang;
+* a worker that **raises** ships the traceback back and fails the pool
+  the same way;
+* a pool-wide **timeout** bounds total wall time;
+* shared-memory segments are unlinked in ``finally`` by their creator,
+  so no segment outlives a crashed run.
+
+Observability: each run emits a ``parallel.run`` span, a
+``parallel.tiles`` counter and one ``parallel.tile`` span per tile with
+the worker-measured duration (re-reported through
+:func:`repro.obs.record_span`, since worker recorders are forked
+copies whose records would otherwise be lost).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+import traceback
+from contextlib import contextmanager
+from multiprocessing import shared_memory
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.parallel.config import ParallelConfig
+from repro.util.errors import KernelPoolError
+
+#: parent poll interval while waiting on tile results (seconds); bounds
+#: how stale a dead-worker check can be, not a busy-wait
+_POLL_S = 0.05
+
+
+@contextmanager
+def shared_ndarray(shape: Sequence[int], dtype: Any) -> Iterator[Tuple[str, np.ndarray]]:
+    """A shared-memory ndarray, unlinked on exit no matter what.
+
+    Yields ``(segment_name, array)``; workers attach with
+    :func:`attach_ndarray` and write disjoint slices.
+    """
+    dtype = np.dtype(dtype)
+    nbytes = max(int(np.prod(shape)) * dtype.itemsize, 1)
+    segment = shared_memory.SharedMemory(create=True, size=nbytes)
+    try:
+        yield segment.name, np.ndarray(tuple(shape), dtype=dtype, buffer=segment.buf)
+    finally:
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+
+
+@contextmanager
+def attach_ndarray(name: str, shape: Sequence[int], dtype: Any) -> Iterator[np.ndarray]:
+    """Worker-side view of a segment created by :func:`shared_ndarray`."""
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        yield np.ndarray(tuple(shape), dtype=np.dtype(dtype), buffer=segment.buf)
+    finally:
+        segment.close()
+
+
+def _worker_main(
+    result_queue,
+    fn: Callable[[Any, Any], Any],
+    payload: Any,
+    assigned: List[Tuple[int, Any]],
+) -> None:
+    """Run this worker's tiles; report (index, start, duration, status, value)."""
+    for index, task in assigned:
+        start = time.perf_counter()
+        try:
+            value = fn(payload, task)
+            status = "ok"
+        except BaseException:  # noqa: BLE001 - shipped to the parent verbatim
+            value = traceback.format_exc(limit=20)
+            status = "error"
+        result_queue.put(
+            (index, start, time.perf_counter() - start, status, value)
+        )
+        if status == "error":
+            return
+
+
+class KernelPool:
+    """Runs one tiled kernel invocation on worker processes.
+
+    A pool is cheap and single-shot: kernels create one per call
+    (``fork`` makes the payload — volumes, meshes, matrices — free to
+    share on POSIX), run their tiles, and tear it down in ``finally``.
+    """
+
+    def __init__(self, config: ParallelConfig) -> None:
+        self.config = config
+
+    def run(
+        self,
+        fn: Callable[[Any, Any], Any],
+        tasks: Sequence[Any],
+        payload: Any = None,
+        label: str = "kernel",
+        timeout: Optional[float] = None,
+    ) -> List[Any]:
+        """Run ``fn(payload, task)`` for every task; results in task order.
+
+        *fn* must be a module-level callable (picklable under spawn).
+        Raises :class:`KernelPoolError` on worker death, tile
+        exception, or pool-wide timeout.
+        """
+        if not tasks:
+            return []
+        n_workers = min(self.config.workers, len(tasks))
+        limit = timeout if timeout is not None else self.config.timeout
+        context = multiprocessing.get_context(self.config.resolved_start_method())
+        result_queue = context.Queue()
+        assignments: List[List[Tuple[int, Any]]] = [[] for _ in range(n_workers)]
+        for index, task in enumerate(tasks):
+            assignments[index % n_workers].append((index, task))
+        workers = [
+            context.Process(
+                target=_worker_main,
+                args=(result_queue, fn, payload, assigned),
+                daemon=True,
+                name=f"repro-parallel-{label}-{wid}",
+            )
+            for wid, assigned in enumerate(assignments)
+        ]
+        results: List[Any] = [None] * len(tasks)
+        with obs.span(
+            "parallel.run", kernel=label, workers=n_workers, tiles=len(tasks)
+        ) as run_span:
+            deadline = time.monotonic() + limit
+            try:
+                for worker in workers:
+                    worker.start()
+                received = 0
+                while received < len(tasks):
+                    if time.monotonic() > deadline:
+                        raise KernelPoolError(
+                            f"{label}: kernel pool timed out after {limit:.1f}s "
+                            f"({received}/{len(tasks)} tiles done)"
+                        )
+                    try:
+                        index, start, duration, status, value = result_queue.get(
+                            timeout=_POLL_S
+                        )
+                    except queue_module.Empty:
+                        dead = [
+                            w for w in workers
+                            if w.exitcode is not None and w.exitcode != 0
+                        ]
+                        if dead:
+                            codes = sorted({w.exitcode for w in dead})
+                            raise KernelPoolError(
+                                f"{label}: {len(dead)} worker(s) died with exit "
+                                f"code(s) {codes} before finishing their tiles"
+                            ) from None
+                        continue
+                    if status == "error":
+                        raise KernelPoolError(
+                            f"{label}: tile {index} raised in worker:\n{value}"
+                        )
+                    results[index] = value
+                    received += 1
+                    if obs.enabled():
+                        obs.counter("parallel.tiles", kernel=label)
+                        obs.histogram("parallel.tile.seconds", duration, kernel=label)
+                        obs.record_span(
+                            "parallel.tile",
+                            duration,
+                            parent_id=run_span.id,
+                            start=start,
+                            thread=f"{label}-tile-{index}",
+                            kernel=label,
+                            tile=index,
+                        )
+            finally:
+                for worker in workers:
+                    if worker.is_alive():
+                        worker.terminate()
+                for worker in workers:
+                    worker.join(timeout=5.0)
+                    if worker.is_alive():  # terminate() ignored — force it
+                        worker.kill()
+                        worker.join(timeout=5.0)
+                result_queue.close()
+                result_queue.cancel_join_thread()
+        return results
+
+
+def run_tiles(
+    config: ParallelConfig,
+    fn: Callable[[Any, Any], Any],
+    tasks: Sequence[Any],
+    payload: Any = None,
+    label: str = "kernel",
+) -> List[Any]:
+    """One-shot convenience wrapper around :class:`KernelPool`."""
+    return KernelPool(config).run(fn, tasks, payload=payload, label=label)

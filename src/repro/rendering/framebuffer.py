@@ -33,6 +33,33 @@ class Framebuffer:
         self.color[:] = np.asarray(self.background, dtype=np.float32)
         self.depth[:] = np.inf
 
+    @classmethod
+    def from_arrays(
+        cls,
+        color: np.ndarray,
+        depth: np.ndarray,
+        background: Tuple[float, float, float] = (0.08, 0.08, 0.12),
+    ) -> "Framebuffer":
+        """Wrap existing ``(h, w, 3)`` color / ``(h, w)`` depth arrays.
+
+        The arrays are used in place — not copied, not cleared — so a
+        pool worker can rasterize straight into a shared-memory segment
+        (:mod:`repro.parallel`).  Both must be float32 and agree on
+        ``(h, w)``.
+        """
+        color = np.asarray(color)
+        depth = np.asarray(depth)
+        if color.ndim != 3 or color.shape[2] != 3 or color.dtype != np.float32:
+            raise RenderingError(f"from_arrays: bad color buffer {color.shape} {color.dtype}")
+        if depth.shape != color.shape[:2] or depth.dtype != np.float32:
+            raise RenderingError(f"from_arrays: bad depth buffer {depth.shape} {depth.dtype}")
+        fb = cls.__new__(cls)
+        fb.height, fb.width = int(color.shape[0]), int(color.shape[1])
+        fb.background = tuple(float(c) for c in background)
+        fb.color = color
+        fb.depth = depth
+        return fb
+
     def __repr__(self) -> str:
         return f"Framebuffer({self.width}x{self.height})"
 

@@ -82,6 +82,7 @@ def marching_tetrahedra(
     isovalue: float,
     array_name: Optional[str] = None,
     deduplicate: bool = True,
+    parallel=None,
 ) -> PolyData:
     """Extract the *isovalue* surface of a scalar array as triangles.
 
@@ -97,6 +98,12 @@ def marching_tetrahedra(
     deduplicate:
         Merge coincident vertices so shared edges produce shared points
         (needed for smooth point normals).  Costs one ``np.unique``.
+    parallel:
+        Optional :class:`repro.parallel.ParallelConfig`; defaults to
+        the ambient config.  When enabled (and *deduplicate* is on) the
+        volume is partitioned into z-slabs extracted on worker
+        processes, with an identical final surface (vertices are
+        deduplicated and triangles canonically ordered either way).
 
     Returns
     -------
@@ -108,36 +115,62 @@ def marching_tetrahedra(
     nx, ny, nz = scalars.shape
     if min(nx, ny, nz) < 2:
         return PolyData(np.zeros((0, 3)))
+
+    from repro.parallel.config import get_config
+
+    config = parallel if parallel is not None else get_config()
+    if deduplicate and config.enabled:
+        from repro.parallel.kernels import parallel_marching_tetrahedra
+
+        return parallel_marching_tetrahedra(
+            volume, isovalue, array_name=array_name, config=config
+        )
+
     with obs.span(
         "isosurface.marching_tetrahedra",
         cells=int((nx - 1) * (ny - 1) * (nz - 1)),
         isovalue=float(isovalue),
     ) as _span:
-        surface = _marching_tetrahedra_body(
-            volume, scalars, float(isovalue), deduplicate, _span
+        values = _prepared_values(scalars)
+        tri_pts = _slab_triangle_points(values, float(isovalue), 0, nz - 1)
+        surface = _finalize_surface(
+            volume, tri_pts, float(isovalue), deduplicate,
+            (nx - 1) * (ny - 1) * (nz - 1), _span,
         )
     return surface
 
 
-def _marching_tetrahedra_body(
-    volume: ImageData,
-    scalars: np.ndarray,
-    isovalue: float,
-    deduplicate: bool,
-    _span,
-) -> PolyData:
-    nx, ny, nz = scalars.shape
-    values = np.where(np.isfinite(scalars), scalars, -np.inf).astype(np.float64)
+def _prepared_values(scalars: np.ndarray) -> np.ndarray:
+    """Scalars with NaNs mapped to -inf ("outside" at any isovalue)."""
+    return np.where(np.isfinite(scalars), scalars, -np.inf).astype(np.float64)
 
-    # corner values for every cell: shape (8, cx, cy, cz)
-    cx, cy, cz = nx - 1, ny - 1, nz - 1
+
+def _slab_triangle_points(
+    values: np.ndarray, isovalue: float, z0: int, z1: int
+) -> np.ndarray:
+    """Triangle corner points (index coords) for cells with z in [z0, z1).
+
+    Works on the grid slab ``values[:, :, z0:z1+1]`` — every cell's
+    corner values and edge interpolation are computed exactly as in a
+    full-volume pass, so concatenating slab outputs covers each cell
+    once with bitwise-identical coordinates.  Returns ``(n_tri, 3, 3)``
+    (possibly empty).
+    """
+    nx, ny, nz = values.shape
+    cx, cy = nx - 1, ny - 1
+    if not 0 <= z0 < z1 <= nz - 1:
+        raise RenderingError(f"bad z-slab [{z0}, {z1}) for {nz - 1} cell layers")
+    cz = z1 - z0
+    slab = values[:, :, z0 : z1 + 1]
+
+    # corner values for every slab cell: shape (8, cx, cy, cz)
     corner_vals = np.empty((8, cx, cy, cz), dtype=np.float64)
     for c, (ox, oy, oz) in enumerate(_CORNER_OFFSETS):
-        corner_vals[c] = values[ox : ox + cx, oy : oy + cy, oz : oz + cz]
+        corner_vals[c] = slab[ox : ox + cx, oy : oy + cy, oz : oz + cz]
     corner_vals = corner_vals.reshape(8, -1)  # (8, n_cells)
 
     base_idx = np.stack(
-        np.meshgrid(np.arange(cx), np.arange(cy), np.arange(cz), indexing="ij"),
+        np.meshgrid(np.arange(cx), np.arange(cy), np.arange(z0, z1), indexing="ij"),
         axis=-1,
     ).reshape(-1, 3)  # (n_cells, 3) integer cell origins
 
@@ -184,8 +217,26 @@ def _marching_tetrahedra_body(
                 triangles_xyz.append(np.stack([pa, pb, pc], axis=1))  # (n, 3, 3)
 
     if not triangles_xyz:
+        return np.zeros((0, 3, 3), dtype=np.float64)
+    return np.concatenate(triangles_xyz)  # (n_tri, 3 corners, 3 index-coords)
+
+
+def _finalize_surface(
+    volume: ImageData,
+    tri_pts: np.ndarray,
+    isovalue: float,
+    deduplicate: bool,
+    n_cells: int,
+    _span,
+) -> PolyData:
+    """Build the output PolyData from raw triangle corner points.
+
+    With *deduplicate* the result is canonical: vertices come out of
+    ``np.unique`` sorted and triangle rows are lexsorted, so serial and
+    slab-merged extractions of the same volume are array-identical.
+    """
+    if tri_pts.shape[0] == 0:
         return PolyData(np.zeros((0, 3)))
-    tri_pts = np.concatenate(triangles_xyz)  # (n_tri, 3 corners, 3 index-coords)
     flat = tri_pts.reshape(-1, 3)
 
     if deduplicate:
@@ -201,6 +252,9 @@ def _marching_tetrahedra_body(
             & (triangles[:, 0] != triangles[:, 2])
         )
         triangles = triangles[good]
+        # canonical triangle order, independent of generation order
+        order = np.lexsort((triangles[:, 2], triangles[:, 1], triangles[:, 0]))
+        triangles = triangles[order]
     else:
         points_index = flat
         triangles = np.arange(flat.shape[0], dtype=np.intp).reshape(-1, 3)
@@ -209,8 +263,11 @@ def _marching_tetrahedra_body(
     scalars_out = np.full(points_world.shape[0], float(isovalue))
     if obs.enabled():
         obs.counter("isosurface.triangles", int(triangles.shape[0]))
-        obs.counter("isosurface.cells", int((nx - 1) * (ny - 1) * (nz - 1)))
-        _span.set(triangles=int(triangles.shape[0]), points=int(points_world.shape[0]))
+        obs.counter("isosurface.cells", int(n_cells))
+        if _span is not None:
+            _span.set(
+                triangles=int(triangles.shape[0]), points=int(points_world.shape[0])
+            )
     return PolyData(points_world, triangles, scalars=scalars_out)
 
 

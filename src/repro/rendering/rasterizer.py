@@ -12,7 +12,7 @@ ablation benchmarks.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -45,15 +45,27 @@ def rasterize(
     flat_color: tuple = (0.8, 0.8, 0.8),
     line_color: Optional[tuple] = None,
     point_size: int = 1,
+    row_range: Optional[Tuple[int, int]] = None,
 ) -> int:
     """Draw *poly* into *framebuffer* through *camera*; returns pixels written.
 
     Per-point colors are taken from ``poly.colors`` (falling back to
     *flat_color*), shaded by *light_direction* when given.  Lines use
     ``line_color`` or the unshaded point colors.
+
+    *row_range* restricts writes to framebuffer rows ``[r0, r1)`` for
+    tiled execution (:mod:`repro.parallel`): projection, shading and
+    per-pixel interpolation are computed exactly as in a full-frame
+    pass, so the band's pixels are bitwise identical to the same rows
+    of an unrestricted call.
     """
     if poly.n_points == 0:
         return 0
+    if row_range is not None:
+        r0, r1 = int(row_range[0]), int(row_range[1])
+        if not 0 <= r0 < r1 <= framebuffer.height:
+            raise ValueError(f"bad row_range {row_range} for height {framebuffer.height}")
+        row_range = (r0, r1)
     with obs.span(
         "rasterizer.rasterize",
         points=int(poly.n_points),
@@ -74,7 +86,9 @@ def rasterize(
 
         written = 0
         if poly.n_triangles:
-            written += _rasterize_triangles(poly.triangles, projected, shaded, framebuffer)
+            written += _rasterize_triangles(
+                poly.triangles, projected, shaded, framebuffer, row_range
+            )
         for line in poly.lines:
             if line.size >= 2:
                 color = (
@@ -82,7 +96,9 @@ def rasterize(
                     if line_color is not None
                     else None
                 )
-                written += _rasterize_polyline(line, projected, shaded, color, framebuffer, point_size)
+                written += _rasterize_polyline(
+                    line, projected, shaded, color, framebuffer, point_size, row_range
+                )
         if obs.enabled():
             obs.counter("rasterizer.triangles", int(poly.n_triangles))
             obs.counter("rasterizer.pixels_written", int(written))
@@ -95,9 +111,11 @@ def _rasterize_triangles(
     projected: np.ndarray,
     colors: np.ndarray,
     fb: Framebuffer,
+    row_range: Optional[Tuple[int, int]] = None,
 ) -> int:
     """Barycentric bounding-box fill of each triangle."""
     width, height = fb.width, fb.height
+    r0, r1 = row_range if row_range is not None else (0, height)
     pts2 = projected[:, :2]
     depth = projected[:, 2]
     written = 0
@@ -105,11 +123,11 @@ def _rasterize_triangles(
     tri_pts = pts2[triangles]  # (n_tri, 3, 2)
     tri_depth = depth[triangles]  # (n_tri, 3)
     finite = np.isfinite(tri_pts).all(axis=(1, 2)) & (tri_depth > 0).all(axis=1)
-    # cull triangles fully outside the viewport
+    # cull triangles fully outside the viewport (or the row band)
     xs, ys = tri_pts[..., 0], tri_pts[..., 1]
     onscreen = (
         (xs.max(axis=1) >= 0) & (xs.min(axis=1) <= width - 1)
-        & (ys.max(axis=1) >= 0) & (ys.min(axis=1) <= height - 1)
+        & (ys.max(axis=1) >= r0) & (ys.min(axis=1) <= r1 - 1)
     )
     keep = np.nonzero(finite & onscreen)[0]
 
@@ -122,8 +140,8 @@ def _rasterize_triangles(
             continue
         x0 = max(int(np.floor(min(pa[0], pb[0], pc[0]))), 0)
         x1 = min(int(np.ceil(max(pa[0], pb[0], pc[0]))), width - 1)
-        y0 = max(int(np.floor(min(pa[1], pb[1], pc[1]))), 0)
-        y1 = min(int(np.ceil(max(pa[1], pb[1], pc[1]))), height - 1)
+        y0 = max(int(np.floor(min(pa[1], pb[1], pc[1]))), r0)
+        y1 = min(int(np.ceil(max(pa[1], pb[1], pc[1]))), r1 - 1)
         if x1 < x0 or y1 < y0:
             continue
         gx, gy = np.meshgrid(np.arange(x0, x1 + 1), np.arange(y0, y1 + 1))
@@ -156,8 +174,10 @@ def _rasterize_polyline(
     flat: Optional[np.ndarray],
     fb: Framebuffer,
     point_size: int,
+    row_range: Optional[Tuple[int, int]] = None,
 ) -> int:
     """DDA sampling of each segment; thickness via a square brush."""
+    r0, r1 = row_range if row_range is not None else (0, fb.height)
     written = 0
     for a, b in zip(line[:-1], line[1:]):
         pa, pb = projected[a], projected[b]
@@ -182,7 +202,12 @@ def _rasterize_polyline(
             ys = (ys[:, None] + oy.reshape(1, -1)).reshape(-1)
             zs = np.repeat(zs, ox.size)
             rgb = np.repeat(rgb, ox.size, axis=0)
-        written += fb.write_pixels(
-            np.round(ys).astype(np.intp), np.round(xs).astype(np.intp), zs, rgb
-        )
+        rows = np.round(ys).astype(np.intp)
+        cols = np.round(xs).astype(np.intp)
+        if row_range is not None:
+            # band filter only — sample values are computed full-frame
+            # above, so in-band pixels match the serial pass bitwise
+            in_band = (rows >= r0) & (rows < r1)
+            rows, cols, zs, rgb = rows[in_band], cols[in_band], zs[in_band], rgb[in_band]
+        written += fb.write_pixels(rows, cols, zs, rgb)
     return written

@@ -10,6 +10,7 @@ opaque geometry correctly occludes translucent volume.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -108,15 +109,34 @@ class Scene:
 
 
 class Renderer:
-    """Renders a :class:`Scene` through a :class:`Camera` into a framebuffer."""
+    """Renders a :class:`Scene` through a :class:`Camera` into a framebuffer.
 
-    def __init__(self, width: int = 400, height: int = 300) -> None:
+    *parallel* (a :class:`repro.parallel.ParallelConfig`) tiles the
+    rasterization and ray-casting passes across worker processes; it
+    defaults to the ambient config (serial unless the application
+    opted in), and the tiled passes produce a bitwise-identical
+    framebuffer.
+    """
+
+    def __init__(self, width: int = 400, height: int = 300, parallel=None) -> None:
         if width < 1 or height < 1:
             raise RenderingError("bad renderer size")
         self.width = int(width)
         self.height = int(height)
+        self.parallel = parallel
 
     def render(self, scene: Scene, camera: Optional[Camera] = None) -> Framebuffer:
+        from repro.parallel.config import get_config
+
+        config = self.parallel if self.parallel is not None else get_config()
+        if config.enabled:
+            from repro.parallel import kernels
+
+            do_rasterize = functools.partial(kernels.parallel_rasterize, config=config)
+            do_raycast = functools.partial(kernels.parallel_raycast, config=config)
+        else:
+            do_rasterize, do_raycast = rasterize, raycast_volume
+
         camera = camera or scene.fit_camera()
         fb = Framebuffer(self.width, self.height, background=scene.background)
         light = scene.lights[0] if scene.lights else DirectionalLight()
@@ -124,7 +144,7 @@ class Renderer:
         for actor in scene.actors:
             if not actor.visible or actor.poly.n_points == 0:
                 continue
-            rasterize(
+            do_rasterize(
                 actor.poly,
                 camera,
                 fb,
@@ -136,7 +156,7 @@ class Renderer:
         for vactor in scene.volume_actors:
             if not vactor.visible:
                 continue
-            rgba = raycast_volume(
+            rgba = do_raycast(
                 vactor.volume,
                 vactor.transfer,
                 camera,

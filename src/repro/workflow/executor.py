@@ -82,6 +82,11 @@ class Executor:
         Keep module results keyed by signature across executions.
     max_workers:
         Thread-pool width for parallel branch execution; 1 = serial.
+    parallel:
+        Optional :class:`repro.parallel.ParallelConfig` installed as
+        the ambient config for the duration of each execution, so
+        rendering modules (plots, isosurfaces, regrids) run their
+        kernels on the process pool without any module-level plumbing.
     """
 
     def __init__(
@@ -89,6 +94,7 @@ class Executor:
         caching: bool = True,
         max_workers: int = 1,
         on_module_complete=None,
+        parallel=None,
     ) -> None:
         if max_workers < 1:
             raise WorkflowError("max_workers must be >= 1")
@@ -97,6 +103,7 @@ class Executor:
         #: optional callable(ModuleRun, done_count, total_count) — the
         #: progress hook a GUI's status bar would subscribe to
         self.on_module_complete = on_module_complete
+        self.parallel = parallel
         self._cache: Dict[str, Dict[str, Any]] = {}
 
     def clear_cache(self) -> None:
@@ -139,6 +146,14 @@ class Executor:
         Raises :class:`ModuleExecutionError` on the first module
         failure; modules already running are allowed to finish.
         """
+        from repro.parallel.config import use_config
+
+        with use_config(self.parallel):
+            return self._execute_inner(pipeline, targets)
+
+    def _execute_inner(
+        self, pipeline: Pipeline, targets: Optional[List[int]] = None
+    ) -> ExecutionResult:
         start_wall = time.perf_counter()
         if targets is not None:
             pipeline = pipeline.subpipeline(targets)

@@ -18,6 +18,15 @@ from repro.workflow.registry import global_registry
 SMALL = {"nlat": 16, "nlon": 24, "nlev": 5, "ntime": 4}
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite the golden images under tests/goldens/ instead of comparing",
+    )
+
+
 @pytest.fixture(scope="session")
 def registry():
     return global_registry()

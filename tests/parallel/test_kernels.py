@@ -1,0 +1,263 @@
+"""Serial vs parallel kernel equivalence, with real worker processes.
+
+The render kernels promise *bitwise identical* output at any worker
+count; the regrid kernel promises near-exact agreement (einsum
+reassociation only).  Fallback behavior (worker floor, ``min_items``)
+and the ambient-config wiring through ``Renderer`` / ``Plot3D`` /
+``Executor`` are covered here too.
+"""
+
+import numpy as np
+import pytest
+
+from repro.parallel import ParallelConfig, use_config
+from repro.parallel.kernels import (
+    parallel_integrate_streamlines,
+    parallel_marching_tetrahedra,
+    parallel_rasterize,
+    parallel_raycast,
+)
+from repro.rendering.camera import Camera
+from repro.rendering.framebuffer import Framebuffer
+from repro.rendering.image_data import ImageData
+from repro.rendering.isosurface import marching_tetrahedra
+from repro.rendering.rasterizer import rasterize
+from repro.rendering.raycast import raycast_rows, raycast_volume
+from repro.rendering.streamline import integrate_streamlines, plane_seed_grid
+from repro.rendering.transfer_function import TransferFunction
+
+pytestmark = pytest.mark.skipif(
+    not ParallelConfig(workers=2).enabled,
+    reason="POSIX shared memory unavailable",
+)
+
+CFG = ParallelConfig(workers=4, min_items=1, timeout=120.0)
+
+
+@pytest.fixture(scope="module")
+def volume():
+    rng = np.random.default_rng(11)
+    vol = ImageData((12, 13, 9), spacing=(1.0, 1.2, 0.8))
+    vol.add_array("f", rng.normal(size=(12, 13, 9)))
+    vol.add_array("wind", rng.normal(size=(12, 13, 9, 3)), set_active=False)
+    return vol
+
+
+@pytest.fixture(scope="module")
+def camera(volume):
+    return Camera.fit_bounds(volume.bounds())
+
+
+@pytest.fixture(scope="module")
+def transfer():
+    return TransferFunction((-2.5, 2.5), center=0.6, width=0.5)
+
+
+class TestRaycast:
+    def test_bitwise_identical(self, volume, camera, transfer):
+        serial = raycast_volume(volume, transfer, camera, 48, 36, array_name="f")
+        par = parallel_raycast(volume, transfer, camera, 48, 36, array_name="f", config=CFG)
+        assert par.dtype == serial.dtype and par.shape == serial.shape
+        assert np.array_equal(serial, par)
+
+    def test_row_band_equals_full_frame_slice(self, volume, camera, transfer):
+        """The tiling invariant, without processes: any band is a slice."""
+        full = raycast_volume(volume, transfer, camera, 40, 30, array_name="f")
+        for row0, row1 in [(0, 7), (7, 19), (19, 30)]:
+            band = raycast_rows(
+                volume, transfer, camera, 40, 30, row0, row1, array_name="f"
+            )
+            assert np.array_equal(band, full[row0:row1])
+
+    def test_with_depth_limit(self, volume, camera, transfer):
+        depth = np.full((36, 48), np.inf, dtype=np.float32)
+        depth[10:20, 15:35] = 4.0
+        serial = raycast_volume(
+            volume, transfer, camera, 48, 36, array_name="f", depth_limit=depth
+        )
+        par = parallel_raycast(
+            volume, transfer, camera, 48, 36, array_name="f", depth_limit=depth, config=CFG
+        )
+        assert np.array_equal(serial, par)
+
+    def test_min_items_floor_falls_back(self, volume, camera, transfer):
+        cfg = ParallelConfig(workers=4, min_items=10**9)
+        out = parallel_raycast(volume, transfer, camera, 16, 12, array_name="f", config=cfg)
+        assert np.array_equal(
+            out, raycast_volume(volume, transfer, camera, 16, 12, array_name="f")
+        )
+
+
+class TestRasterize:
+    def test_bitwise_identical(self, volume, camera):
+        surf = marching_tetrahedra(volume, 0.1, "f")
+        assert surf.n_triangles > 0
+        light = np.array([0.3, -0.4, 0.8])
+        fb_serial = Framebuffer(64, 48)
+        n_serial = rasterize(surf, camera, fb_serial, light_direction=light)
+        fb_par = Framebuffer(64, 48)
+        n_par = parallel_rasterize(surf, camera, fb_par, light_direction=light, config=CFG)
+        assert n_par == n_serial
+        assert np.array_equal(fb_serial.color, fb_par.color)
+        assert np.array_equal(fb_serial.depth, fb_par.depth)
+
+    def test_lines_and_tile_rows(self, volume, camera):
+        """Polylines across many small row tiles (exercises the band filter)."""
+        from repro.rendering.geometry import PolyData
+
+        rng = np.random.default_rng(5)
+        pts = rng.uniform(0, 8, size=(60, 3))
+        lines = [np.arange(i * 6, (i + 1) * 6) for i in range(10)]
+        poly = PolyData(pts, lines=lines)
+        cfg = ParallelConfig(workers=4, min_items=1, tile_rows=7, timeout=120.0)
+        fb_serial = Framebuffer(48, 40)
+        rasterize(poly, camera, fb_serial, line_color=(1.0, 0.5, 0.2), point_size=2)
+        fb_par = Framebuffer(48, 40)
+        parallel_rasterize(
+            poly, camera, fb_par, line_color=(1.0, 0.5, 0.2), point_size=2, config=cfg
+        )
+        assert np.array_equal(fb_serial.color, fb_par.color)
+        assert np.array_equal(fb_serial.depth, fb_par.depth)
+
+    def test_row_range_validation(self, volume, camera):
+        surf = marching_tetrahedra(volume, 0.1, "f")
+        with pytest.raises(ValueError):
+            rasterize(surf, camera, Framebuffer(32, 24), row_range=(10, 5))
+
+
+class TestIsosurface:
+    def test_identical_surface(self, volume):
+        serial = marching_tetrahedra(volume, 0.2, "f")
+        par = parallel_marching_tetrahedra(volume, 0.2, "f", config=CFG)
+        assert par.n_triangles == serial.n_triangles
+        assert np.array_equal(serial.points, par.points)
+        assert np.array_equal(serial.triangles, par.triangles)
+        assert np.array_equal(serial.scalars, par.scalars)
+
+    def test_slab_cells_override(self, volume):
+        cfg = ParallelConfig(workers=3, min_items=1, slab_cells=2, timeout=120.0)
+        serial = marching_tetrahedra(volume, -0.3, "f")
+        par = parallel_marching_tetrahedra(volume, -0.3, "f", config=cfg)
+        assert np.array_equal(serial.points, par.points)
+        assert np.array_equal(serial.triangles, par.triangles)
+
+    def test_empty_surface(self, volume):
+        par = parallel_marching_tetrahedra(volume, 1e9, "f", config=CFG)
+        assert par.n_points == 0 and par.n_triangles == 0
+
+    def test_ambient_config_dispatch(self, volume):
+        """marching_tetrahedra() itself picks up the ambient config."""
+        serial = marching_tetrahedra(volume, 0.0, "f")
+        with use_config(CFG):
+            ambient = marching_tetrahedra(volume, 0.0, "f")
+        assert np.array_equal(serial.points, ambient.points)
+        assert np.array_equal(serial.triangles, ambient.triangles)
+
+
+class TestStreamlines:
+    def test_identical_lines(self, volume):
+        seeds = plane_seed_grid(volume, 2, 3.0, 6, 6)
+        serial = integrate_streamlines(volume, "wind", seeds, max_steps=40)
+        par = parallel_integrate_streamlines(
+            volume, "wind", seeds, max_steps=40, config=CFG
+        )
+        assert len(par) == len(serial)
+        for a, b in zip(serial, par):
+            assert np.array_equal(a, b)
+
+    def test_bidirectional(self, volume):
+        seeds = plane_seed_grid(volume, 2, 3.0, 4, 4)
+        serial = integrate_streamlines(
+            volume, "wind", seeds, max_steps=25, bidirectional=True
+        )
+        par = parallel_integrate_streamlines(
+            volume, "wind", seeds, max_steps=25, bidirectional=True, config=CFG
+        )
+        assert len(par) == len(serial)
+        for a, b in zip(serial, par):
+            assert np.array_equal(a, b)
+
+
+class TestRegrid:
+    def _field(self, nlat=36, nlon=72):
+        from repro.cdms.grid import uniform_grid
+        from repro.cdms.variable import Variable
+
+        grid = uniform_grid(nlat, nlon)
+        lat = np.radians(grid.latitude.values)
+        lon = np.radians(grid.longitude.values)
+        data = (
+            280.0
+            + 20.0 * np.outer(np.cos(lat), np.ones(nlon))
+            + 3.0 * np.outer(np.ones(nlat), np.sin(2 * lon))
+        )
+        arr = np.ma.MaskedArray(data)
+        arr[5:9, 10:20] = np.ma.masked
+        return Variable(arr, (grid.latitude, grid.longitude), id="f", units="K")
+
+    def test_conservative_near_exact(self):
+        from repro.cdms.grid import uniform_grid
+        from repro.cdms.regrid import regrid_conservative
+
+        src = self._field()
+        target = uniform_grid(46, 72)
+        serial = regrid_conservative(src, target)
+        par = regrid_conservative(src, target, parallel=CFG)
+        assert np.array_equal(
+            np.ma.getmaskarray(serial.data), np.ma.getmaskarray(par.data)
+        )
+        np.testing.assert_allclose(
+            serial.filled(0.0), par.filled(0.0), rtol=1e-12, atol=1e-12
+        )
+
+    def test_conservation_holds_in_parallel(self):
+        from repro.cdms.grid import uniform_grid
+        from repro.cdms.regrid import regrid_conservative
+
+        grid = uniform_grid(36, 72)
+        lat = np.radians(grid.latitude.values)
+        from repro.cdms.variable import Variable
+
+        data = 280.0 + 20.0 * np.outer(np.cos(lat), np.ones(72))
+        src = Variable(
+            np.ma.MaskedArray(data), (grid.latitude, grid.longitude), id="f", units="K"
+        )
+
+        def area_mean(var):
+            g = var.get_grid()
+            w = g.area_weights()
+            valid = ~np.ma.getmaskarray(var.data)
+            ww = np.where(valid, w, 0.0)
+            return float((var.filled(0.0) * ww).sum() / ww.sum())
+
+        out = regrid_conservative(src, uniform_grid(18, 36), parallel=CFG)
+        assert area_mean(out) == pytest.approx(area_mean(src), rel=1e-10)
+
+
+class TestWiring:
+    def test_renderer_ambient_config(self, volume, camera, transfer):
+        """Renderer picks parallelism from the ambient config — no API change."""
+        from repro.rendering.scene import Renderer, Scene, VolumeActor
+
+        scene = Scene()
+        scene.add_volume(VolumeActor(volume=volume, transfer=transfer, array_name="f"))
+        serial_fb = Renderer(40, 30).render(scene, camera)
+        with use_config(CFG):
+            ambient_fb = Renderer(40, 30).render(scene, camera)
+        explicit_fb = Renderer(40, 30, parallel=CFG).render(scene, camera)
+        assert np.array_equal(serial_fb.color, ambient_fb.color)
+        assert np.array_equal(serial_fb.color, explicit_fb.color)
+        assert np.array_equal(serial_fb.depth, explicit_fb.depth)
+
+    def test_executor_parallel_config(self, cell_pipeline):
+        """Executor(parallel=...) installs the config around execution."""
+        from repro.workflow.executor import Executor
+
+        pipeline, ids = cell_pipeline
+        serial_result = Executor(caching=False).execute(pipeline)
+        par_result = Executor(
+            caching=False, parallel=ParallelConfig(workers=2, min_items=1, timeout=300.0)
+        ).execute(pipeline)
+        serial_img = serial_result.output(ids["cell"], "image")
+        par_img = par_result.output(ids["cell"], "image")
+        assert np.array_equal(serial_img, par_img)

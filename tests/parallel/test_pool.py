@@ -1,0 +1,175 @@
+"""Kernel pool behavior: results, crash containment, timeouts, cleanup.
+
+The crash tests are the reason the pool exists: a worker that is
+SIGKILLed mid-tile (simulating OOM kills or segfaults in native code)
+must surface a clean :class:`KernelPoolError` — never a hang — and
+shared-memory segments must be unlinked regardless of how the run
+ends.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.parallel import ParallelConfig, run_tiles, shared_ndarray
+from repro.parallel.pool import attach_ndarray
+from repro.util.errors import KernelPoolError
+
+pytestmark = pytest.mark.skipif(
+    not ParallelConfig(workers=2).enabled,
+    reason="POSIX shared memory unavailable",
+)
+
+CFG = ParallelConfig(workers=2, min_items=1, timeout=60.0)
+
+
+# -- module-level tile functions (must be importable in workers) -------------
+
+def _square(payload, task):
+    start, stop = task
+    return [payload * i * i for i in range(start, stop)]
+
+
+def _write_band(shm_name, band):
+    b0, b1 = band
+    with attach_ndarray(shm_name, (16,), np.float64) as out:
+        out[b0:b1] = np.arange(b0, b1)
+    return b1 - b0
+
+
+def _raise_on_second(payload, task):
+    if task[0] >= 2:
+        raise ValueError(f"tile {task} exploded")
+    return task
+
+
+def _sigkill_on_second(payload, task):
+    if task[0] >= 2:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return task
+
+
+def _sleep_forever(payload, task):
+    time.sleep(60.0)
+    return task
+
+
+class TestResults:
+    def test_results_in_task_order(self):
+        tasks = [(i, i + 1) for i in range(7)]
+        results = run_tiles(ParallelConfig(workers=3), _square, tasks, payload=2)
+        assert results == [[2 * i * i] for i in range(7)]
+
+    def test_empty_task_list(self):
+        assert run_tiles(CFG, _square, []) == []
+
+    def test_shared_memory_output(self):
+        with shared_ndarray((16,), np.float64) as (name, out):
+            counts = run_tiles(CFG, _write_band, [(0, 7), (7, 16)], payload=name)
+            assert counts == [7, 9]
+            assert np.array_equal(out, np.arange(16, dtype=np.float64))
+
+
+class TestFailureContainment:
+    def test_worker_exception_raises_kernel_pool_error(self):
+        tasks = [(i, i + 1) for i in range(4)]
+        with pytest.raises(KernelPoolError, match="ValueError.*exploded"):
+            run_tiles(CFG, _raise_on_second, tasks)
+
+    def test_sigkilled_worker_raises_not_hangs(self):
+        tasks = [(i, i + 1) for i in range(4)]
+        t0 = time.monotonic()
+        with pytest.raises(KernelPoolError, match="died with exit code"):
+            run_tiles(CFG, _sigkill_on_second, tasks)
+        assert time.monotonic() - t0 < 30.0
+
+    def test_pool_timeout(self):
+        cfg = ParallelConfig(workers=2, timeout=0.75)
+        t0 = time.monotonic()
+        with pytest.raises(KernelPoolError, match="timed out"):
+            run_tiles(cfg, _sleep_forever, [(0, 1), (1, 2)])
+        assert time.monotonic() - t0 < 20.0
+
+    def test_shared_memory_unlinked_after_crash(self):
+        from multiprocessing import shared_memory
+
+        leaked_name = None
+        with pytest.raises(KernelPoolError):
+            with shared_ndarray((8,), np.float32) as (name, _out):
+                leaked_name = name
+                run_tiles(CFG, _sigkill_on_second, [(i, i + 1) for i in range(4)])
+        assert leaked_name is not None
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=leaked_name)
+
+    def test_no_workers_left_behind(self):
+        import multiprocessing
+
+        with pytest.raises(KernelPoolError):
+            run_tiles(ParallelConfig(workers=2, timeout=0.75), _sleep_forever, [(0, 1)])
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if not any(
+                p.name.startswith("repro-parallel-")
+                for p in multiprocessing.active_children()
+            ):
+                break
+            time.sleep(0.05)
+        assert not any(
+            p.name.startswith("repro-parallel-")
+            for p in multiprocessing.active_children()
+        )
+
+
+class TestObservability:
+    def test_tiles_counter_and_spans(self):
+        recorder = obs.enable(obs.Recorder())
+        try:
+            tasks = [(i, i + 1) for i in range(5)]
+            run_tiles(CFG, _square, tasks, payload=1, label="unit")
+        finally:
+            obs.disable()
+        assert recorder.counter_value("parallel.tiles", kernel="unit") == 5
+        runs = [s for s in recorder.spans if s.name == "parallel.run"]
+        tile_spans = [s for s in recorder.spans if s.name == "parallel.tile"]
+        assert len(runs) == 1
+        assert runs[0].attrs["kernel"] == "unit"
+        assert runs[0].attrs["tiles"] == 5
+        assert len(tile_spans) == 5
+        assert all(s.parent_id == runs[0].span_id for s in tile_spans)
+        assert all(s.duration >= 0.0 for s in tile_spans)
+        hist = recorder.histograms
+        assert any(k.name == "parallel.tile.seconds" for k in hist)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(KernelPoolError):
+            ParallelConfig(workers=0)
+        with pytest.raises(KernelPoolError):
+            ParallelConfig(timeout=0.0)
+        with pytest.raises(KernelPoolError):
+            ParallelConfig(tile_rows=-1)
+
+    def test_wants_floor(self):
+        cfg = ParallelConfig(workers=4, min_items=100)
+        assert cfg.enabled
+        assert not cfg.wants(99)
+        assert cfg.wants(100)
+        assert not cfg.serial().enabled
+        assert not ParallelConfig(workers=1).wants(10**9)
+
+    def test_ambient_config_roundtrip(self):
+        from repro.parallel import get_config, use_config
+
+        base = get_config()
+        with use_config(ParallelConfig(workers=3)) as cfg:
+            assert get_config() is cfg
+            assert get_config().workers == 3
+        assert get_config() is base
+        with use_config(None):
+            assert get_config() is base

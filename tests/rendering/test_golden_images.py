@@ -1,0 +1,90 @@
+"""Golden-image regression suite for the DV3D plot types.
+
+Each plot type is rendered twice — serial and 4-worker parallel — at a
+fixed seed and size.  The two framebuffers must be **byte identical**
+(the determinism contract of :mod:`repro.parallel`), and the serial
+uint8 image must match the committed golden PPM under
+``tests/goldens/`` within a small per-channel tolerance (absorbing
+cross-platform libm/BLAS jitter without letting real regressions
+through).
+
+Regenerate the goldens after an intentional rendering change with::
+
+    pytest tests/rendering/test_golden_images.py --regen-goldens
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.dv3d.hovmoller import HovmollerSlicerPlot
+from repro.dv3d.isosurface import IsosurfacePlot
+from repro.dv3d.slicer import SlicerPlot
+from repro.dv3d.vector_slicer import VectorSlicerPlot
+from repro.dv3d.volume import VolumePlot
+from repro.parallel import ParallelConfig
+from repro.rendering.ppm import read_ppm, write_ppm
+
+GOLDEN_DIR = Path(__file__).resolve().parents[1] / "goldens"
+WIDTH, HEIGHT = 96, 72
+WORKERS = 4
+#: per-channel uint8 tolerance vs the committed goldens (serial-vs-
+#: parallel comparison is exact; this only absorbs platform jitter)
+GOLDEN_ATOL = 2
+
+PARALLEL = ParallelConfig(workers=WORKERS, min_items=1, timeout=300.0)
+
+pytestmark = pytest.mark.skipif(
+    not PARALLEL.enabled, reason="POSIX shared memory unavailable"
+)
+
+
+def _build_plot(name, reanalysis, waves):
+    if name == "volume":
+        return VolumePlot(reanalysis("ta"), center=0.6, width=0.25)
+    if name == "isosurface":
+        return IsosurfacePlot(reanalysis("ta"), color_variable=reanalysis("hus"))
+    if name == "slicer":
+        return SlicerPlot(reanalysis("ta"))
+    if name == "vector_slicer":
+        return VectorSlicerPlot(
+            reanalysis("ua"), reanalysis("va"), mode="streamlines", seed_density=8
+        )
+    if name == "hovmoller":
+        return HovmollerSlicerPlot(waves("olr_anom"))
+    raise AssertionError(name)
+
+
+@pytest.mark.parametrize(
+    "name", ["volume", "isosurface", "slicer", "vector_slicer", "hovmoller"]
+)
+def test_golden_image(name, reanalysis, waves, request):
+    plot = _build_plot(name, reanalysis, waves)
+    serial_fb = plot.render(WIDTH, HEIGHT)
+    parallel_fb = plot.render(WIDTH, HEIGHT, parallel=PARALLEL)
+
+    # determinism contract: parallel tiling is invisible in the output
+    assert np.array_equal(serial_fb.color, parallel_fb.color), (
+        f"{name}: parallel framebuffer differs from serial"
+    )
+    assert np.array_equal(serial_fb.depth, parallel_fb.depth), (
+        f"{name}: parallel depth buffer differs from serial"
+    )
+
+    image = serial_fb.to_uint8()
+    golden_path = GOLDEN_DIR / f"{name}.ppm"
+    if request.config.getoption("--regen-goldens"):
+        golden_path.parent.mkdir(parents=True, exist_ok=True)
+        write_ppm(golden_path, image)
+        pytest.skip(f"regenerated {golden_path.name}")
+    assert golden_path.exists(), (
+        f"missing golden {golden_path}; run pytest --regen-goldens"
+    )
+    golden = read_ppm(golden_path)
+    assert golden.shape == image.shape
+    diff = np.abs(golden.astype(np.int16) - image.astype(np.int16))
+    assert int(diff.max()) <= GOLDEN_ATOL, (
+        f"{name}: max channel deviation {int(diff.max())} > {GOLDEN_ATOL} "
+        f"({int((diff > GOLDEN_ATOL).sum())} channels off)"
+    )

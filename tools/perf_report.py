@@ -15,17 +15,27 @@ hyperwall traffic can be compared across PRs.  The artifact contains:
   (the labelled breakdown stays in ``recorder.counters``);
 * ``recorder`` — the full span/metric dump (``Recorder.to_dict()``).
 
+``--parallel`` switches to the kernel-pool ablation instead: the
+raycast and isosurface hot paths are timed serial vs 4 worker
+processes on the CPU-bound scenario sizes, the outputs are checked for
+bitwise identity (the :mod:`repro.parallel` determinism contract), and
+the result — timings, speedups, ``parallel.tiles`` counters and tile
+spans — is written to ``BENCH_parallel.json``.  Speedup floors are
+only enforced when the machine actually has >= 4 usable cores.
+
 Usage::
 
     PYTHONPATH=src python tools/perf_report.py            # full sizes
     PYTHONPATH=src python tools/perf_report.py --quick    # CI sizes
     PYTHONPATH=src python tools/perf_report.py --out path.json --summary
+    PYTHONPATH=src python tools/perf_report.py --parallel # BENCH_parallel.json
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -41,6 +51,11 @@ from repro.cdms.grid import uniform_grid  # noqa: E402
 from repro.cdms.regrid import regrid_bilinear, regrid_conservative  # noqa: E402
 from repro.data.fields import global_temperature  # noqa: E402
 from repro.hyperwall.inproc import InProcessHyperwall  # noqa: E402
+from repro.parallel import ParallelConfig  # noqa: E402
+from repro.parallel.kernels import (  # noqa: E402
+    parallel_marching_tetrahedra,
+    parallel_raycast,
+)
 from repro.rendering.camera import Camera  # noqa: E402
 from repro.rendering.framebuffer import Framebuffer  # noqa: E402
 from repro.rendering.image_data import ImageData  # noqa: E402
@@ -174,6 +189,90 @@ SCENARIOS = [
 ]
 
 
+# -- kernel-pool ablation (--parallel) ---------------------------------------
+
+#: workers for the parallel side of the ablation (matches the golden suite)
+PARALLEL_WORKERS = 4
+#: enforced speedup floor per kernel — only on machines with >= 4 cores
+PARALLEL_SPEEDUP_FLOOR = 2.0
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def _best_of(fn, repeats: int):
+    """Best-of-N wall time plus the final return value."""
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, value
+
+
+def parallel_report(sizes: Dict[str, Any], repeats: int = 3) -> Dict[str, Any]:
+    """Serial vs 4-worker timings for the tiled render kernels.
+
+    Returns the ``kernels``/``aggregates`` payload sections; raises
+    ``RuntimeError`` if a parallel kernel is not bitwise identical to
+    its serial counterpart (the contract golden tests also enforce).
+    """
+    volume = make_volume(sizes["volume_n"])
+    camera = Camera.fit_bounds(volume.bounds())
+    width, height = sizes["image"]
+    transfer = TransferFunction(volume.scalar_range(), center=0.8, width=0.4)
+    config = ParallelConfig(workers=PARALLEL_WORKERS, min_items=1, timeout=600.0)
+    if not config.enabled:
+        raise RuntimeError("POSIX shared memory unavailable; cannot run --parallel")
+
+    cases = {
+        "raycast": (
+            lambda: raycast_volume(volume, transfer, camera, width, height),
+            lambda: parallel_raycast(
+                volume, transfer, camera, width, height, config=config
+            ),
+            lambda a, b: bool(np.array_equal(a, b)),
+        ),
+        "isosurface": (
+            lambda: marching_tetrahedra(volume, 0.5),
+            lambda: parallel_marching_tetrahedra(volume, 0.5, config=config),
+            lambda a, b: bool(
+                np.array_equal(a.points, b.points)
+                and np.array_equal(a.triangles, b.triangles)
+            ),
+        ),
+    }
+
+    kernels: Dict[str, Any] = {}
+    recorder = obs.Recorder()
+    for name, (serial_fn, parallel_fn, same) in cases.items():
+        serial_s, serial_out = _best_of(serial_fn, repeats)
+        with obs.recording(recorder):
+            parallel_s, parallel_out = _best_of(parallel_fn, repeats)
+        identical = same(serial_out, parallel_out)
+        kernels[name] = {
+            "serial_s": serial_s,
+            "parallel_s": parallel_s,
+            "workers": PARALLEL_WORKERS,
+            "speedup": serial_s / parallel_s,
+            "identical": identical,
+        }
+        print(
+            f"  kernel {name:<11} serial {serial_s:7.3f}s   "
+            f"{PARALLEL_WORKERS} workers {parallel_s:7.3f}s   "
+            f"{serial_s / parallel_s:5.2f}x   identical={identical}"
+        )
+        if not identical:
+            raise RuntimeError(f"parallel {name} output differs from serial")
+    return {"kernels": kernels, "aggregates": aggregate(recorder),
+            "recorder": recorder.to_dict()}
+
+
 # -- aggregation -------------------------------------------------------------
 
 
@@ -195,20 +294,77 @@ def aggregate(recorder: obs.Recorder) -> Dict[str, Any]:
     return {"spans": spans, "counters": counters}
 
 
+def run_parallel_mode(args, sizes: Dict[str, Any]) -> int:
+    """``--parallel``: time the tiled kernels and write BENCH_parallel.json."""
+    start = time.perf_counter()
+    sections = parallel_report(sizes)
+    wall = time.perf_counter() - start
+    payload = {
+        "meta": {
+            "tool": "perf_report",
+            "mode": ("quick" if args.quick else "full") + "-parallel",
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cores": _usable_cores(),
+            "wall_s": wall,
+        },
+    }
+    payload.update(sections)
+    out = Path(args.out or "BENCH_parallel.json")
+    out.write_text(json.dumps(payload, indent=1, sort_keys=True))
+    print(f"wrote {out} ({out.stat().st_size} bytes, {wall:.2f}s total)")
+
+    counters = sections["aggregates"]["counters"]
+    if counters.get("parallel.tiles", 0) <= 0:
+        print("ERROR: artifact is missing the parallel.tiles counter")
+        return 1
+    if "parallel.tile" not in sections["aggregates"]["spans"]:
+        print("ERROR: artifact is missing parallel.tile spans")
+        return 1
+    if _usable_cores() >= 4:
+        slow = {
+            name: stats["speedup"]
+            for name, stats in sections["kernels"].items()
+            if stats["speedup"] < PARALLEL_SPEEDUP_FLOOR
+        }
+        if slow:
+            print(
+                f"ERROR: speedup below {PARALLEL_SPEEDUP_FLOOR}x "
+                f"on a {_usable_cores()}-core machine: {slow}"
+            )
+            return 1
+    else:
+        print(
+            f"note: only {_usable_cores()} usable core(s); "
+            f"speedup floor ({PARALLEL_SPEEDUP_FLOOR}x) not enforced"
+        )
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--quick", action="store_true", help="small workloads (what CI runs)"
     )
     parser.add_argument(
-        "--out", default="BENCH_obs.json", help="output path (default: %(default)s)"
+        "--out", default=None,
+        help="output path (default: BENCH_obs.json, or BENCH_parallel.json "
+             "with --parallel)",
     )
     parser.add_argument(
         "--summary", action="store_true", help="also print the span summary tree"
     )
+    parser.add_argument(
+        "--parallel", action="store_true",
+        help="run the kernel-pool ablation (serial vs 4 workers) instead",
+    )
     args = parser.parse_args(argv)
     sizes = SIZES["quick" if args.quick else "full"]
 
+    if args.parallel:
+        return run_parallel_mode(args, sizes)
+
+    args.out = args.out or "BENCH_obs.json"
     recorder = obs.Recorder()
     start = time.perf_counter()
     with obs.recording(recorder):
