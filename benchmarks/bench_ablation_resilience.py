@@ -1,0 +1,115 @@
+"""Ablation — hyperwall frame latency under injected client failures.
+
+A 2×2 wall (four cells, four real client processes) executes one frame
+while 0, 1 or 2 clients are killed mid-execution through the fault
+registry.  The recovery policies are compared:
+
+* **fail_fast** — the pre-resilience behavior: any lost client aborts
+  the frame (measured only at 0 failures; with failures it raises);
+* **reassign** — lost cells are re-executed at full resolution on
+  surviving clients: the frame stays complete and full-quality, at the
+  cost of the survivors doing extra serial work;
+* **degrade** — lost cells are served from the server's
+  reduced-resolution mirror: cheapest recovery, reduced quality.
+
+The measured deltas quantify the paper-scale trade-off: how much frame
+latency a wall operator pays per lost node under each policy.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import build_cell_chain, report
+from repro.hyperwall.cluster import LocalCluster
+from repro.hyperwall.display import WallGeometry
+from repro.resilience import faults
+from repro.util.errors import HyperwallError
+from repro.workflow.pipeline import Pipeline
+
+WALL = WallGeometry(columns=2, rows=2, tile_width=64, tile_height=48)
+SIZE = {"nlat": 23, "nlon": 36, "nlev": 6, "ntime": 2}
+N_CELLS = 4
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    faults.disarm()
+    yield
+    faults.disarm()
+
+
+def wall_pipeline(registry) -> Pipeline:
+    pipeline = Pipeline(registry)
+    for _ in range(N_CELLS):
+        build_cell_chain(pipeline, width=64, height=48, size=SIZE)
+    return pipeline
+
+
+def run_frame(registry, failover: str, kill: int):
+    """One full cluster session with *kill* clients dying mid-execution."""
+    for client_id in range(kill):
+        # kill the highest-numbered clients so survivor 0 always exists
+        faults.arm(
+            "hyperwall.client.execute", "exit",
+            match={"client": N_CELLS - 1 - client_id},
+        )
+    cluster = LocalCluster(
+        wall_pipeline(registry), n_clients=N_CELLS, wall=WALL,
+        reduction=4, io_timeout=60.0, failover=failover,
+    )
+    t0 = time.perf_counter()
+    with cluster:
+        out = cluster.run_session()
+    elapsed = time.perf_counter() - t0
+    faults.disarm()
+    return elapsed, out
+
+
+@pytest.mark.parametrize("kill", [0, 1, 2], ids=["0-failures", "1-failure", "2-failures"])
+def test_ablation_resilience_reassign(benchmark, registry, kill):
+    benchmark.group = "ablation-resilience-reassign"
+    _, out = benchmark(lambda: run_frame(registry, "reassign", kill))
+    statuses = list(out["cell_status"].values())
+    assert len(statuses) == N_CELLS  # the frame is always complete
+    assert statuses.count("live") == N_CELLS - kill
+
+
+@pytest.mark.parametrize("kill", [0, 1, 2], ids=["0-failures", "1-failure", "2-failures"])
+def test_ablation_resilience_degrade(benchmark, registry, kill):
+    benchmark.group = "ablation-resilience-degrade"
+    _, out = benchmark(lambda: run_frame(registry, "degrade", kill))
+    statuses = list(out["cell_status"].values())
+    assert len(statuses) == N_CELLS
+    assert statuses.count("degraded") == kill
+
+
+def test_fail_fast_aborts_the_frame(registry):
+    """The baseline policy cannot survive even one lost client."""
+    with pytest.raises(HyperwallError, match="disconnected"):
+        run_frame(registry, "fail_fast", kill=1)
+
+
+def test_ablation_resilience_report(registry):
+    """The summary table: frame latency by policy and failure count."""
+    rows = [("policy", "0 failures (s)", "1 failure (s)", "2 failures (s)")]
+    timings = {}
+    for policy in ("reassign", "degrade"):
+        per_kill = {}
+        for kill in (0, 1, 2):
+            elapsed, out = run_frame(registry, policy, kill)
+            per_kill[kill] = elapsed
+            assert len(out["cell_status"]) == N_CELLS
+            assert len(out["dead_clients"]) == kill
+        timings[policy] = per_kill
+        rows.append(
+            (policy,) + tuple(f"{per_kill[k]:.2f}" for k in (0, 1, 2))
+        )
+    fail_fast_clean, _ = run_frame(registry, "fail_fast", kill=0)
+    rows.append(("fail_fast", f"{fail_fast_clean:.2f}", "aborts", "aborts"))
+    report("Ablation: frame latency under injected client failures", rows)
+    # recovery must cost something but never hang the frame
+    for policy in ("reassign", "degrade"):
+        assert timings[policy][2] < 60.0

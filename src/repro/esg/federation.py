@@ -12,7 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.cdms.dataset import Dataset
+from repro.resilience import InjectedFault, faults
 from repro.util.errors import ESGError
 
 
@@ -153,21 +155,41 @@ class ESGFederation:
         The modelled transfer cost accrues on ``simulated_clock`` and is
         recorded in ``transfers`` — the provenance entry for a remote
         data access.
+
+        A node that dies mid-transfer (the ``esg.fetch`` fault site,
+        ``node``/``dataset`` labels) is marked unavailable and the fetch
+        fails over to the next replica; the aborted transfer's modelled
+        cost still accrues.  A fetch pinned to *node_name* does not fail
+        over — losing the pinned node raises.
         """
         if dataset_id in self._local:
             return self._local[dataset_id]
-        if node_name is None:
-            node_name, record = self.locate(dataset_id)
-        else:
-            try:
+        pinned = node_name is not None
+        while True:
+            if pinned:
+                try:
+                    node = self._nodes[node_name]
+                except KeyError:
+                    raise ESGError(f"no node {node_name!r}") from None
+                if not node.available:
+                    raise ESGError(f"node {node_name!r} is unavailable")
+                record = node.get(dataset_id)
+            else:
+                node_name, record = self.locate(dataset_id)
                 node = self._nodes[node_name]
-            except KeyError:
-                raise ESGError(f"no node {node_name!r}") from None
-            if not node.available:
-                raise ESGError(f"node {node_name!r} is unavailable")
-            record = node.get(dataset_id)
-        node = self._nodes[node_name]
-        cost = node.transfer_time(record.size_bytes)
+            cost = node.transfer_time(record.size_bytes)
+            try:
+                faults.check("esg.fetch", node=node_name, dataset=dataset_id)
+            except InjectedFault as exc:
+                self.simulated_clock += cost  # the aborted transfer cost time
+                node.available = False
+                obs.counter("resilience.retries", site="esg.fetch", node=node_name)
+                if pinned:
+                    raise ESGError(
+                        f"node {node_name!r} went down mid-fetch of {dataset_id!r}"
+                    ) from exc
+                continue  # locate() raises once no replica remains
+            break
         self.simulated_clock += cost
         dataset = record.factory()
         self._local[dataset_id] = dataset

@@ -19,7 +19,9 @@ client display cells."
 * :mod:`repro.hyperwall.server` / :mod:`repro.hyperwall.client` — the
   socket-based control/display node implementations;
 * :mod:`repro.hyperwall.cluster` — a localhost multiprocessing harness
-  standing in for the physical cluster;
+  standing in for the physical cluster (with failover: dead clients'
+  cells are reassigned to survivors or served from the server's
+  reduced-resolution mirror, see :data:`FAILOVER_POLICIES`);
 * :mod:`repro.hyperwall.inproc` — a deterministic in-process simulation
   of the same protocol for tests and benchmarks.
 """
@@ -32,11 +34,12 @@ from repro.hyperwall.partition import (
 )
 from repro.hyperwall.protocol import Message
 from repro.hyperwall.inproc import InProcessHyperwall
-from repro.hyperwall.server import HyperwallServer
+from repro.hyperwall.server import FAILOVER_POLICIES, HyperwallServer
 from repro.hyperwall.client import HyperwallClient, run_client
 from repro.hyperwall.cluster import LocalCluster
 
 __all__ = [
+    "FAILOVER_POLICIES",
     "WallGeometry",
     "find_cell_modules",
     "make_reduced_pipeline",

@@ -2,9 +2,15 @@
 
 "Each client instance opens a single-cell visualization spreadsheet
 window, covering its hyperwall display."  The client connects to the
-server, receives its 1-cell sub-workflow, executes it at full display
+server, receives its sub-workflow(s), executes them at full display
 resolution, applies propagated interaction events, and reports results
 (timings and image summaries — pixels stay local to the display node).
+
+A client normally owns exactly one cell, but failover can hand it a
+dead neighbor's cell too: workflows are keyed by ``cell_id``, and
+``execute``/``render`` messages may target a specific cell.  The
+``hyperwall.client.execute`` fault site lets tests kill or fail a
+client deterministically mid-execution (``client``/``cell`` labels).
 """
 
 from __future__ import annotations
@@ -17,21 +23,31 @@ from repro import obs
 from repro.dv3d.cell import DV3DCell
 from repro.hyperwall import protocol
 from repro.hyperwall.protocol import Message
+from repro.resilience import faults
 from repro.util.errors import HyperwallError
 from repro.workflow.executor import Executor
 from repro.workflow.pipeline import Pipeline
 
 
 class HyperwallClient:
-    """One display node's control loop."""
+    """One display node's control loop.
 
-    def __init__(self, host: str, port: int, client_id: int) -> None:
+    *io_timeout* bounds every socket read/write once connected, so a
+    dead server (or a dropped reply) surfaces as a timeout instead of a
+    hang.
+    """
+
+    def __init__(
+        self, host: str, port: int, client_id: int, io_timeout: float = 60.0
+    ) -> None:
         self.host = host
         self.port = port
         self.client_id = int(client_id)
-        self.pipeline: Optional[Pipeline] = None
-        self.cell_id: Optional[int] = None
-        self.cell: Optional[DV3DCell] = None
+        self.io_timeout = float(io_timeout)
+        #: sub-workflows and their executed cells, keyed by cell id —
+        #: more than one entry only after a failover reassignment
+        self.pipelines: Dict[int, Pipeline] = {}
+        self.cells: Dict[int, DV3DCell] = {}
         self.executor = Executor(caching=True)
         self._sock: Optional[socket.socket] = None
 
@@ -39,7 +55,7 @@ class HyperwallClient:
 
     def connect(self, timeout: float = 10.0) -> None:
         sock = socket.create_connection((self.host, self.port), timeout=timeout)
-        sock.settimeout(60.0)
+        sock.settimeout(self.io_timeout)
         self._sock = sock
         protocol.send_message(sock, Message(protocol.KIND_HELLO, {"client_id": self.client_id}))
 
@@ -55,15 +71,23 @@ class HyperwallClient:
     def _handle(self, message: Message) -> Optional[Message]:
         """Process one message; returns the reply (None = no reply)."""
         if message.kind == protocol.KIND_WORKFLOW:
-            self.pipeline = Pipeline.from_dict(message.payload["pipeline"])
-            self.cell_id = int(message.payload["cell_id"])
-            return Message(protocol.KIND_ACK, {"client_id": self.client_id})
+            cell_id = int(message.payload["cell_id"])
+            self.pipelines[cell_id] = Pipeline.from_dict(message.payload["pipeline"])
+            self.cells.pop(cell_id, None)  # a re-shipped workflow resets the cell
+            return Message(
+                protocol.KIND_ACK, {"client_id": self.client_id, "cell_id": cell_id}
+            )
         if message.kind == protocol.KIND_EXECUTE:
-            return self._execute()
+            return self._execute(message.payload)
         if message.kind == protocol.KIND_EVENT:
             return self._apply_event(message.payload)
         if message.kind == protocol.KIND_RENDER:
             return self._render(message.payload)
+        if message.kind == protocol.KIND_HEARTBEAT:
+            return Message(
+                protocol.KIND_HEARTBEAT,
+                {"client_id": self.client_id, "cells": sorted(self.cells)},
+            )
         if message.kind == protocol.KIND_SHUTDOWN:
             return None
         return Message(
@@ -71,22 +95,40 @@ class HyperwallClient:
             {"client_id": self.client_id, "error": f"unknown kind {message.kind!r}"},
         )
 
-    def _execute(self) -> Message:
-        if self.pipeline is None or self.cell_id is None:
+    def _target_cell(self, payload: Dict[str, Any], executed: bool) -> Optional[int]:
+        """Which cell a message addresses: explicit ``cell_id``, else the
+        first un-executed workflow (*executed* False) or first live cell."""
+        if payload.get("cell_id") is not None:
+            return int(payload["cell_id"])
+        universe = self.cells if executed else self.pipelines
+        if not universe:
+            return None
+        if not executed:
+            pending = [cid for cid in sorted(self.pipelines) if cid not in self.cells]
+            if pending:
+                return pending[0]
+        return min(universe)
+
+    def _execute(self, payload: Dict[str, Any]) -> Message:
+        cell_id = self._target_cell(payload, executed=False)
+        if cell_id is None or cell_id not in self.pipelines:
             return Message(
                 protocol.KIND_ERROR,
                 {"client_id": self.client_id, "error": "no workflow received"},
             )
         start = time.perf_counter()
         try:
+            faults.check(
+                "hyperwall.client.execute", client=self.client_id, cell=cell_id
+            )
             with obs.span(
                 "hyperwall.client.execute",
                 node=f"client-{self.client_id}",
-                cell=self.cell_id,
+                cell=cell_id,
             ):
-                result = self.executor.execute(self.pipeline)
-            self.cell = result.output(self.cell_id, "cell")
-            image = result.output(self.cell_id, "image")
+                result = self.executor.execute(self.pipelines[cell_id])
+            self.cells[cell_id] = result.output(cell_id, "cell")
+            image = result.output(cell_id, "image")
         except Exception as exc:  # noqa: BLE001 - reported to the server
             return Message(
                 protocol.KIND_ERROR, {"client_id": self.client_id, "error": repr(exc)}
@@ -95,7 +137,7 @@ class HyperwallClient:
             protocol.KIND_REPORT,
             {
                 "client_id": self.client_id,
-                "cell_id": self.cell_id,
+                "cell_id": cell_id,
                 "duration": time.perf_counter() - start,
                 "image_shape": list(image.shape),
                 "image_mean": float(image.mean()),
@@ -105,41 +147,49 @@ class HyperwallClient:
         )
 
     def _apply_event(self, payload: Dict[str, Any]) -> Message:
-        if self.cell is None:
+        if not self.cells:
             return Message(
                 protocol.KIND_ERROR,
                 {"client_id": self.client_id, "error": "event before execution"},
             )
         from repro.util.errors import DV3DError
 
-        try:
-            delta = self.cell.handle_event(
-                str(payload.get("event_kind", "key")), **dict(payload.get("event", {}))
-            )
-        except DV3DError:
-            # incompatible gesture for this cell's plot type: acknowledged
-            # and ignored (heterogeneous-wall semantics)
-            delta = {}
-        except Exception as exc:  # noqa: BLE001
-            return Message(
-                protocol.KIND_ERROR, {"client_id": self.client_id, "error": repr(exc)}
-            )
+        delta_keys: set = set()
+        for cell in (self.cells[cid] for cid in sorted(self.cells)):
+            try:
+                delta = cell.handle_event(
+                    str(payload.get("event_kind", "key")),
+                    **dict(payload.get("event", {})),
+                )
+            except DV3DError:
+                # incompatible gesture for this cell's plot type: acknowledged
+                # and ignored (heterogeneous-wall semantics)
+                delta = {}
+            except Exception as exc:  # noqa: BLE001
+                return Message(
+                    protocol.KIND_ERROR,
+                    {"client_id": self.client_id, "error": repr(exc)},
+                )
+            delta_keys.update(delta)
         return Message(
-            protocol.KIND_ACK, {"client_id": self.client_id, "delta_keys": sorted(delta)}
+            protocol.KIND_ACK,
+            {"client_id": self.client_id, "delta_keys": sorted(delta_keys)},
         )
 
     def _render(self, payload: Dict[str, Any]) -> Message:
-        """Re-render the live cell (after propagated events changed it).
+        """Re-render a live cell (after propagated events changed it).
 
         This is the interactive refresh loop: events mutate the cell's
         plot state cheaply; a render message produces the new frame for
         the display without re-executing the data pipeline.
         """
-        if self.cell is None:
+        cell_id = self._target_cell(payload, executed=True)
+        if cell_id is None or cell_id not in self.cells:
             return Message(
                 protocol.KIND_ERROR,
                 {"client_id": self.client_id, "error": "render before execution"},
             )
+        cell = self.cells[cell_id]
         width = int(payload.get("width", 0))
         height = int(payload.get("height", 0))
         start = time.perf_counter()
@@ -147,13 +197,13 @@ class HyperwallClient:
             with obs.span(
                 "hyperwall.client.render",
                 node=f"client-{self.client_id}",
-                cell=self.cell_id,
+                cell=cell_id,
             ):
                 if width > 0 and height > 0:
-                    frame = self.cell.render(width, height)
+                    frame = cell.render(width, height)
                 else:
                     # reuse the executed cell's own size via a fresh render
-                    frame = self.cell.render(320, 240)
+                    frame = cell.render(320, 240)
                 image = frame.to_uint8()
         except Exception as exc:  # noqa: BLE001
             return Message(
@@ -163,7 +213,7 @@ class HyperwallClient:
             protocol.KIND_REPORT,
             {
                 "client_id": self.client_id,
-                "cell_id": self.cell_id,
+                "cell_id": cell_id,
                 "duration": time.perf_counter() - start,
                 "image_shape": list(image.shape),
                 "image_mean": float(image.mean()),
@@ -173,27 +223,35 @@ class HyperwallClient:
     # -- main loop ---------------------------------------------------------------
 
     def run(self) -> int:
-        """Serve until shutdown; returns the number of messages handled."""
+        """Serve until shutdown; returns the number of messages handled.
+
+        A lost server connection (reset, timeout, corrupt frame) ends
+        the loop cleanly — the display node goes dark, it does not
+        crash.
+        """
         if self._sock is None:
             raise HyperwallError("client not connected")
         handled = 0
         while True:
-            message = protocol.recv_message(self._sock)
-            if message is None:
+            try:
+                message = protocol.recv_message(self._sock)
+                if message is None:
+                    break
+                handled += 1
+                if message.kind == protocol.KIND_SHUTDOWN:
+                    break
+                reply = self._handle(message)
+                if reply is not None:
+                    protocol.send_message(self._sock, reply)
+            except (OSError, HyperwallError):
                 break
-            handled += 1
-            if message.kind == protocol.KIND_SHUTDOWN:
-                break
-            reply = self._handle(message)
-            if reply is not None:
-                protocol.send_message(self._sock, reply)
         self.close()
         return handled
 
 
-def run_client(host: str, port: int, client_id: int) -> int:
+def run_client(host: str, port: int, client_id: int, io_timeout: float = 60.0) -> int:
     """Process entry point: connect, serve, exit (used by the cluster)."""
-    client = HyperwallClient(host, port, client_id)
+    client = HyperwallClient(host, port, client_id, io_timeout=io_timeout)
     client.connect()
     try:
         return client.run()

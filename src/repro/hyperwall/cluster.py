@@ -3,8 +3,16 @@
 The NCCS wall's client nodes become ``multiprocessing`` processes on
 this machine, each running the real socket client against the real
 socket server — so the full network protocol (workflow shipping,
-execution triggering, event propagation, shutdown) is exercised
-end-to-end, just without the 46-inch displays.
+execution triggering, event propagation, failover, shutdown) is
+exercised end-to-end, just without the 46-inch displays.
+
+Faults armed on the registry *before* :meth:`LocalCluster.start` are
+inherited by the forked clients, so tests can kill a real client
+process mid-execution deterministically::
+
+    faults.arm("hyperwall.client.execute", "exit", match={"client": 2})
+    with LocalCluster(p, n_clients=4, wall=wall) as cluster:
+        out = cluster.run_session()   # completes; cell 2 is recovered
 """
 
 from __future__ import annotations
@@ -19,13 +27,18 @@ from repro.hyperwall.server import HyperwallServer
 from repro.workflow.pipeline import Pipeline
 
 
-def _client_main(host: str, port: int, client_id: int) -> None:
+def _client_main(host: str, port: int, client_id: int, io_timeout: float) -> None:
     # child-process entry point; exceptions surface via exit code
-    run_client(host, port, client_id)
+    run_client(host, port, client_id, io_timeout=io_timeout)
 
 
 class LocalCluster:
-    """Run a server plus N client processes for one hyperwall session."""
+    """Run a server plus N client processes for one hyperwall session.
+
+    *io_timeout* bounds every socket operation on both sides;
+    *failover* selects the server's recovery policy for dead clients
+    (``reassign`` | ``degrade`` | ``fail_fast``).
+    """
 
     def __init__(
         self,
@@ -33,8 +46,17 @@ class LocalCluster:
         n_clients: int,
         wall: Optional[WallGeometry] = None,
         reduction: int = 4,
+        io_timeout: float = 60.0,
+        failover: str = "reassign",
     ) -> None:
-        self.server = HyperwallServer(workflow, wall=wall, reduction=reduction)
+        self.io_timeout = float(io_timeout)
+        self.server = HyperwallServer(
+            workflow,
+            wall=wall,
+            reduction=reduction,
+            io_timeout=self.io_timeout,
+            failover=failover,
+        )
         self.n_clients = int(n_clients)
         self._processes: List[mp.Process] = []
 
@@ -44,7 +66,7 @@ class LocalCluster:
         for client_id in range(self.n_clients):
             proc = ctx.Process(
                 target=_client_main,
-                args=(self.server.host, self.server.port, client_id),
+                args=(self.server.host, self.server.port, client_id, self.io_timeout),
                 daemon=True,
             )
             proc.start()
@@ -55,7 +77,8 @@ class LocalCluster:
         """One full session: distribute, execute everywhere, propagate events.
 
         *events* is a list like ``[{"event_kind": "key", "key": "c"}]``.
-        Returns all reports and timings.
+        Returns all reports and timings; ``cell_status`` summarizes how
+        each cell was produced (``live`` | ``reassigned`` | ``degraded``).
         """
         assignment = self.server.distribute_workflows()
         server_report = self.server.execute_server()
@@ -72,6 +95,10 @@ class LocalCluster:
             "server": server_report,
             "clients": client_reports,
             "clients_wall_time": clients_wall,
+            "cell_status": {
+                r["cell_id"]: r.get("status", "live") for r in client_reports
+            },
+            "dead_clients": self.server.dead_clients,
             "events": event_results,
         }
 

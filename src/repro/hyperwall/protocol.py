@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from repro import obs
+from repro.resilience import faults
 from repro.util.errors import HyperwallError
 
 _LENGTH = struct.Struct(">I")
@@ -31,6 +32,7 @@ KIND_EVENT = "event"
 KIND_RENDER = "render"
 KIND_REPORT = "report"
 KIND_ACK = "ack"
+KIND_HEARTBEAT = "heartbeat"
 KIND_SHUTDOWN = "shutdown"
 KIND_ERROR = "error"
 
@@ -61,6 +63,14 @@ class Message:
 
 def send_message(sock: socket.socket, message: Message) -> None:
     frame = message.encode()
+    fault = faults.check("protocol.send", kind=message.kind)
+    if fault is not None:
+        if fault.action == "drop":
+            return  # the message vanishes on the wire; the peer times out
+        if fault.action == "corrupt":
+            # keep the length header intact so the peer reads a full
+            # frame that then fails to decode (detected, not a hang)
+            frame = frame[: _LENGTH.size] + b"\xff" * (len(frame) - _LENGTH.size)
     if obs.enabled():
         obs.counter("hyperwall.messages.sent", kind=message.kind)
         obs.counter("hyperwall.bytes.sent", len(frame), kind=message.kind)

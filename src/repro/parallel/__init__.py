@@ -20,8 +20,11 @@ Guarantees (see README "Parallel kernels"):
 * **determinism** — the render kernels produce *bitwise identical*
   framebuffers/surfaces/lines at any worker count (golden-image tested);
   regridding is near-exact (einsum reassociation only);
-* **crash containment** — a worker death, tile exception or pool
-  timeout raises :class:`~repro.util.errors.KernelPoolError` (never a
+* **crash containment with recovery** — a crashed worker's tiles are
+  retried on replacement workers (``respawn_budget``) and then
+  serially in the parent, so a transient worker loss still completes
+  bitwise-identically; poisonous tiles, tile exceptions and pool
+  timeouts raise :class:`~repro.util.errors.KernelPoolError` (never a
   hang) and shared-memory segments are always unlinked.
 """
 

@@ -66,6 +66,12 @@ class ParallelConfig:
         Pool-wide wall-clock limit in seconds; exceeding it raises
         :class:`~repro.util.errors.KernelPoolError` after the pool
         tears down its workers.
+    respawn_budget:
+        How many replacement workers one pool run may spawn to retry
+        the tiles of crashed workers before degrading to in-parent
+        serial execution of the remaining tiles (0 disables respawn;
+        a tile that kills its worker twice is deemed poisonous and
+        fails the run regardless).
     start_method:
         ``multiprocessing`` start method (default: ``fork`` where
         available — zero-copy payload inheritance — else ``spawn``).
@@ -76,6 +82,7 @@ class ParallelConfig:
     slab_cells: int = 0
     min_items: int = 2048
     timeout: float = 120.0
+    respawn_budget: int = 2
     start_method: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -85,6 +92,10 @@ class ParallelConfig:
             raise KernelPoolError(f"timeout must be positive, got {self.timeout}")
         if self.tile_rows < 0 or self.slab_cells < 0 or self.min_items < 0:
             raise KernelPoolError("tile_rows, slab_cells and min_items must be >= 0")
+        if self.respawn_budget < 0:
+            raise KernelPoolError(
+                f"respawn_budget must be >= 0, got {self.respawn_budget}"
+            )
 
     @property
     def enabled(self) -> bool:

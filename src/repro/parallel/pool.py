@@ -11,13 +11,27 @@ place, so nothing big is ever pickled back.
 Failure containment is the design center:
 
 * a worker that **dies mid-tile** (segfault, ``SIGKILL``, OOM) is
-  detected by exit-code polling and surfaces as a
-  :class:`~repro.util.errors.KernelPoolError`, never a hang;
+  detected by exit-code polling; its unfinished tiles are **retried on
+  a replacement worker** (up to ``ParallelConfig.respawn_budget``
+  respawns per run), then — budget exhausted — executed **serially in
+  the parent**, so a transient worker loss still yields a complete,
+  bitwise-identical result.  Only a *poisonous* tile (one that kills
+  its worker twice) or a serial-fallback failure surfaces as a
+  :class:`~repro.util.errors.KernelPoolError`;
 * a worker that **raises** ships the traceback back and fails the pool
-  the same way;
-* a pool-wide **timeout** bounds total wall time;
+  immediately (a deterministic bug would fail identically on retry);
+* a pool-wide **timeout** bounds total wall time, recoveries included;
 * shared-memory segments are unlinked in ``finally`` by their creator,
   so no segment outlives a crashed run.
+
+Fault injection: each tile visit checks the ``parallel.tile`` site
+with ``tile`` and ``attempt`` labels (attempt 0 = original workers,
+``n`` = the n-th respawn generation), so tests arm e.g.
+``faults.arm("parallel.tile", "exit", match={"tile": 2, "attempt": 0})``
+to kill exactly one worker exactly once.  Recoveries are observable:
+``resilience.retries`` (respawned tiles), ``resilience.degraded``
+(serial-fallback tiles) and the ``resilience.recovery.seconds``
+histogram (first worker death to completed run).
 
 Observability: each run emits a ``parallel.run`` span, a
 ``parallel.tiles`` counter and one ``parallel.tile`` span per tile with
@@ -34,17 +48,22 @@ import time
 import traceback
 from contextlib import contextmanager
 from multiprocessing import shared_memory
-from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro import obs
 from repro.parallel.config import ParallelConfig
+from repro.resilience import faults
 from repro.util.errors import KernelPoolError
 
 #: parent poll interval while waiting on tile results (seconds); bounds
 #: how stale a dead-worker check can be, not a busy-wait
 _POLL_S = 0.05
+
+#: a tile that kills its worker this many times is poisonous: retrying
+#: it (or running it in the parent) would keep killing processes
+_MAX_TILE_DEATHS = 2
 
 
 @contextmanager
@@ -82,11 +101,18 @@ def _worker_main(
     fn: Callable[[Any, Any], Any],
     payload: Any,
     assigned: List[Tuple[int, Any]],
+    attempt: int = 0,
 ) -> None:
-    """Run this worker's tiles; report (index, start, duration, status, value)."""
+    """Run this worker's tiles; report (index, start, duration, status, value).
+
+    *attempt* is the respawn generation (0 = original worker), passed
+    to the ``parallel.tile`` fault site so injected kills can target
+    one generation deterministically.
+    """
     for index, task in assigned:
         start = time.perf_counter()
         try:
+            faults.check("parallel.tile", tile=index, attempt=attempt)
             value = fn(payload, task)
             status = "ok"
         except BaseException:  # noqa: BLE001 - shipped to the parent verbatim
@@ -121,8 +147,11 @@ class KernelPool:
         """Run ``fn(payload, task)`` for every task; results in task order.
 
         *fn* must be a module-level callable (picklable under spawn).
-        Raises :class:`KernelPoolError` on worker death, tile
-        exception, or pool-wide timeout.
+        Crashed workers' tiles are retried on replacement workers (up
+        to ``config.respawn_budget`` respawns), then serially in the
+        parent.  Raises :class:`KernelPoolError` on a poisonous tile
+        (killed its worker twice), a tile exception, a serial-fallback
+        failure, or pool-wide timeout.
         """
         if not tasks:
             return []
@@ -133,64 +162,135 @@ class KernelPool:
         assignments: List[List[Tuple[int, Any]]] = [[] for _ in range(n_workers)]
         for index, task in enumerate(tasks):
             assignments[index % n_workers].append((index, task))
-        workers = [
-            context.Process(
+
+        workers: List[Any] = []  # every process ever started (for teardown)
+        #: live tracking: process -> its assigned (index, task) list
+        tiles_of: Dict[Any, List[Tuple[int, Any]]] = {}
+        handled_dead: set = set()
+        death_count: Dict[int, int] = {}  # tile index -> in-flight worker deaths
+        respawns_used = 0
+        first_death: Optional[float] = None
+
+        def spawn(assigned: List[Tuple[int, Any]], name: str, attempt: int) -> None:
+            worker = context.Process(
                 target=_worker_main,
-                args=(result_queue, fn, payload, assigned),
+                args=(result_queue, fn, payload, assigned, attempt),
                 daemon=True,
-                name=f"repro-parallel-{label}-{wid}",
+                name=name,
             )
-            for wid, assigned in enumerate(assignments)
-        ]
+            workers.append(worker)
+            tiles_of[id(worker)] = assigned
+            worker.start()
+
         results: List[Any] = [None] * len(tasks)
+        received: set = set()
+
+        def record_tile(index: int, start: float, duration: float, run_span) -> None:
+            if obs.enabled():
+                obs.counter("parallel.tiles", kernel=label)
+                obs.histogram("parallel.tile.seconds", duration, kernel=label)
+                obs.record_span(
+                    "parallel.tile",
+                    duration,
+                    parent_id=run_span.id,
+                    start=start,
+                    thread=f"{label}-tile-{index}",
+                    kernel=label,
+                    tile=index,
+                )
+
+        def run_serial_fallback(missing: List[Tuple[int, Any]], run_span) -> None:
+            """Budget exhausted: the parent executes the tiles itself."""
+            for index, task in missing:
+                start = time.perf_counter()
+                try:
+                    value = fn(payload, task)
+                except Exception as exc:  # noqa: BLE001
+                    raise KernelPoolError(
+                        f"{label}: tile {index} failed in serial fallback: {exc!r}"
+                    ) from exc
+                results[index] = value
+                received.add(index)
+                record_tile(index, start, time.perf_counter() - start, run_span)
+                obs.counter(
+                    "resilience.degraded", site="parallel.serial_fallback", kernel=label
+                )
+
+        def handle_dead_workers(run_span) -> None:
+            nonlocal respawns_used, first_death
+            for worker in list(workers):
+                if worker.exitcode is None or id(worker) in handled_dead:
+                    continue
+                missing = [
+                    (i, t) for (i, t) in tiles_of[id(worker)] if i not in received
+                ]
+                handled_dead.add(id(worker))
+                if worker.exitcode == 0 or not missing:
+                    continue  # orderly exit, or all its results already in
+                if first_death is None:
+                    first_death = time.monotonic()
+                # workers run tiles in order: the first missing tile is
+                # the one that was in flight when the process died
+                suspect = missing[0][0]
+                death_count[suspect] = death_count.get(suspect, 0) + 1
+                if death_count[suspect] >= _MAX_TILE_DEATHS:
+                    raise KernelPoolError(
+                        f"{label}: worker died with exit code {worker.exitcode} "
+                        f"{death_count[suspect]} times on tile {suspect}; "
+                        f"tile is poisonous, not retrying"
+                    )
+                if respawns_used < self.config.respawn_budget:
+                    respawns_used += 1
+                    obs.counter(
+                        "resilience.retries",
+                        len(missing),
+                        site="parallel.respawn",
+                        kernel=label,
+                    )
+                    spawn(
+                        missing,
+                        name=f"repro-parallel-{label}-r{respawns_used}",
+                        attempt=respawns_used,
+                    )
+                else:
+                    run_serial_fallback(missing, run_span)
+
         with obs.span(
             "parallel.run", kernel=label, workers=n_workers, tiles=len(tasks)
         ) as run_span:
             deadline = time.monotonic() + limit
             try:
-                for worker in workers:
-                    worker.start()
-                received = 0
-                while received < len(tasks):
+                for wid, assigned in enumerate(assignments):
+                    spawn(assigned, name=f"repro-parallel-{label}-{wid}", attempt=0)
+                while len(received) < len(tasks):
                     if time.monotonic() > deadline:
                         raise KernelPoolError(
                             f"{label}: kernel pool timed out after {limit:.1f}s "
-                            f"({received}/{len(tasks)} tiles done)"
+                            f"({len(received)}/{len(tasks)} tiles done)"
                         )
                     try:
                         index, start, duration, status, value = result_queue.get(
                             timeout=_POLL_S
                         )
                     except queue_module.Empty:
-                        dead = [
-                            w for w in workers
-                            if w.exitcode is not None and w.exitcode != 0
-                        ]
-                        if dead:
-                            codes = sorted({w.exitcode for w in dead})
-                            raise KernelPoolError(
-                                f"{label}: {len(dead)} worker(s) died with exit "
-                                f"code(s) {codes} before finishing their tiles"
-                            ) from None
+                        handle_dead_workers(run_span)
                         continue
                     if status == "error":
                         raise KernelPoolError(
                             f"{label}: tile {index} raised in worker:\n{value}"
                         )
+                    if index in received:
+                        continue  # duplicate from a raced retry: same value
                     results[index] = value
-                    received += 1
-                    if obs.enabled():
-                        obs.counter("parallel.tiles", kernel=label)
-                        obs.histogram("parallel.tile.seconds", duration, kernel=label)
-                        obs.record_span(
-                            "parallel.tile",
-                            duration,
-                            parent_id=run_span.id,
-                            start=start,
-                            thread=f"{label}-tile-{index}",
-                            kernel=label,
-                            tile=index,
-                        )
+                    received.add(index)
+                    record_tile(index, start, duration, run_span)
+                if first_death is not None and obs.enabled():
+                    obs.histogram(
+                        "resilience.recovery.seconds",
+                        time.monotonic() - first_death,
+                        site="parallel.pool",
+                        kernel=label,
+                    )
             finally:
                 for worker in workers:
                     if worker.is_alive():

@@ -1,0 +1,138 @@
+"""Composable retry policies with deterministic backoff.
+
+A :class:`RetryPolicy` is a frozen value object describing *how* to
+retry — attempt budget, exponential backoff, jitter, an optional
+wall-clock deadline — separated from *what* to retry (any callable)
+and *which* failures are retryable (an exception tuple).  Jitter is
+deterministic: it comes from :func:`repro.util.rng.deterministic_rng`
+seeded by the policy's ``seed`` and the attempt number, so a given
+policy produces the identical delay sequence run-to-run (the same
+reproducibility contract the rest of the codebase keeps).
+
+Every retry is observable: ``resilience.retries`` counts them by site
+label, ``resilience.retry.delay`` histograms the backoff actually
+applied, and ``resilience.recovery.seconds`` records the time from
+first failure to eventual success — the time-to-recovery number the
+BENCH artifact tracks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Optional, Tuple, Type
+
+from repro import obs
+from repro.util.errors import ResilienceError
+from repro.util.rng import deterministic_rng
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How to retry a failing operation.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries, including the first (1 = no retries).
+    base_delay:
+        Backoff before the first retry, in seconds.
+    multiplier:
+        Exponential growth factor per retry.
+    max_delay:
+        Ceiling on a single backoff interval.
+    jitter:
+        Fractional symmetric jitter (0.1 = ±10%), drawn from a
+        deterministic per-attempt RNG; 0 disables it.
+    deadline:
+        Total wall-clock budget in seconds; once spending the next
+        backoff would exceed it, the policy stops retrying.
+    seed:
+        Namespace for the jitter RNG (policies with different seeds
+        de-correlate their delay sequences deterministically).
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 5.0
+    jitter: float = 0.1
+    deadline: Optional[float] = None
+    seed: str = "retry"
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ResilienceError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ResilienceError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ResilienceError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ResilienceError(f"jitter must be in [0, 1), got {self.jitter}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ResilienceError(f"deadline must be positive, got {self.deadline}")
+
+    def with_seed(self, seed: str) -> "RetryPolicy":
+        """This policy with a different jitter namespace."""
+        return replace(self, seed=seed)
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff after the (0-based) *attempt*-th failure, jittered."""
+        raw = min(self.base_delay * self.multiplier**attempt, self.max_delay)
+        if self.jitter and raw > 0:
+            rng = deterministic_rng(f"{self.seed}/attempt-{attempt}")
+            raw *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return raw
+
+    def delays(self) -> Tuple[float, ...]:
+        """The full (deterministic) backoff schedule this policy yields."""
+        return tuple(self.delay_for(a) for a in range(self.max_attempts - 1))
+
+    def run(
+        self,
+        fn: Callable[[], Any],
+        retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+        label: str = "call",
+        sleep: Callable[[float], None] = time.sleep,
+        on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
+    ) -> Any:
+        """Call *fn* under this policy; returns its value or re-raises.
+
+        *sleep* is injectable so tests retry without real waiting;
+        *on_retry(attempt, exc, delay)* observes each scheduled retry.
+        """
+        start = time.monotonic()
+        last: Optional[BaseException] = None
+        for attempt in range(self.max_attempts):
+            try:
+                value = fn()
+            except retry_on as exc:
+                last = exc
+                if attempt + 1 >= self.max_attempts:
+                    break
+                delay = self.delay_for(attempt)
+                if (
+                    self.deadline is not None
+                    and (time.monotonic() - start) + delay > self.deadline
+                ):
+                    break
+                if obs.enabled():
+                    obs.counter("resilience.retries", site=label)
+                    obs.histogram("resilience.retry.delay", delay, site=label)
+                if on_retry is not None:
+                    on_retry(attempt, exc, delay)
+                sleep(delay)
+                continue
+            if attempt > 0 and obs.enabled():
+                obs.histogram(
+                    "resilience.recovery.seconds",
+                    time.monotonic() - start,
+                    site=label,
+                )
+            return value
+        assert last is not None
+        raise last
+
+
+#: no retries at all — the fail-fast baseline for ablations
+FAIL_FAST = RetryPolicy(max_attempts=1, base_delay=0.0, jitter=0.0)

@@ -55,6 +55,23 @@ class KernelPoolError(ReproError):
     """
 
 
+class ResilienceError(ReproError):
+    """Raised by the fault-tolerance subsystem (:mod:`repro.resilience`).
+
+    Covers exhausted retry budgets, open circuit breakers and invalid
+    policy parameters.
+    """
+
+
+class InjectedFault(ResilienceError):
+    """An artificial failure fired by the fault-injection registry.
+
+    Tests and benchmarks arm faults at named sites
+    (:mod:`repro.resilience.faults`); instrumented code raises this to
+    exercise a recovery path deterministically.
+    """
+
+
 class ProvenanceError(ReproError):
     """Raised by the provenance subsystem (:mod:`repro.provenance`)."""
 

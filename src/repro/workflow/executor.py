@@ -25,8 +25,14 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro import obs
+from repro.resilience import faults
 from repro.workflow.pipeline import Pipeline
 from repro.util.errors import ModuleExecutionError, WorkflowError
+
+#: executor failure policies: abort on the first module failure, or
+#: keep executing branches not downstream of a failed module and
+#: return a partial result with per-module status
+FAILURE_POLICIES = ("fail_fast", "continue_independent")
 
 
 @dataclass
@@ -35,7 +41,7 @@ class ModuleRun:
 
     module_id: int
     module_name: str
-    status: str  # "ok" | "cached" | "error"
+    status: str  # "ok" | "cached" | "error" | "skipped"
     duration: float
     error: str = ""
 
@@ -72,6 +78,19 @@ class ExecutionResult:
                 return run.status
         raise WorkflowError(f"module {module_id} was not executed")
 
+    @property
+    def ok(self) -> bool:
+        """Whether every module ran (or came from cache) successfully."""
+        return all(run.status in ("ok", "cached") for run in self.runs)
+
+    def failures(self) -> List[ModuleRun]:
+        """Runs that failed (``continue_independent`` partial results)."""
+        return [run for run in self.runs if run.status == "error"]
+
+    def skipped(self) -> List[ModuleRun]:
+        """Runs skipped because an upstream module failed."""
+        return [run for run in self.runs if run.status == "skipped"]
+
 
 class Executor:
     """Executes pipelines against a module registry.
@@ -87,6 +106,14 @@ class Executor:
         the ambient config for the duration of each execution, so
         rendering modules (plots, isosurfaces, regrids) run their
         kernels on the process pool without any module-level plumbing.
+    failure_policy:
+        ``"fail_fast"`` (default) raises on the first module failure;
+        ``"continue_independent"`` keeps executing every branch not
+        downstream of a failed module and returns a partial
+        :class:`ExecutionResult` whose runs carry per-module status
+        (``error`` for the failed module, ``skipped`` for its
+        downstream closure) — the hyperwall's partial-frame semantics
+        applied to a single workflow.
     """
 
     def __init__(
@@ -95,15 +122,22 @@ class Executor:
         max_workers: int = 1,
         on_module_complete=None,
         parallel=None,
+        failure_policy: str = "fail_fast",
     ) -> None:
         if max_workers < 1:
             raise WorkflowError("max_workers must be >= 1")
+        if failure_policy not in FAILURE_POLICIES:
+            raise WorkflowError(
+                f"failure_policy must be one of {FAILURE_POLICIES}, "
+                f"got {failure_policy!r}"
+            )
         self.caching = caching
         self.max_workers = int(max_workers)
         #: optional callable(ModuleRun, done_count, total_count) — the
         #: progress hook a GUI's status bar would subscribe to
         self.on_module_complete = on_module_complete
         self.parallel = parallel
+        self.failure_policy = failure_policy
         self._cache: Dict[str, Dict[str, Any]] = {}
 
     def clear_cache(self) -> None:
@@ -143,8 +177,10 @@ class Executor:
     ) -> ExecutionResult:
         """Execute *pipeline* (or just the upstream closure of *targets*).
 
-        Raises :class:`ModuleExecutionError` on the first module
-        failure; modules already running are allowed to finish.
+        Under ``fail_fast`` raises :class:`ModuleExecutionError` on the
+        first module failure (modules already running are allowed to
+        finish); under ``continue_independent`` failures are recorded
+        in the result and independent branches keep executing.
         """
         from repro.parallel.config import use_config
 
@@ -197,11 +233,27 @@ class Executor:
                 for conn in pipeline.incoming(mid):
                     inputs[conn.target_port] = module_outputs[conn.source_id][conn.source_port]
                 try:
+                    faults.check("executor.module", module=spec.name)
                     outputs = instance.check_outputs(instance.compute(inputs))
-                except ModuleExecutionError:
-                    raise
+                except ModuleExecutionError as exc:
+                    if self.failure_policy == "fail_fast":
+                        raise
+                    mspan.set(status="error")
+                    obs.counter("executor.module.failed", module=spec.name)
+                    return mid, {}, ModuleRun(
+                        mid, spec.name, "error",
+                        time.perf_counter() - t0, error=str(exc),
+                    )
                 except Exception as exc:  # noqa: BLE001 - attributed and re-raised
-                    raise ModuleExecutionError(spec.name, exc) from exc
+                    wrapped = ModuleExecutionError(spec.name, exc)
+                    if self.failure_policy == "fail_fast":
+                        raise wrapped from exc
+                    mspan.set(status="error")
+                    obs.counter("executor.module.failed", module=spec.name)
+                    return mid, {}, ModuleRun(
+                        mid, spec.name, "error",
+                        time.perf_counter() - t0, error=str(wrapped),
+                    )
                 if use_cache:
                     self._cache[sig] = outputs
                 mspan.set(status="ok")
@@ -217,10 +269,26 @@ class Executor:
             if self.on_module_complete is not None:
                 self.on_module_complete(run, len(result.runs), len(order))
 
+        def skip(mid: int) -> None:
+            spec = pipeline.modules[mid]
+            obs.counter("executor.module.skipped", module=spec.name)
+            finish(mid, {}, ModuleRun(
+                mid, spec.name, "skipped", 0.0, error="upstream module failed"
+            ))
+
+        failed: Set[int] = set()  # error or skipped module ids
+
         with exec_span:
             if self.max_workers == 1:
                 for mid in order:
-                    finish(*run_module(mid))
+                    if dependencies[mid] & failed:
+                        skip(mid)
+                        failed.add(mid)
+                        continue
+                    mid, outputs, run = run_module(mid)
+                    finish(mid, outputs, run)
+                    if run.status == "error":
+                        failed.add(mid)
             else:
                 with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
                     pending: Dict[Future, int] = {}
@@ -240,22 +308,34 @@ class Executor:
                         for future in done:
                             mid = pending.pop(future)
                             try:
-                                finish(*future.result())
+                                fmid, outputs, run = future.result()
                             except BaseException as exc:  # noqa: BLE001
                                 if first_error is None:
                                     first_error = exc
                                 remaining.discard(mid)
                                 continue
+                            finish(fmid, outputs, run)
                             remaining.discard(mid)
-                            done_set.add(mid)
+                            if run.status == "error":
+                                failed.add(mid)
+                            else:
+                                done_set.add(mid)
                         if first_error is None:
                             dispatch_ready()
                     if first_error is not None:
                         raise first_error
+                # everything still remaining is downstream of a failure
+                # (otherwise dispatch_ready would have scheduled it)
+                for mid in order:
+                    if mid in remaining:
+                        skip(mid)
+                        failed.add(mid)
 
         # cache statistics are derived from the run records (the obs
         # counters above carry the per-module breakdown)
         result.cache_hits = sum(1 for run in result.runs if run.status == "cached")
-        result.cache_misses = len(result.runs) - result.cache_hits
+        result.cache_misses = sum(
+            1 for run in result.runs if run.status in ("ok", "error")
+        )
         result.wall_time = time.perf_counter() - start_wall
         return result

@@ -9,6 +9,7 @@ from repro.esg.federation import (
     ESGNode,
     default_federation,
 )
+from repro.resilience import faults
 from repro.util.errors import ESGError
 
 
@@ -103,3 +104,62 @@ class TestFederation:
         fed.add_node(ESGNode("x"))
         with pytest.raises(ESGError):
             fed.add_node(ESGNode("x"))
+
+
+class TestFailover:
+    """Replica failover: nodes go down (cleanly or mid-fetch) and recover."""
+
+    @pytest.fixture(autouse=True)
+    def clean_registry(self):
+        faults.disarm()
+        yield
+        faults.disarm()
+
+    def test_locate_fails_over_when_fast_node_down(self):
+        fed = default_federation()
+        fed.set_node_available("nccs", False)
+        node, _record = fed.locate("nccs_synthetic_reanalysis")
+        assert node == "pcmdi"  # the slow replica carries the load
+
+    def test_node_down_mid_fetch_fails_over_to_replica(self):
+        fed = default_federation()
+        faults.arm("esg.fetch", "raise", match={"node": "nccs"})
+        ds = fed.fetch("nccs_synthetic_reanalysis")
+        assert isinstance(ds, Dataset)
+        # the fetch completed on the replica; the dead node is marked down
+        assert fed.transfers[0].node_name == "pcmdi"
+        assert not fed._nodes["nccs"].available
+        # the aborted transfer's modelled time was still paid
+        assert fed.simulated_clock > fed.transfers[0].modelled_seconds
+
+    def test_all_replicas_down_raises(self):
+        fed = default_federation()
+        fed.set_node_available("nccs", False)
+        fed.set_node_available("pcmdi", False)
+        with pytest.raises(ESGError, match="unavailable"):
+            fed.fetch("nccs_synthetic_reanalysis")
+
+    def test_all_replicas_dying_mid_fetch_raises(self):
+        fed = default_federation()
+        faults.arm("esg.fetch", "raise", times=0)  # every transfer dies
+        with pytest.raises(ESGError, match="unavailable"):
+            fed.fetch("nccs_synthetic_reanalysis")
+        assert not fed._nodes["nccs"].available
+        assert not fed._nodes["pcmdi"].available
+
+    def test_pinned_fetch_does_not_fail_over(self):
+        fed = default_federation()
+        faults.arm("esg.fetch", "raise", match={"node": "nccs"})
+        with pytest.raises(ESGError, match="mid-fetch"):
+            fed.fetch("nccs_synthetic_reanalysis", node_name="nccs")
+        assert fed.transfers == []
+
+    def test_node_recovery_restores_preference(self):
+        fed = default_federation()
+        fed.set_node_available("nccs", False)
+        assert fed.locate("nccs_synthetic_reanalysis")[0] == "pcmdi"
+        fed.set_node_available("nccs", True)
+        assert fed.locate("nccs_synthetic_reanalysis")[0] == "nccs"
+        # a fetch after recovery uses the fast node again
+        fed.fetch("nccs_synthetic_reanalysis")
+        assert fed.transfers[0].node_name == "nccs"

@@ -17,6 +17,7 @@ import pytest
 from repro import obs
 from repro.parallel import ParallelConfig, run_tiles, shared_ndarray
 from repro.parallel.pool import attach_ndarray
+from repro.resilience import faults
 from repro.util.errors import KernelPoolError
 
 pytestmark = pytest.mark.skipif(
@@ -123,6 +124,89 @@ class TestFailureContainment:
             p.name.startswith("repro-parallel-")
             for p in multiprocessing.active_children()
         )
+
+
+class TestTileRetry:
+    """Worker death recovery: respawn, serial fallback, poisonous tiles.
+
+    All kills are injected deterministically through the fault
+    registry: ``fork`` workers inherit the armed faults, and the
+    ``attempt`` label confines each kill to one respawn generation.
+    """
+
+    @pytest.fixture(autouse=True)
+    def clean_registry(self):
+        faults.disarm()
+        yield
+        faults.disarm()
+
+    def test_killed_worker_tiles_retried_to_completion(self):
+        # kill the worker running tile 2, original generation only: the
+        # replacement (attempt=1) must finish tile 2 and any collateral
+        faults.arm("parallel.tile", "exit", match={"tile": 2, "attempt": 0})
+        tasks = [(i, i + 1) for i in range(6)]
+        results = run_tiles(
+            ParallelConfig(workers=2, min_items=1, respawn_budget=2),
+            _square, tasks, payload=3,
+        )
+        assert results == [[3 * i * i] for i in range(6)]
+
+    def test_retry_result_bitwise_identical_via_shared_memory(self):
+        faults.arm("parallel.tile", "exit", match={"tile": 1, "attempt": 0})
+        with shared_ndarray((16,), np.float64) as (name, out):
+            counts = run_tiles(
+                ParallelConfig(workers=2, min_items=1, respawn_budget=2),
+                _write_band, [(0, 7), (7, 16)], payload=name,
+            )
+            assert counts == [7, 9]
+            assert np.array_equal(out, np.arange(16, dtype=np.float64))
+
+    def test_serial_fallback_when_budget_exhausted(self):
+        # budget 0: no replacement allowed; the parent must run the
+        # dead worker's tiles itself (the injected kill targets only
+        # attempt 0, so the parent-side check does not fire)
+        faults.arm("parallel.tile", "exit", match={"tile": 1, "attempt": 0})
+        tasks = [(i, i + 1) for i in range(4)]
+        results = run_tiles(
+            ParallelConfig(workers=2, min_items=1, respawn_budget=0),
+            _square, tasks, payload=2,
+        )
+        assert results == [[2 * i * i] for i in range(4)]
+
+    def test_poisonous_tile_fails_after_two_deaths(self):
+        # the kill matches every generation: original dies, replacement
+        # dies on the same tile -> poisonous, clean error, no hang
+        faults.arm("parallel.tile", "exit", match={"tile": 0}, times=0)
+        t0 = time.monotonic()
+        with pytest.raises(KernelPoolError, match="died with exit code"):
+            run_tiles(
+                ParallelConfig(workers=2, min_items=1, respawn_budget=4),
+                _square, [(i, i + 1) for i in range(4)], payload=1,
+            )
+        assert time.monotonic() - t0 < 30.0
+
+    def test_recovery_metrics_emitted(self):
+        recorder = obs.enable(obs.Recorder())
+        try:
+            faults.arm("parallel.tile", "exit", match={"tile": 2, "attempt": 0})
+            run_tiles(
+                ParallelConfig(workers=2, min_items=1, respawn_budget=2),
+                _square, [(i, i + 1) for i in range(6)], payload=1, label="retry",
+            )
+        finally:
+            obs.disable()
+        assert recorder.counter_value(
+            "resilience.retries", site="parallel.respawn", kernel="retry"
+        ) > 0
+        assert any(
+            k.name == "resilience.recovery.seconds" for k in recorder.histograms
+        )
+        # every tile is still counted exactly once
+        assert recorder.counter_value("parallel.tiles", kernel="retry") == 6
+
+    def test_respawn_budget_validation(self):
+        with pytest.raises(KernelPoolError):
+            ParallelConfig(respawn_budget=-1)
 
 
 class TestObservability:

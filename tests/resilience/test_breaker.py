@@ -1,0 +1,126 @@
+"""CircuitBreaker: state machine, half-open probing, metrics."""
+
+import pytest
+
+from repro import obs
+from repro.resilience import CLOSED, HALF_OPEN, OPEN, CircuitBreaker, CircuitOpenError
+from repro.util.errors import ResilienceError
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_breaker(threshold=3, reset=10.0, **kwargs):
+    clock = FakeClock()
+    breaker = CircuitBreaker(
+        failure_threshold=threshold, reset_timeout=reset, clock=clock, **kwargs
+    )
+    return breaker, clock
+
+
+def boom():
+    raise OSError("dependency down")
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        breaker, _clock = make_breaker()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker, _clock = make_breaker(threshold=3)
+        for _ in range(3):
+            with pytest.raises(OSError):
+                breaker.call(boom)
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_failure_count(self):
+        breaker, _clock = make_breaker(threshold=3)
+        for _ in range(2):
+            with pytest.raises(OSError):
+                breaker.call(boom)
+        breaker.call(lambda: "ok")
+        for _ in range(2):
+            with pytest.raises(OSError):
+                breaker.call(boom)
+        assert breaker.state == CLOSED  # never hit 3 consecutive
+
+    def test_open_short_circuits_with_error_or_fallback(self):
+        breaker, _clock = make_breaker(threshold=1)
+        with pytest.raises(OSError):
+            breaker.call(boom)
+        with pytest.raises(CircuitOpenError):
+            breaker.call(lambda: "never runs")
+        assert breaker.call(lambda: "never runs", fallback=lambda: "mirror") == "mirror"
+
+    def test_half_open_after_reset_timeout(self):
+        breaker, clock = make_breaker(threshold=1, reset=10.0)
+        with pytest.raises(OSError):
+            breaker.call(boom)
+        assert breaker.state == OPEN
+        clock.advance(10.0)
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_probe_success_closes(self):
+        breaker, clock = make_breaker(threshold=1, reset=10.0)
+        with pytest.raises(OSError):
+            breaker.call(boom)
+        clock.advance(10.0)
+        assert breaker.call(lambda: "recovered") == "recovered"
+        assert breaker.state == CLOSED
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker, clock = make_breaker(threshold=1, reset=10.0)
+        with pytest.raises(OSError):
+            breaker.call(boom)
+        clock.advance(10.0)
+        with pytest.raises(OSError):
+            breaker.call(boom)
+        assert breaker.state == OPEN
+        # and the open window restarted at the probe failure
+        clock.advance(5.0)
+        assert breaker.state == OPEN
+
+    def test_half_open_limits_concurrent_probes(self):
+        breaker, clock = make_breaker(threshold=1, reset=10.0, half_open_max=1)
+        with pytest.raises(OSError):
+            breaker.call(boom)
+        clock.advance(10.0)
+        assert breaker.allow()  # the single probe slot
+        assert not breaker.allow()  # everyone else still short-circuits
+
+    def test_validation(self):
+        with pytest.raises(ResilienceError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ResilienceError):
+            CircuitBreaker(reset_timeout=0.0)
+        with pytest.raises(ResilienceError):
+            CircuitBreaker(half_open_max=0)
+
+
+class TestMetrics:
+    def test_state_gauge_and_transition_counter(self):
+        recorder = obs.enable(obs.Recorder())
+        try:
+            breaker, clock = make_breaker(threshold=1, reset=10.0)
+            breaker.name = "unit"
+            with pytest.raises(OSError):
+                breaker.call(boom)
+            clock.advance(10.0)
+            breaker.call(lambda: "ok")
+        finally:
+            obs.disable()
+        assert any(k.name == "resilience.breaker.state" for k in recorder.gauges)
+        # closed -> open -> half_open -> closed: three transitions
+        total = recorder.counter_total("resilience.breaker.transitions")
+        assert total == 3

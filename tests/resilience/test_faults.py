@@ -1,0 +1,109 @@
+"""The fault-injection registry: matching, budgets, actions, scoping."""
+
+import pytest
+
+from repro import obs
+from repro.resilience import faults
+from repro.util.errors import InjectedFault, ResilienceError
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    faults.disarm()
+    yield
+    faults.disarm()
+
+
+class TestArming:
+    def test_unarmed_site_is_noop(self):
+        assert faults.check("nowhere", anything=1) is None
+        assert not faults.armed("nowhere")
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ResilienceError, match="unknown fault action"):
+            faults.arm("site", "explode")
+
+    def test_disarm_site_and_all(self):
+        faults.arm("a", "drop")
+        faults.arm("b", "drop")
+        assert faults.armed("a") and faults.armed("b")
+        faults.disarm("a")
+        assert not faults.armed("a") and faults.armed("b")
+        faults.disarm()
+        assert not faults.armed()
+
+
+class TestFiring:
+    def test_raise_action_raises_injected_fault(self):
+        faults.arm("site", "raise", message="boom")
+        with pytest.raises(InjectedFault, match="boom"):
+            faults.check("site")
+
+    def test_times_budget(self):
+        fault = faults.arm("site", "raise", times=2)
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                faults.check("site")
+        assert faults.check("site") is None  # exhausted
+        assert fault.fired == 2
+
+    def test_after_skips_initial_visits(self):
+        faults.arm("site", "raise", after=2)
+        assert faults.check("site") is None
+        assert faults.check("site") is None
+        with pytest.raises(InjectedFault):
+            faults.check("site")
+
+    def test_match_predicate_filters_labels(self):
+        fault = faults.arm("site", "drop", match={"client": 1})
+        assert faults.check("site", client=0) is None
+        assert faults.check("site", client=1) is fault
+        # missing label does not match either
+        assert faults.check("site") is None
+
+    def test_drop_and_corrupt_are_returned_not_acted(self):
+        faults.arm("site", "drop")
+        fired = faults.check("site")
+        assert fired is not None and fired.action == "drop"
+
+    def test_delay_action_sleeps_then_continues(self):
+        import time
+
+        faults.arm("site", "delay", delay_seconds=0.01)
+        t0 = time.perf_counter()
+        fired = faults.check("site")
+        assert fired is not None and fired.action == "delay"
+        assert time.perf_counter() - t0 >= 0.01
+
+    def test_unlimited_times(self):
+        faults.arm("site", "drop", times=0)
+        for _ in range(5):
+            assert faults.check("site") is not None
+
+
+class TestScoping:
+    def test_injected_context_manager_restores(self):
+        outer = faults.arm("site", "drop", match={"k": 1})
+        with faults.injected("site", "drop", match={"k": 2}):
+            assert faults.check("site", k=2) is not None
+        assert faults.check("site", k=2) is None
+        assert faults.check("site", k=1) is outer
+
+    def test_fired_counter_metric(self):
+        recorder = obs.enable(obs.Recorder())
+        try:
+            faults.arm("site", "drop")
+            faults.check("site")
+        finally:
+            obs.disable()
+        assert (
+            recorder.counter_value(
+                "resilience.faults.fired", site="site", action="drop"
+            )
+            == 1
+        )
+
+    def test_iter_faults_snapshot(self):
+        faults.arm("a", "drop")
+        faults.arm("b", "raise")
+        assert sorted(f.site for f in faults.iter_faults()) == ["a", "b"]

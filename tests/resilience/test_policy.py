@@ -1,0 +1,144 @@
+"""RetryPolicy: deterministic backoff, attempt/deadline budgets, metrics."""
+
+import pytest
+
+from repro import obs
+from repro.resilience import FAIL_FAST, RetryPolicy
+from repro.util.errors import ResilienceError
+
+
+class TestBackoffSchedule:
+    def test_delays_are_deterministic(self):
+        a = RetryPolicy(max_attempts=5, seed="x")
+        b = RetryPolicy(max_attempts=5, seed="x")
+        assert a.delays() == b.delays()
+
+    def test_seed_decorrelates_jitter(self):
+        a = RetryPolicy(max_attempts=5, seed="x")
+        b = RetryPolicy(max_attempts=5, seed="y")
+        assert a.delays() != b.delays()
+        assert a.with_seed("y").delays() == b.delays()
+
+    def test_exponential_growth_and_ceiling(self):
+        p = RetryPolicy(
+            max_attempts=6, base_delay=0.1, multiplier=2.0, max_delay=0.4, jitter=0.0
+        )
+        assert p.delays() == (0.1, 0.2, 0.4, 0.4, 0.4)
+
+    def test_jitter_bounded(self):
+        p = RetryPolicy(max_attempts=10, base_delay=1.0, multiplier=1.0, jitter=0.25)
+        for delay in p.delays():
+            assert 0.75 <= delay <= 1.25
+
+    def test_validation(self):
+        with pytest.raises(ResilienceError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ResilienceError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ResilienceError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ResilienceError):
+            RetryPolicy(deadline=0.0)
+
+
+class TestRun:
+    def test_succeeds_after_transient_failures(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("transient")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=4, base_delay=0.0, jitter=0.0)
+        assert policy.run(flaky, retry_on=(OSError,), sleep=lambda s: None) == "ok"
+        assert calls["n"] == 3
+
+    def test_attempt_budget_exhausted_reraises(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+        calls = {"n": 0}
+
+        def always_fails():
+            calls["n"] += 1
+            raise OSError("permanent")
+
+        with pytest.raises(OSError, match="permanent"):
+            policy.run(always_fails, retry_on=(OSError,), sleep=lambda s: None)
+        assert calls["n"] == 3
+
+    def test_non_retryable_exception_escapes_immediately(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.0, jitter=0.0)
+        calls = {"n": 0}
+
+        def wrong_kind():
+            calls["n"] += 1
+            raise ValueError("not retryable")
+
+        with pytest.raises(ValueError):
+            policy.run(wrong_kind, retry_on=(OSError,), sleep=lambda s: None)
+        assert calls["n"] == 1
+
+    def test_deadline_stops_retrying(self):
+        # backoff of 10s exceeds the 0.05s budget: exactly one attempt
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=10.0, jitter=0.0, deadline=0.05
+        )
+        calls = {"n": 0}
+
+        def always_fails():
+            calls["n"] += 1
+            raise OSError("x")
+
+        with pytest.raises(OSError):
+            policy.run(always_fails, retry_on=(OSError,), sleep=lambda s: None)
+        assert calls["n"] == 1
+
+    def test_on_retry_hook_sees_schedule(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.5, jitter=0.0)
+        seen = []
+
+        def always_fails():
+            raise OSError("x")
+
+        with pytest.raises(OSError):
+            policy.run(
+                always_fails,
+                retry_on=(OSError,),
+                sleep=lambda s: None,
+                on_retry=lambda attempt, exc, delay: seen.append((attempt, delay)),
+            )
+        assert seen == [(0, 0.5), (1, 1.0)]
+
+    def test_fail_fast_policy_never_retries(self):
+        calls = {"n": 0}
+
+        def always_fails():
+            calls["n"] += 1
+            raise OSError("x")
+
+        with pytest.raises(OSError):
+            FAIL_FAST.run(always_fails, retry_on=(OSError,), sleep=lambda s: None)
+        assert calls["n"] == 1
+
+
+class TestMetrics:
+    def test_retry_counters_and_recovery_histogram(self):
+        recorder = obs.enable(obs.Recorder())
+        try:
+            calls = {"n": 0}
+
+            def flaky():
+                calls["n"] += 1
+                if calls["n"] < 3:
+                    raise OSError("transient")
+                return "ok"
+
+            policy = RetryPolicy(max_attempts=5, base_delay=0.0, jitter=0.0)
+            policy.run(flaky, retry_on=(OSError,), label="unit", sleep=lambda s: None)
+        finally:
+            obs.disable()
+        assert recorder.counter_value("resilience.retries", site="unit") == 2
+        names = {k.name for k in recorder.histograms}
+        assert "resilience.retry.delay" in names
+        assert "resilience.recovery.seconds" in names

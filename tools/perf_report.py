@@ -23,12 +23,21 @@ the result — timings, speedups, ``parallel.tiles`` counters and tile
 spans — is written to ``BENCH_parallel.json``.  Speedup floors are
 only enforced when the machine actually has >= 4 usable cores.
 
+``--resilience`` runs the fault-tolerance scenarios instead: a kernel
+pool losing a worker mid-run (tiles retried on a replacement), and a
+hyperwall frame losing a client (cell reassigned to a survivor, or
+served degraded from the mirror).  Recovery latencies, retry/degraded
+counters and the injected-fault counts are written to
+``BENCH_resilience.json``, with the recovery signals validated the
+same way the other artifacts are.
+
 Usage::
 
     PYTHONPATH=src python tools/perf_report.py            # full sizes
     PYTHONPATH=src python tools/perf_report.py --quick    # CI sizes
     PYTHONPATH=src python tools/perf_report.py --out path.json --summary
     PYTHONPATH=src python tools/perf_report.py --parallel # BENCH_parallel.json
+    PYTHONPATH=src python tools/perf_report.py --resilience
 """
 
 from __future__ import annotations
@@ -273,6 +282,150 @@ def parallel_report(sizes: Dict[str, Any], repeats: int = 3) -> Dict[str, Any]:
             "recorder": recorder.to_dict()}
 
 
+# -- resilience ablation (--resilience) --------------------------------------
+
+
+def _resilience_tile(payload, task):
+    """Module-level tile fn (forked workers must be able to run it)."""
+    start, stop = task
+    return [payload * i * i for i in range(start, stop)]
+
+
+def _pool_recovery_case() -> Dict[str, Any]:
+    """Kernel pool losing a worker mid-run: clean vs recovered timings."""
+    from repro.parallel import run_tiles
+    from repro.resilience import faults
+
+    tasks = [(i, i + 2) for i in range(8)]
+    config = ParallelConfig(workers=2, min_items=1, timeout=600.0, respawn_budget=2)
+    t0 = time.perf_counter()
+    clean = run_tiles(config, _resilience_tile, tasks, payload=3, label="resilience")
+    clean_s = time.perf_counter() - t0
+    faults.arm("parallel.tile", "exit", match={"tile": 2, "attempt": 0})
+    try:
+        t0 = time.perf_counter()
+        recovered = run_tiles(
+            config, _resilience_tile, tasks, payload=3, label="resilience"
+        )
+        recovered_s = time.perf_counter() - t0
+    finally:
+        faults.disarm()
+    return {
+        "clean_s": clean_s,
+        "worker_killed_s": recovered_s,
+        "recovery_overhead_s": recovered_s - clean_s,
+        "identical": clean == recovered,
+    }
+
+
+def _wall_failover_case(
+    sizes: Dict[str, Any], failover: str, drop_client: int = None
+) -> Dict[str, Any]:
+    """One threaded hyperwall frame; optionally with a client dropped."""
+    import threading
+
+    from repro.hyperwall.client import HyperwallClient
+    from repro.hyperwall.display import WallGeometry
+    from repro.hyperwall.server import HyperwallServer
+    from repro.resilience import RetryPolicy, faults
+
+    n_cells = sizes["cells"]
+    cell_w, cell_h = sizes["cell_size"]
+    workflow = build_workflow(sizes["dataset"], n_cells, sizes["cell_size"])
+    wall = WallGeometry(columns=n_cells, rows=1, tile_width=cell_w, tile_height=cell_h)
+    if drop_client is not None:
+        faults.arm("hyperwall.server.recv", "drop", match={"client": drop_client})
+    server = HyperwallServer(
+        workflow, wall=wall, reduction=4, failover=failover,
+        retry=RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0),
+    )
+    threads = []
+    try:
+        for cid in range(n_cells):
+            client = HyperwallClient(server.host, server.port, cid)
+            client.connect()
+            thread = threading.Thread(target=client.run, daemon=True)
+            thread.start()
+            threads.append(thread)
+        server.accept_clients(n_cells)
+        server.distribute_workflows()
+        server.execute_server()
+        t0 = time.perf_counter()
+        reports = server.execute_clients()
+        frame_s = time.perf_counter() - t0
+    finally:
+        faults.disarm()
+        server.shutdown()
+        for thread in threads:
+            thread.join(5.0)
+    statuses = sorted(r["status"] for r in reports)
+    return {"frame_s": frame_s, "cells": len(reports), "statuses": statuses}
+
+
+def resilience_report(sizes: Dict[str, Any]) -> Dict[str, Any]:
+    """Run the recovery scenarios under one recorder; returns sections."""
+    from repro.resilience import RetryPolicy
+
+    recorder = obs.Recorder()
+    cases: Dict[str, Any] = {}
+    with obs.recording(recorder):
+        cases["kernel_pool"] = _pool_recovery_case()
+        cases["wall_baseline"] = _wall_failover_case(sizes, "reassign")
+        cases["wall_reassign"] = _wall_failover_case(sizes, "reassign", drop_client=1)
+        cases["wall_degrade"] = _wall_failover_case(sizes, "degrade", drop_client=1)
+    cases["retry_schedule_s"] = list(
+        RetryPolicy(max_attempts=5, base_delay=0.05, seed="perf-report").delays()
+    )
+    for name in ("kernel_pool", "wall_baseline", "wall_reassign", "wall_degrade"):
+        print(f"  case {name:<14} {cases[name]}")
+    return {
+        "resilience": cases,
+        "aggregates": aggregate(recorder),
+        "recorder": recorder.to_dict(),
+    }
+
+
+def run_resilience_mode(args, sizes: Dict[str, Any]) -> int:
+    """``--resilience``: time recovery paths, write BENCH_resilience.json."""
+    start = time.perf_counter()
+    sections = resilience_report(sizes)
+    wall = time.perf_counter() - start
+    payload = {
+        "meta": {
+            "tool": "perf_report",
+            "mode": ("quick" if args.quick else "full") + "-resilience",
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cores": _usable_cores(),
+            "wall_s": wall,
+        },
+    }
+    payload.update(sections)
+    out = Path(args.out or "BENCH_resilience.json")
+    out.write_text(json.dumps(payload, indent=1, sort_keys=True))
+    print(f"wrote {out} ({out.stat().st_size} bytes, {wall:.2f}s total)")
+
+    problems = []
+    cases = sections["resilience"]
+    if not cases["kernel_pool"]["identical"]:
+        problems.append("kernel pool recovery was not bitwise identical")
+    if cases["wall_reassign"]["statuses"].count("live") != sizes["cells"] - 1:
+        problems.append("reassign case did not keep the surviving cells live")
+    if "degraded" not in cases["wall_degrade"]["statuses"]:
+        problems.append("degrade case produced no degraded cell")
+    counters = sections["aggregates"]["counters"]
+    for counter in ("resilience.faults.fired", "resilience.retries",
+                    "resilience.degraded", "hyperwall.clients.lost"):
+        if counters.get(counter, 0) <= 0:
+            problems.append(f"missing counter {counter}")
+    if "resilience.recovery.seconds" not in sections["aggregates"]["histograms"]:
+        problems.append("missing resilience.recovery.seconds histogram")
+    if problems:
+        print(f"ERROR: resilience artifact failed validation: {problems}")
+        return 1
+    return 0
+
+
 # -- aggregation -------------------------------------------------------------
 
 
@@ -291,7 +444,15 @@ def aggregate(recorder: obs.Recorder) -> Dict[str, Any]:
     counters: Dict[str, float] = {}
     for key, value in recorder.counters.items():
         counters[key.name] = counters.get(key.name, 0.0) + value
-    return {"spans": spans, "counters": counters}
+    histograms: Dict[str, Dict[str, float]] = {}
+    for key, data in recorder.histograms.items():
+        agg = histograms.setdefault(
+            key.name, {"count": 0, "total": 0.0, "max": 0.0}
+        )
+        agg["count"] += data.count
+        agg["total"] += data.total
+        agg["max"] = max(agg["max"], data.max)
+    return {"spans": spans, "counters": counters, "histograms": histograms}
 
 
 def run_parallel_mode(args, sizes: Dict[str, Any]) -> int:
@@ -358,11 +519,17 @@ def main(argv=None) -> int:
         "--parallel", action="store_true",
         help="run the kernel-pool ablation (serial vs 4 workers) instead",
     )
+    parser.add_argument(
+        "--resilience", action="store_true",
+        help="run the fault-tolerance recovery scenarios instead",
+    )
     args = parser.parse_args(argv)
     sizes = SIZES["quick" if args.quick else "full"]
 
     if args.parallel:
         return run_parallel_mode(args, sizes)
+    if args.resilience:
+        return run_resilience_mode(args, sizes)
 
     args.out = args.out or "BENCH_obs.json"
     recorder = obs.Recorder()
