@@ -1,0 +1,73 @@
+"""Provenance-keyed result caching for the pipeline hot paths.
+
+UV-CDAT's promise is provenance-tracked exploration: a pipeline spec
+deterministically yields its products, which is exactly what makes
+memoization safe.  This package supplies the machinery:
+
+* :mod:`repro.cache.keys` — canonical content hashing (numpy arrays,
+  grids, variables, scenes, plot specs) that is stable across
+  processes and sensitive to every representational change;
+* :mod:`repro.cache.store` — a two-tier store (in-memory LRU + an
+  on-disk tier shared between processes via atomic renames) with
+  size/TTL bounds and full :mod:`repro.obs` instrumentation;
+* :mod:`repro.cache.config` — an ambient :class:`CacheConfig` scope
+  mirroring :mod:`repro.parallel`.
+
+Consumers (all opt-in through the ambient config):
+
+* :class:`~repro.workflow.executor.Executor` memoizes module outputs
+  by signature across executor instances and processes, and serves
+  cached results for branches blocked by an upstream failure under
+  ``continue_independent``;
+* :class:`~repro.rendering.scene.Renderer` memoizes whole frames by
+  (scene, camera, size) digest — every DV3D plot type and hyperwall
+  cell rides on this;
+* :func:`~repro.cdms.regrid.regrid_bilinear` /
+  :func:`~repro.cdms.regrid.regrid_conservative` memoize regrid
+  products by (variable, target grid, scheme, parallel-tiling) digest.
+
+Usage::
+
+    from repro import cache
+
+    cache.configure(memory_entries=512, disk_bytes=1 << 30,
+                    path="/tmp/repro-cache")
+    plot.render(800, 600)      # cold: rendered and stored
+    plot.render(800, 600)      # warm: served byte-identical from cache
+    print(cache.get_cache().stats())
+"""
+
+from repro.cache.config import (
+    CacheConfig,
+    configure,
+    default_cache_dir,
+    get_config,
+    set_config,
+    use_config,
+)
+from repro.cache.keys import CODE_SALT, cache_key, digest, scene_digest
+from repro.cache.store import (
+    DiskTier,
+    MemoryTier,
+    ResultCache,
+    get_cache,
+    reset_cache,
+)
+
+__all__ = [
+    "CODE_SALT",
+    "CacheConfig",
+    "DiskTier",
+    "MemoryTier",
+    "ResultCache",
+    "cache_key",
+    "configure",
+    "default_cache_dir",
+    "digest",
+    "get_cache",
+    "get_config",
+    "reset_cache",
+    "scene_digest",
+    "set_config",
+    "use_config",
+]

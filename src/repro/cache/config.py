@@ -1,0 +1,135 @@
+"""Configuration for the provenance-keyed result cache.
+
+A :class:`CacheConfig` describes the two cache tiers: an in-memory LRU
+(bounded by entry count) and an on-disk store (bounded by total bytes,
+shared between processes through atomic file renames).  Caching is
+strictly **opt-in**: the ambient default config is disabled, so every
+hot path behaves exactly as the seed until an application calls
+:func:`configure` (or installs a config with :func:`use_config`).
+
+The ambient default (:func:`get_config` / :func:`set_config` /
+:func:`use_config`) mirrors :mod:`repro.parallel.config`: the executor,
+the renderer's frame cache and the regrid operators all consult it when
+no explicit config is passed, so whole pipelines pick up memoization
+without any per-module plumbing.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.util.errors import CacheError
+
+#: environment override for the default disk-tier location (the test
+#: suite points this at a per-test tmp dir so no test can leak entries
+#: into the shared path)
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> str:
+    """The disk-tier root used when a config does not name one."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return env
+    return str(Path.home() / ".cache" / "repro")
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Size/TTL bounds and location of the two cache tiers.
+
+    Parameters
+    ----------
+    enabled:
+        Master switch; a disabled config turns every lookup into a
+        miss-without-store (the ambient default).
+    memory_entries:
+        In-memory LRU capacity in entries (0 disables the tier).
+    disk_bytes:
+        On-disk budget in bytes; exceeding it evicts the stalest
+        entries (0 disables the tier).
+    ttl_seconds:
+        Entry lifetime; 0 means entries never expire.  Applied per
+        tier (memory: insertion time, disk: file mtime).
+    path:
+        Disk-tier root directory.  ``None`` resolves through the
+        ``REPRO_CACHE_DIR`` environment variable, then the per-user
+        default (``~/.cache/repro``).
+    use_disk:
+        Whether the disk tier participates at all (``False`` keeps the
+        cache purely in-process).
+    salt:
+        Extra key salt.  The code-version salt
+        (:data:`repro.__version__`) is always mixed in; this adds an
+        application-level generation so deployments can invalidate
+        every entry at once by bumping it.
+    """
+
+    enabled: bool = True
+    memory_entries: int = 256
+    disk_bytes: int = 512 * 1024 * 1024
+    ttl_seconds: float = 0.0
+    path: Optional[str] = None
+    use_disk: bool = True
+    salt: str = ""
+
+    def __post_init__(self) -> None:
+        if self.memory_entries < 0:
+            raise CacheError(f"memory_entries must be >= 0, got {self.memory_entries}")
+        if self.disk_bytes < 0:
+            raise CacheError(f"disk_bytes must be >= 0, got {self.disk_bytes}")
+        if self.ttl_seconds < 0:
+            raise CacheError(f"ttl_seconds must be >= 0, got {self.ttl_seconds}")
+
+    def resolved_path(self) -> str:
+        """The disk-tier root this config writes to."""
+        return self.path or default_cache_dir()
+
+    @property
+    def wants_memory(self) -> bool:
+        return self.enabled and self.memory_entries > 0
+
+    @property
+    def wants_disk(self) -> bool:
+        return self.enabled and self.use_disk and self.disk_bytes > 0
+
+
+#: the ambient default — caching off unless the application opts in
+_DEFAULT = CacheConfig(enabled=False)
+
+
+def get_config() -> CacheConfig:
+    """The ambient config consulted by hot paths when none is passed."""
+    return _DEFAULT
+
+
+def set_config(config: CacheConfig) -> CacheConfig:
+    """Install *config* as the ambient default; returns the previous one."""
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = config
+    return previous
+
+
+def configure(**kwargs) -> CacheConfig:
+    """Build a :class:`CacheConfig` and install it as the default."""
+    config = CacheConfig(**kwargs)
+    set_config(config)
+    return config
+
+
+@contextmanager
+def use_config(config: Optional[CacheConfig]) -> Iterator[CacheConfig]:
+    """Temporarily install *config* as the ambient default (None = no-op)."""
+    if config is None:
+        yield get_config()
+        return
+    previous = set_config(config)
+    try:
+        yield config
+    finally:
+        set_config(previous)

@@ -1,0 +1,245 @@
+"""Canonical content hashing for cache keys.
+
+Every value that can flow through a pipeline hot path — numpy arrays
+(masked or not, any layout), CDMS axes/grids/variables, image-data
+volumes, cameras, transfer functions, scenes — maps to a deterministic
+SHA-256 digest with these properties:
+
+* **stability** — equal values produce equal digests in every process
+  and on every platform: no ``id()``, no ``hash()`` (which is salted
+  per process for strings), no dict iteration order (entries are
+  sorted by their key's digest), no memory-layout dependence
+  (non-contiguous arrays are normalised to C order before hashing);
+* **sensitivity** — any representational difference that can change a
+  computed result changes the digest: dtype and byte order (hashed via
+  ``dtype.str``, so ``<f8`` vs ``>f8`` differ), shape, mask, NaN
+  payloads (hashed as raw IEEE-754 bits, so NaN-bearing arrays hash
+  deterministically and differently from any finite payload);
+* **no silent fallback** — an unhashable value raises
+  :class:`~repro.util.errors.CacheError` instead of hashing its
+  ``repr`` and colliding later.
+
+Keys built from these digests (:func:`cache_key`) are additionally
+salted with the package version, so upgrading the code invalidates
+every entry produced by older kernels.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Any, Iterable
+
+import numpy as np
+
+import repro
+from repro.cache.config import get_config
+from repro.util.errors import CacheError
+
+#: code-version salt mixed into every key — bump on release, every
+#: cached artifact of older kernels misses
+CODE_SALT = f"repro-{repro.__version__}"
+
+
+def _raw(h, payload: bytes) -> None:
+    # length-prefix every variable-size chunk so adjacent fields can
+    # never alias (b"ab"+b"c" vs b"a"+b"bc")
+    h.update(struct.pack("<Q", len(payload)))
+    h.update(payload)
+
+
+def _tag(h, tag: bytes) -> None:
+    h.update(tag)
+
+
+def _update_array(h, arr: np.ndarray) -> None:
+    _tag(h, b"A")
+    _raw(h, arr.dtype.str.encode("ascii"))
+    _raw(h, repr(arr.shape).encode("ascii"))
+    _raw(h, np.ascontiguousarray(arr).tobytes())
+
+
+def _update_masked(h, arr: np.ma.MaskedArray) -> None:
+    _tag(h, b"M")
+    mask = np.ma.getmaskarray(arr)
+    # zero out masked payload bytes so two arrays that differ only at
+    # masked positions (equal values) hash equally
+    data = np.ascontiguousarray(arr.filled(0))
+    _update_array(h, data)
+    _update_array(h, mask)
+
+
+def _update_mapping(h, obj: dict) -> None:
+    _tag(h, b"D")
+    entries = sorted((digest(k), digest(v)) for k, v in obj.items())
+    for key_digest, value_digest in entries:
+        _raw(h, key_digest.encode("ascii"))
+        _raw(h, value_digest.encode("ascii"))
+
+
+def _update_sequence(h, obj: Iterable[Any]) -> None:
+    _tag(h, b"L")
+    for item in obj:
+        _update(h, item)
+
+
+def _update(h, obj: Any) -> None:  # noqa: PLR0911 - a type dispatch table
+    if obj is None:
+        _tag(h, b"N")
+        return
+    if isinstance(obj, bool):
+        _tag(h, b"T" if obj else b"F")
+        return
+    if isinstance(obj, (int, np.integer)):
+        _tag(h, b"I")
+        _raw(h, repr(int(obj)).encode("ascii"))
+        return
+    if isinstance(obj, (float, np.floating)):
+        # raw IEEE bits: NaN payloads, signed zeros and subnormals all
+        # hash deterministically
+        _tag(h, b"f")
+        h.update(struct.pack("<d", float(obj)))
+        return
+    if isinstance(obj, str):
+        _tag(h, b"S")
+        _raw(h, obj.encode("utf-8"))
+        return
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        _tag(h, b"B")
+        _raw(h, bytes(obj))
+        return
+    if isinstance(obj, np.ma.MaskedArray):
+        _update_masked(h, obj)
+        return
+    if isinstance(obj, np.ndarray):
+        _update_array(h, obj)
+        return
+    if isinstance(obj, dict):
+        _update_mapping(h, obj)
+        return
+    if isinstance(obj, (list, tuple)):
+        _update_sequence(h, obj)
+        return
+    if isinstance(obj, (set, frozenset)):
+        _tag(h, b"E")
+        for item_digest in sorted(digest(item) for item in obj):
+            _raw(h, item_digest.encode("ascii"))
+        return
+    if _update_known(h, obj):
+        return
+    raise CacheError(
+        f"cannot canonically hash {type(obj).__module__}.{type(obj).__qualname__}"
+    )
+
+
+def _update_known(h, obj: Any) -> bool:
+    """Hash the domain types; returns False for unknown objects."""
+    from repro.cdms.axis import Axis
+    from repro.cdms.grid import RectilinearGrid
+    from repro.cdms.variable import Variable
+    from repro.rendering.camera import Camera
+    from repro.rendering.colormap import Colormap
+    from repro.rendering.framebuffer import Framebuffer
+    from repro.rendering.geometry import PolyData
+    from repro.rendering.image_data import ImageData
+    from repro.rendering.transfer_function import TransferFunction
+
+    if isinstance(obj, Axis):
+        # gen_bounds (not get_bounds): it returns explicit bounds when
+        # set — sensitivity preserved — but is a pure function of the
+        # values otherwise, so its lazy caching cannot flip the digest
+        _tag(h, b"x")
+        _update_sequence(
+            h,
+            (obj.id, obj.units, obj.calendar.name, obj.values,
+             obj.attributes, obj.gen_bounds()),
+        )
+        return True
+    if isinstance(obj, RectilinearGrid):
+        _tag(h, b"g")
+        _update_sequence(h, (obj.latitude, obj.longitude))
+        return True
+    if isinstance(obj, Variable):
+        _tag(h, b"v")
+        _update_sequence(
+            h,
+            (obj.id, obj.missing_value, obj.attributes, list(obj.axes), obj.data),
+        )
+        return True
+    if isinstance(obj, ImageData):
+        _tag(h, b"i")
+        _update_sequence(h, (obj.dimensions, obj.origin, obj.spacing))
+        _update_mapping(h, {name: obj.get_array(name) for name in obj.array_names})
+        _update(h, obj._active_scalars)
+        return True
+    if isinstance(obj, PolyData):
+        _tag(h, b"p")
+        _update_sequence(
+            h, (obj.points, obj.triangles, list(obj.lines), obj.scalars, obj.colors)
+        )
+        return True
+    if isinstance(obj, (Camera, TransferFunction, Colormap)):
+        _tag(h, b"s")
+        _raw(h, type(obj).__name__.encode("ascii"))
+        _update_mapping(h, obj.state())
+        return True
+    if isinstance(obj, Framebuffer):
+        _tag(h, b"b")
+        _update_sequence(h, (obj.width, obj.height, obj.background, obj.color, obj.depth))
+        return True
+    return False
+
+
+def digest(obj: Any) -> str:
+    """Canonical SHA-256 hex digest of *obj* (see module docstring)."""
+    h = hashlib.sha256()
+    _update(h, obj)
+    return h.hexdigest()
+
+
+def cache_key(site: str, *parts: Any, salt: str | None = None) -> str:
+    """A cache key for *site* derived from the digests of *parts*.
+
+    The key mixes in :data:`CODE_SALT` plus the ambient config's
+    application salt (overridable via *salt*), so a version bump or a
+    deployment-level generation change invalidates everything at once.
+    """
+    h = hashlib.sha256()
+    _raw(h, site.encode("utf-8"))
+    _raw(h, CODE_SALT.encode("utf-8"))
+    _raw(h, (salt if salt is not None else get_config().salt).encode("utf-8"))
+    for part in parts:
+        _update(h, part)
+    return h.hexdigest()
+
+
+def scene_digest(scene) -> str:
+    """Canonical digest of a :class:`~repro.rendering.scene.Scene`.
+
+    Covers everything the renderer reads: background, lights, geometry
+    actors (points/topology/display properties) and volume actors
+    (volume arrays + transfer-function state + sampling controls), in
+    draw order.  Two scenes with equal digests rasterize and raycast to
+    byte-identical framebuffers for a given camera and size.
+    """
+    h = hashlib.sha256()
+    _tag(h, b"scene")
+    _update(h, tuple(scene.background))
+    _update_sequence(
+        h,
+        ((tuple(light.direction), light.intensity) for light in scene.lights),
+    )
+    for actor in scene.actors:
+        _update_sequence(
+            h,
+            (actor.visible, actor.poly, tuple(actor.color),
+             None if actor.line_color is None else tuple(actor.line_color),
+             actor.lighting, actor.point_size),
+        )
+    for vactor in scene.volume_actors:
+        _update_sequence(
+            h,
+            (vactor.visible, vactor.volume, vactor.transfer,
+             vactor.array_name, vactor.step_size, vactor.lighting),
+        )
+    return h.hexdigest()

@@ -1,0 +1,336 @@
+"""The two-tier result store: in-memory LRU over an on-disk cache.
+
+**Memory tier** — a thread-safe LRU bounded by entry count; hits cost a
+dict lookup and return the stored object itself (module outputs are
+shared-immutable by the executor contract; mutable render products are
+copied by their call sites).
+
+**Disk tier** — one pickle file per key under a two-level fan-out
+directory, shared safely between processes:
+
+* writes go to a private temp file (written, flushed, fsynced) and are
+  published with :func:`os.replace` — an atomic rename, so concurrent
+  writers of the same key race harmlessly (last published wins, readers
+  never observe a torn file) and a writer killed mid-write leaves only
+  a stale temp file, never a corrupt entry;
+* reads open the final path and read it to EOF before unpickling; on
+  POSIX an entry evicted mid-read stays readable through the open file
+  descriptor, so eviction under size pressure never breaks a reader;
+* undecodable entries (version skew, truncation from non-POSIX
+  surprises) are deleted and reported as misses — the cache degrades,
+  it never fails the computation it memoizes.
+
+Every lookup/store emits ``cache.hits`` / ``cache.misses`` /
+``cache.evictions`` counters (labelled by call site and tier) and
+``cache.lookup.seconds`` / ``cache.store.seconds`` histograms through
+:mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import threading
+import time
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from repro import obs
+from repro.cache.config import CacheConfig, get_config
+
+#: prefix of in-flight temp files (ignored by scans, reaped when stale)
+TMP_PREFIX = ".tmp-"
+#: temp files older than this are debris from killed writers
+STALE_TMP_SECONDS = 300.0
+#: pickle errors that mean "corrupt or incompatible entry", not a bug
+_DECODE_ERRORS = (
+    pickle.UnpicklingError, EOFError, AttributeError, ImportError,
+    IndexError, MemoryError, ValueError, TypeError,
+)
+
+
+def _fsync(fd: int) -> None:
+    """Module-level so crash tests can intercept the pre-publish sync."""
+    os.fsync(fd)
+
+
+class MemoryTier:
+    """A thread-safe LRU of at most *capacity* entries."""
+
+    def __init__(self, capacity: int, ttl_seconds: float = 0.0, clock=time.time) -> None:
+        self.capacity = int(capacity)
+        self.ttl_seconds = float(ttl_seconds)
+        self._clock = clock
+        self._entries: "OrderedDict[str, Tuple[float, Any]]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return False, None
+            stored_at, value = entry
+            if self.ttl_seconds and self._clock() - stored_at > self.ttl_seconds:
+                del self._entries[key]
+                return False, None
+            self._entries.move_to_end(key)
+            return True, value
+
+    def put(self, key: str, value: Any) -> int:
+        """Store *value*; returns how many entries were evicted."""
+        evicted = 0
+        with self._lock:
+            self._entries[key] = (self._clock(), value)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                evicted += 1
+        return evicted
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+class DiskTier:
+    """The process-shared pickle-file tier (see module docstring)."""
+
+    def __init__(
+        self,
+        root: str,
+        max_bytes: int,
+        ttl_seconds: float = 0.0,
+        clock=time.time,
+    ) -> None:
+        self.root = Path(root)
+        self.max_bytes = int(max_bytes)
+        self.ttl_seconds = float(ttl_seconds)
+        self._clock = clock
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def entries(self) -> Iterable[Path]:
+        yield from self.root.glob("??/*.pkl")
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.entries())
+
+    def size_bytes(self) -> int:
+        total = 0
+        for path in self.entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    # -- lookup ------------------------------------------------------------
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        path = self._path(key)
+        try:
+            handle = open(path, "rb")
+        except OSError:
+            return False, None
+        try:
+            with handle:
+                if self.ttl_seconds:
+                    mtime = os.fstat(handle.fileno()).st_mtime
+                    if self._clock() - mtime > self.ttl_seconds:
+                        self._discard(path)
+                        return False, None
+                payload = handle.read()
+            value = pickle.loads(payload)
+        except _DECODE_ERRORS:
+            # torn or incompatible entry: drop it, report a miss
+            obs.counter("cache.corrupt", tier="disk")
+            self._discard(path)
+            return False, None
+        except OSError:
+            return False, None
+        return True, value
+
+    def _discard(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    # -- store -------------------------------------------------------------
+
+    def put(self, key: str, value: Any) -> int:
+        """Atomically publish *value* under *key*; returns evictions.
+
+        Never raises on I/O failure — a cache that cannot store is a
+        cache that misses.  Unpicklable values are skipped the same way
+        (the memory tier still serves them within the process).
+        """
+        try:
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except (pickle.PicklingError, AttributeError, TypeError):
+            obs.counter("cache.unpicklable", tier="disk")
+            return 0
+        path = self._path(key)
+        tmp_path: Optional[str] = None
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(dir=str(self.root), prefix=TMP_PREFIX)
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+                handle.flush()
+                _fsync(handle.fileno())
+            os.replace(tmp_path, path)
+            tmp_path = None
+        except OSError:
+            return 0
+        finally:
+            if tmp_path is not None:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+        return self._evict_to_budget()
+
+    def _evict_to_budget(self) -> int:
+        """Unlink stalest entries until the tier fits its byte budget."""
+        now = self._clock()
+        stats = []
+        total = 0
+        for path in self.entries():
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            stats.append((st.st_mtime, st.st_size, path))
+            total += st.st_size
+        evicted = 0
+        if total > self.max_bytes:
+            for mtime, size, path in sorted(stats):
+                if total <= self.max_bytes:
+                    break
+                self._discard(path)
+                total -= size
+                evicted += 1
+        # reap temp debris from writers that died mid-publish
+        for tmp in self.root.glob(f"{TMP_PREFIX}*"):
+            try:
+                if now - tmp.stat().st_mtime > STALE_TMP_SECONDS:
+                    tmp.unlink()
+            except OSError:
+                pass
+        return evicted
+
+    def clear(self) -> None:
+        for path in self.entries():
+            self._discard(path)
+
+
+class ResultCache:
+    """The two-tier facade the hot paths talk to."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.memory = (
+            MemoryTier(config.memory_entries, config.ttl_seconds)
+            if config.wants_memory else None
+        )
+        self.disk = (
+            DiskTier(config.resolved_path(), config.disk_bytes, config.ttl_seconds)
+            if config.wants_disk else None
+        )
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: str, site: str = "cache") -> Tuple[bool, Any]:
+        """(hit, value); a disk hit is promoted into the memory tier."""
+        start = time.perf_counter()
+        tier = None
+        value = None
+        if self.memory is not None:
+            found, value = self.memory.get(key)
+            if found:
+                tier = "memory"
+        if tier is None and self.disk is not None:
+            found, value = self.disk.get(key)
+            if found:
+                tier = "disk"
+                if self.memory is not None:
+                    self.evictions += self.memory.put(key, value)
+        if obs.enabled():
+            obs.histogram(
+                "cache.lookup.seconds", time.perf_counter() - start, site=site
+            )
+        if tier is None:
+            self.misses += 1
+            obs.counter("cache.misses", site=site)
+            return False, None
+        self.hits += 1
+        obs.counter("cache.hits", site=site, tier=tier)
+        return True, value
+
+    def put(self, key: str, value: Any, site: str = "cache") -> None:
+        start = time.perf_counter()
+        evicted = 0
+        if self.memory is not None:
+            evicted += self.memory.put(key, value)
+        if self.disk is not None:
+            evicted += self.disk.put(key, value)
+        if evicted:
+            self.evictions += evicted
+            obs.counter("cache.evictions", evicted, site=site)
+        if obs.enabled():
+            obs.histogram(
+                "cache.store.seconds", time.perf_counter() - start, site=site
+            )
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "memory_entries": 0 if self.memory is None else len(self.memory),
+            "disk_entries": 0 if self.disk is None else len(self.disk),
+        }
+
+    def clear(self) -> None:
+        if self.memory is not None:
+            self.memory.clear()
+        if self.disk is not None:
+            self.disk.clear()
+
+
+# -- the ambient cache instance ----------------------------------------------
+
+_ACTIVE: Optional[ResultCache] = None
+_ACTIVE_LOCK = threading.Lock()
+
+
+def get_cache(config: Optional[CacheConfig] = None) -> ResultCache:
+    """The :class:`ResultCache` for *config* (default: the ambient one).
+
+    The instance is rebuilt whenever the effective config changes, so
+    ``use_config`` scopes in tests get a fresh cache while repeated
+    calls under one config share tiers (and hit statistics).
+    """
+    global _ACTIVE
+    config = config if config is not None else get_config()
+    with _ACTIVE_LOCK:
+        if _ACTIVE is None or _ACTIVE.config != config:
+            _ACTIVE = ResultCache(config)
+        return _ACTIVE
+
+
+def reset_cache() -> None:
+    """Drop the ambient cache instance (test isolation)."""
+    global _ACTIVE
+    with _ACTIVE_LOCK:
+        _ACTIVE = None

@@ -173,20 +173,54 @@ def _require_grid(var: Variable) -> RectilinearGrid:
     return grid
 
 
+def _memoized(scheme: str, var: Variable, target: RectilinearGrid, parallel, compute):
+    """Serve *compute()* through the ambient result cache, when enabled.
+
+    Unlike the render kernels, the parallel regrid path is only
+    near-exact (banded einsum rounding differs from the full product),
+    so the key includes the effective parallel tiling — a serial run
+    never serves a band-parallel product or vice versa.
+    """
+    from repro.cache.config import get_config as get_cache_config
+
+    if not get_cache_config().enabled:
+        return compute()
+    from repro.cache.keys import cache_key
+    from repro.cache.store import get_cache
+    from repro.parallel.config import get_config as get_parallel_config
+
+    pconfig = parallel if parallel is not None else get_parallel_config()
+    key = cache_key(
+        "regrid", scheme, var, target,
+        (pconfig.enabled, pconfig.workers, pconfig.tile_rows, pconfig.min_items),
+    )
+    cache = get_cache()
+    found, out = cache.get(key, site="regrid")
+    if found:
+        return out
+    out = compute()
+    cache.put(key, out, site="regrid")
+    return out
+
+
 def regrid_bilinear(var: Variable, target: RectilinearGrid, parallel=None) -> Variable:
     """Bilinear regrid of *var* onto *target* (mask-aware)."""
     source = _require_grid(var)
     periodic = source.is_global()
-    with obs.span("regrid.bilinear", src=str(var.shape)) as _span:
-        lat_matrix = _bilinear_matrix(source.latitude.values, target.latitude.values, periodic=False)
-        lon_matrix = _bilinear_matrix(source.longitude.values, target.longitude.values, periodic=periodic)
-        out = _apply_separable(
-            var, target, lat_matrix, lon_matrix, weight_floor=1e-9, parallel=parallel
-        )
-        if obs.enabled():
-            obs.counter("regrid.cells", int(np.prod(out.shape)))
-            _span.set(dst=str(out.shape))
-    return out
+
+    def compute() -> Variable:
+        with obs.span("regrid.bilinear", src=str(var.shape)) as _span:
+            lat_matrix = _bilinear_matrix(source.latitude.values, target.latitude.values, periodic=False)
+            lon_matrix = _bilinear_matrix(source.longitude.values, target.longitude.values, periodic=periodic)
+            out = _apply_separable(
+                var, target, lat_matrix, lon_matrix, weight_floor=1e-9, parallel=parallel
+            )
+            if obs.enabled():
+                obs.counter("regrid.cells", int(np.prod(out.shape)))
+                _span.set(dst=str(out.shape))
+        return out
+
+    return _memoized("bilinear", var, target, parallel, compute)
 
 
 def regrid_conservative(var: Variable, target: RectilinearGrid, parallel=None) -> Variable:
@@ -201,22 +235,26 @@ def regrid_conservative(var: Variable, target: RectilinearGrid, parallel=None) -
     """
     source = _require_grid(var)
     periodic = source.is_global()
-    with obs.span("regrid.conservative", src=str(var.shape)) as _span:
-        lat_matrix = _overlap_matrix(
-            source.latitude.gen_bounds(),
-            target.latitude.gen_bounds(),
-            transform=lambda x: np.sin(np.radians(x)),
-        )
-        lon_matrix = _overlap_matrix(
-            source.longitude.gen_bounds(),
-            target.longitude.gen_bounds(),
-            periodic=periodic,
-        )
-        out = _apply_separable(
-            var, target, lat_matrix, lon_matrix,
-            weight_floor=_VALID_WEIGHT_FLOOR, parallel=parallel,
-        )
-        if obs.enabled():
-            obs.counter("regrid.cells", int(np.prod(out.shape)))
-            _span.set(dst=str(out.shape))
-    return out
+
+    def compute() -> Variable:
+        with obs.span("regrid.conservative", src=str(var.shape)) as _span:
+            lat_matrix = _overlap_matrix(
+                source.latitude.gen_bounds(),
+                target.latitude.gen_bounds(),
+                transform=lambda x: np.sin(np.radians(x)),
+            )
+            lon_matrix = _overlap_matrix(
+                source.longitude.gen_bounds(),
+                target.longitude.gen_bounds(),
+                periodic=periodic,
+            )
+            out = _apply_separable(
+                var, target, lat_matrix, lon_matrix,
+                weight_floor=_VALID_WEIGHT_FLOOR, parallel=parallel,
+            )
+            if obs.enabled():
+                obs.counter("regrid.cells", int(np.prod(out.shape)))
+                _span.set(dst=str(out.shape))
+        return out
+
+    return _memoized("conservative", var, target, parallel, compute)

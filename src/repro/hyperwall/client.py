@@ -15,9 +15,12 @@ client deterministically mid-execution (``client``/``cell`` labels).
 
 from __future__ import annotations
 
+import hashlib
 import socket
 import time
 from typing import Any, Dict, Optional
+
+import numpy as np
 
 from repro import obs
 from repro.dv3d.cell import DV3DCell
@@ -29,16 +32,30 @@ from repro.workflow.executor import Executor
 from repro.workflow.pipeline import Pipeline
 
 
+def image_digest(image: np.ndarray) -> str:
+    """SHA-256 of a rendered frame's uint8 bytes.
+
+    Reports carry this instead of pixels (which stay on the display
+    node), so byte-identity of repeated frames — e.g. a warm-cache
+    replay, or a reassigned cell matching its original — is assertable
+    across process boundaries.
+    """
+    arr = np.ascontiguousarray(image)
+    return hashlib.sha256(arr.tobytes()).hexdigest()
+
+
 class HyperwallClient:
     """One display node's control loop.
 
     *io_timeout* bounds every socket read/write once connected, so a
     dead server (or a dropped reply) surfaces as a timeout instead of a
-    hang.
+    hang.  *cache* (a :class:`repro.cache.CacheConfig`) opts this
+    node's executor into the shared result cache.
     """
 
     def __init__(
-        self, host: str, port: int, client_id: int, io_timeout: float = 60.0
+        self, host: str, port: int, client_id: int, io_timeout: float = 60.0,
+        cache=None,
     ) -> None:
         self.host = host
         self.port = port
@@ -48,7 +65,7 @@ class HyperwallClient:
         #: more than one entry only after a failover reassignment
         self.pipelines: Dict[int, Pipeline] = {}
         self.cells: Dict[int, DV3DCell] = {}
-        self.executor = Executor(caching=True)
+        self.executor = Executor(caching=True, cache=cache)
         self._sock: Optional[socket.socket] = None
 
     # -- connection -------------------------------------------------------
@@ -141,6 +158,7 @@ class HyperwallClient:
                 "duration": time.perf_counter() - start,
                 "image_shape": list(image.shape),
                 "image_mean": float(image.mean()),
+                "image_digest": image_digest(image),
                 "cache_hits": result.cache_hits,
                 "cache_misses": result.cache_misses,
             },
@@ -217,6 +235,7 @@ class HyperwallClient:
                 "duration": time.perf_counter() - start,
                 "image_shape": list(image.shape),
                 "image_mean": float(image.mean()),
+                "image_digest": image_digest(image),
             },
         )
 
@@ -249,9 +268,17 @@ class HyperwallClient:
         return handled
 
 
-def run_client(host: str, port: int, client_id: int, io_timeout: float = 60.0) -> int:
+def run_client(
+    host: str, port: int, client_id: int, io_timeout: float = 60.0, cache=None
+) -> int:
     """Process entry point: connect, serve, exit (used by the cluster)."""
-    client = HyperwallClient(host, port, client_id, io_timeout=io_timeout)
+    if cache is not None:
+        # install process-wide so interactive re-renders (which happen
+        # outside executor.execute) also hit the frame cache
+        from repro.cache.config import set_config
+
+        set_config(cache)
+    client = HyperwallClient(host, port, client_id, io_timeout=io_timeout, cache=cache)
     client.connect()
     try:
         return client.run()

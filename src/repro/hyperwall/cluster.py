@@ -27,9 +27,11 @@ from repro.hyperwall.server import HyperwallServer
 from repro.workflow.pipeline import Pipeline
 
 
-def _client_main(host: str, port: int, client_id: int, io_timeout: float) -> None:
+def _client_main(
+    host: str, port: int, client_id: int, io_timeout: float, cache=None
+) -> None:
     # child-process entry point; exceptions surface via exit code
-    run_client(host, port, client_id, io_timeout=io_timeout)
+    run_client(host, port, client_id, io_timeout=io_timeout, cache=cache)
 
 
 class LocalCluster:
@@ -37,7 +39,11 @@ class LocalCluster:
 
     *io_timeout* bounds every socket operation on both sides;
     *failover* selects the server's recovery policy for dead clients
-    (``reassign`` | ``degrade`` | ``fail_fast``).
+    (``reassign`` | ``degrade`` | ``fail_fast``).  *cache* (a
+    :class:`repro.cache.CacheConfig`) is installed on the server's
+    executor and in every client process — with the disk tier on a
+    shared path, a replayed frame sequence is served from cache on
+    every node, including reassigned cells and degraded mirrors.
     """
 
     def __init__(
@@ -48,14 +54,17 @@ class LocalCluster:
         reduction: int = 4,
         io_timeout: float = 60.0,
         failover: str = "reassign",
+        cache=None,
     ) -> None:
         self.io_timeout = float(io_timeout)
+        self.cache = cache
         self.server = HyperwallServer(
             workflow,
             wall=wall,
             reduction=reduction,
             io_timeout=self.io_timeout,
             failover=failover,
+            cache=cache,
         )
         self.n_clients = int(n_clients)
         self._processes: List[mp.Process] = []
@@ -66,7 +75,10 @@ class LocalCluster:
         for client_id in range(self.n_clients):
             proc = ctx.Process(
                 target=_client_main,
-                args=(self.server.host, self.server.port, client_id, self.io_timeout),
+                args=(
+                    self.server.host, self.server.port, client_id,
+                    self.io_timeout, self.cache,
+                ),
                 daemon=True,
             )
             proc.start()

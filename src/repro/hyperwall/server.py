@@ -74,6 +74,7 @@ class HyperwallServer:
         io_timeout: float = 120.0,
         failover: str = "reassign",
         retry: Optional[RetryPolicy] = None,
+        cache=None,
     ) -> None:
         if failover not in FAILOVER_POLICIES:
             raise HyperwallError(
@@ -96,7 +97,9 @@ class HyperwallServer:
             max_attempts=3, base_delay=0.05, max_delay=0.5, seed="hyperwall"
         )
         self.server_pipeline = make_reduced_pipeline(workflow, self.reduction)
-        self.server_executor = Executor(caching=True)
+        #: optional CacheConfig shared with degraded mirror renders
+        self.cache = cache
+        self.server_executor = Executor(caching=True, cache=cache)
         self.server_cells: Dict[int, DV3DCell] = {}
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -385,11 +388,15 @@ class HyperwallServer:
         cell = self.server_cells.get(cell_id)
         if cell is None:
             raise HyperwallError(f"no mirror cell for lost cell {cell_id}")
+        from repro.cache.config import use_config as use_cache_config
+        from repro.hyperwall.client import image_digest
+
         width = max(self.wall.tile_width // self.reduction, 16)
         height = max(self.wall.tile_height // self.reduction, 16)
         start = time.perf_counter()
         with obs.span("hyperwall.server.degraded_render", cell=cell_id):
-            image = cell.render(width, height).to_uint8()
+            with use_cache_config(self.cache):
+                image = cell.render(width, height).to_uint8()
         obs.counter("resilience.degraded", site="hyperwall.mirror", cell=str(cell_id))
         return {
             "client_id": None,
@@ -397,6 +404,7 @@ class HyperwallServer:
             "duration": time.perf_counter() - start,
             "image_shape": list(image.shape),
             "image_mean": float(image.mean()),
+            "image_digest": image_digest(image),
             "status": "degraded",
         }
 

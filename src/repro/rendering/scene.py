@@ -126,7 +126,35 @@ class Renderer:
         self.parallel = parallel
 
     def render(self, scene: Scene, camera: Optional[Camera] = None) -> Framebuffer:
+        from repro.cache.config import get_config as get_cache_config
         from repro.parallel.config import get_config
+
+        camera = camera or scene.fit_camera()
+
+        # the frame cache: whole frames keyed by (scene, camera, size).
+        # The tiled parallel kernels are bitwise-identical to serial, so
+        # the key deliberately excludes the parallel config.  Buffers
+        # are copied both ways — callers (DV3D cells, the hyperwall)
+        # blend overlays into the returned framebuffer in place.
+        frame_cache = None
+        if get_cache_config().enabled:
+            from repro.cache.keys import cache_key, scene_digest
+            from repro.cache.store import get_cache
+
+            frame_cache = get_cache()
+            frame_key = cache_key(
+                "render.frame",
+                scene_digest(scene),
+                camera.state(),
+                self.width,
+                self.height,
+            )
+            found, frame = frame_cache.get(frame_key, site="render")
+            if found:
+                color, depth, background = frame
+                return Framebuffer.from_arrays(
+                    color.copy(), depth.copy(), background=background
+                )
 
         config = self.parallel if self.parallel is not None else get_config()
         if config.enabled:
@@ -137,7 +165,6 @@ class Renderer:
         else:
             do_rasterize, do_raycast = rasterize, raycast_volume
 
-        camera = camera or scene.fit_camera()
         fb = Framebuffer(self.width, self.height, background=scene.background)
         light = scene.lights[0] if scene.lights else DirectionalLight()
 
@@ -169,6 +196,12 @@ class Renderer:
                 light_direction=tuple(light.direction),
             )
             fb.blend_image(rgba)
+        if frame_cache is not None:
+            frame_cache.put(
+                frame_key,
+                (fb.color.copy(), fb.depth.copy(), fb.background),
+                site="render",
+            )
         return fb
 
     def render_stereo(

@@ -86,3 +86,12 @@ class HyperwallError(ReproError):
 
 class DV3DError(ReproError):
     """Raised by the DV3D plot package (:mod:`repro.dv3d`)."""
+
+
+class CacheError(ReproError):
+    """Raised by the result cache (:mod:`repro.cache`).
+
+    Covers bad configurations and values that cannot be canonically
+    hashed — never I/O failures of the disk tier, which degrade to
+    cache misses instead of failing the computation they memoize.
+    """

@@ -106,6 +106,17 @@ class Executor:
         the ambient config for the duration of each execution, so
         rendering modules (plots, isosurfaces, regrids) run their
         kernels on the process pool without any module-level plumbing.
+    cache:
+        Optional :class:`repro.cache.CacheConfig` installed the same
+        way.  When the effective (explicit or ambient) config is
+        enabled, module results are additionally memoized in the
+        shared two-tier result cache keyed by their provenance
+        signature — so warm results survive across executor instances
+        and, through the disk tier, across processes.  Under
+        ``continue_independent`` the shared cache is also consulted
+        for modules blocked by an upstream failure: a branch whose
+        results were cached by an earlier run completes (status
+        ``"cached"``) instead of being skipped.
     failure_policy:
         ``"fail_fast"`` (default) raises on the first module failure;
         ``"continue_independent"`` keeps executing every branch not
@@ -122,6 +133,7 @@ class Executor:
         max_workers: int = 1,
         on_module_complete=None,
         parallel=None,
+        cache=None,
         failure_policy: str = "fail_fast",
     ) -> None:
         if max_workers < 1:
@@ -137,6 +149,7 @@ class Executor:
         #: progress hook a GUI's status bar would subscribe to
         self.on_module_complete = on_module_complete
         self.parallel = parallel
+        self.cache = cache
         self.failure_policy = failure_policy
         self._cache: Dict[str, Dict[str, Any]] = {}
 
@@ -182,9 +195,10 @@ class Executor:
         finish); under ``continue_independent`` failures are recorded
         in the result and independent branches keep executing.
         """
+        from repro.cache.config import use_config as use_cache_config
         from repro.parallel.config import use_config
 
-        with use_config(self.parallel):
+        with use_config(self.parallel), use_cache_config(self.cache):
             return self._execute_inner(pipeline, targets)
 
     def _execute_inner(
@@ -203,6 +217,20 @@ class Executor:
         dependencies = {
             mid: {c.source_id for c in pipeline.incoming(mid)} for mid in order
         }
+
+        # the shared (ambient or executor-scoped) two-tier result cache;
+        # None keeps the seed behavior: executor-local memoization only
+        from repro.cache.config import get_config as get_cache_config
+
+        shared = None
+        if self.caching and get_cache_config().enabled:
+            from repro.cache.keys import cache_key
+            from repro.cache.store import get_cache
+
+            shared = get_cache()
+            module_key = {
+                mid: cache_key("executor.module", signatures[mid]) for mid in order
+            }
 
         # run_module executes on pool worker threads, whose obs span
         # stacks are empty — the execute-level span id is captured here
@@ -227,6 +255,15 @@ class Executor:
                     return mid, outputs, ModuleRun(
                         mid, spec.name, "cached", time.perf_counter() - t0
                     )
+                if use_cache and shared is not None:
+                    found, outputs = shared.get(module_key[mid], site="executor")
+                    if found:
+                        self._cache[sig] = outputs
+                        mspan.set(status="cached")
+                        obs.counter("executor.cache.hit", module=spec.name)
+                        return mid, outputs, ModuleRun(
+                            mid, spec.name, "cached", time.perf_counter() - t0
+                        )
                 obs.counter("executor.cache.miss", module=spec.name)
                 instance = cls(spec.parameters)
                 inputs: Dict[str, Any] = {}
@@ -256,6 +293,8 @@ class Executor:
                     )
                 if use_cache:
                     self._cache[sig] = outputs
+                    if shared is not None:
+                        shared.put(module_key[mid], outputs, site="executor")
                 mspan.set(status="ok")
             duration = time.perf_counter() - t0
             obs.histogram("executor.module.duration", duration, module=spec.name)
@@ -276,14 +315,45 @@ class Executor:
                 mid, spec.name, "skipped", 0.0, error="upstream module failed"
             ))
 
+        def resolve_blocked(mid: int) -> Optional[Dict[str, Any]]:
+            """Cached outputs for a module blocked by an upstream failure.
+
+            A blocked module's signature is computable without running
+            its (failed) upstreams, so a result memoized by an earlier
+            run can still complete this branch under
+            ``continue_independent``.
+            """
+            spec = pipeline.modules[mid]
+            cls = pipeline.registry.resolve(spec.name)
+            if not (self.caching and cls.cacheable):
+                return None
+            sig = signatures[mid]
+            if sig in self._cache:
+                return self._cache[sig]
+            if shared is not None:
+                found, outputs = shared.get(module_key[mid], site="executor")
+                if found:
+                    self._cache[sig] = outputs
+                    return outputs
+            return None
+
+        def finish_blocked(mid: int, outputs: Dict[str, Any]) -> None:
+            spec = pipeline.modules[mid]
+            obs.counter("executor.cache.hit", module=spec.name)
+            finish(mid, outputs, ModuleRun(mid, spec.name, "cached", 0.0))
+
         failed: Set[int] = set()  # error or skipped module ids
 
         with exec_span:
             if self.max_workers == 1:
                 for mid in order:
                     if dependencies[mid] & failed:
-                        skip(mid)
-                        failed.add(mid)
+                        outputs = resolve_blocked(mid)
+                        if outputs is None:
+                            skip(mid)
+                            failed.add(mid)
+                        else:
+                            finish_blocked(mid, outputs)
                         continue
                     mid, outputs, run = run_module(mid)
                     finish(mid, outputs, run)
@@ -325,11 +395,28 @@ class Executor:
                     if first_error is not None:
                         raise first_error
                 # everything still remaining is downstream of a failure
-                # (otherwise dispatch_ready would have scheduled it)
+                # (otherwise dispatch_ready would have scheduled it); a
+                # cached result can still complete such a branch, and a
+                # module whose upstreams all resolved from cache runs
+                # inline (topological order keeps its inputs available)
                 for mid in order:
-                    if mid in remaining:
+                    if mid not in remaining:
+                        continue
+                    if dependencies[mid] <= done_set:
+                        fmid, outputs, run = run_module(mid)
+                        finish(fmid, outputs, run)
+                        if run.status == "error":
+                            failed.add(mid)
+                        else:
+                            done_set.add(mid)
+                        continue
+                    outputs = resolve_blocked(mid)
+                    if outputs is None:
                         skip(mid)
                         failed.add(mid)
+                    else:
+                        finish_blocked(mid, outputs)
+                        done_set.add(mid)
 
         # cache statistics are derived from the run records (the obs
         # counters above carry the per-module breakdown)

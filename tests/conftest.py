@@ -6,6 +6,8 @@ runs in seconds; every generator is seeded, so failures reproduce.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -16,6 +18,40 @@ from repro.workflow.pipeline import Pipeline
 from repro.workflow.registry import global_registry
 
 SMALL = {"nlat": 16, "nlon": 24, "nlev": 5, "ntime": 4}
+
+#: the shared per-user cache location no test may ever write to
+_SHARED_CACHE = Path.home() / ".cache" / "repro"
+
+
+def _shared_cache_entries() -> set:
+    if not _SHARED_CACHE.exists():
+        return set()
+    return set(_SHARED_CACHE.rglob("*"))
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Isolate the result cache per test.
+
+    The default disk-tier path is redirected into this test's
+    ``tmp_path`` (forked subprocesses inherit the environment
+    variable), the ambient config is pinned to disabled, and the
+    process-wide cache instance is dropped on both sides — so no test
+    observes another's entries, and none can leak into the shared
+    per-user location.
+    """
+    from repro.cache import config as cache_config
+    from repro.cache.store import reset_cache
+
+    monkeypatch.setenv(cache_config.CACHE_DIR_ENV, str(tmp_path / "repro-cache"))
+    previous = cache_config.set_config(cache_config.CacheConfig(enabled=False))
+    reset_cache()
+    shared_before = _shared_cache_entries()
+    yield
+    cache_config.set_config(previous)
+    reset_cache()
+    leaked = _shared_cache_entries() - shared_before
+    assert not leaked, f"test leaked cache entries into {_SHARED_CACHE}: {sorted(leaked)}"
 
 
 def pytest_addoption(parser):

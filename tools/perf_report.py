@@ -31,6 +31,14 @@ counters and the injected-fault counts are written to
 ``BENCH_resilience.json``, with the recovery signals validated the
 same way the other artifacts are.
 
+``--cache`` runs the provenance-keyed result-cache ablation: the
+render, regrid and executor scenarios each run cold (empty cache) and
+warm (served from the shared disk tier) against one temporary cache
+directory.  Warm outputs are checked for byte identity with the cold
+pass, the cold/warm timings and the cache counters/histograms are
+written to ``BENCH_cache.json``, and the overall warm speedup must
+clear a 5x floor.
+
 Usage::
 
     PYTHONPATH=src python tools/perf_report.py            # full sizes
@@ -38,6 +46,7 @@ Usage::
     PYTHONPATH=src python tools/perf_report.py --out path.json --summary
     PYTHONPATH=src python tools/perf_report.py --parallel # BENCH_parallel.json
     PYTHONPATH=src python tools/perf_report.py --resilience
+    PYTHONPATH=src python tools/perf_report.py --cache    # BENCH_cache.json
 """
 
 from __future__ import annotations
@@ -282,6 +291,145 @@ def parallel_report(sizes: Dict[str, Any], repeats: int = 3) -> Dict[str, Any]:
             "recorder": recorder.to_dict()}
 
 
+# -- result-cache ablation (--cache) -----------------------------------------
+
+#: enforced cold/warm speedup floor for the whole scenario suite
+CACHE_SPEEDUP_FLOOR = 5.0
+
+
+def cache_report(sizes: Dict[str, Any], cache_dir: str) -> Dict[str, Any]:
+    """Cold vs warm timings through the provenance-keyed result cache.
+
+    Each scenario runs twice against one shared cache directory: the
+    cold pass populates the disk tier, the warm pass must be served
+    from it — and must reproduce the cold output byte for byte.
+    """
+    from repro.cache.config import CacheConfig, use_config
+    from repro.cache.store import reset_cache
+    from repro.dv3d.volume import VolumePlot
+
+    width, height = sizes["image"]
+    nlat, nlon = sizes["regrid_src"]
+    field = global_temperature(nlat=nlat, nlon=nlon, nlev=2, ntime=2, seed="perf-report")
+    target = uniform_grid(*sizes["regrid_dst"])
+    plot = VolumePlot(field, center=0.7, width=0.3)
+    camera = plot.default_camera()
+
+    def run_render():
+        fb = plot.render(width, height, camera=camera)
+        return (fb.color.tobytes(), fb.depth.tobytes())
+
+    def run_regrid():
+        out = regrid_bilinear(field, target)
+        out2 = regrid_conservative(field, target)
+        return (
+            np.ma.getdata(out.data).tobytes(),
+            np.ma.getdata(out2.data).tobytes(),
+        )
+
+    def run_executor():
+        pipeline = build_workflow(sizes["dataset"], 2, sizes["cell_size"])
+        executor = Executor(caching=True, max_workers=2)
+        result = executor.execute(pipeline)
+        images = [
+            result.output(mid, "image").tobytes()
+            for mid, spec in pipeline.modules.items()
+            if spec.name == "DV3DCell"
+        ]
+        return tuple(images)
+
+    cases = [("render", run_render), ("regrid", run_regrid),
+             ("executor", run_executor)]
+    scenarios: Dict[str, Any] = {}
+    recorder = obs.Recorder()
+    config = CacheConfig(path=cache_dir)
+    with obs.recording(recorder), use_config(config):
+        for name, fn in cases:
+            reset_cache()  # cold pass starts without the in-memory tier
+            t0 = time.perf_counter()
+            cold_out = fn()
+            cold_s = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            warm_out = fn()
+            warm_s = time.perf_counter() - t0
+            identical = cold_out == warm_out
+            scenarios[name] = {
+                "cold_s": cold_s,
+                "warm_s": warm_s,
+                "speedup": cold_s / warm_s,
+                "identical": identical,
+            }
+            print(
+                f"  scenario {name:<9} cold {cold_s:7.3f}s   "
+                f"warm {warm_s:7.3f}s   {cold_s / warm_s:6.2f}x   "
+                f"identical={identical}"
+            )
+    reset_cache()
+    cold_total = sum(s["cold_s"] for s in scenarios.values())
+    warm_total = sum(s["warm_s"] for s in scenarios.values())
+    return {
+        "scenarios": scenarios,
+        "overall": {
+            "cold_s": cold_total,
+            "warm_s": warm_total,
+            "speedup": cold_total / warm_total,
+        },
+        "aggregates": aggregate(recorder),
+        "recorder": recorder.to_dict(),
+    }
+
+
+def run_cache_mode(args, sizes: Dict[str, Any]) -> int:
+    """``--cache``: time cold vs warm passes, write BENCH_cache.json."""
+    import shutil
+    import tempfile
+
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    start = time.perf_counter()
+    try:
+        sections = cache_report(sizes, cache_dir)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    wall = time.perf_counter() - start
+    payload = {
+        "meta": {
+            "tool": "perf_report",
+            "mode": ("quick" if args.quick else "full") + "-cache",
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cores": _usable_cores(),
+            "wall_s": wall,
+        },
+    }
+    payload.update(sections)
+    out = Path(args.out or "BENCH_cache.json")
+    out.write_text(json.dumps(payload, indent=1, sort_keys=True))
+    print(f"wrote {out} ({out.stat().st_size} bytes, {wall:.2f}s total)")
+
+    problems = []
+    for name, stats in sections["scenarios"].items():
+        if not stats["identical"]:
+            problems.append(f"warm {name} output differs from cold")
+    overall = sections["overall"]["speedup"]
+    if overall < CACHE_SPEEDUP_FLOOR:
+        problems.append(
+            f"overall warm speedup {overall:.2f}x below the "
+            f"{CACHE_SPEEDUP_FLOOR}x floor"
+        )
+    counters = sections["aggregates"]["counters"]
+    for counter in ("cache.hits", "cache.misses"):
+        if counters.get(counter, 0) <= 0:
+            problems.append(f"missing counter {counter}")
+    histograms = sections["aggregates"]["histograms"]
+    for histogram in ("cache.lookup.seconds", "cache.store.seconds"):
+        if histogram not in histograms:
+            problems.append(f"missing histogram {histogram}")
+    if problems:
+        print(f"ERROR: cache artifact failed validation: {problems}")
+        return 1
+    return 0
+
+
 # -- resilience ablation (--resilience) --------------------------------------
 
 
@@ -523,6 +671,10 @@ def main(argv=None) -> int:
         "--resilience", action="store_true",
         help="run the fault-tolerance recovery scenarios instead",
     )
+    parser.add_argument(
+        "--cache", action="store_true",
+        help="run the cold-vs-warm result-cache ablation instead",
+    )
     args = parser.parse_args(argv)
     sizes = SIZES["quick" if args.quick else "full"]
 
@@ -530,6 +682,8 @@ def main(argv=None) -> int:
         return run_parallel_mode(args, sizes)
     if args.resilience:
         return run_resilience_mode(args, sizes)
+    if args.cache:
+        return run_cache_mode(args, sizes)
 
     args.out = args.out or "BENCH_obs.json"
     recorder = obs.Recorder()
