@@ -38,7 +38,7 @@ Quick start::
     cell.render(400, 300).save("slicer.ppm")
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "cdms",

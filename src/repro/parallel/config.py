@@ -75,6 +75,13 @@ class ParallelConfig:
     start_method:
         ``multiprocessing`` start method (default: ``fork`` where
         available — zero-copy payload inheritance — else ``spawn``).
+    adaptive:
+        Let kernels choose cost-weighted tile boundaries (expected ray
+        samples per row, candidate cells per z-layer) instead of
+        equal-count bands.  Only consulted when ``tile_rows`` /
+        ``slab_cells`` leave the partition to the kernel; the weighting
+        is a deterministic function of the scene, and kernel outputs
+        are bitwise independent of the tiling either way.
     """
 
     workers: int = 1
@@ -84,6 +91,7 @@ class ParallelConfig:
     timeout: float = 120.0
     respawn_budget: int = 2
     start_method: Optional[str] = None
+    adaptive: bool = True
 
     def __post_init__(self) -> None:
         if self.workers < 1:

@@ -37,7 +37,7 @@ import numpy as np
 
 from repro import obs
 from repro.parallel.config import ParallelConfig, get_config
-from repro.parallel.partition import index_bands, row_bands, z_slabs
+from repro.parallel.partition import index_bands, row_bands, weighted_bands, z_slabs
 from repro.parallel.pool import attach_ndarray, run_tiles, shared_ndarray
 
 # ---------------------------------------------------------------------------
@@ -48,16 +48,45 @@ def _raycast_tile(payload: Tuple[Any, ...], band: Tuple[int, int]) -> int:
     from repro.rendering.raycast import raycast_rows
 
     (volume, transfer, camera, width, height, step_size, array_name,
-     depth_limit, lighting, light_direction, shm_name) = payload
+     depth_limit, lighting, light_direction, empty_space_skipping,
+     shm_name) = payload
     row0, row1 = band
     block = raycast_rows(
         volume, transfer, camera, width, height, row0, row1,
         step_size=step_size, array_name=array_name, depth_limit=depth_limit,
         lighting=lighting, light_direction=light_direction,
+        empty_space_skipping=empty_space_skipping,
     )
     with attach_ndarray(shm_name, (height, width, 4), np.float32) as out:
         out[row0:row1] = block
     return row1 - row0
+
+
+def _raycast_bands(
+    volume, transfer, camera, width, height, step_size, array_name, config
+):
+    """Row partition for the ray caster — cost-weighted when adaptive.
+
+    The weighting charges each row its expected in-volume sample count
+    against the occupied region's bounding box (a deterministic
+    function of the scene), so rows crossing the data cost more and
+    bands equalize wall-clock instead of row count.  Kernel outputs
+    are bitwise independent of the tiling, so this only moves work.
+    """
+    if config.tile_rows > 0 or not config.adaptive:
+        return row_bands(height, config.workers, config.tile_rows)
+    from repro.rendering.accel import raycast_row_weights
+    from repro.rendering.raycast import _skip_setup
+
+    name = array_name or volume.active_scalars_name
+    skip = _skip_setup(volume, transfer, name)
+    if skip is None:
+        box = volume.bounds()
+    else:
+        box = skip[2]  # None when nothing contributes: every row is cheap
+    step = float(step_size) if step_size else float(min(volume.spacing))
+    weights = raycast_row_weights(volume, camera, width, height, step, box)
+    return weighted_bands(weights.tolist(), config.workers)
 
 
 def parallel_raycast(
@@ -71,6 +100,7 @@ def parallel_raycast(
     depth_limit: Optional[np.ndarray] = None,
     lighting: bool = True,
     light_direction: Tuple[float, float, float] = (0.4, -0.5, 0.8),
+    empty_space_skipping: bool = True,
     config: Optional[ParallelConfig] = None,
 ) -> np.ndarray:
     """Tiled :func:`repro.rendering.raycast.raycast_volume` — bitwise identical."""
@@ -82,8 +112,11 @@ def parallel_raycast(
             volume, transfer, camera, width, height,
             step_size=step_size, array_name=array_name, depth_limit=depth_limit,
             lighting=lighting, light_direction=light_direction,
+            empty_space_skipping=empty_space_skipping,
         )
-    bands = row_bands(height, config.workers, config.tile_rows)
+    bands = _raycast_bands(
+        volume, transfer, camera, width, height, step_size, array_name, config
+    )
     with obs.span(
         "raycast.render", rays=int(width * height), width=int(width),
         height=int(height), parallel=True,
@@ -91,7 +124,8 @@ def parallel_raycast(
         with shared_ndarray((height, width, 4), np.float32) as (shm_name, out):
             payload = (
                 volume, transfer, camera, width, height, step_size, array_name,
-                depth_limit, lighting, light_direction, shm_name,
+                depth_limit, lighting, light_direction, empty_space_skipping,
+                shm_name,
             )
             run_tiles(config, _raycast_tile, bands, payload=payload, label="raycast")
             rgba = out.copy()
@@ -171,8 +205,10 @@ def parallel_rasterize(
 def _isosurface_tile(payload: Tuple[Any, ...], slab: Tuple[int, int]) -> np.ndarray:
     from repro.rendering.isosurface import _slab_triangle_points
 
-    values, isovalue = payload
-    return _slab_triangle_points(values, isovalue, slab[0], slab[1])
+    values, isovalue, candidates = payload
+    return _slab_triangle_points(
+        values, isovalue, slab[0], slab[1], candidates=candidates
+    )
 
 
 def parallel_marching_tetrahedra(
@@ -180,24 +216,30 @@ def parallel_marching_tetrahedra(
     isovalue: float,
     array_name: Optional[str] = None,
     config: Optional[ParallelConfig] = None,
+    accelerate: bool = True,
 ):
     """Z-slab-parallel marching tetrahedra — identical surface to serial.
 
     Slab triangle lists are concatenated in slab order, then vertices
     are deduplicated and triangles canonically ordered by the same
     finalization the serial path uses, so the merged surface is
-    array-identical (shared-edge vertices appear once).
+    array-identical (shared-edge vertices appear once).  The candidate
+    cell mask is computed once in the parent and shared with every
+    worker; with ``config.adaptive`` it also weights the z-slab
+    boundaries so slabs carry near-equal candidate counts.
     """
     from repro.rendering.geometry import PolyData
     from repro.rendering.isosurface import (
         _finalize_surface,
         _prepared_values,
+        candidate_cells,
         marching_tetrahedra,
     )
     from repro.util.errors import RenderingError
 
     config = config if config is not None else get_config()
-    scalars = volume.get_array(array_name or volume.active_scalars_name)
+    name = array_name or volume.active_scalars_name
+    scalars = volume.get_array(name)
     if scalars.ndim != 3:
         raise RenderingError("marching_tetrahedra requires a scalar array")
     nx, ny, nz = scalars.shape
@@ -206,17 +248,33 @@ def parallel_marching_tetrahedra(
     n_cells = (nx - 1) * (ny - 1) * (nz - 1)
     if not config.wants(n_cells) or nz - 1 < 2:
         return marching_tetrahedra(
-            volume, isovalue, array_name=array_name, parallel=config.serial()
+            volume, isovalue, array_name=array_name, parallel=config.serial(),
+            accelerate=accelerate,
         )
     with obs.span(
         "isosurface.marching_tetrahedra",
         cells=int(n_cells), isovalue=float(isovalue), parallel=True,
     ) as _span:
+        candidates = (
+            candidate_cells(volume, float(isovalue), name) if accelerate else None
+        )
+        if candidates is not None and obs.enabled():
+            obs.counter(
+                "isosurface.cells.skipped",
+                int(n_cells - np.count_nonzero(candidates)),
+            )
         values = _prepared_values(scalars)
-        slabs = z_slabs(nz - 1, config.workers, config.slab_cells)
+        if candidates is not None and config.adaptive and config.slab_cells == 0:
+            from repro.rendering.accel import z_layer_weights
+
+            slabs = weighted_bands(
+                z_layer_weights(candidates).tolist(), config.workers
+            )
+        else:
+            slabs = z_slabs(nz - 1, config.workers, config.slab_cells)
         blocks = run_tiles(
             config, _isosurface_tile, slabs,
-            payload=(values, float(isovalue)), label="isosurface",
+            payload=(values, float(isovalue), candidates), label="isosurface",
         )
         non_empty = [block for block in blocks if block.shape[0]]
         tri_pts = (

@@ -42,6 +42,9 @@ class ImageData:
         self.spacing = tuple(float(v) for v in spacing)
         self._arrays: Dict[str, np.ndarray] = {}
         self._active_scalars: Optional[str] = None
+        #: per-array derived products (gradients, min/max pyramids) —
+        #: invalidated whenever the array is (re)attached
+        self._derived: Dict[tuple, object] = {}
 
     # -- structure -------------------------------------------------------
 
@@ -83,6 +86,8 @@ class ImageData:
                 f"array {name!r} shape {arr.shape} incompatible with dims {self.dimensions}"
             )
         self._arrays[name] = arr
+        for key in [k for k in self._derived if k[0] == name]:
+            del self._derived[key]
         if set_active and arr.ndim == 3:
             self._active_scalars = name
 
@@ -157,8 +162,12 @@ class ImageData:
         if arr.ndim != 3:
             raise RenderingError("sample() requires a scalar array")
         idx = self.world_to_index(np.atleast_2d(points_world)).T  # (3, n)
+        # output dtype pinned to the array's own (float32) — relying on
+        # the implicit default would let a library change silently
+        # promote samples and shift goldens/cache digests
         values = ndimage.map_coordinates(
-            arr, idx, order=1, mode="constant", cval=fill, prefilter=False
+            arr, idx, order=1, mode="constant", cval=fill, prefilter=False,
+            output=arr.dtype,
         )
         return values
 
@@ -170,8 +179,12 @@ class ImageData:
         idx = self.world_to_index(np.atleast_2d(points_world)).T
         out = np.empty((idx.shape[1], 3), dtype=np.float64)
         for c in range(3):
+            # interpolate at the array's own precision (float32), then
+            # widen — pinned so numpy/scipy promotion-rule changes
+            # cannot shift the interpolated values
             out[:, c] = ndimage.map_coordinates(
-                arr[..., c], idx, order=1, mode="constant", cval=fill, prefilter=False
+                arr[..., c], idx, order=1, mode="constant", cval=fill,
+                prefilter=False, output=arr.dtype,
             )
         return out
 
@@ -199,7 +212,12 @@ class ImageData:
         t = frac_index - i0
         lo = np.take(arr, i0, axis=axis)
         hi = np.take(arr, i1, axis=axis)
-        values = (1.0 - t) * lo + t * hi
+        # blend at the array's own precision: the weights are cast to
+        # float32 up front (exactly what scalar promotion does today)
+        # so the result cannot drift if promotion rules change
+        w1 = arr.dtype.type(1.0 - t)
+        w0 = arr.dtype.type(t)
+        values = w1 * lo + w0 * hi
         other = [a for a in range(3) if a != axis]
         return values, self.axis_coordinates(other[0]), self.axis_coordinates(other[1])
 
@@ -207,7 +225,35 @@ class ImageData:
         """Central-difference gradient of a scalar array, ``dims + (3,)``.
 
         Used for volume-render shading normals and isosurface normals.
+        Cached per array (a volume invariant re-used by every render of
+        the same data); treat the result as read-only.
         """
-        arr = self.get_array(name or self.active_scalars_name)
-        gx, gy, gz = np.gradient(arr.astype(np.float64), *self.spacing)
-        return np.stack([gx, gy, gz], axis=-1)
+        name = name or self.active_scalars_name
+        key = (name, "gradient")
+        cached = self._derived.get(key)
+        if cached is None:
+            arr = self.get_array(name)
+            gx, gy, gz = np.gradient(arr.astype(np.float64), *self.spacing)
+            cached = np.stack([gx, gy, gz], axis=-1)
+            self._derived[key] = cached
+        return cached  # type: ignore[return-value]
+
+    def min_max_pyramid(self, name: Optional[str] = None, tile: int = 4):
+        """The cached :class:`repro.rendering.accel.MinMaxPyramid` of an array.
+
+        Built lazily on first use and re-used by every subsequent
+        render of the same volume (empty-space skipping, isosurface
+        cell culling, adaptive tile scheduling).
+        """
+        from repro.rendering.accel import MinMaxPyramid
+
+        name = name or self.active_scalars_name
+        key = (name, "minmax", int(tile))
+        cached = self._derived.get(key)
+        if cached is None:
+            arr = self.get_array(name)
+            if arr.ndim != 3:
+                raise RenderingError("min_max_pyramid() requires a scalar array")
+            cached = MinMaxPyramid.build(arr, tile=tile)
+            self._derived[key] = cached
+        return cached

@@ -83,6 +83,7 @@ def marching_tetrahedra(
     array_name: Optional[str] = None,
     deduplicate: bool = True,
     parallel=None,
+    accelerate: bool = True,
 ) -> PolyData:
     """Extract the *isovalue* surface of a scalar array as triangles.
 
@@ -97,19 +98,27 @@ def marching_tetrahedra(
         Scalar array to contour (defaults to the active scalars).
     deduplicate:
         Merge coincident vertices so shared edges produce shared points
-        (needed for smooth point normals).  Costs one ``np.unique``.
+        (needed for smooth point normals).  Costs one vertex sort.
     parallel:
         Optional :class:`repro.parallel.ParallelConfig`; defaults to
         the ambient config.  When enabled (and *deduplicate* is on) the
         volume is partitioned into z-slabs extracted on worker
         processes, with an identical final surface (vertices are
         deduplicated and triangles canonically ordered either way).
+    accelerate:
+        Preselect candidate cells with the volume's min/max tile
+        pyramid: only cells whose tile straddles the isovalue are
+        classified.  A skipped cell provably yields no triangles for
+        any of its six tetrahedra, so the output is array-identical
+        with acceleration on or off (the flag exists for differential
+        tests and ablation benchmarks).
 
     Returns
     -------
     PolyData with ``scalars`` set to the isovalue at every point.
     """
-    scalars = volume.get_array(array_name or volume.active_scalars_name)
+    name = array_name or volume.active_scalars_name
+    scalars = volume.get_array(name)
     if scalars.ndim != 3:
         raise RenderingError("marching_tetrahedra requires a scalar array")
     nx, ny, nz = scalars.shape
@@ -123,21 +132,47 @@ def marching_tetrahedra(
         from repro.parallel.kernels import parallel_marching_tetrahedra
 
         return parallel_marching_tetrahedra(
-            volume, isovalue, array_name=array_name, config=config
+            volume, isovalue, array_name=array_name, config=config,
+            accelerate=accelerate,
         )
 
+    n_cells = (nx - 1) * (ny - 1) * (nz - 1)
     with obs.span(
         "isosurface.marching_tetrahedra",
-        cells=int((nx - 1) * (ny - 1) * (nz - 1)),
+        cells=int(n_cells),
         isovalue=float(isovalue),
     ) as _span:
+        candidates = (
+            candidate_cells(volume, float(isovalue), name) if accelerate else None
+        )
+        if candidates is not None and obs.enabled():
+            obs.counter(
+                "isosurface.cells.skipped",
+                int(n_cells - np.count_nonzero(candidates)),
+            )
         values = _prepared_values(scalars)
-        tri_pts = _slab_triangle_points(values, float(isovalue), 0, nz - 1)
+        tri_pts = _slab_triangle_points(
+            values, float(isovalue), 0, nz - 1, candidates=candidates
+        )
         surface = _finalize_surface(
-            volume, tri_pts, float(isovalue), deduplicate,
-            (nx - 1) * (ny - 1) * (nz - 1), _span,
+            volume, tri_pts, float(isovalue), deduplicate, n_cells, _span,
         )
     return surface
+
+
+def candidate_cells(
+    volume: ImageData, isovalue: float, array_name: str
+) -> np.ndarray:
+    """Conservative boolean cell mask of isovalue-straddling candidates.
+
+    Uses the volume's cached min/max pyramid: a ``False`` cell has no
+    corner above the isovalue or none at-or-below it, so every one of
+    its tetrahedra classifies to the empty case.  Exact — the pyramid
+    stores corner-value bounds and treats non-finite voxels as
+    unbounded-below, matching :func:`_prepared_values`.
+    """
+    pyramid = volume.min_max_pyramid(array_name)
+    return pyramid.cell_mask(pyramid.straddling(isovalue))
 
 
 def _prepared_values(scalars: np.ndarray) -> np.ndarray:
@@ -146,15 +181,24 @@ def _prepared_values(scalars: np.ndarray) -> np.ndarray:
 
 
 def _slab_triangle_points(
-    values: np.ndarray, isovalue: float, z0: int, z1: int
+    values: np.ndarray,
+    isovalue: float,
+    z0: int,
+    z1: int,
+    candidates: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Triangle corner points (index coords) for cells with z in [z0, z1).
 
     Works on the grid slab ``values[:, :, z0:z1+1]`` — every cell's
     corner values and edge interpolation are computed exactly as in a
     full-volume pass, so concatenating slab outputs covers each cell
-    once with bitwise-identical coordinates.  Returns ``(n_tri, 3, 3)``
-    (possibly empty).
+    once with bitwise-identical coordinates.  *candidates* (optional)
+    is a full-grid boolean cell mask from :func:`candidate_cells`;
+    cells outside it are never classified.  Because excluded cells
+    produce no triangles, and candidates are visited in the same
+    ascending flat order as the dense pass, the concatenated output is
+    array-identical either way.  Returns ``(n_tri, 3, 3)`` (possibly
+    empty).
     """
     nx, ny, nz = values.shape
     cx, cy = nx - 1, ny - 1
@@ -163,16 +207,38 @@ def _slab_triangle_points(
     cz = z1 - z0
     slab = values[:, :, z0 : z1 + 1]
 
-    # corner values for every slab cell: shape (8, cx, cy, cz)
-    corner_vals = np.empty((8, cx, cy, cz), dtype=np.float64)
-    for c, (ox, oy, oz) in enumerate(_CORNER_OFFSETS):
-        corner_vals[c] = slab[ox : ox + cx, oy : oy + cy, oz : oz + cz]
-    corner_vals = corner_vals.reshape(8, -1)  # (8, n_cells)
+    if candidates is None:
+        # corner values for every slab cell: shape (8, cx, cy, cz)
+        corner_vals = np.empty((8, cx, cy, cz), dtype=np.float64)
+        for c, (ox, oy, oz) in enumerate(_CORNER_OFFSETS):
+            corner_vals[c] = slab[ox : ox + cx, oy : oy + cy, oz : oz + cz]
+        corner_vals = corner_vals.reshape(8, -1)  # (8, n_cells)
 
-    base_idx = np.stack(
-        np.meshgrid(np.arange(cx), np.arange(cy), np.arange(z0, z1), indexing="ij"),
-        axis=-1,
-    ).reshape(-1, 3)  # (n_cells, 3) integer cell origins
+        base_idx = np.stack(
+            np.meshgrid(np.arange(cx), np.arange(cy), np.arange(z0, z1), indexing="ij"),
+            axis=-1,
+        ).reshape(-1, 3)  # (n_cells, 3) integer cell origins
+    else:
+        if candidates.shape != (cx, cy, nz - 1):
+            raise RenderingError(
+                f"candidate mask shape {candidates.shape} != cell grid "
+                f"{(cx, cy, nz - 1)}"
+            )
+        # ascending flat indices of candidate cells in this slab — same
+        # C-order flattening as the dense meshgrid above, so downstream
+        # per-code grouping sees cells in an identical order
+        cand = np.nonzero(candidates[:, :, z0:z1].reshape(-1))[0]
+        if cand.size == 0:
+            return np.zeros((0, 3, 3), dtype=np.float64)
+        cyz = cy * cz
+        ci = cand // cyz
+        rem = cand - ci * cyz
+        cj = rem // cz
+        ck = rem - cj * cz
+        corner_vals = np.empty((8, cand.size), dtype=np.float64)
+        for c, (ox, oy, oz) in enumerate(_CORNER_OFFSETS):
+            corner_vals[c] = slab[ci + ox, cj + oy, ck + oz]
+        base_idx = np.stack([ci, cj, ck + z0], axis=1)
 
     triangles_xyz: List[np.ndarray] = []
     for tet in _CUBE_TETS:
@@ -188,37 +254,80 @@ def _slab_triangle_points(
         if active.size == 0:
             continue
         active_codes = codes[active]
-        # interpolated crossing point on each of the 6 tet edges for the
-        # active cells (computed lazily per edge used by present cases)
-        edge_points: Dict[int, np.ndarray] = {}
+        present = [int(c) for c in np.unique(active_codes)]
 
-        def edge_xyz(edge_id: int, cells: np.ndarray) -> np.ndarray:
+        # interpolate the crossing point on every edge referenced by a
+        # present case, for the whole active set at once — interpolation
+        # is elementwise, so each cell's value is bit-identical whether
+        # computed here or in a tiny per-case batch
+        needed = sorted(
+            {e for code in present for tri in _TET_TRIANGLES[code] for e in tri}
+        )
+        edge_points = np.empty((len(_TET_EDGES), active.size, 3), dtype=np.float64)
+        for edge_id in needed:
             va_local, vb_local = _TET_EDGES[edge_id]
             ca, cb = tet[va_local], tet[vb_local]
-            fa = corner_vals[ca][cells]
-            fb = corner_vals[cb][cells]
-            denom = fb - fa
+            fa = corner_vals[ca][active]
+            fb = corner_vals[cb][active]
+            # cells whose case doesn't reference this edge may have both
+            # corners at -inf (masked data); their rows are never
+            # gathered, so silence the inf-inf=NaN they produce here
             with np.errstate(invalid="ignore", divide="ignore"):
+                denom = fb - fa
                 t = (isovalue - fa) / np.where(np.abs(denom) < 1e-300, 1.0, denom)
             t = np.clip(np.where(np.isfinite(t), t, 0.5), 0.0, 1.0)
-            pa = base_idx[cells] + _CORNER_OFFSETS[ca]
-            pb = base_idx[cells] + _CORNER_OFFSETS[cb]
-            return pa + (pb - pa) * t[:, None]
+            pa = base_idx[active] + _CORNER_OFFSETS[ca]
+            pb = base_idx[active] + _CORNER_OFFSETS[cb]
+            edge_points[edge_id] = pa + (pb - pa) * t[:, None]
 
-        for code in np.unique(active_codes):
-            tris = _TET_TRIANGLES[int(code)]
+        # assemble the tet's triangles with one gather, in the exact
+        # order of the per-case loop: ascending case code, triangles in
+        # table order, cells ascending
+        pos_parts: List[np.ndarray] = []
+        edge_parts: List[np.ndarray] = []
+        for code in present:
+            tris = _TET_TRIANGLES[code]
             if not tris:
                 continue
-            cells = active[active_codes == code]
-            for ea, eb, ec in tris:
-                pa = edge_xyz(ea, cells)
-                pb = edge_xyz(eb, cells)
-                pc = edge_xyz(ec, cells)
-                triangles_xyz.append(np.stack([pa, pb, pc], axis=1))  # (n, 3, 3)
+            sel = np.nonzero(active_codes == code)[0]
+            for tri_edges in tris:
+                pos_parts.append(sel)
+                edge_parts.append(
+                    np.broadcast_to(
+                        np.array(tri_edges, dtype=np.intp), (sel.size, 3)
+                    )
+                )
+        if not pos_parts:
+            continue
+        pos_all = np.concatenate(pos_parts)
+        edges_all = np.concatenate(edge_parts)
+        triangles_xyz.append(edge_points[edges_all, pos_all[:, None]])  # (n, 3, 3)
 
     if not triangles_xyz:
         return np.zeros((0, 3, 3), dtype=np.float64)
     return np.concatenate(triangles_xyz)  # (n_tri, 3 corners, 3 index-coords)
+
+
+def _unique_rows(rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """``np.unique(rows, axis=0, return_inverse=True)``, but faster.
+
+    ``np.unique(axis=0)`` sorts a structured view with generic
+    comparisons; three type-specialized integer key sorts via
+    ``np.lexsort`` produce the same row-lexicographic unique array and
+    inverse mapping in a fraction of the time.  Exact — both orderings
+    compare rows column-by-column numerically.
+    """
+    if rows.shape[0] == 0:
+        return rows.copy(), np.zeros(0, dtype=np.intp)
+    order = np.lexsort((rows[:, 2], rows[:, 1], rows[:, 0]))
+    ranked = rows[order]
+    boundary = np.empty(ranked.shape[0], dtype=bool)
+    boundary[0] = True
+    np.any(ranked[1:] != ranked[:-1], axis=1, out=boundary[1:])
+    group_of_rank = np.cumsum(boundary) - 1
+    inverse = np.empty(order.shape[0], dtype=np.intp)
+    inverse[order] = group_of_rank
+    return ranked[boundary], inverse
 
 
 def _finalize_surface(
@@ -242,7 +351,7 @@ def _finalize_surface(
     if deduplicate:
         # quantize to merge float-identical shared-edge vertices
         quant = np.round(flat * 2.0**20).astype(np.int64)
-        unique, inverse = np.unique(quant, axis=0, return_inverse=True)
+        unique, inverse = _unique_rows(quant)
         points_index = unique.astype(np.float64) / 2.0**20
         triangles = inverse.reshape(-1, 3)
         # drop degenerate triangles (two corners merged)

@@ -14,6 +14,17 @@ transmittance drops below a threshold, or that pass behind already-
 rasterized opaque geometry (the framebuffer depth), are retired from
 the active set.
 
+Empty-space skipping: a cached per-tile min/max pyramid
+(:mod:`repro.rendering.accel`) marks tiles whose value bounds fall
+entirely outside the opacity transfer function's support — every
+sample in such a tile has opacity *exactly* zero, so it is never
+evaluated.  Rays are clipped to the occupied region's bounding box
+(skipping leading/trailing all-blocked runs without changing the
+fixed ``t_enter + k*step`` sample positions), and inside the box each
+step only samples rays currently inside a potentially-contributing
+tile.  Skipped samples would have contributed nothing byte-for-byte,
+so the output is bitwise identical with skipping on or off.
+
 Tiling: :func:`raycast_rows` renders any horizontal band of the image.
 Every per-ray quantity is computed strictly elementwise (no batched
 BLAS reductions whose rounding could depend on cohort size), so a band
@@ -27,6 +38,7 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 import numpy as np
+from scipy import ndimage
 
 from repro import obs
 from repro.rendering.camera import Camera
@@ -78,6 +90,39 @@ def _rows_dot(vectors: np.ndarray, direction: np.ndarray) -> np.ndarray:
     )
 
 
+def _skip_setup(
+    volume: ImageData,
+    transfer: TransferFunction,
+    name: str,
+):
+    """Empty-space-skipping state: (live-tile flat mask, tile shape, world box).
+
+    Returns ``None`` when skipping is unavailable (degenerate volume),
+    and ``(None, None, None)`` when *nothing* can contribute (opacity
+    support empty, or every tile blocked).
+    """
+    if min(volume.dimensions) < 2:
+        return None
+    support = transfer.opacity_support()
+    pyramid = volume.min_max_pyramid(name)
+    level = pyramid.levels[0]
+    if support is None:
+        return (None, None, None)
+    blocked = pyramid.blocked_outside(support[0], support[1])
+    cell_bounds = pyramid.active_cell_bounds(~blocked)
+    if cell_bounds is None:
+        return (None, None, None)
+    i0, i1, j0, j1, k0, k1 = cell_bounds
+    lo_w = volume.index_to_world(np.array([i0, j0, k0], dtype=np.float64))
+    hi_w = volume.index_to_world(np.array([i1, j1, k1], dtype=np.float64))
+    box = (
+        float(lo_w[0]), float(hi_w[0]),
+        float(lo_w[1]), float(hi_w[1]),
+        float(lo_w[2]), float(hi_w[2]),
+    )
+    return (~blocked).ravel(), level.shape, box
+
+
 def raycast_rows(
     volume: ImageData,
     transfer: TransferFunction,
@@ -91,6 +136,7 @@ def raycast_rows(
     depth_limit: Optional[np.ndarray] = None,
     lighting: bool = True,
     light_direction: Tuple[float, float, float] = (0.4, -0.5, 0.8),
+    empty_space_skipping: bool = True,
     _span=None,
 ) -> np.ndarray:
     """Render pixel rows ``[row0, row1)`` → ``(row1-row0, width, 4)`` RGBA.
@@ -99,6 +145,9 @@ def raycast_rows(
     band is sliced out, so the band's pixels are bitwise identical to
     the same rows of :func:`raycast_volume`.  *depth_limit* (when
     given) is always the full ``(height, width)`` buffer.
+    *empty_space_skipping* toggles the min/max-pyramid acceleration;
+    the output is bitwise identical either way (the flag exists for
+    differential tests and ablation benchmarks).
     """
     if width < 1 or height < 1:
         raise RenderingError("bad image size")
@@ -129,8 +178,31 @@ def raycast_rows(
 
     color = np.zeros((n_rays, 3), dtype=np.float64)
     transmittance = np.ones(n_rays, dtype=np.float64)
-    hit = t_enter < t_exit
-    t_current = np.where(hit, t_enter, np.inf)
+
+    # -- empty-space skipping setup --------------------------------------
+    live_flat: Optional[np.ndarray] = None
+    tile_shape: Optional[Tuple[int, int, int]] = None
+    t_start, t_limit = t_enter, t_exit
+    skip = _skip_setup(volume, transfer, name) if empty_space_skipping else None
+    nothing_contributes = False
+    if skip is not None:
+        live_flat, tile_shape, occupied_box = skip
+        if live_flat is None:
+            nothing_contributes = True
+        else:
+            tb_enter, tb_exit = _ray_box_intersection(origins, dirs, occupied_box)
+            # clip sampling to the occupied box, preserving the exact
+            # t_enter + k*step sample positions; one step of slack on
+            # each side absorbs the intersection's floating-point error
+            with np.errstate(invalid="ignore"):
+                lead = np.maximum(np.floor((tb_enter - t_enter) / step) - 1.0, 0.0)
+            t_start = t_enter + lead * step
+            t_limit = np.minimum(t_exit, tb_exit + 2.0 * step)
+
+    hit = (t_enter < t_exit) & (t_start < t_limit)
+    if nothing_contributes:
+        hit = np.zeros(n_rays, dtype=bool)
+    t_current = np.where(hit, t_start, np.inf)
     active = np.nonzero(hit)[0]
 
     gradient = volume.gradient(name) if lighting else None
@@ -140,53 +212,82 @@ def raycast_rows(
     # opacity correction reference: transfer functions are defined per
     # unit step of the smallest spacing
     reference_step = float(min(volume.spacing))
+    if tile_shape is not None:
+        cell_hi = np.array(
+            [max(d - 2, 0) for d in volume.dimensions], dtype=np.float64
+        )
+        tile_edge = volume.min_max_pyramid(name).tile
 
     # instrumentation state is accumulated in plain locals so the
     # per-step cost with recording off is a single branch
     _obs_on = obs.enabled()
     _samples = 0
+    _skipped = 0
     _steps = 0
 
     max_steps = int(np.ceil(volume.diagonal() / step)) + 2
     for _ in range(max_steps):
         if active.size == 0:
             break
-        if _obs_on:
-            _samples += int(active.size)
-            _steps += 1
         t = t_current[active]
         pts = origins[active] + dirs[active] * t[:, None]
-        samples = volume.sample(pts, name=name)
-        rgb, alpha = transfer.evaluate(samples)
-        # correct opacity for the actual step length
-        alpha = 1.0 - np.power(1.0 - np.clip(alpha, 0.0, 0.999), step / reference_step)
-        if gradient is not None:
-            idx = volume.world_to_index(pts).T
-            from scipy import ndimage
-            g = np.empty((pts.shape[0], 3))
-            for c in range(3):
-                g[:, c] = ndimage.map_coordinates(
-                    gradient[..., c], idx, order=1, mode="nearest", prefilter=False
-                )
-            glen = np.linalg.norm(g, axis=1)
-            shading = np.where(
-                glen > 1e-12,
-                0.4 + 0.6 * np.abs(_rows_dot(g / np.maximum(glen, 1e-12)[:, None], light)),
-                1.0,
+        if live_flat is None:
+            live = None
+            sub = active
+            spts = pts
+        else:
+            idxf = volume.world_to_index(pts)
+            cell = np.clip(np.floor(idxf), 0.0, cell_hi).astype(np.intp)
+            tx, ty, tz = (cell // tile_edge).T
+            flat = (tx * tile_shape[1] + ty) * tile_shape[2] + tz
+            live = live_flat[flat]
+            sub = active[live]
+            spts = pts[live]
+        if _obs_on:
+            _samples += int(sub.size)
+            _skipped += int(active.size - sub.size)
+            _steps += 1
+        if sub.size:
+            samples = volume.sample(spts, name=name)
+            rgb, alpha = transfer.evaluate(samples)
+            # correct opacity for the actual step length
+            alpha = 1.0 - np.power(
+                1.0 - np.clip(alpha, 0.0, 0.999), step / reference_step
             )
-            rgb = rgb * shading[:, None]
-        tr = transmittance[active]
-        color[active] += (tr * alpha)[:, None] * rgb
-        transmittance[active] = tr * (1.0 - alpha)
+            if gradient is not None:
+                idx = (idxf[live] if live is not None
+                       else volume.world_to_index(spts)).T
+                g = np.empty((spts.shape[0], 3), dtype=np.float64)
+                for c in range(3):
+                    g[:, c] = ndimage.map_coordinates(
+                        gradient[..., c], idx, order=1, mode="nearest",
+                        prefilter=False,
+                    )
+                glen = np.linalg.norm(g, axis=1)
+                shading = np.where(
+                    glen > 1e-12,
+                    0.4 + 0.6 * np.abs(
+                        _rows_dot(g / np.maximum(glen, 1e-12)[:, None], light)
+                    ),
+                    1.0,
+                )
+                rgb = rgb * shading[:, None]
+            tr = transmittance[sub]
+            color[sub] += (tr * alpha)[:, None] * rgb
+            transmittance[sub] = tr * (1.0 - alpha)
         t_current[active] = t + step
-        keep = (transmittance[active] > _MIN_TRANSMITTANCE) & (t_current[active] < t_exit[active])
+        keep = (
+            (transmittance[active] > _MIN_TRANSMITTANCE)
+            & (t_current[active] < t_limit[active])
+        )
         active = active[keep]
 
     if _obs_on:
         obs.counter("raycast.samples", _samples)
+        obs.counter("raycast.samples.skipped", _skipped)
         obs.counter("raycast.rays", int(n_rays))
         if _span is not None:
-            _span.set(steps=_steps, samples=_samples)
+            _span.set(steps=_steps, samples=_samples, skipped=_skipped)
 
     alpha_out = 1.0 - transmittance
     rgba = np.concatenate([color, alpha_out[:, None]], axis=1)
@@ -204,6 +305,7 @@ def raycast_volume(
     depth_limit: Optional[np.ndarray] = None,
     lighting: bool = True,
     light_direction: Tuple[float, float, float] = (0.4, -0.5, 0.8),
+    empty_space_skipping: bool = True,
 ) -> np.ndarray:
     """Render *volume* → an ``(height, width, 4)`` float32 RGBA image.
 
@@ -217,6 +319,9 @@ def raycast_volume(
         geometry; rays stop there so opaque geometry occludes volume.
     lighting:
         Modulate sample colors by gradient-based Lambertian shading.
+    empty_space_skipping:
+        Use the min/max tile pyramid to avoid evaluating samples whose
+        opacity is provably zero.  Bitwise identical on or off.
     """
     if width < 1 or height < 1:
         raise RenderingError("bad image size")
@@ -236,6 +341,7 @@ def raycast_volume(
             depth_limit=depth_limit,
             lighting=lighting,
             light_direction=light_direction,
+            empty_space_skipping=empty_space_skipping,
             _span=_span,
         )
     return rgba

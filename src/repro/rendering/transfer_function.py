@@ -14,7 +14,7 @@ whose :meth:`TransferFunction.level` implements the drag gesture.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -38,6 +38,26 @@ class OpacityTransferFunction:
         xs = np.array([p[0] for p in self.points])
         ys = np.array([p[1] for p in self.points])
         return np.interp(np.clip(normalized, 0.0, 1.0), xs, ys)
+
+    def support(self) -> Optional[Tuple[float, float]]:
+        """Normalized interval outside which opacity is *exactly* zero.
+
+        Piecewise-linear segments between two zero control points are
+        identically zero, so the support is bounded by the last zero
+        point before the first positive one and the first zero point
+        after the last positive one.  Values clipped to [0, 1] inherit
+        the boundary opacity, so a positive endpoint extends the
+        support to infinity on that side.  Returns ``None`` when the
+        function is zero everywhere (nothing can ever contribute).
+        """
+        xs = [p[0] for p in self.points]
+        ys = [p[1] for p in self.points]
+        positive = [i for i, y in enumerate(ys) if y > 0.0]
+        if not positive:
+            return None
+        lo = -np.inf if positive[0] == 0 else xs[positive[0] - 1]
+        hi = np.inf if positive[-1] == len(xs) - 1 else xs[positive[-1] + 1]
+        return float(lo), float(hi)
 
     @staticmethod
     def window(center: float, width: float, peak: float = 1.0) -> "OpacityTransferFunction":
@@ -124,16 +144,40 @@ class TransferFunction:
             c_lo, c_hi = max(mid - 5e-4, 0.0), min(mid + 5e-4, 1.0)
             c_hi = max(c_hi, c_lo + 1e-4)
         self.color_window = (c_lo, c_hi)
+        self._opacity_cache: Optional[OpacityTransferFunction] = None
+        self._color_cache: Optional[ColorTransferFunction] = None
 
-    # -- components (rebuilt on demand so leveling is cheap) ----------------
+    # -- components (cached: instances are immutable — every leveling /
+    # -- colormap operation returns a new TransferFunction) -----------------
 
     @property
     def opacity(self) -> OpacityTransferFunction:
-        return OpacityTransferFunction.window(self.center, self.width, self.peak_opacity)
+        if self._opacity_cache is None:
+            self._opacity_cache = OpacityTransferFunction.window(
+                self.center, self.width, self.peak_opacity
+            )
+        return self._opacity_cache
 
     @property
     def color(self) -> ColorTransferFunction:
-        return ColorTransferFunction(self.colormap, self.color_window)
+        if self._color_cache is None:
+            self._color_cache = ColorTransferFunction(self.colormap, self.color_window)
+        return self._color_cache
+
+    def opacity_support(self) -> Optional[Tuple[float, float]]:
+        """Raw-scalar interval outside which opacity is exactly zero.
+
+        ``None`` means the opacity function is zero everywhere.  The
+        ray caster's empty-space skipping compares per-tile value
+        bounds against this interval; anything outside contributes
+        nothing to the image, byte for byte.
+        """
+        support = self.opacity.support()
+        if support is None:
+            return None
+        lo, hi = self.scalar_range
+        span = hi - lo
+        return lo + support[0] * span, lo + support[1] * span
 
     def normalize(self, values: np.ndarray) -> np.ndarray:
         lo, hi = self.scalar_range

@@ -57,9 +57,17 @@ def isolated_cache(tmp_path, monkeypatch):
 def pytest_addoption(parser):
     parser.addoption(
         "--regen-goldens",
-        action="store_true",
-        default=False,
-        help="rewrite the golden images under tests/goldens/ instead of comparing",
+        nargs="?",
+        const="all",
+        default=None,
+        metavar="PLOTS",
+        help=(
+            "rewrite golden images under tests/goldens/ instead of comparing. "
+            "Bare flag regenerates every plot type; pass a comma-separated "
+            "subset (e.g. --regen-goldens=volume,isosurface) to regenerate "
+            "only those.  Each rewrite prints a changed-pixel summary vs the "
+            "previous golden."
+        ),
     )
 
 

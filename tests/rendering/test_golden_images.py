@@ -11,6 +11,14 @@ through).
 Regenerate the goldens after an intentional rendering change with::
 
     pytest tests/rendering/test_golden_images.py --regen-goldens
+
+or, to touch only specific plot types and leave the rest alone::
+
+    pytest tests/rendering/test_golden_images.py --regen-goldens=volume,isosurface
+
+Each regeneration prints a changed-pixel summary against the previous
+golden, so an "intentional" change that unexpectedly shifts thousands
+of pixels is visible right in the test output.
 """
 
 from pathlib import Path
@@ -38,6 +46,24 @@ PARALLEL = ParallelConfig(workers=WORKERS, min_items=1, timeout=300.0)
 pytestmark = pytest.mark.skipif(
     not PARALLEL.enabled, reason="POSIX shared memory unavailable"
 )
+
+
+def _regen_summary(golden_path, image):
+    """Changed-pixel diff vs the previous golden (for regen output)."""
+    if not golden_path.exists():
+        return "new golden (no previous image)"
+    previous = read_ppm(golden_path)
+    if previous.shape != image.shape:
+        return f"size changed {previous.shape} -> {image.shape}"
+    diff = np.abs(previous.astype(np.int16) - image.astype(np.int16))
+    changed = int(np.count_nonzero(diff.max(axis=-1)))
+    if changed == 0:
+        return "byte-identical to previous golden"
+    total = image.shape[0] * image.shape[1]
+    return (
+        f"{changed}/{total} pixels changed "
+        f"({100.0 * changed / total:.1f}%), max channel delta {int(diff.max())}"
+    )
 
 
 def _build_plot(name, reanalysis, waves):
@@ -74,10 +100,16 @@ def test_golden_image(name, reanalysis, waves, request):
 
     image = serial_fb.to_uint8()
     golden_path = GOLDEN_DIR / f"{name}.ppm"
-    if request.config.getoption("--regen-goldens"):
-        golden_path.parent.mkdir(parents=True, exist_ok=True)
-        write_ppm(golden_path, image)
-        pytest.skip(f"regenerated {golden_path.name}")
+    regen = request.config.getoption("--regen-goldens")
+    if regen is not None:
+        requested = [t.strip() for t in regen.split(",") if t.strip()]
+        if regen == "all" or name in requested:
+            summary = _regen_summary(golden_path, image)
+            golden_path.parent.mkdir(parents=True, exist_ok=True)
+            write_ppm(golden_path, image)
+            pytest.skip(f"regenerated {golden_path.name}: {summary}")
+        else:
+            pytest.skip(f"{name} not in --regen-goldens={regen}")
     assert golden_path.exists(), (
         f"missing golden {golden_path}; run pytest --regen-goldens"
     )

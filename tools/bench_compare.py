@@ -1,0 +1,265 @@
+#!/usr/bin/env python
+"""Compare a fresh ``BENCH_parallel.json`` against a committed baseline.
+
+This is the CI perf-regression gate: the ``perf`` job runs
+``perf_report --parallel``, then this tool diffs the pinned kernel
+timings against ``benchmarks/baselines/BENCH_parallel.json`` and fails
+the build when a kernel slowed down by more than the threshold.
+
+Cross-machine noise is handled two ways:
+
+* every ``perf_report`` artifact embeds ``meta.calibration_s`` — the
+  best-of-N time of a fixed numpy workload on the machine that produced
+  it — and all comparisons are made in *calibrated units*
+  (``seconds / calibration_s``), so a slower CI runner shifts both
+  sides equally;
+* a regression is only reported when the slowdown clears both the
+  relative threshold (default 20%) **and** an absolute floor in
+  calibrated units, so micro-benchmarks jittering by fractions of a
+  millisecond cannot fail a build.
+
+``--speedup-baseline`` adds a second check, used to enforce the batched
+-kernel speedup contract: the fresh run's serial timings must beat the
+named (pre-optimization) baseline by ``--speedup-floor`` on every
+pinned kernel.
+
+Exit codes: 0 ok, 1 regression (or missing speedup), 2 usage/IO error.
+
+Usage::
+
+    PYTHONPATH=src python tools/perf_report.py --parallel --quick --out fresh.json
+    python tools/bench_compare.py fresh.json \
+        --baseline benchmarks/baselines/BENCH_parallel.quick.json \
+        --speedup-baseline benchmarks/baselines/BENCH_parallel.pre_batching.quick.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+#: kernels whose serial timings gate the build
+PINNED_KERNELS = ("raycast", "isosurface")
+
+#: relative slowdown tolerated before a pinned metric is a regression
+DEFAULT_THRESHOLD = 0.20
+
+#: absolute floor, in calibrated units, below which a slowdown is noise
+#: (with calibration_s ≈ 3 ms this is ≈ 1.5 ms of raw wall time)
+DEFAULT_MIN_DELTA = 0.5
+
+
+class CompareError(Exception):
+    """Unusable input (missing file, malformed artifact, bad metric)."""
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise CompareError(f"cannot read benchmark artifact {path!r}: {exc}") from exc
+
+
+def calibration(report: Dict[str, Any]) -> float:
+    value = report.get("meta", {}).get("calibration_s")
+    if not isinstance(value, (int, float)) or value <= 0:
+        raise CompareError(
+            "artifact has no usable meta.calibration_s "
+            "(regenerate it with the current perf_report)"
+        )
+    return float(value)
+
+
+def kernel_seconds(report: Dict[str, Any], kernel: str, field: str) -> float:
+    value = report.get("kernels", {}).get(kernel, {}).get(field)
+    if not isinstance(value, (int, float)) or value <= 0:
+        raise CompareError(f"artifact has no usable kernels.{kernel}.{field}")
+    return float(value)
+
+
+def compare_reports(
+    fresh: Dict[str, Any],
+    baseline: Dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+    min_delta: float = DEFAULT_MIN_DELTA,
+    kernels: Tuple[str, ...] = PINNED_KERNELS,
+) -> List[Dict[str, Any]]:
+    """Per-kernel comparison rows; ``row["regression"]`` flags failures.
+
+    Times are divided by each artifact's own ``meta.calibration_s``
+    before comparing, so artifacts from differently-sized machines are
+    commensurable.
+    """
+    fresh_cal = calibration(fresh)
+    base_cal = calibration(baseline)
+    rows: List[Dict[str, Any]] = []
+    for kernel in kernels:
+        fresh_units = kernel_seconds(fresh, kernel, "serial_s") / fresh_cal
+        base_units = kernel_seconds(baseline, kernel, "serial_s") / base_cal
+        ratio = fresh_units / base_units
+        regression = (
+            ratio > 1.0 + threshold and (fresh_units - base_units) > min_delta
+        )
+        rows.append(
+            {
+                "kernel": kernel,
+                "metric": "serial_s",
+                "fresh_s": kernel_seconds(fresh, kernel, "serial_s"),
+                "baseline_s": kernel_seconds(baseline, kernel, "serial_s"),
+                "fresh_units": fresh_units,
+                "baseline_units": base_units,
+                "ratio": ratio,
+                "regression": bool(regression),
+            }
+        )
+    return rows
+
+
+def check_speedup(
+    fresh: Dict[str, Any],
+    reference: Dict[str, Any],
+    floor: float,
+    kernels: Tuple[str, ...] = PINNED_KERNELS,
+) -> List[Dict[str, Any]]:
+    """Calibrated speedup of *fresh* over a pre-optimization *reference*."""
+    fresh_cal = calibration(fresh)
+    ref_cal = calibration(reference)
+    rows: List[Dict[str, Any]] = []
+    for kernel in kernels:
+        fresh_units = kernel_seconds(fresh, kernel, "serial_s") / fresh_cal
+        ref_units = kernel_seconds(reference, kernel, "serial_s") / ref_cal
+        speedup = ref_units / fresh_units
+        rows.append(
+            {
+                "kernel": kernel,
+                "metric": "serial_s",
+                "speedup": speedup,
+                "floor": floor,
+                "ok": bool(speedup >= floor),
+            }
+        )
+    return rows
+
+
+def format_table(rows: List[Dict[str, Any]], threshold: float) -> str:
+    lines = [
+        "| kernel | baseline | fresh | calibrated ratio | status |",
+        "|---|---|---|---|---|",
+    ]
+    for row in rows:
+        status = "REGRESSION" if row["regression"] else "ok"
+        lines.append(
+            "| {kernel} | {baseline_s:.4f}s | {fresh_s:.4f}s "
+            "| {ratio:.2f}x | {status} |".format(status=status, **row)
+        )
+    lines.append("")
+    lines.append(
+        f"Gate: fail when calibrated ratio > {1.0 + threshold:.2f}x "
+        "and the slowdown clears the noise floor."
+    )
+    return "\n".join(lines)
+
+
+def format_speedup_table(rows: List[Dict[str, Any]]) -> str:
+    lines = [
+        "| kernel | speedup vs pre-batching | floor | status |",
+        "|---|---|---|---|",
+    ]
+    for row in rows:
+        status = "ok" if row["ok"] else "TOO SLOW"
+        lines.append(
+            "| {kernel} | {speedup:.2f}x | {floor:.2f}x | {status} |".format(
+                status=status, **row
+            )
+        )
+    return "\n".join(lines)
+
+
+def write_job_summary(markdown: str) -> None:
+    """Append to the GitHub Actions job summary when running in CI."""
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not summary_path:
+        return
+    try:
+        with open(summary_path, "a", encoding="utf-8") as handle:
+            handle.write(markdown + "\n")
+    except OSError:
+        pass  # a broken summary file must not mask the comparison result
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="fresh BENCH_parallel.json to evaluate")
+    parser.add_argument(
+        "--baseline",
+        default=str(
+            Path(__file__).resolve().parent.parent
+            / "benchmarks" / "baselines" / "BENCH_parallel.json"
+        ),
+        help="committed baseline artifact to diff against",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="relative slowdown tolerated before failing (default 0.20)",
+    )
+    parser.add_argument(
+        "--min-delta", type=float, default=DEFAULT_MIN_DELTA,
+        help="absolute noise floor in calibrated units (default 0.5)",
+    )
+    parser.add_argument(
+        "--speedup-baseline", default=None,
+        help="pre-optimization artifact the fresh run must beat",
+    )
+    parser.add_argument(
+        "--speedup-floor", type=float, default=3.0,
+        help="required calibrated speedup over --speedup-baseline (default 3.0)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        fresh = load_report(args.fresh)
+        baseline = load_report(args.baseline)
+        rows = compare_reports(
+            fresh, baseline, threshold=args.threshold, min_delta=args.min_delta
+        )
+        speedup_rows: List[Dict[str, Any]] = []
+        if args.speedup_baseline:
+            reference = load_report(args.speedup_baseline)
+            speedup_rows = check_speedup(fresh, reference, args.speedup_floor)
+    except CompareError as exc:
+        print(f"bench_compare: {exc}", file=sys.stderr)
+        return 2
+
+    markdown = "## Perf regression gate\n\n" + format_table(rows, args.threshold)
+    if speedup_rows:
+        markdown += "\n\n### Batched-kernel speedup contract\n\n"
+        markdown += format_speedup_table(speedup_rows)
+    print(markdown)
+    write_job_summary(markdown)
+
+    failed = [row for row in rows if row["regression"]]
+    too_slow = [row for row in speedup_rows if not row["ok"]]
+    if failed or too_slow:
+        for row in failed:
+            print(
+                f"bench_compare: REGRESSION {row['kernel']}.{row['metric']}: "
+                f"{row['ratio']:.2f}x calibrated baseline",
+                file=sys.stderr,
+            )
+        for row in too_slow:
+            print(
+                f"bench_compare: speedup floor missed for {row['kernel']}: "
+                f"{row['speedup']:.2f}x < {row['floor']:.2f}x",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -222,6 +222,32 @@ def _usable_cores() -> int:
         return os.cpu_count() or 1
 
 
+def calibrate(repeats: int = 5) -> float:
+    """Best-of-N seconds for a fixed, deterministic numpy workload.
+
+    Recorded in every artifact's ``meta.calibration_s`` so timings can
+    be compared across machines of different speeds: dividing a
+    scenario time by the calibration time yields a unitless cost that
+    is stable across hardware generations (same memory/ALU mix as the
+    render kernels).  ``tools/bench_compare.py`` normalizes with this
+    before applying its regression threshold.
+    """
+    rng = np.random.default_rng(20260808)
+    volume = rng.standard_normal((64, 64, 48))
+    coords = rng.uniform(0, 47, size=(3, 20000))
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        from scipy import ndimage
+
+        sampled = ndimage.map_coordinates(volume, coords, order=1, prefilter=False)
+        np.sort(volume, axis=0)
+        np.exp(np.clip(volume, -1.0, 1.0)).sum()
+        float(sampled.sum())
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
 def _best_of(fn, repeats: int):
     """Best-of-N wall time plus the final return value."""
     best = float("inf")
@@ -233,7 +259,7 @@ def _best_of(fn, repeats: int):
     return best, value
 
 
-def parallel_report(sizes: Dict[str, Any], repeats: int = 3) -> Dict[str, Any]:
+def parallel_report(sizes: Dict[str, Any], repeats: int = 5) -> Dict[str, Any]:
     """Serial vs 4-worker timings for the tiled render kernels.
 
     Returns the ``kernels``/``aggregates`` payload sections; raises
@@ -398,6 +424,7 @@ def run_cache_mode(args, sizes: Dict[str, Any]) -> int:
             "python": platform.python_version(),
             "platform": platform.platform(),
             "cores": _usable_cores(),
+            "calibration_s": calibrate(),
             "wall_s": wall,
         },
     }
@@ -545,6 +572,7 @@ def run_resilience_mode(args, sizes: Dict[str, Any]) -> int:
             "python": platform.python_version(),
             "platform": platform.platform(),
             "cores": _usable_cores(),
+            "calibration_s": calibrate(),
             "wall_s": wall,
         },
     }
@@ -615,6 +643,7 @@ def run_parallel_mode(args, sizes: Dict[str, Any]) -> int:
             "python": platform.python_version(),
             "platform": platform.platform(),
             "cores": _usable_cores(),
+            "calibration_s": calibrate(),
             "wall_s": wall,
         },
     }
@@ -701,6 +730,8 @@ def main(argv=None) -> int:
             "mode": "quick" if args.quick else "full",
             "python": platform.python_version(),
             "platform": platform.platform(),
+            "cores": _usable_cores(),
+            "calibration_s": calibrate(),
             "wall_s": wall,
         },
         "aggregates": aggregate(recorder),
