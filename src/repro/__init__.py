@@ -20,6 +20,8 @@ The package rebuilds the paper's full system in pure Python:
   spreadsheet and the UV-CDAT application facade;
 * :mod:`repro.hyperwall` — the distributed (server + display clients)
   visualization framework;
+* :mod:`repro.serving` — the multi-tenant async serving layer
+  (request coalescing, admission control, per-tenant cache quotas);
 * :mod:`repro.data` — deterministic, physically-structured synthetic
   climate datasets standing in for NASA model output.
 
@@ -50,6 +52,7 @@ __all__ = [
     "dv3d",
     "spreadsheet",
     "hyperwall",
+    "serving",
     "app",
     "data",
     "util",

@@ -100,6 +100,30 @@ class Application:
             return project.execute_cell(sheet_name, slot[0], slot[1])
         return None
 
+    def render_slot(
+        self,
+        sheet_name: str,
+        slot: Tuple[int, int],
+        width: int = 400,
+        height: int = 300,
+    ):
+        """Render the live cell bound to *slot*, executing it first if needed.
+
+        This is the serving layer's front door into a session: repeat
+        renders of an already-executed slot skip workflow execution
+        entirely and go straight to the (cache-aware) renderer.
+        Returns the :class:`~repro.rendering.framebuffer.Framebuffer`.
+        """
+        sheet = self.project.sheets[sheet_name]
+        cell_slot = sheet.get(slot[0], slot[1])
+        if cell_slot is None:
+            raise SpreadsheetError(
+                f"slot {slot!r} of {sheet_name!r} is empty; create_plot() first"
+            )
+        if cell_slot.cell is None:
+            self.project.execute_cell(sheet_name, slot[0], slot[1])
+        return cell_slot.cell.render(width, height)
+
     # -- synchronized interaction ---------------------------------------------------
 
     def sync_group(self, sheet_name: str) -> SyncGroup:

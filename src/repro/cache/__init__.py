@@ -24,7 +24,12 @@ Consumers (all opt-in through the ambient config):
   cell rides on this;
 * :func:`~repro.cdms.regrid.regrid_bilinear` /
   :func:`~repro.cdms.regrid.regrid_conservative` memoize regrid
-  products by (variable, target grid, scheme, parallel-tiling) digest.
+  products by (variable, target grid, scheme, parallel-tiling) digest;
+* :class:`~repro.serving.server.ServingServer` keys every request by
+  its canonical digest — the coalescing key for concurrent sessions —
+  and serves repeat requests (and stale frames under overload) from
+  this cache, with per-tenant quota eviction via
+  :meth:`~repro.cache.store.ResultCache.delete`.
 
 Usage::
 

@@ -93,6 +93,11 @@ class MemoryTier:
                 evicted += 1
         return evicted
 
+    def delete(self, key: str) -> bool:
+        """Drop *key* if present; returns whether an entry was removed."""
+        with self._lock:
+            return self._entries.pop(key, None) is not None
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
@@ -163,6 +168,13 @@ class DiskTier:
             path.unlink()
         except OSError:
             pass
+
+    def delete(self, key: str) -> bool:
+        """Unlink *key*'s entry; returns whether a file was removed."""
+        path = self._path(key)
+        existed = path.exists()
+        self._discard(path)
+        return existed
 
     # -- store -------------------------------------------------------------
 
@@ -291,6 +303,23 @@ class ResultCache:
             obs.histogram(
                 "cache.store.seconds", time.perf_counter() - start, site=site
             )
+
+    def delete(self, key: str, site: str = "cache") -> bool:
+        """Remove *key* from every tier (targeted invalidation).
+
+        The serving layer's per-tenant quota ledger calls this to evict
+        one tenant's overflow without disturbing other tenants' entries.
+        Returns whether any tier held the key.
+        """
+        removed = False
+        if self.memory is not None:
+            removed = self.memory.delete(key) or removed
+        if self.disk is not None:
+            removed = self.disk.delete(key) or removed
+        if removed:
+            self.evictions += 1
+            obs.counter("cache.evictions", site=site)
+        return removed
 
     def stats(self) -> Dict[str, int]:
         return {

@@ -70,7 +70,13 @@ class LocalCluster:
         self._processes: List[mp.Process] = []
 
     def start(self, timeout: float = 60.0) -> List[int]:
-        """Spawn client processes and wait for all to connect."""
+        """Spawn client processes and wait for all to connect.
+
+        A failed accept (a client dying before its hello, a timeout)
+        tears the whole cluster down before re-raising — ``__exit__``
+        never runs when ``__enter__`` fails, so the cleanup must happen
+        here or the spawned clients would outlive the failed test.
+        """
         ctx = mp.get_context("fork")
         for client_id in range(self.n_clients):
             proc = ctx.Process(
@@ -80,10 +86,15 @@ class LocalCluster:
                     self.io_timeout, self.cache,
                 ),
                 daemon=True,
+                name=f"repro-hyperwall-client-{client_id}",
             )
             proc.start()
             self._processes.append(proc)
-        return self.server.accept_clients(self.n_clients, timeout=timeout)
+        try:
+            return self.server.accept_clients(self.n_clients, timeout=timeout)
+        except BaseException:
+            self.stop()
+            raise
 
     def run_session(self, events: Optional[List[Dict[str, Any]]] = None) -> Dict[str, Any]:
         """One full session: distribute, execute everywhere, propagate events.
@@ -121,6 +132,9 @@ class LocalCluster:
             proc.join(max(deadline - time.time(), 0.1))
             if proc.is_alive():
                 proc.terminate()
+                proc.join(1.0)
+            if proc.is_alive():  # terminate() ignored — escalate to SIGKILL
+                proc.kill()
                 proc.join(1.0)
         self._processes.clear()
 

@@ -17,15 +17,25 @@ from repro.util.errors import RenderingError
 PathLike = Union[str, Path]
 
 
-def write_ppm(path: PathLike, image: np.ndarray) -> None:
-    """Write an ``(h, w, 3)`` uint8 array as binary PPM (P6)."""
+def ppm_bytes(image: np.ndarray) -> bytes:
+    """Encode an ``(h, w, 3)`` uint8 array as binary PPM (P6) bytes.
+
+    The serving layer ships frames as these payloads: the encoding is
+    deterministic, so equal framebuffers produce byte-identical
+    responses (the coalescing fan-out contract).
+    """
     image = np.asarray(image)
     if image.ndim != 3 or image.shape[2] != 3 or image.dtype != np.uint8:
-        raise RenderingError(f"write_ppm expects (h, w, 3) uint8, got {image.shape} {image.dtype}")
+        raise RenderingError(f"ppm_bytes expects (h, w, 3) uint8, got {image.shape} {image.dtype}")
     height, width = image.shape[:2]
+    header = f"P6\n{width} {height}\n255\n".encode("ascii")
+    return header + np.ascontiguousarray(image).tobytes()
+
+
+def write_ppm(path: PathLike, image: np.ndarray) -> None:
+    """Write an ``(h, w, 3)`` uint8 array as binary PPM (P6)."""
     with open(path, "wb") as handle:
-        handle.write(f"P6\n{width} {height}\n255\n".encode("ascii"))
-        handle.write(np.ascontiguousarray(image).tobytes())
+        handle.write(ppm_bytes(image))
 
 
 def write_pgm(path: PathLike, image: np.ndarray) -> None:

@@ -1,0 +1,66 @@
+"""Multi-tenant async serving over the exploration substrate.
+
+The paper's workflow is one scientist at one workstation (or one
+hyperwall); this package is the step toward *many* concurrent sessions
+sharing one render substrate.  An asyncio :class:`ServingServer` fronts
+:mod:`repro.app` / :mod:`repro.spreadsheet` with:
+
+* **request coalescing** — identical :mod:`repro.cache` digests
+  collapse to one in-flight computation, fanned out byte-identically
+  (:mod:`repro.serving.request`);
+* **admission control + load shedding** — bounded queues and
+  deadline-aware rejection (:mod:`repro.serving.admission`), and
+  graceful degradation through a :mod:`repro.resilience` circuit
+  breaker (cached/low-res frames when the kernel path is saturated);
+* **per-tenant fairness** — cache-residency quotas so one noisy tenant
+  cannot evict another's working set (:mod:`repro.serving.quota`);
+* **observability** — queue depth, coalesced fan-out, shed counters
+  and latency histograms via :mod:`repro.obs`.
+
+``tools/loadgen.py`` drives this layer open-loop with deterministic
+seeded zipf traffic and emits the ``BENCH_serving.json`` artifact.
+"""
+
+from repro.serving.admission import (
+    REASON_CLOSED,
+    REASON_DEADLINE,
+    REASON_EXPIRED,
+    REASON_QUEUE_FULL,
+    REASON_SATURATED,
+    AdmissionController,
+)
+from repro.serving.backend import AppBackend
+from repro.serving.config import ServingConfig
+from repro.serving.quota import QuotaLedger
+from repro.serving.request import (
+    KINDS,
+    STATUS_DEGRADED,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_SHED,
+    Request,
+    Response,
+    request_key,
+)
+from repro.serving.server import ServingServer
+
+__all__ = [
+    "AdmissionController",
+    "AppBackend",
+    "KINDS",
+    "QuotaLedger",
+    "REASON_CLOSED",
+    "REASON_DEADLINE",
+    "REASON_EXPIRED",
+    "REASON_QUEUE_FULL",
+    "REASON_SATURATED",
+    "Request",
+    "Response",
+    "STATUS_DEGRADED",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_SHED",
+    "ServingConfig",
+    "ServingServer",
+    "request_key",
+]

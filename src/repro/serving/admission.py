@@ -1,0 +1,102 @@
+"""Admission control: bounded queues and deadline-aware rejection.
+
+The server asks the :class:`AdmissionController` before enqueueing any
+non-coalescing request.  Two checks, both O(1):
+
+* **bounded queue** — at most ``queue_limit`` requests may wait;
+  beyond that the system is saturated and queueing more work only
+  grows latency for everyone (open-loop load does not slow down when
+  the server does);
+* **predicted deadline miss** — an EWMA of observed service times
+  estimates how long the current queue will take to drain; a request
+  whose deadline is shorter than that estimate is shed immediately
+  rather than executed for nobody.
+
+The clock is injectable (mirroring :mod:`repro.resilience`): tests
+drive deadline expiry with a fake clock instead of sleeping on the
+event loop.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Tuple
+
+from repro.serving.config import ServingConfig
+from repro.serving.request import Request
+
+#: shed reasons reported in Response.reason and the serving.shed counter
+REASON_QUEUE_FULL = "queue_full"
+REASON_DEADLINE = "deadline"
+REASON_EXPIRED = "expired"
+REASON_SATURATED = "saturated"
+REASON_CLOSED = "closed"
+
+
+class AdmissionController:
+    """Decides, per request, whether the queue may grow by one."""
+
+    def __init__(
+        self,
+        config: ServingConfig,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config
+        self.clock = clock
+        self._ewma_service_s = 0.0
+
+    # -- service-time estimation -------------------------------------------
+
+    @property
+    def ewma_service_s(self) -> float:
+        """Smoothed per-request service time (0 until first observation)."""
+        return self._ewma_service_s
+
+    def observe_service(self, seconds: float) -> None:
+        """Feed one completed execution's duration into the estimate."""
+        seconds = max(float(seconds), 0.0)
+        if self._ewma_service_s == 0.0:
+            self._ewma_service_s = seconds
+        else:
+            alpha = self.config.ewma_alpha
+            self._ewma_service_s = (
+                alpha * seconds + (1.0 - alpha) * self._ewma_service_s
+            )
+
+    def estimated_wait_s(self, queue_depth: int) -> float:
+        """Predicted queue wait for a request arriving now.
+
+        ``(depth + 1)`` requests must be served across ``workers``
+        parallel drains before the newcomer completes; with no service
+        observations yet the estimate is 0 (admit optimistically).
+        """
+        if self._ewma_service_s == 0.0:
+            return 0.0
+        return (queue_depth + 1) * self._ewma_service_s / self.config.workers
+
+    # -- the admission decision ---------------------------------------------
+
+    def deadline_of(self, request: Request) -> Optional[float]:
+        """Absolute deadline for *request* admitted now (None = none)."""
+        relative = request.deadline_s
+        if relative is None and self.config.default_deadline_s > 0:
+            relative = self.config.default_deadline_s
+        if relative is None or relative <= 0:
+            return None
+        return self.clock() + float(relative)
+
+    def admit(self, request: Request, queue_depth: int) -> Tuple[bool, str]:
+        """``(admitted, shed_reason)``; reason is ``""`` when admitted."""
+        if queue_depth >= self.config.queue_limit:
+            return False, REASON_QUEUE_FULL
+        relative = request.deadline_s
+        if relative is None and self.config.default_deadline_s > 0:
+            relative = self.config.default_deadline_s
+        if (
+            relative is not None
+            and relative > 0
+            and self.config.shed_on_predicted_miss
+            and self.estimated_wait_s(queue_depth) > relative
+        ):
+            return False, REASON_DEADLINE
+        return True, ""

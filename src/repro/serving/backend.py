@@ -1,0 +1,121 @@
+"""The app backend: request params → spreadsheet cell → frame bytes.
+
+:class:`AppBackend` adapts a headless UV-CDAT session
+(:class:`~repro.app.application.Application`) to the server's backend
+contract ``(request, degraded) -> bytes``.  Each distinct *scene* — the
+(template, source, variables, size, selector, cell_params) tuple — gets
+one spreadsheet slot, built lazily with ``create_plot`` on first use
+and re-rendered thereafter through ``render_slot`` (which rides the
+renderer's frame cache).  Frames are encoded as deterministic binary
+PPM, so byte-identical responses are a meaningful equality.
+
+The Application and its workflow machinery are not thread-safe; the
+backend serializes every call under one lock.  Parallelism at the
+serving tier comes from coalescing and caching, not from concurrent
+workflow mutation — and the kernels below may still fan out to their
+own process pool.
+
+Request ``params`` contract (all optional but ``template``)::
+
+    template   palette plot name          (default "Slicer")
+    source     dataset source string      (default "synthetic_reanalysis")
+    variables  dict of port -> var name   (default {"variable": "ta"})
+    size       workflow grid size dict    (e.g. {"lat": 16, "lon": 16})
+    selector   subset selector dict
+    cell_params  extra DV3D cell params
+    width / height  frame pixels          (defaults 64 x 48)
+
+``degraded=True`` renders at ``1/degraded_scale`` resolution (floored
+at 8 px) — the breaker-open fallback the server uses when the full
+pipeline is failing or saturated.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from repro.app.application import Application
+from repro.cache.keys import cache_key
+from repro.rendering.ppm import ppm_bytes
+from repro.serving.config import ServingConfig
+from repro.serving.request import Request
+from repro.util.errors import ServingError
+
+#: floor for degraded renders; below this frames stop being pictures
+MIN_DEGRADED_PX = 8
+
+
+class AppBackend:
+    """Serve ``render`` requests out of one headless application session."""
+
+    def __init__(
+        self,
+        app: Optional[Application] = None,
+        config: Optional[ServingConfig] = None,
+        project: str = "serving",
+        default_source: str = "synthetic_reanalysis",
+        default_template: str = "Slicer",
+    ) -> None:
+        self.app = app if app is not None else Application()
+        self.config = config if config is not None else ServingConfig()
+        self.default_source = default_source
+        self.default_template = default_template
+        self._lock = threading.Lock()
+        #: scene digest -> (sheet_name, slot)
+        self._scenes: Dict[str, Tuple[str, Tuple[int, int]]] = {}
+        if project not in self.app.projects:
+            self.app.new_project(project)
+        self.app.current_project = project
+
+    def __call__(self, request: Request, degraded: bool) -> bytes:
+        if request.kind != "render":
+            raise ServingError(
+                f"AppBackend only serves kind='render', got {request.kind!r}"
+            )
+        params = dict(request.params)
+        width = int(params.get("width", 64))
+        height = int(params.get("height", 48))
+        if degraded:
+            scale = self.config.degraded_scale
+            width = max(width // scale, MIN_DEGRADED_PX)
+            height = max(height // scale, MIN_DEGRADED_PX)
+        with self._lock:
+            sheet_name, slot = self._ensure_scene(params)
+            framebuffer = self.app.render_slot(sheet_name, slot, width, height)
+        return ppm_bytes(framebuffer.to_uint8())
+
+    # -- scene management ---------------------------------------------------
+
+    def _ensure_scene(
+        self, params: Dict[str, Any]
+    ) -> Tuple[str, Tuple[int, int]]:
+        """One slot per distinct scene; build the workflow on first use."""
+        template = str(params.get("template", self.default_template))
+        source = str(params.get("source", self.default_source))
+        variables = dict(params.get("variables") or {"variable": "ta"})
+        size = params.get("size")
+        selector = params.get("selector")
+        cell_params = params.get("cell_params")
+        digest = cache_key(
+            "serving.backend.scene",
+            template, source, variables,
+            size or {}, selector or {}, cell_params or {},
+        )
+        known = self._scenes.get(digest)
+        if known is not None:
+            return known
+        sheet_name = f"scene_{len(self._scenes):04d}_{digest[:8]}"
+        slot = (0, 0)
+        self.app.create_plot(
+            template, sheet_name, slot, source, variables,
+            size=size, selector=selector, cell_params=cell_params,
+        )
+        self._scenes[digest] = (sheet_name, slot)
+        return self._scenes[digest]
+
+    @property
+    def scene_count(self) -> int:
+        """How many distinct scenes this session has materialized."""
+        with self._lock:
+            return len(self._scenes)

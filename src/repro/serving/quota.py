@@ -1,0 +1,104 @@
+"""Per-tenant cache quotas and fairness accounting.
+
+The serving cache is shared — coalesced requests from different tenants
+store one entry — but *residency* is accounted per tenant: every store
+is charged to the tenant whose request triggered it, and a tenant over
+its entry/byte quota evicts its **own** least-recently-used keys.  One
+noisy tenant rendering thousands of distinct scenes can therefore never
+flush another tenant's working set out of the serving cache.
+
+The ledger is bookkeeping only: the server performs the actual
+:meth:`repro.cache.store.ResultCache.delete` calls with the keys the
+ledger hands back, so the ledger stays trivially testable (no I/O, no
+clock).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Tuple
+
+
+class QuotaLedger:
+    """Tracks per-tenant serving-cache residency and computes evictions.
+
+    ``max_entries`` / ``max_bytes`` of 0 disable that bound.  All
+    methods are thread-safe (workers charge from executor threads).
+    """
+
+    def __init__(self, max_entries: int = 0, max_bytes: int = 0) -> None:
+        self.max_entries = int(max_entries)
+        self.max_bytes = int(max_bytes)
+        self._lock = threading.Lock()
+        #: tenant -> OrderedDict[key, nbytes] in LRU order (oldest first)
+        self._tenants: Dict[str, "OrderedDict[str, int]"] = {}
+        self._bytes: Dict[str, int] = {}
+        self._charged: Dict[str, int] = {}
+        self._evicted: Dict[str, int] = {}
+
+    @property
+    def enforcing(self) -> bool:
+        return self.max_entries > 0 or self.max_bytes > 0
+
+    def charge(self, tenant: str, key: str, nbytes: int) -> List[str]:
+        """Account a stored entry to *tenant*; returns keys to evict.
+
+        The returned keys are this tenant's LRU overflow — the caller
+        deletes them from the shared cache.  Re-charging a key the
+        tenant already holds refreshes its recency and size without
+        double-counting.
+        """
+        nbytes = max(int(nbytes), 0)
+        with self._lock:
+            held = self._tenants.setdefault(tenant, OrderedDict())
+            previous = held.pop(key, None)
+            held[key] = nbytes
+            total = self._bytes.get(tenant, 0) + nbytes - (previous or 0)
+            self._charged[tenant] = self._charged.get(tenant, 0) + 1
+            evicted: List[str] = []
+            while self.max_entries and len(held) > self.max_entries:
+                old_key, old_bytes = held.popitem(last=False)
+                total -= old_bytes
+                evicted.append(old_key)
+            while self.max_bytes and total > self.max_bytes and held:
+                old_key, old_bytes = held.popitem(last=False)
+                total -= old_bytes
+                evicted.append(old_key)
+            self._bytes[tenant] = total
+            if evicted:
+                self._evicted[tenant] = self._evicted.get(tenant, 0) + len(evicted)
+            return evicted
+
+    def touch(self, tenant: str, key: str) -> None:
+        """Refresh *key*'s recency for *tenant* (a serving-cache hit)."""
+        with self._lock:
+            held = self._tenants.get(tenant)
+            if held is not None and key in held:
+                held.move_to_end(key)
+
+    def holdings(self, tenant: str) -> List[str]:
+        """The keys currently charged to *tenant*, LRU-first."""
+        with self._lock:
+            return list(self._tenants.get(tenant, ()))
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Fairness accounting: per-tenant residency and churn."""
+        with self._lock:
+            tenants: Dict[str, Dict[str, int]] = {}
+            for tenant, held in self._tenants.items():
+                tenants[tenant] = {
+                    "entries": len(held),
+                    "bytes": self._bytes.get(tenant, 0),
+                    "charged": self._charged.get(tenant, 0),
+                    "evicted": self._evicted.get(tenant, 0),
+                }
+            return tenants
+
+    def totals(self) -> Tuple[int, int]:
+        """(total entries, total bytes) across all tenants."""
+        with self._lock:
+            return (
+                sum(len(held) for held in self._tenants.values()),
+                sum(self._bytes.values()),
+            )

@@ -1,0 +1,385 @@
+"""The asyncio session server: batching, coalescing, shedding, degrading.
+
+:class:`ServingServer` is the traffic-facing front door over the render
+substrate.  Many concurrent sessions ``await submit(request)``; the
+server:
+
+1. **coalesces** — requests whose canonical digests
+   (:func:`~repro.serving.request.request_key`) match an in-flight
+   computation attach to it instead of executing again; the single
+   result fans out to every waiter byte-identically;
+2. **serves from cache** — a digest already in the serving cache
+   (:mod:`repro.cache`) returns immediately, charged to the tenant's
+   quota recency;
+3. **admits or sheds** — a bounded queue plus deadline-aware rejection
+   (:mod:`repro.serving.admission`); overload produces
+   ``Response(status="shed")``, never unbounded queueing;
+4. **executes** — worker tasks drain the queue onto a thread pool that
+   calls the backend (which may fan out to process-parallel kernels);
+   consecutive backend failures open a circuit breaker
+   (:mod:`repro.resilience`), under which requests are served stale
+   from cache or re-rendered at reduced resolution instead of
+   hammering the failing kernel pool;
+5. **accounts** — per-tenant quota eviction through
+   :class:`~repro.serving.quota.QuotaLedger` and full :mod:`repro.obs`
+   instrumentation.
+
+Observability (all zero-cost when recording is off):
+
+* counters — ``serving.requests`` (tenant, kind), ``serving.coalesced``
+  (tenant), ``serving.cache.served`` (tenant), ``serving.shed``
+  (reason, tenant), ``serving.executions`` (kind),
+  ``serving.degraded`` (source), ``serving.errors`` (tenant);
+* gauges — ``serving.queue.depth``, ``serving.inflight`` (distinct
+  coalescing keys currently executing or queued);
+* histograms — ``serving.latency.seconds`` (status) per request.
+
+Determinism for tests: the clock is injectable (deadlines and the
+breaker share it), the ``serving.execute`` fault site fires inside the
+dispatch path, and ``start()`` may be deferred — submissions enqueue
+and coalesce without any worker running, so "N identical requests,
+exactly one execution" is assertable without racing the event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro import obs
+from repro.cache.store import ResultCache, get_cache
+from repro.resilience import faults
+from repro.resilience.breaker import CircuitBreaker
+from repro.serving.admission import (
+    REASON_CLOSED,
+    REASON_EXPIRED,
+    REASON_SATURATED,
+    AdmissionController,
+)
+from repro.serving.config import ServingConfig
+from repro.serving.quota import QuotaLedger
+from repro.serving.request import (
+    STATUS_DEGRADED,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_SHED,
+    Request,
+    Response,
+    request_key,
+)
+from repro.util.errors import ServingError
+
+#: the backend contract: ``(request, degraded) -> bytes``
+Backend = Callable[[Request, bool], bytes]
+
+
+@dataclass
+class _Inflight:
+    """One coalescing key's in-flight computation."""
+
+    future: "asyncio.Future[Response]"
+    waiters: int = 1
+
+
+@dataclass
+class _WorkItem:
+    """One admitted queue entry (the first request of its key)."""
+
+    key: str
+    request: Request
+    deadline_at: Optional[float] = None
+    labels: Dict[str, Any] = field(default_factory=dict)
+
+
+class ServingServer:
+    """The multi-tenant async front door (see module docstring).
+
+    Parameters
+    ----------
+    backend:
+        ``(request, degraded) -> bytes``; runs on the executor thread
+        pool, so it may block (and may itself use process-parallel
+        kernels).  ``degraded=True`` asks for a cheaper reduced-fidelity
+        product (the breaker-open fallback).
+    config:
+        :class:`~repro.serving.config.ServingConfig` bounds.
+    cache:
+        Explicit :class:`~repro.cache.store.ResultCache` for the
+        serving tier.  Default: the ambient cache when the ambient
+        :class:`~repro.cache.config.CacheConfig` is enabled, else none.
+    clock:
+        Injectable monotonic clock shared by deadlines and the breaker.
+    salt:
+        Extra request-key salt (deployment generation).
+    """
+
+    def __init__(
+        self,
+        backend: Backend,
+        config: Optional[ServingConfig] = None,
+        cache: Optional[ResultCache] = None,
+        clock: Callable[[], float] = time.monotonic,
+        salt: Optional[str] = None,
+    ) -> None:
+        self.backend = backend
+        self.config = config if config is not None else ServingConfig()
+        self.clock = clock
+        self.salt = salt
+        self.admission = AdmissionController(self.config, clock=clock)
+        self.quota = QuotaLedger(
+            self.config.tenant_max_entries, self.config.tenant_max_bytes
+        )
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_failures,
+            reset_timeout=self.config.breaker_reset_s,
+            clock=clock,
+            name="serving.kernels",
+        )
+        self._explicit_cache = cache
+        self._queue: "asyncio.Queue[Optional[_WorkItem]]" = asyncio.Queue()
+        self._inflight: Dict[str, _Inflight] = {}
+        self._workers: List["asyncio.Task[None]"] = []
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> "ServingServer":
+        """Spawn the worker tasks and executor pool (idempotent)."""
+        if self._closed:
+            raise ServingError("cannot start a closed ServingServer")
+        if self._workers:
+            return self
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.config.workers,
+                thread_name_prefix="repro-serving",
+            )
+        loop = asyncio.get_running_loop()
+        self._workers = [
+            loop.create_task(self._worker_loop(), name=f"repro-serving-worker-{i}")
+            for i in range(self.config.workers)
+        ]
+        return self
+
+    async def aclose(self) -> None:
+        """Drain queued work, stop workers, resolve stragglers, free the pool.
+
+        Safe to call repeatedly and from ``finally`` blocks: a failed
+        test that closes the server leaves no worker task, no executor
+        thread and no unresolved submission behind (in-flight kernel
+        pools finish and tear down their own processes/segments first —
+        the pool shutdown waits for them).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._workers:
+            self._queue.put_nowait(None)
+        if self._workers:
+            await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers = []
+        for key, entry in list(self._inflight.items()):
+            if not entry.future.done():
+                entry.future.set_result(
+                    Response(STATUS_SHED, digest=key, reason=REASON_CLOSED)
+                )
+            self._inflight.pop(key, None)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    async def __aenter__(self) -> "ServingServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.aclose()
+
+    # -- the front door ------------------------------------------------------
+
+    async def submit(self, request: Request) -> Response:
+        """Submit one request; always returns a :class:`Response`.
+
+        Overload comes back as ``status="shed"`` (with a reason),
+        backend failures as ``status="error"`` — only lifecycle misuse
+        raises.
+        """
+        if self._closed:
+            raise ServingError("ServingServer is closed")
+        t0 = self.clock()
+        key = request_key(request, salt=self.salt)
+        obs.counter("serving.requests", tenant=request.tenant, kind=request.kind)
+
+        entry = self._inflight.get(key)
+        if entry is not None:  # coalesce onto the in-flight computation
+            entry.waiters += 1
+            obs.counter("serving.coalesced", tenant=request.tenant)
+            base = await entry.future
+            return self._finish(
+                base.fan_out(request.tenant, self.clock() - t0, coalesced=True)
+            )
+
+        cache = self._cache()
+        if cache is not None:
+            found, payload = cache.get(key, site="serving")
+            if found:
+                self.quota.touch(request.tenant, key)
+                obs.counter("serving.cache.served", tenant=request.tenant)
+                return self._finish(
+                    Response(
+                        STATUS_OK, payload=payload, digest=key, source="cache",
+                        tenant=request.tenant, latency_s=self.clock() - t0,
+                    )
+                )
+
+        admitted, reason = self.admission.admit(request, self._queue.qsize())
+        if not admitted:
+            obs.counter("serving.shed", reason=reason, tenant=request.tenant)
+            return self._finish(
+                Response(
+                    STATUS_SHED, digest=key, reason=reason,
+                    tenant=request.tenant, latency_s=self.clock() - t0,
+                )
+            )
+
+        loop = asyncio.get_running_loop()
+        entry = _Inflight(future=loop.create_future())
+        self._inflight[key] = entry
+        self._queue.put_nowait(
+            _WorkItem(
+                key=key,
+                request=request,
+                deadline_at=self.admission.deadline_of(request),
+            )
+        )
+        if obs.enabled():
+            obs.gauge("serving.queue.depth", self._queue.qsize())
+            obs.gauge("serving.inflight", len(self._inflight))
+        base = await entry.future
+        return self._finish(
+            base.fan_out(request.tenant, self.clock() - t0, coalesced=False)
+        )
+
+    def _finish(self, response: Response) -> Response:
+        if obs.enabled():
+            obs.histogram(
+                "serving.latency.seconds", response.latency_s, status=response.status
+            )
+        return response
+
+    # -- workers -------------------------------------------------------------
+
+    async def _worker_loop(self) -> None:
+        while True:
+            item = await self._queue.get()
+            try:
+                if item is None:
+                    return
+                await self._dispatch(item)
+            finally:
+                self._queue.task_done()
+                if obs.enabled():
+                    obs.gauge("serving.queue.depth", self._queue.qsize())
+
+    async def _dispatch(self, item: _WorkItem) -> None:
+        entry = self._inflight.get(item.key)
+        try:
+            response = await self._produce(item)
+        except Exception as exc:  # noqa: BLE001 - a worker loop must survive anything
+            response = Response(STATUS_ERROR, digest=item.key, reason=repr(exc))
+            obs.counter("serving.errors", tenant=item.request.tenant)
+        if entry is not None and not entry.future.done():
+            # resolve, then retire the key with no await in between, so
+            # no submission can attach to an already-resolved entry
+            entry.future.set_result(response)
+            self._inflight.pop(item.key, None)
+            if obs.enabled():
+                obs.gauge("serving.inflight", len(self._inflight))
+
+    async def _produce(self, item: _WorkItem) -> Response:
+        request = item.request
+        if item.deadline_at is not None and self.clock() > item.deadline_at:
+            obs.counter("serving.shed", reason=REASON_EXPIRED, tenant=request.tenant)
+            return Response(STATUS_SHED, digest=item.key, reason=REASON_EXPIRED)
+
+        if self.breaker.allow():
+            started = time.perf_counter()
+            try:
+                faults.check(
+                    "serving.execute", tenant=request.tenant, kind=request.kind
+                )
+                payload = await self._run_backend(request, degraded=False)
+            except Exception as exc:  # noqa: BLE001 - feeds the breaker
+                self.breaker.record_failure()
+                obs.counter("serving.errors", tenant=request.tenant)
+                return Response(STATUS_ERROR, digest=item.key, reason=repr(exc))
+            self.breaker.record_success()
+            self.admission.observe_service(time.perf_counter() - started)
+            obs.counter("serving.executions", kind=request.kind)
+            self._store(request.tenant, item.key, payload)
+            return Response(
+                STATUS_OK, payload=payload, digest=item.key, source="render"
+            )
+
+        # breaker open: the kernel pool is sick or saturated — degrade
+        cache = self._cache()
+        if cache is not None:
+            found, payload = cache.get(item.key, site="serving.degraded")
+            if found:
+                obs.counter("serving.degraded", source="cache")
+                return Response(
+                    STATUS_DEGRADED, payload=payload, digest=item.key, source="cache"
+                )
+        if self.config.allow_degraded:
+            try:
+                payload = await self._run_backend(request, degraded=True)
+            except Exception as exc:  # noqa: BLE001
+                obs.counter("serving.errors", tenant=request.tenant)
+                return Response(STATUS_ERROR, digest=item.key, reason=repr(exc))
+            obs.counter("serving.degraded", source="render")
+            return Response(
+                STATUS_DEGRADED, payload=payload, digest=item.key, source="render"
+            )
+        obs.counter("serving.shed", reason=REASON_SATURATED, tenant=request.tenant)
+        return Response(STATUS_SHED, digest=item.key, reason=REASON_SATURATED)
+
+    async def _run_backend(self, request: Request, degraded: bool) -> bytes:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._pool, self.backend, request, degraded)
+
+    # -- cache / quota -------------------------------------------------------
+
+    def _cache(self) -> Optional[ResultCache]:
+        if self._explicit_cache is not None:
+            return self._explicit_cache
+        from repro.cache.config import get_config
+
+        if get_config().enabled:
+            return get_cache()
+        return None
+
+    def _store(self, tenant: str, key: str, payload: bytes) -> None:
+        cache = self._cache()
+        if cache is None:
+            return
+        cache.put(key, payload, site="serving")
+        for evicted_key in self.quota.charge(
+            tenant, key, len(payload) if payload else 0
+        ):
+            cache.delete(evicted_key, site="serving.quota")
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Live snapshot for dashboards and tests."""
+        return {
+            "queue_depth": self._queue.qsize(),
+            "inflight": len(self._inflight),
+            "breaker": self.breaker.state,
+            "ewma_service_s": self.admission.ewma_service_s,
+            "quota": self.quota.stats(),
+            "closed": self._closed,
+        }

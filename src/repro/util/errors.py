@@ -95,3 +95,13 @@ class CacheError(ReproError):
     hashed — never I/O failures of the disk tier, which degrade to
     cache misses instead of failing the computation they memoize.
     """
+
+
+class ServingError(ReproError):
+    """Raised by the multi-tenant serving layer (:mod:`repro.serving`).
+
+    Covers bad configurations and lifecycle misuse (submitting to a
+    closed server).  Overload is never an exception: shed and expired
+    requests come back as ``Response(status="shed")`` so callers always
+    get an answer they can account for.
+    """

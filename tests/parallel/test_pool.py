@@ -125,6 +125,38 @@ class TestFailureContainment:
             for p in multiprocessing.active_children()
         )
 
+    def test_no_workers_left_behind_from_executor_thread(self):
+        """The serving path runs pools from ThreadPoolExecutor threads;
+        a timeout there must tear down just as cleanly as on the main
+        thread (the teardown runs in ``finally`` on the calling thread,
+        whichever it is)."""
+        import multiprocessing
+        from concurrent.futures import ThreadPoolExecutor
+
+        def doomed_run():
+            run_tiles(
+                ParallelConfig(workers=2, timeout=0.75), _sleep_forever, [(0, 1)]
+            )
+
+        with ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serving-test"
+        ) as pool:
+            future = pool.submit(doomed_run)
+            with pytest.raises(KernelPoolError, match="timed out"):
+                future.result(timeout=30.0)
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if not any(
+                p.name.startswith("repro-parallel-")
+                for p in multiprocessing.active_children()
+            ):
+                break
+            time.sleep(0.05)
+        assert not any(
+            p.name.startswith("repro-parallel-")
+            for p in multiprocessing.active_children()
+        )
+
 
 class TestTileRetry:
     """Worker death recovery: respawn, serial fallback, poisonous tiles.

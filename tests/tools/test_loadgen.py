@@ -1,0 +1,145 @@
+"""The open-loop load harness: determinism and artifact schema.
+
+Two contracts: (1) the trace generator is a pure function of its seed —
+same seed, same arrivals, same scenes, same tenants, and a different
+seed diverges; (2) the emitted ``BENCH_serving.json`` passes
+``tools/bench_compare.py``'s serving schema gate without crashing.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+TOOLS = Path(__file__).resolve().parent.parent.parent / "tools"
+sys.path.insert(0, str(TOOLS))
+
+import bench_compare  # noqa: E402
+import loadgen  # noqa: E402
+
+
+class TestTraceDeterminism:
+    def test_same_seed_same_trace(self):
+        a = loadgen.generate_trace("seed-1", offered_rps=50.0, duration_s=1.0)
+        b = loadgen.generate_trace("seed-1", offered_rps=50.0, duration_s=1.0)
+        assert a == b
+        assert loadgen.trace_digest(a) == loadgen.trace_digest(b)
+
+    def test_different_seed_different_trace(self):
+        a = loadgen.generate_trace("seed-1", offered_rps=50.0, duration_s=1.0)
+        b = loadgen.generate_trace("seed-2", offered_rps=50.0, duration_s=1.0)
+        assert loadgen.trace_digest(a) != loadgen.trace_digest(b)
+
+    def test_rate_scales_arrivals(self):
+        slow = loadgen.generate_trace("s", offered_rps=20.0, duration_s=2.0, herd=False)
+        fast = loadgen.generate_trace("s", offered_rps=200.0, duration_s=2.0, herd=False)
+        assert len(fast) > len(slow) * 3
+        assert all(0 <= e.arrival_s < 2.0 for e in fast)
+        assert [e.arrival_s for e in fast] == sorted(e.arrival_s for e in fast)
+
+    def test_herd_prelude_is_one_identical_scene_per_tenant(self):
+        events = loadgen.generate_trace(
+            "s", offered_rps=10.0, duration_s=0.5, tenants=6
+        )
+        herd = [e for e in events if e.arrival_s == 0.0]
+        assert len(herd) == 6
+        assert {e.scene for e in herd} == {0}
+        assert len({e.tenant for e in herd}) == 6
+
+    def test_population_shape(self):
+        events = loadgen.generate_trace(
+            "s", offered_rps=400.0, duration_s=2.0,
+            tenants=4, sessions=2, scenes=8, herd=False,
+        )
+        assert {e.tenant for e in events} <= {f"tenant-{i}" for i in range(4)}
+        assert {e.scene for e in events} <= set(range(8))
+        # zipf head: scene 0 strictly dominates the tail scenes
+        counts = [sum(1 for e in events if e.scene == s) for s in range(8)]
+        assert counts[0] == max(counts)
+        assert counts[0] > counts[-1]
+
+    def test_zipf_weights_normalized_and_monotonic(self):
+        weights = loadgen.zipf_weights(10, 1.1)
+        assert weights.sum() == pytest.approx(1.0)
+        assert all(weights[i] > weights[i + 1] for i in range(9))
+
+
+class TestSyntheticWorkload:
+    def test_payload_deterministic_per_scene(self):
+        workload = loadgen.SyntheticWorkload(iterations=1, payload_bytes=64)
+        request = loadgen.request_of(
+            loadgen.TraceEvent(0.0, "tenant-0", "s", scene=3)
+        )
+        assert workload(request, False) == workload(request, False)
+        assert workload(request, False) == workload.payload_for(3)
+        other = loadgen.request_of(loadgen.TraceEvent(0.0, "t", "s", scene=4))
+        assert workload(request, False) != workload(other, False)
+        assert workload(request, True) != workload(request, False)
+
+
+class TestArtifactSchema:
+    @pytest.fixture(scope="class")
+    def report(self, tmp_path_factory):
+        """One real (tiny) harness run, reused by every schema test."""
+        out = tmp_path_factory.mktemp("bench") / "BENCH_serving.json"
+        code = loadgen.main(
+            ["--quick", "--duration", "0.3", "--out", str(out), "--seed", "ci-test"]
+        )
+        assert code == 0
+        return json.loads(out.read_text())
+
+    def test_kind_and_meta(self, report):
+        assert report["kind"] == "serving"
+        assert report["meta"]["seed"] == "ci-test"
+        assert report["meta"]["trace_digest"]
+
+    def test_three_load_points_with_latency(self, report):
+        points = report["load_points"]
+        assert len(points) >= 3
+        for point in points:
+            assert point["offered_rps"] > 0
+            assert point["completed"] <= point["offered"]
+            for quantile in ("p50", "p90", "p99", "mean", "max"):
+                assert point["latency_ms"][quantile] >= 0
+            assert point["latency_ms"]["p50"] <= point["latency_ms"]["p99"]
+
+    def test_bench_compare_validates_without_crashing(self, report):
+        points = bench_compare.validate_serving(report)
+        assert len(points) >= 3
+
+    def test_bench_compare_cli_accepts_serving_artifact(
+        self, report, tmp_path, capsys
+    ):
+        path = tmp_path / "fresh.json"
+        path.write_text(json.dumps(report))
+        assert bench_compare.main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Serving load harness" in out
+
+    def test_bench_compare_rejects_malformed(self, report, tmp_path):
+        broken = dict(report, load_points=report["load_points"][:2])
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps(broken))
+        assert bench_compare.main([str(path)]) == 2
+        with pytest.raises(bench_compare.CompareError, match="load_points"):
+            bench_compare.validate_serving(broken)
+
+    def test_bench_compare_rejects_missing_digest(self, report):
+        broken = dict(report, meta={k: v for k, v in report["meta"].items()
+                                    if k != "trace_digest"})
+        with pytest.raises(bench_compare.CompareError, match="trace_digest"):
+            bench_compare.validate_serving(broken)
+
+    def test_same_seed_same_trace_digest_across_runs(self, report, tmp_path):
+        out = tmp_path / "again.json"
+        assert loadgen.main(
+            ["--quick", "--duration", "0.3", "--out", str(out), "--seed", "ci-test"]
+        ) == 0
+        again = json.loads(out.read_text())
+        assert again["meta"]["trace_digest"] == report["meta"]["trace_digest"]
+        assert [p["offered"] for p in again["load_points"]] == [
+            p["offered"] for p in report["load_points"]
+        ]

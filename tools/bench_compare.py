@@ -23,6 +23,12 @@ Cross-machine noise is handled two ways:
 named (pre-optimization) baseline by ``--speedup-floor`` on every
 pinned kernel.
 
+Artifacts with ``"kind": "serving"`` (from ``tools/loadgen.py``) take a
+different path: there is no cross-machine baseline for open-loop
+latency, so the gate is a structural schema check — trace digest
+present, >= 3 offered-load points, each with counters, throughput and
+p50/p99 latency — rendered as a table in the job summary.
+
 Exit codes: 0 ok, 1 regression (or missing speedup), 2 usage/IO error.
 
 Usage::
@@ -63,6 +69,77 @@ def load_report(path: str) -> Dict[str, Any]:
             return json.load(handle)
     except (OSError, ValueError) as exc:
         raise CompareError(f"cannot read benchmark artifact {path!r}: {exc}") from exc
+
+
+def validate_serving(report: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Schema-check a ``kind: serving`` artifact (``tools/loadgen.py``).
+
+    Serving runs have no committed baseline (latency under open-loop
+    load is machine-bound); the gate is structural: the artifact must
+    carry a deterministic trace digest and at least three offered-load
+    points, each reporting completion counters, throughput and the
+    p50/p99 latency percentiles.  Returns the load-point rows for
+    display; raises :class:`CompareError` on any violation.
+    """
+    meta = report.get("meta", {})
+    if not isinstance(meta.get("trace_digest"), str) or not meta["trace_digest"]:
+        raise CompareError("serving artifact has no meta.trace_digest")
+    if not isinstance(meta.get("seed"), (str, int)):
+        raise CompareError("serving artifact has no meta.seed")
+    points = report.get("load_points")
+    if not isinstance(points, list) or len(points) < 3:
+        raise CompareError(
+            "serving artifact needs >= 3 load_points, got "
+            f"{len(points) if isinstance(points, list) else type(points).__name__}"
+        )
+    counters = ("offered", "completed", "ok", "shed", "coalesced", "errors")
+    for index, point in enumerate(points):
+        if not isinstance(point, dict):
+            raise CompareError(f"load_points[{index}] is not an object")
+        rps = point.get("offered_rps")
+        if not isinstance(rps, (int, float)) or rps <= 0:
+            raise CompareError(f"load_points[{index}] has no usable offered_rps")
+        for field in counters:
+            value = point.get(field)
+            if not isinstance(value, int) or value < 0:
+                raise CompareError(
+                    f"load_points[{index}].{field} must be a non-negative int"
+                )
+        throughput = point.get("throughput_rps")
+        if not isinstance(throughput, (int, float)) or throughput < 0:
+            raise CompareError(f"load_points[{index}] has no usable throughput_rps")
+        latency = point.get("latency_ms")
+        if not isinstance(latency, dict):
+            raise CompareError(f"load_points[{index}] has no latency_ms object")
+        for quantile in ("p50", "p99"):
+            value = latency.get(quantile)
+            if not isinstance(value, (int, float)) or value < 0:
+                raise CompareError(
+                    f"load_points[{index}].latency_ms.{quantile} missing or negative"
+                )
+        if point["completed"] > point["offered"]:
+            raise CompareError(
+                f"load_points[{index}]: completed exceeds offered"
+            )
+    return points
+
+
+def format_serving_table(points: List[Dict[str, Any]]) -> str:
+    lines = [
+        "| offered rps | offered | completed | shed | coalesced "
+        "| p50 | p99 | throughput |",
+        "|---|---|---|---|---|---|---|---|",
+    ]
+    for point in points:
+        latency = point["latency_ms"]
+        lines.append(
+            "| {offered_rps:g} | {offered} | {completed} | {shed} "
+            "| {coalesced} | {p50:.1f}ms | {p99:.1f}ms | {tp:.1f}rps |".format(
+                p50=latency["p50"], p99=latency["p99"],
+                tp=point["throughput_rps"], **point,
+            )
+        )
+    return "\n".join(lines)
 
 
 def calibration(report: Dict[str, Any]) -> float:
@@ -223,6 +300,17 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     try:
         fresh = load_report(args.fresh)
+        if fresh.get("kind") == "serving":
+            points = validate_serving(fresh)
+            markdown = (
+                "## Serving load harness\n\n"
+                f"trace digest `{fresh['meta']['trace_digest'][:16]}…` "
+                f"(seed {fresh['meta'].get('seed')!r})\n\n"
+                + format_serving_table(points)
+            )
+            print(markdown)
+            write_job_summary(markdown)
+            return 0
         baseline = load_report(args.baseline)
         rows = compare_reports(
             fresh, baseline, threshold=args.threshold, min_delta=args.min_delta

@@ -1,0 +1,358 @@
+#!/usr/bin/env python
+"""Open-loop load harness for the serving layer (``BENCH_serving.json``).
+
+Drives :class:`repro.serving.ServingServer` with deterministic seeded
+traffic and measures latency/throughput at fixed offered-load points.
+The generator is **open-loop**: request arrival times are drawn up
+front (exponential inter-arrivals at the offered rate) and submissions
+fire at those times whether or not earlier requests completed — a slow
+server faces a growing queue, exactly the regime admission control and
+load shedding exist for.
+
+Traffic shape:
+
+* **zipf scene popularity** — scene ranks are sampled with
+  ``p ∝ 1 / rank^s`` (default ``s = 1.1``), so a handful of hot scenes
+  dominate; the hot head is what coalescing and the serving cache
+  exploit, and the cold tail is what the per-tenant quotas bound;
+* **tenant/session fan-out** — each arrival is assigned a tenant and a
+  session uniformly, independent of the scene, so identical scenes
+  arrive from different tenants (the coalescing fan-out path).
+
+Everything derives from ``--seed`` through
+:func:`repro.util.rng.deterministic_rng`: the same seed produces the
+same trace (same arrival times, scenes, tenants — ``meta.trace_digest``
+asserts it), so two runs of this tool measure the same workload.
+
+The default backend is synthetic — a fixed-iteration numpy workload
+whose payload bytes are a deterministic function of the scene — so the
+harness measures the *serving layer* (queueing, coalescing, shedding),
+not kernel speed.  ``--app`` swaps in the real
+:class:`repro.serving.AppBackend` spreadsheet path.
+
+Usage::
+
+    PYTHONPATH=src python tools/loadgen.py --quick --out BENCH_serving.json
+    PYTHONPATH=src python tools/loadgen.py --rps 50 --rps 100 --rps 200
+    python tools/bench_compare.py BENCH_serving.json   # schema gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import obs  # noqa: E402
+from repro.cache.config import CacheConfig  # noqa: E402
+from repro.cache.keys import digest  # noqa: E402
+from repro.cache.store import ResultCache  # noqa: E402
+from repro.serving import (  # noqa: E402
+    Request,
+    ServingConfig,
+    ServingServer,
+)
+from repro.util.rng import deterministic_rng  # noqa: E402
+
+#: offered-load points (requests/second) of the two profiles
+QUICK_RPS = (40.0, 80.0, 160.0)
+FULL_RPS = (50.0, 100.0, 200.0, 400.0)
+
+#: latency percentiles reported per load point
+PERCENTILES = (50.0, 90.0, 99.0)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One scheduled arrival of the open-loop trace."""
+
+    arrival_s: float
+    tenant: str
+    session: str
+    scene: int
+
+
+def zipf_weights(scenes: int, s: float) -> np.ndarray:
+    """Normalized zipf popularity over ``scenes`` ranks (p ∝ 1/rank^s)."""
+    ranks = np.arange(1, scenes + 1, dtype=float)
+    weights = 1.0 / np.power(ranks, s)
+    return weights / weights.sum()
+
+
+def generate_trace(
+    seed: int | str,
+    offered_rps: float,
+    duration_s: float,
+    tenants: int = 8,
+    sessions: int = 4,
+    scenes: int = 12,
+    zipf_s: float = 1.1,
+    herd: bool = True,
+) -> List[TraceEvent]:
+    """The deterministic open-loop trace for one offered-load point.
+
+    Inter-arrival gaps are exponential at ``offered_rps`` and the trace
+    is truncated at ``duration_s``.  With ``herd`` (the default) the
+    trace opens with a thundering herd — every tenant requests the
+    hottest scene at ``t = 0`` — the canonical coalescing fan-out
+    pattern (N identical digests in flight, one execution).  Same
+    arguments → same trace.
+    """
+    rng = deterministic_rng(f"loadgen/{seed}/rps{offered_rps:g}")
+    weights = zipf_weights(scenes, zipf_s)
+    events: List[TraceEvent] = []
+    if herd:
+        events.extend(
+            TraceEvent(
+                arrival_s=0.0,
+                tenant=f"tenant-{tenant}",
+                session=f"session-{tenant}-0",
+                scene=0,
+            )
+            for tenant in range(tenants)
+        )
+    clock = 0.0
+    while True:
+        clock += float(rng.exponential(1.0 / offered_rps))
+        if clock >= duration_s:
+            return events
+        scene = int(rng.choice(scenes, p=weights))
+        tenant = int(rng.integers(tenants))
+        session = int(rng.integers(sessions))
+        events.append(
+            TraceEvent(
+                arrival_s=clock,
+                tenant=f"tenant-{tenant}",
+                session=f"session-{tenant}-{session}",
+                scene=scene,
+            )
+        )
+
+
+def trace_digest(events: Sequence[TraceEvent]) -> str:
+    """Canonical digest of a trace (same seed ⇒ same digest)."""
+    return digest(
+        [
+            (round(e.arrival_s, 9), e.tenant, e.session, e.scene)
+            for e in events
+        ]
+    )
+
+
+class SyntheticWorkload:
+    """A backend with deterministic cost and deterministic payloads.
+
+    Each call runs a fixed number of small matmul iterations (the
+    "kernel"), then returns bytes derived purely from the scene id —
+    so coalesced fan-out is byte-checkable and the measured latency
+    distribution reflects queueing, not kernel variance.
+    """
+
+    def __init__(self, iterations: int = 60, payload_bytes: int = 4096) -> None:
+        self.iterations = iterations
+        self.payload_bytes = payload_bytes
+        self._matrix = deterministic_rng("loadgen/workload").standard_normal((96, 96))
+
+    def __call__(self, request: Request, degraded: bool) -> bytes:
+        work = self._matrix
+        iterations = 1 if degraded else self.iterations
+        for _ in range(iterations):
+            work = np.tanh(work @ self._matrix)
+        scene = request.params.get("scene", 0)
+        rng = deterministic_rng(f"loadgen/payload/{scene}/{degraded}")
+        return rng.bytes(self.payload_bytes)
+
+    def payload_for(self, scene: int, degraded: bool = False) -> bytes:
+        """The exact bytes ``__call__`` returns for *scene* (test oracle)."""
+        rng = deterministic_rng(f"loadgen/payload/{scene}/{degraded}")
+        return rng.bytes(self.payload_bytes)
+
+
+def request_of(event: TraceEvent, width: int = 64, height: int = 48) -> Request:
+    return Request(
+        kind="render",
+        params={"scene": event.scene, "width": width, "height": height},
+        tenant=event.tenant,
+        session=event.session,
+    )
+
+
+async def run_load_point(
+    server: ServingServer,
+    events: Sequence[TraceEvent],
+    duration_s: float,
+) -> Dict[str, Any]:
+    """Fire the trace open-loop against a started server; measure."""
+
+    async def fire(event: TraceEvent, t0: float) -> Dict[str, Any]:
+        delay = t0 + event.arrival_s - time.perf_counter()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        started = time.perf_counter()
+        response = await server.submit(request_of(event))
+        return {
+            "status": response.status,
+            "source": response.source,
+            "coalesced": response.coalesced,
+            "latency_s": time.perf_counter() - started,
+        }
+
+    t0 = time.perf_counter()
+    outcomes = await asyncio.gather(*(fire(e, t0) for e in events))
+    wall_s = time.perf_counter() - t0
+
+    latencies = sorted(o["latency_s"] for o in outcomes if o["status"] != "shed")
+    completed = [o for o in outcomes if o["status"] in ("ok", "degraded")]
+    point: Dict[str, Any] = {
+        "duration_s": duration_s,
+        "wall_s": wall_s,
+        "offered": len(events),
+        "completed": len(completed),
+        "ok": sum(1 for o in outcomes if o["status"] == "ok"),
+        "degraded": sum(1 for o in outcomes if o["status"] == "degraded"),
+        "shed": sum(1 for o in outcomes if o["status"] == "shed"),
+        "errors": sum(1 for o in outcomes if o["status"] == "error"),
+        "coalesced": sum(1 for o in outcomes if o["coalesced"]),
+        "cached": sum(
+            1 for o in outcomes if o["status"] == "ok" and o["source"] == "cache"
+        ),
+        "throughput_rps": len(completed) / wall_s if wall_s > 0 else 0.0,
+    }
+    if latencies:
+        values = np.array(latencies)
+        quantiles = np.percentile(values, PERCENTILES)
+        point["latency_ms"] = {
+            "p50": float(quantiles[0]) * 1e3,
+            "p90": float(quantiles[1]) * 1e3,
+            "p99": float(quantiles[2]) * 1e3,
+            "mean": float(values.mean()) * 1e3,
+            "max": float(values.max()) * 1e3,
+        }
+    else:
+        point["latency_ms"] = {
+            "p50": 0.0, "p90": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0,
+        }
+    return point
+
+
+async def run_harness(args: argparse.Namespace) -> Dict[str, Any]:
+    rps_points = tuple(args.rps) if args.rps else (
+        QUICK_RPS if args.quick else FULL_RPS
+    )
+    duration_s = args.duration or (1.5 if args.quick else 4.0)
+
+    load_points: List[Dict[str, Any]] = []
+    digests: List[str] = []
+    for offered_rps in rps_points:
+        events = generate_trace(
+            args.seed, offered_rps, duration_s,
+            tenants=args.tenants, sessions=args.sessions,
+            scenes=args.scenes, zipf_s=args.zipf_s,
+        )
+        digests.append(trace_digest(events))
+        backend = _make_backend(args)
+        cache = ResultCache(
+            CacheConfig(enabled=True, memory_entries=512, use_disk=False)
+        )
+        config = ServingConfig(
+            workers=args.workers,
+            queue_limit=args.queue_limit,
+            tenant_max_entries=args.tenant_max_entries,
+        )
+        obs.enable()
+        try:
+            async with ServingServer(backend, config=config, cache=cache) as server:
+                point = await run_load_point(server, events, duration_s)
+        finally:
+            obs.disable()
+        point["offered_rps"] = offered_rps
+        load_points.append(point)
+        print(
+            f"  rps={offered_rps:g}: offered={point['offered']} "
+            f"completed={point['completed']} shed={point['shed']} "
+            f"coalesced={point['coalesced']} "
+            f"p50={point['latency_ms']['p50']:.1f}ms "
+            f"p99={point['latency_ms']['p99']:.1f}ms "
+            f"throughput={point['throughput_rps']:.1f}rps"
+        )
+
+    return {
+        "kind": "serving",
+        "meta": {
+            "seed": args.seed,
+            "backend": "app" if args.app else "synthetic",
+            "tenants": args.tenants,
+            "sessions": args.sessions,
+            "scenes": args.scenes,
+            "zipf_s": args.zipf_s,
+            "workers": args.workers,
+            "queue_limit": args.queue_limit,
+            "duration_s": duration_s,
+            "trace_digest": digest(digests),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "load_points": load_points,
+    }
+
+
+def _make_backend(args: argparse.Namespace):
+    if args.app:
+        from repro.serving import AppBackend
+
+        return AppBackend(
+            config=ServingConfig(workers=args.workers, queue_limit=args.queue_limit)
+        )
+    return SyntheticWorkload()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", default="serving-v1", help="trace seed")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI profile: 3 offered-load points, short durations",
+    )
+    parser.add_argument(
+        "--rps", action="append", type=float, default=None,
+        help="offered-load point in req/s (repeatable; overrides profile)",
+    )
+    parser.add_argument("--duration", type=float, default=None,
+                        help="seconds of trace per load point")
+    parser.add_argument("--tenants", type=int, default=8)
+    parser.add_argument("--sessions", type=int, default=4)
+    parser.add_argument("--scenes", type=int, default=12)
+    parser.add_argument("--zipf-s", type=float, default=1.1)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--queue-limit", type=int, default=64)
+    parser.add_argument("--tenant-max-entries", type=int, default=0)
+    parser.add_argument(
+        "--app", action="store_true",
+        help="drive the real AppBackend spreadsheet path instead of the "
+        "synthetic workload",
+    )
+    parser.add_argument("--out", default="BENCH_serving.json")
+    args = parser.parse_args(argv)
+
+    wall0 = time.perf_counter()
+    payload = asyncio.run(run_harness(args))
+    payload["meta"]["wall_s"] = time.perf_counter() - wall0
+
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=1, sort_keys=True))
+    print(f"wrote {out} ({out.stat().st_size} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
