@@ -27,6 +27,7 @@ from repro.cdms.grid import RectilinearGrid
 from repro.cdms.selectors import Selector
 from repro.cdms.variable import Variable
 from repro.cdms.dataset import Dataset, open_dataset
+from repro.cdms.lazy import LazyVariable
 from repro.cdms.regrid import regrid_bilinear, regrid_conservative
 
 __all__ = [
@@ -42,6 +43,7 @@ __all__ = [
     "RectilinearGrid",
     "Selector",
     "Variable",
+    "LazyVariable",
     "Dataset",
     "open_dataset",
     "regrid_bilinear",

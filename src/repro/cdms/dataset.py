@@ -92,12 +92,21 @@ class Dataset:
 
     # -- persistence -------------------------------------------------------
 
-    def save(self, path: PathLike) -> None:
+    def save(
+        self,
+        path: PathLike,
+        version: int = 1,
+        chunk_timesteps: Optional[int] = None,
+        lowres_factor: Optional[int] = None,
+    ) -> None:
         write_cdz(
             path,
             [self._variables[k] for k in sorted(self._variables)],
             dataset_id=self.id,
             attributes=self.attributes,
+            version=version,
+            chunk_timesteps=chunk_timesteps,
+            lowres_factor=lowres_factor,
         )
 
     @staticmethod
@@ -105,7 +114,84 @@ class Dataset:
         dataset_id, attributes, variables = read_cdz(path)
         return Dataset(id=dataset_id, variables=variables, attributes=attributes)
 
+    # -- streaming lifecycle ----------------------------------------------
 
-def open_dataset(path: PathLike) -> Dataset:
-    """Open a ``.cdz`` dataset from disk (the ``cdms2.open`` analog)."""
-    return Dataset.load(path)
+    #: the StreamingSource behind this dataset's lazy variables, if any
+    streaming_source = None
+
+    @property
+    def is_streaming(self) -> bool:
+        return self.streaming_source is not None
+
+    def close(self) -> None:
+        """Release streaming resources (prefetch threads, resident slabs)."""
+        if self.streaming_source is not None:
+            self.streaming_source.close()
+
+    def __enter__(self) -> "Dataset":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _streaming_mode(streaming: Union[bool, str]) -> str:
+    if streaming is True:
+        return "on"
+    if streaming is False or streaming is None:
+        return "off"
+    mode = str(streaming).lower()
+    if mode not in ("auto", "on", "off"):
+        raise CDMSError(
+            f"open_dataset: streaming must be True/False/'auto'/'on'/'off', "
+            f"got {streaming!r}"
+        )
+    return mode
+
+
+def open_dataset(
+    path: PathLike,
+    streaming: Union[bool, str] = False,
+    streaming_config: Optional[object] = None,
+) -> Dataset:
+    """Open a ``.cdz`` dataset from disk (the ``cdms2.open`` analog).
+
+    *streaming* selects the ingest path:
+
+    ``False`` / ``"off"``
+        materialize every variable in memory (v1 behaviour, any format);
+    ``True`` / ``"on"``
+        require a v2 container and return lazy out-of-core variables
+        (:class:`~repro.cdms.lazy.LazyVariable`) backed by the
+        verified, prefetching streaming layer;
+    ``"auto"``
+        stream when the container is v2, load eagerly when it is v1.
+
+    *streaming_config* is an optional
+    :class:`~repro.streaming.config.StreamingConfig` (memory budget,
+    prefetch depth, retry policy) for the streaming path.
+    """
+    mode = _streaming_mode(streaming)
+    if mode == "off":
+        return Dataset.load(path)
+    from repro.cdms.storage import detect_version
+
+    version = detect_version(path)
+    if version != 2:
+        if mode == "on":
+            raise CDMSError(
+                f"open_dataset: {path} is a v{version} container; streaming "
+                "requires format v2 (write with version=2)"
+            )
+        return Dataset.load(path)
+    from repro.cdms.lazy import LazyVariable
+    from repro.streaming.dataset import StreamingSource
+
+    source = StreamingSource(path, streaming_config)
+    dataset = Dataset(
+        id=source.dataset_id,
+        variables=[LazyVariable(source, layout) for layout in source.layouts],
+        attributes=source.attributes,
+    )
+    dataset.streaming_source = source
+    return dataset

@@ -1,0 +1,196 @@
+"""The lazy streaming variable: a :class:`Variable` that owns no array.
+
+A :class:`LazyVariable` presents the full Variable protocol — axes,
+attributes, indexing, coordinate subsetting, scalar ranges — while its
+payload lives in a chunked v2 ``.cdz`` container.  Indexing reads only
+the chunks covering the request (through the variable's bounded-memory
+:class:`~repro.streaming.prefetch.Prefetcher`) and returns an ordinary
+in-memory :class:`Variable`, byte-identical to what slicing the eagerly
+loaded equivalent would produce — the correctness contract the
+differential tests pin.
+
+Operations that genuinely need the whole array (arithmetic, global
+reductions) still work: the ``_data`` escape hatch materializes the
+full variable once, counts ``streaming.materialize.full`` so the leak
+is observable, and caches it.  Folds should use :meth:`iter_slabs`
+instead, which walks the chunk table within the memory budget.
+
+The :meth:`degraded` context arms the degradation ladder: inside it, a
+chunk whose full-resolution read fails (after retries) is substituted
+by its verified low-resolution companion instead of raising — the hook
+:class:`~repro.dv3d.animation.StreamingAnimator` uses to keep an
+animation running over a corrupt chunk.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.cdms.variable import Variable
+from repro.streaming.dataset import StreamingSource
+from repro.streaming.format import ChunkMeta, VariableLayout
+from repro.util.errors import CDMSError, StreamingError
+
+
+class LazyVariable(Variable):
+    """A Variable whose slabs materialize on demand from a v2 container."""
+
+    def __init__(self, source: StreamingSource, layout: VariableLayout) -> None:
+        # deliberately no super().__init__: there is no array to bind.
+        self.id = layout.id
+        try:
+            self._axes = tuple(source.axes[dim] for dim in layout.dimensions)
+        except KeyError as exc:
+            raise StreamingError(
+                f"variable {layout.id!r} references unknown axis {exc.args[0]!r}"
+            ) from None
+        self.missing_value = float(layout.missing_value)
+        self.attributes: Dict[str, object] = dict(layout.attributes)
+        self.source = source
+        self.layout = layout
+        self._materialized: Optional[np.ma.MaskedArray] = None
+        self._degraded_depth = 0
+
+    # -- structure (no payload access) ------------------------------------
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.layout.shape
+
+    @property
+    def ndim(self) -> int:
+        return len(self.layout.shape)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.layout.dtype
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.layout.shape, dtype=np.int64))
+
+    def finite_range(self) -> Optional[Tuple[float, float]]:
+        """Scalar range from manifest statistics — no payload reads."""
+        return self.layout.finite_range()
+
+    def slab_count(self) -> int:
+        return self.layout.n_chunks
+
+    def iter_slabs(self) -> Iterator[Variable]:
+        axis = self.layout.chunk_axis
+        for chunk in self.layout.chunks:
+            index = tuple(
+                slice(chunk.start, chunk.stop) if dim == axis else slice(None)
+                for dim in range(self.ndim)
+            )
+            yield self[index]
+
+    # -- the degradation ladder hook ---------------------------------------
+
+    @contextlib.contextmanager
+    def degraded(self) -> Iterator["LazyVariable"]:
+        """Within this context, unreadable chunks fall back to low-res."""
+        self._degraded_depth += 1
+        try:
+            yield self
+        finally:
+            self._degraded_depth -= 1
+
+    # -- chunk delivery -----------------------------------------------------
+
+    def _get_chunk(self, chunk: ChunkMeta) -> np.ndarray:
+        try:
+            if self.source.config.prefetch:
+                return self.source.prefetcher(self.id).get(chunk.index)
+            return self.source.reader(self.id).read_chunk(chunk)
+        except StreamingError:
+            if self._degraded_depth <= 0:
+                raise
+            if obs.enabled():
+                obs.counter("streaming.slabs.degraded", var=self.id)
+            return self.source.reader(self.id).read_lowres(chunk)
+
+    # -- indexing -----------------------------------------------------------
+
+    def __getitem__(self, key: Any) -> Variable:
+        if not isinstance(key, tuple):
+            key = (key,)
+        if len(key) > self.ndim:
+            raise CDMSError(f"variable {self.id!r}: too many indices {key!r}")
+        key = key + (slice(None),) * (self.ndim - len(key))
+        norm: list = []
+        for k in key:
+            if isinstance(k, (int, np.integer)):
+                k = slice(int(k), int(k) + 1 or None)
+            if not isinstance(k, slice):
+                raise CDMSError(
+                    f"variable {self.id!r}: only int/slice indexing supported, got {k!r}"
+                )
+            norm.append(k)
+
+        axis = self.layout.chunk_axis
+        selected = list(range(*norm[axis].indices(self.shape[axis])))
+        pieces = []
+        i = 0
+        while i < len(selected):
+            chunk = self.layout.chunk_of(selected[i])
+            j = i
+            while j < len(selected) and chunk.start <= selected[j] < chunk.stop:
+                j += 1
+            local = np.asarray(
+                [s - chunk.start for s in selected[i:j]], dtype=np.intp
+            )
+            raw = self._get_chunk(chunk)
+            taker = tuple(
+                local if dim == axis else norm[dim] for dim in range(self.ndim)
+            )
+            pieces.append(raw[taker])
+            i = j
+        if pieces:
+            raw_out = (
+                pieces[0]
+                if len(pieces) == 1
+                else np.concatenate(pieces, axis=axis)
+            )
+        else:
+            shape = [
+                len(range(*k.indices(n))) for k, n in zip(norm, self.shape)
+            ]
+            raw_out = np.empty(tuple(shape), dtype=self.dtype)
+        data = np.ma.masked_values(raw_out, self.missing_value, rtol=1e-6, atol=0.0)
+        axes = tuple(a.subaxis_slice(k) for a, k in zip(self._axes, norm))
+        return Variable(
+            data,
+            axes,
+            id=self.id,
+            missing_value=self.missing_value,
+            attributes=dict(self.attributes),
+        )
+
+    # -- full materialization (the observable escape hatch) -----------------
+
+    @property
+    def _data(self) -> np.ma.MaskedArray:
+        if self._materialized is None:
+            if obs.enabled():
+                obs.counter("streaming.materialize.full", var=self.id)
+            index = tuple(slice(None) for _ in range(self.ndim))
+            self._materialized = LazyVariable.__getitem__(self, index).data
+        return self._materialized
+
+    # -- transport ----------------------------------------------------------
+
+    def __reduce__(self) -> Tuple[object, ...]:
+        return (
+            _rebuild_lazy,
+            (str(self.source.path), self.source.config, self.id),
+        )
+
+
+def _rebuild_lazy(path: str, config, var_id: str) -> LazyVariable:
+    source = StreamingSource(path, config)
+    return LazyVariable(source, source.layout(var_id))

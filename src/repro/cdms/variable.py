@@ -10,7 +10,7 @@ whose axes still describe their dimensions correctly.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterator, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -134,6 +134,35 @@ class Variable:
 
     def valid_fraction(self) -> float:
         return 1.0 - float(self.mask.sum()) / max(self.size, 1)
+
+    def finite_range(self) -> Optional[Tuple[float, float]]:
+        """(min, max) over valid finite values, or None when there are none.
+
+        The scalar-range primitive the DV3D plot types consume.  Lazy
+        (streaming) variables override this with manifest statistics so
+        asking for a range never materializes payload data.
+        """
+        values = self.compressed()
+        values = values[np.isfinite(values)]
+        if values.size == 0:
+            return None
+        return float(values.min()), float(values.max())
+
+    # -- slab iteration (the out-of-core protocol) ------------------------
+
+    def slab_count(self) -> int:
+        """How many slabs :meth:`iter_slabs` yields (1 for in-memory)."""
+        return 1
+
+    def iter_slabs(self) -> "Iterator[Variable]":
+        """Yield the variable as storage-order slabs along its time axis.
+
+        In-memory variables are one slab.  Lazy variables yield one
+        materialized sub-variable per chunk, so reductions written as
+        folds over slabs (e.g. a running maximum) stay within the
+        streaming memory budget.
+        """
+        yield self
 
     # -- axes -----------------------------------------------------------
 

@@ -38,7 +38,7 @@ from repro.dv3d.hovmoller import HovmollerSlicerPlot, HovmollerVolumePlot
 from repro.dv3d.vector_slicer import VectorSlicerPlot
 from repro.dv3d.combined import CombinedPlot
 from repro.dv3d.cell import DV3DCell
-from repro.dv3d.animation import Animator, CameraTour
+from repro.dv3d.animation import Animator, CameraTour, FrameRecord, StreamingAnimator
 
 __all__ = [
     "translate_variable",
@@ -54,5 +54,7 @@ __all__ = [
     "CombinedPlot",
     "DV3DCell",
     "Animator",
+    "FrameRecord",
+    "StreamingAnimator",
     "CameraTour",
 ]

@@ -9,16 +9,19 @@ files or returned for inspection.
 
 from __future__ import annotations
 
+import contextlib
+from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.dv3d.cell import DV3DCell
 from repro.dv3d.plot import Plot3D
 from repro.rendering.camera import Camera
 from repro.rendering.ppm import write_ppm
-from repro.util.errors import DV3DError
+from repro.util.errors import DV3DError, StreamingError
 
 PathLike = Union[str, Path]
 
@@ -48,12 +51,14 @@ class Animator:
         """Render frames as uint8 arrays, restoring the original time index.
 
         The camera is fixed across frames (fit once at the first frame)
-        so the animation browses the data, not the view.
+        so the animation browses the data, not the view.  ``count`` may
+        exceed the number of timesteps: the cursor wraps modulo the
+        time axis, looping the animation.
         """
         if stride < 1:
             raise DV3DError("stride must be >= 1")
         total = self.n_frames
-        count = total if count is None else min(count, total)
+        count = total if count is None else count
         original = self.plot.time_index
         cam = camera or self.plot.camera
         frames: List[np.ndarray] = []
@@ -88,6 +93,142 @@ class Animator:
             write_ppm(path, frame)
             paths.append(path)
         return paths
+
+
+@dataclass(frozen=True)
+class FrameRecord:
+    """How one animation frame was produced.
+
+    ``status`` is ``"ok"`` or ``"degraded"``; ``source`` says which rung
+    of the degradation ladder delivered the pixels: ``"stream"`` (full
+    resolution), ``"lowres"`` (verified fallback slab), ``"previous"``
+    (last good frame re-served), or ``"blank"`` (nothing to serve yet).
+    """
+
+    index: int
+    status: str
+    source: str
+
+
+class StreamingAnimator(Animator):
+    """An :class:`Animator` that degrades instead of aborting.
+
+    For plots over lazy streaming variables, a chunk that stays
+    unreadable after the reader's retry budget normally raises
+    :class:`~repro.util.errors.StreamingError`.  This animator catches
+    it per frame and walks the degradation ladder:
+
+    1. re-render inside the variables' :meth:`degraded` context, so the
+       unreadable chunk is substituted by its verified low-resolution
+       companion;
+    2. failing that, re-serve the previous successfully rendered frame;
+    3. with no previous frame, emit a blank frame.
+
+    Every frame is accounted: ``streaming.frames.ok`` /
+    ``streaming.frames.degraded`` counters and a :class:`FrameRecord`
+    per frame.  The animation loop itself never raises for data
+    reasons — the contract the chaos tests pin.
+    """
+
+    def render_frames_with_status(
+        self,
+        width: int = 320,
+        height: int = 240,
+        camera: Optional[Camera] = None,
+        start: int = 0,
+        count: Optional[int] = None,
+        stride: int = 1,
+    ) -> Tuple[List[np.ndarray], List[FrameRecord]]:
+        if stride < 1:
+            raise DV3DError("stride must be >= 1")
+        total = self.n_frames
+        count = total if count is None else count
+        original = self.plot.time_index
+        cam = camera or self.plot.camera
+        frames: List[np.ndarray] = []
+        records: List[FrameRecord] = []
+        try:
+            for step in range(count):
+                index = (start + step * stride) % total
+                self.plot.set_time_index(index)
+                frame, record, cam = self._render_one(
+                    index, width, height, cam, frames
+                )
+                frames.append(frame)
+                records.append(record)
+                if obs.enabled():
+                    if record.status == "ok":
+                        obs.counter("streaming.frames.ok")
+                    else:
+                        obs.counter("streaming.frames.degraded", source=record.source)
+        finally:
+            self.plot.set_time_index(original)
+        return frames, records
+
+    def render_frames(self, *args, **kwargs) -> List[np.ndarray]:
+        frames, _ = self.render_frames_with_status(*args, **kwargs)
+        return frames
+
+    # -- the ladder ---------------------------------------------------------
+
+    def _degradable_variables(self) -> List[object]:
+        """Every plot variable that supports the degraded() context."""
+        candidates = [
+            getattr(self.plot, name, None)
+            for name in ("variable", "color_variable", "u", "v", "w")
+        ]
+        seen: List[object] = []
+        for var in candidates:
+            if var is not None and hasattr(var, "degraded") and var not in seen:
+                seen.append(var)
+        return seen
+
+    def _render_raw(
+        self, width: int, height: int, cam: Optional[Camera]
+    ) -> Tuple[np.ndarray, Camera]:
+        # the camera fit reads the (possibly degraded) volume's geometry,
+        # which depends only on axes — identical across ladder rungs
+        if cam is None:
+            cam = self.plot.default_camera()
+        fb = (
+            self.cell.render(width, height, camera=cam)
+            if self.cell is not None
+            else self.plot.render(width, height, camera=cam)
+        )
+        return fb.to_uint8(), cam
+
+    def _render_one(
+        self,
+        index: int,
+        width: int,
+        height: int,
+        cam: Optional[Camera],
+        previous_frames: List[np.ndarray],
+    ) -> Tuple[np.ndarray, FrameRecord, Optional[Camera]]:
+        try:
+            frame, cam = self._render_raw(width, height, cam)
+            return frame, FrameRecord(index, "ok", "stream"), cam
+        except StreamingError:
+            self.plot.invalidate()
+        try:
+            with contextlib.ExitStack() as stack:
+                for var in self._degradable_variables():
+                    stack.enter_context(var.degraded())
+                frame, cam = self._render_raw(width, height, cam)
+            return frame, FrameRecord(index, "degraded", "lowres"), cam
+        except StreamingError:
+            self.plot.invalidate()
+        if previous_frames:
+            return (
+                previous_frames[-1].copy(),
+                FrameRecord(index, "degraded", "previous"),
+                cam,
+            )
+        return (
+            np.zeros((height, width, 3), dtype=np.uint8),
+            FrameRecord(index, "degraded", "blank"),
+            cam,
+        )
 
 
 class CameraTour:

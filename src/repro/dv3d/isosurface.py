@@ -40,11 +40,9 @@ class IsosurfacePlot(Plot3D):
         lo, hi = self.scalar_range
         self.isovalue = float(isovalue) if isovalue is not None else 0.5 * (lo + hi)
         if color_variable is not None and color_range is None:
-            finite = color_variable.compressed()
-            finite = finite[np.isfinite(finite)]
-            if finite.size == 0:
+            color_range = color_variable.finite_range()
+            if color_range is None:
                 raise DV3DError(f"color variable {color_variable.id!r} has no valid data")
-            color_range = (float(finite.min()), float(finite.max()))
         self.color_range = color_range
 
     def _build_volume(self) -> ImageData:

@@ -59,6 +59,11 @@ class CDMSDatasetReader(Module):
         ParameterSpec("source", "synthetic_reanalysis", "path, esg:// URI, or catalog name"),
         ParameterSpec("size", {}, "generator size overrides"),
         ParameterSpec("seed", "default", "generator seed namespace"),
+        ParameterSpec(
+            "streaming",
+            "auto",
+            "out-of-core ingest for .cdz paths: auto | on | off",
+        ),
     )
 
     #: process-wide federation handle for esg:// sources (lazy)
@@ -79,7 +84,12 @@ class CDMSDatasetReader(Module):
         if source.startswith("esg://"):
             return {"dataset": self._esg().fetch(source[len("esg://"):])}
         if source.endswith(".cdz"):
-            return {"dataset": open_dataset(source)}
+            # "auto" streams v2 containers and loads v1 eagerly — each
+            # hyperwall cell executing this module then reads only the
+            # chunks its own subset touches, instead of a whole-array
+            # broadcast
+            streaming = str(self.parameter_values.get("streaming", "auto"))
+            return {"dataset": open_dataset(source, streaming=streaming)}
         from repro.data import catalog
 
         if source == "synthetic_reanalysis":

@@ -58,11 +58,11 @@ class Plot3D:
         self.time_index = 0
         self.colormap = Colormap(colormap)
         if scalar_range is None:
-            finite = variable.compressed()
-            finite = finite[np.isfinite(finite)]
-            if finite.size == 0:
+            # finite_range() lets lazy streaming variables answer from
+            # manifest statistics without materializing any payload
+            scalar_range = variable.finite_range()
+            if scalar_range is None:
                 raise DV3DError(f"variable {variable.id!r} has no valid data")
-            scalar_range = (float(finite.min()), float(finite.max()))
         if scalar_range[1] <= scalar_range[0]:
             scalar_range = (scalar_range[0], scalar_range[0] + 1e-6)
         self.scalar_range: Tuple[float, float] = scalar_range

@@ -31,6 +31,24 @@ from repro.util.errors import DV3DError
 _AXIS_NAMES = {"x": 0, "y": 1, "z": 2}
 
 
+def _speed_max(u: Variable, v: Variable) -> Optional[float]:
+    """Max finite speed, folded slab-by-slab so lazy variables never
+    materialize both components at once (max of per-slab maxima is
+    exactly the global max — same elementwise values, partitioned)."""
+    if u.slab_count() == v.slab_count() and u.slab_count() > 1:
+        pairs = zip(u.iter_slabs(), v.iter_slabs())
+    else:
+        pairs = iter([(u, v)])
+    best: Optional[float] = None
+    for u_slab, v_slab in pairs:
+        speed = np.sqrt(u_slab.filled(np.nan) ** 2 + v_slab.filled(np.nan) ** 2)
+        finite = speed[np.isfinite(speed)]
+        if finite.size:
+            slab_max = float(finite.max())
+            best = slab_max if best is None else max(best, slab_max)
+    return best
+
+
 class VectorSlicerPlot(Plot3D):
     """Glyph or streamline rendering of a vector field on slice planes."""
 
@@ -59,11 +77,10 @@ class VectorSlicerPlot(Plot3D):
         self.plane_position = 0.5
         # the base class treats u as "the variable" (for animation/pick);
         # the scalar range colors by speed
-        speed_sample = np.sqrt(u.filled(np.nan) ** 2 + v.filled(np.nan) ** 2)
-        finite = speed_sample[np.isfinite(speed_sample)]
-        if finite.size == 0:
+        speed_max = _speed_max(u, v)
+        if speed_max is None:
             raise DV3DError("vector field has no valid data")
-        kwargs.setdefault("scalar_range", (0.0, float(finite.max())))
+        kwargs.setdefault("scalar_range", (0.0, speed_max))
         super().__init__(u, **kwargs)
 
     def _build_volume(self) -> ImageData:

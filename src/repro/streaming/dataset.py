@@ -1,0 +1,115 @@
+"""Archive-level access to a streaming (v2) ``.cdz`` container.
+
+A :class:`StreamingSource` opens the container once, verifies the
+manifest and axes eagerly (metadata is tiny; corruption there should
+fail at open, not mid-animation), and hands out one
+:class:`~repro.streaming.reader.ChunkReader` and one lazily-started
+:class:`~repro.streaming.prefetch.Prefetcher` per variable.  Payload
+chunks are *not* touched at open — that is the whole point.
+
+The source is picklable by path + config (readers and prefetchers are
+rebuilt on unpickle), which is what lets lazy variables travel through
+workflow specs to hyperwall cells that then stream their own chunks.
+"""
+
+from __future__ import annotations
+
+import json
+import zipfile
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.cdms.axis import Axis
+from repro.streaming.config import StreamingConfig
+from repro.streaming.format import (
+    FORMAT_VERSION,
+    VariableLayout,
+    load_axes,
+    parse_layouts,
+    read_member,
+)
+from repro.streaming.prefetch import Prefetcher
+from repro.streaming.reader import ChunkReader
+from repro.util.errors import StreamingError
+
+PathLike = Union[str, Path]
+
+
+class StreamingSource:
+    """One open v2 container: verified metadata, on-demand payloads."""
+
+    def __init__(self, path: PathLike, config: Optional[StreamingConfig] = None) -> None:
+        self.path = Path(path)
+        self.config = config or StreamingConfig()
+        if not self.path.exists():
+            raise StreamingError(f"no such streaming archive: {self.path}")
+        try:
+            with zipfile.ZipFile(self.path, "r") as archive:
+                try:
+                    manifest = json.loads(read_member(archive, "manifest.json"))
+                except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                    raise StreamingError(
+                        f"{self.path}: manifest.json is not valid JSON: {exc}"
+                    ) from exc
+                version = manifest.get("format_version")
+                if version != FORMAT_VERSION:
+                    raise StreamingError(
+                        f"{self.path}: not a v2 streaming container "
+                        f"(format_version={version!r})"
+                    )
+                self.axes: Dict[str, Axis] = load_axes(archive, manifest, verify=True)
+        except zipfile.BadZipFile as exc:
+            raise StreamingError(f"{self.path} is not a readable archive: {exc}") from exc
+        self.dataset_id = str(manifest.get("id", self.path.stem))
+        self.attributes: Dict[str, object] = dict(manifest.get("attributes", {}))
+        self.layouts: List[VariableLayout] = parse_layouts(manifest, self.axes)
+        self._by_id: Dict[str, VariableLayout] = {l.id: l for l in self.layouts}
+        self._readers: Dict[str, ChunkReader] = {}
+        self._prefetchers: Dict[str, Prefetcher] = {}
+
+    # -- per-variable machinery --------------------------------------------
+
+    def layout(self, var_id: str) -> VariableLayout:
+        try:
+            return self._by_id[var_id]
+        except KeyError:
+            raise StreamingError(
+                f"{self.path}: no variable {var_id!r} "
+                f"(has {sorted(self._by_id)})"
+            ) from None
+
+    def reader(self, var_id: str) -> ChunkReader:
+        if var_id not in self._readers:
+            self._readers[var_id] = ChunkReader(
+                self.path, self.layout(var_id), self.config
+            )
+        return self._readers[var_id]
+
+    def prefetcher(self, var_id: str) -> Prefetcher:
+        if var_id not in self._prefetchers:
+            self._prefetchers[var_id] = Prefetcher(
+                self.reader(var_id), self.config
+            )
+        return self._prefetchers[var_id]
+
+    def close(self) -> None:
+        """Stop every prefetch thread and drop resident slabs."""
+        for prefetcher in self._prefetchers.values():
+            prefetcher.close()
+        self._prefetchers.clear()
+
+    def __enter__(self) -> "StreamingSource":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- pickling (hyperwall transport) ------------------------------------
+
+    def __reduce__(self) -> Tuple[object, ...]:
+        return (StreamingSource, (str(self.path), self.config))
+
+
+def open_source(path: PathLike, config: Optional[StreamingConfig] = None) -> StreamingSource:
+    """Open a v2 container for streaming access."""
+    return StreamingSource(path, config)

@@ -16,6 +16,26 @@ class CDMSError(ReproError):
     """Raised by the climate data management subsystem (:mod:`repro.cdms`)."""
 
 
+class StreamingError(CDMSError):
+    """Raised by the out-of-core streaming layer (:mod:`repro.streaming`).
+
+    Covers unreadable or unverifiable chunks after the retry budget is
+    exhausted, bad streaming configurations, and v2 container layout
+    violations.  Subclasses :class:`CDMSError` so callers treating the
+    streaming path as "just storage" keep working; the animation loop
+    catches it to degrade instead of aborting.
+    """
+
+
+class ChunkCorruptionError(StreamingError):
+    """A chunk's payload failed content-digest verification.
+
+    Raised after reads and retries have been exhausted; the offending
+    chunk is quarantined by the reader so the prefetch pipeline stops
+    wasting slots on it.
+    """
+
+
 class CDATError(ReproError):
     """Raised by the climate data analysis toolkit (:mod:`repro.cdat`)."""
 

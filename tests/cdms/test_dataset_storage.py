@@ -86,6 +86,45 @@ class TestStorageRoundtrip:
         assert len(axis_files) == 4  # time, level, latitude, longitude
 
 
+class TestVersionCompat:
+    """Both container versions round-trip the same bytes (satellite of
+    the streaming PR: v2 must be adoptable without rewriting v1 data)."""
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_roundtrip_byte_identical(self, dataset, tmp_path, version):
+        path = tmp_path / f"rt{version}.cdz"
+        dataset.save(path, version=version)
+        loaded = open_dataset(path)
+        for vid in dataset.variable_ids:
+            original = dataset.get_variable(vid)
+            restored = loaded.get_variable(vid)
+            assert restored.filled().tobytes() == original.filled().tobytes()
+            assert np.array_equal(
+                np.ma.getmaskarray(restored.data),
+                np.ma.getmaskarray(original.data),
+            )
+
+    def test_v1_and_v2_reads_agree(self, dataset, tmp_path):
+        p1, p2 = tmp_path / "a1.cdz", tmp_path / "a2.cdz"
+        dataset.save(p1, version=1)
+        dataset.save(p2, version=2)
+        _, _, from_v1 = read_cdz(p1)
+        _, _, from_v2 = read_cdz(p2)
+        for a, b in zip(from_v1, from_v2):
+            assert a.id == b.id
+            assert a.filled().tobytes() == b.filled().tobytes()
+            assert [ax.id for ax in a.axes] == [ax.id for ax in b.axes]
+
+    def test_detect_version(self, dataset, tmp_path):
+        from repro.cdms.storage import detect_version
+
+        p1, p2 = tmp_path / "d1.cdz", tmp_path / "d2.cdz"
+        dataset.save(p1, version=1)
+        dataset.save(p2, version=2)
+        assert detect_version(p1) == 1
+        assert detect_version(p2) == 2
+
+
 class TestStorageErrors:
     def test_empty_write_rejected(self, tmp_path):
         with pytest.raises(CDMSError):

@@ -1,0 +1,70 @@
+"""Fixtures for the out-of-core streaming suite.
+
+Every test gets a pristine fault registry and a disabled recorder; the
+dataset fixtures write both container versions of the same variables so
+differential assertions always have an eager twin to compare against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.cdms.axis import level_axis, time_axis, uniform_latitude, uniform_longitude
+from repro.cdms.storage import write_cdz
+from repro.cdms.variable import Variable
+from repro.resilience import faults
+
+
+@pytest.fixture(autouse=True)
+def clean_faults_and_obs():
+    faults.disarm()
+    obs.set_recorder(obs.Recorder())
+    yield
+    faults.disarm()
+    if obs.enabled():
+        obs.disable()
+    obs.set_recorder(obs.Recorder())
+
+
+def make_variable(
+    ntime: int = 8,
+    nlev: int = 4,
+    nlat: int = 10,
+    nlon: int = 14,
+    var_id: str = "ta",
+    seed: int = 11,
+    masked: bool = True,
+) -> Variable:
+    rng = np.random.default_rng(seed)
+    data = np.ma.MaskedArray(rng.normal(280.0, 12.0, size=(ntime, nlev, nlat, nlon)))
+    if masked:
+        data[0, 0, 0, :3] = np.ma.masked
+        data[-1, -1, -1, -1] = np.ma.masked
+    axes = (
+        time_axis(np.arange(ntime) * 30.0),
+        level_axis(np.linspace(1000.0, 100.0, nlev).tolist()),
+        uniform_latitude(nlat),
+        uniform_longitude(nlon),
+    )
+    return Variable(data, axes, id=var_id, units="K")
+
+
+@pytest.fixture()
+def variable():
+    return make_variable()
+
+
+@pytest.fixture()
+def v2_path(tmp_path, variable):
+    path = tmp_path / "data_v2.cdz"
+    write_cdz(path, [variable], dataset_id="streaming-test", version=2)
+    return path
+
+
+@pytest.fixture()
+def v1_path(tmp_path, variable):
+    path = tmp_path / "data_v1.cdz"
+    write_cdz(path, [variable], dataset_id="streaming-test", version=1)
+    return path

@@ -1,0 +1,86 @@
+"""Crash-safe publication: a SIGKILLed writer never leaves a torn .cdz.
+
+``write_cdz`` stages the archive in a same-directory temp file and
+publishes it with a single ``os.replace``.  Killing the writer between
+the write and the fsync must leave either nothing or ``.tmp-*`` debris
+at the destination — never a readable-but-partial container.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import signal
+
+import pytest
+
+from repro.cdms import storage
+from repro.cdms.storage import read_cdz, write_cdz
+
+from .conftest import make_variable
+
+
+def _killed_writer(directory: str, version: int) -> None:
+    def kill_instead_of_sync(fd: int) -> None:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    storage._fsync = kill_instead_of_sync
+    write_cdz(
+        os.path.join(directory, "out.cdz"),
+        [make_variable(ntime=4)],
+        version=version,
+    )
+
+
+def _failing_fsync(fd: int) -> None:
+    raise OSError("disk full")
+
+
+class TestKilledWriter:
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_sigkill_mid_publish_leaves_no_final_file(self, tmp_path, version):
+        ctx = mp.get_context("fork")
+        proc = ctx.Process(target=_killed_writer, args=(str(tmp_path), version))
+        proc.start()
+        proc.join(60.0)
+        assert proc.exitcode == -signal.SIGKILL
+
+        final = tmp_path / "out.cdz"
+        assert not final.exists(), "torn container published"
+        debris = [p.name for p in tmp_path.iterdir()]
+        assert all(name.startswith(storage._TMP_PREFIX) for name in debris)
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_existing_file_survives_failed_rewrite(
+        self, tmp_path, version, monkeypatch
+    ):
+        path = tmp_path / "data.cdz"
+        original = make_variable(ntime=4, seed=1)
+        write_cdz(path, [original], version=version)
+        before = path.read_bytes()
+
+        monkeypatch.setattr(storage, "_fsync", _failing_fsync)
+        with pytest.raises(OSError):
+            write_cdz(path, [make_variable(ntime=4, seed=2)], version=version)
+
+        assert path.read_bytes() == before
+        _, _, [var] = read_cdz(path)
+        assert var.filled().tobytes() == original.filled().tobytes()
+        # the aborted attempt cleans up its own temp file
+        assert [p.name for p in tmp_path.iterdir()] == ["data.cdz"]
+
+    def test_publish_is_atomic_rename(self, tmp_path, monkeypatch):
+        observed = {}
+        real_replace = os.replace
+
+        def spy(src, dst):
+            observed["src"] = str(src)
+            observed["dst"] = str(dst)
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(storage.os, "replace", spy)
+        path = tmp_path / "atomic.cdz"
+        write_cdz(path, [make_variable(ntime=2)], version=2)
+        assert observed["dst"] == str(path)
+        assert os.path.dirname(observed["src"]) == str(tmp_path)
+        assert os.path.basename(observed["src"]).startswith(storage._TMP_PREFIX)

@@ -1,0 +1,111 @@
+"""Streaming through the workflow layer and hyperwall partitions.
+
+``CDMSDatasetReader`` grows a ``streaming`` parameter: for ``.cdz``
+sources, ``auto`` streams v2 containers and eagerly loads v1; the
+rendered image must not depend on the ingest mode.  A partitioned
+hyperwall pipeline exercises the per-cell path: each cell's
+sub-workflow opens its own streaming source and reads only the chunks
+its plot touches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cdms.lazy import LazyVariable
+from repro.data import catalog
+from repro.hyperwall.partition import partition_by_cell
+from repro.util.errors import ModuleExecutionError
+from repro.workflow.executor import Executor
+from repro.workflow.pipeline import Pipeline
+
+
+SIZE = dict(nlat=12, nlon=16, nlev=4, ntime=3)
+
+
+@pytest.fixture(scope="module")
+def v1_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("wf") / "r1.cdz"
+    catalog.synthetic_reanalysis(**SIZE).save(path, version=1)
+    return path
+
+
+@pytest.fixture(scope="module")
+def v2_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("wf") / "r2.cdz"
+    catalog.synthetic_reanalysis(**SIZE).save(path, version=2)
+    return path
+
+
+@pytest.fixture()
+def executor():
+    return Executor(caching=False)
+
+
+def slicer_pipeline(registry, source, streaming, variable="ta"):
+    p = Pipeline(registry)
+    reader = p.add_module(
+        "CDMSDatasetReader", {"source": str(source), "streaming": streaming}
+    )
+    var = p.add_module("CDMSVariableReader", {"variable": variable})
+    plot = p.add_module("Slicer")
+    cell = p.add_module("DV3DCell", {"width": 32, "height": 24})
+    p.add_connection(reader, "dataset", var, "dataset")
+    p.add_connection(var, "variable", plot, "variable")
+    p.add_connection(plot, "plot", cell, "plot")
+    return p, reader, cell
+
+
+class TestReaderParameter:
+    def test_streaming_on_yields_lazy_dataset(self, registry, executor, v2_file):
+        p, reader, _ = slicer_pipeline(registry, v2_file, "on")
+        ds = executor.execute(p).output(reader, "dataset")
+        assert isinstance(ds.get_variable("ta"), LazyVariable)
+
+    def test_auto_streams_v2_loads_v1(self, registry, executor, v1_file, v2_file):
+        p, reader, _ = slicer_pipeline(registry, v1_file, "auto")
+        eager = executor.execute(p).output(reader, "dataset")
+        assert not eager.is_streaming
+        p, reader, _ = slicer_pipeline(registry, v2_file, "auto")
+        lazy = executor.execute(p).output(reader, "dataset")
+        assert lazy.is_streaming
+
+    def test_streaming_on_requires_v2(self, registry, executor, v1_file):
+        p, _, _ = slicer_pipeline(registry, v1_file, "on")
+        with pytest.raises(ModuleExecutionError):
+            executor.execute(p)
+
+    def test_image_identical_across_modes(self, registry, executor, v2_file):
+        images = {}
+        for mode in ("on", "off"):
+            p, _, cell = slicer_pipeline(registry, v2_file, mode)
+            images[mode] = executor.execute(p).output(cell, "image")
+        assert np.array_equal(images["on"], images["off"])
+
+
+class TestHyperwallPartition:
+    def test_per_cell_streaming_matches_monolithic(
+        self, registry, executor, v2_file
+    ):
+        p = Pipeline(registry)
+        reader = p.add_module(
+            "CDMSDatasetReader", {"source": str(v2_file), "streaming": "on"}
+        )
+        cells = []
+        for variable in ("ta", "hus"):
+            var = p.add_module("CDMSVariableReader", {"variable": variable})
+            plot = p.add_module("Slicer")
+            cell = p.add_module("DV3DCell", {"width": 24, "height": 18})
+            p.add_connection(reader, "dataset", var, "dataset")
+            p.add_connection(var, "variable", plot, "variable")
+            p.add_connection(plot, "plot", cell, "plot")
+            cells.append(cell)
+
+        whole = executor.execute(p)
+        partitions = partition_by_cell(p)
+        for cell in cells:
+            sub_image = Executor(caching=False).execute(
+                partitions[cell]
+            ).output(cell, "image")
+            assert np.array_equal(sub_image, whole.output(cell, "image"))

@@ -1,0 +1,89 @@
+"""The streaming bench artifact schema gate in ``tools/bench_compare.py``."""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+TOOLS = Path(__file__).resolve().parent.parent.parent / "tools"
+sys.path.insert(0, str(TOOLS))
+
+import bench_compare  # noqa: E402
+
+
+def make_report(**overrides):
+    report = {
+        "kind": "streaming",
+        "meta": {"seed": "bench-streaming", "quick": True},
+        "frames": 16,
+        "elapsed_s": 2.0,
+        "frames_per_s": 8.0,
+        "dataset_bytes": 400_000,
+        "budget_bytes": 100_000,
+        "peak_resident_bytes": 99_000,
+        "peak_rss_bytes": 50_000_000,
+        "fault_pass": {
+            "frames": 20,
+            "ok_frames": 18,
+            "degraded_frames": 2,
+            "chunks_corrupt": 3.0,
+            "chunks_retried": 4.0,
+            "counters_match": True,
+            "completed": True,
+        },
+    }
+    report.update(overrides)
+    return report
+
+
+class TestStreamingSchemaGate:
+    def test_valid_report_passes(self):
+        assert bench_compare.validate_streaming(make_report())
+
+    def test_cli_accepts_and_renders_table(self, tmp_path, capsys):
+        path = tmp_path / "fresh.json"
+        path.write_text(json.dumps(make_report()))
+        assert bench_compare.main([str(path)]) == 0
+        assert "Out-of-core streaming bench" in capsys.readouterr().out
+
+    def test_dataset_must_be_4x_budget(self):
+        with pytest.raises(bench_compare.CompareError, match="4x"):
+            bench_compare.validate_streaming(
+                make_report(dataset_bytes=300_000)
+            )
+
+    def test_resident_must_fit_budget(self):
+        with pytest.raises(bench_compare.CompareError, match="budget"):
+            bench_compare.validate_streaming(
+                make_report(peak_resident_bytes=100_001)
+            )
+
+    def test_missing_fps_rejected(self):
+        with pytest.raises(bench_compare.CompareError, match="frames_per_s"):
+            bench_compare.validate_streaming(make_report(frames_per_s=0))
+
+    def test_unaccounted_chaos_frames_rejected(self):
+        report = make_report()
+        report["fault_pass"]["ok_frames"] = 17
+        with pytest.raises(bench_compare.CompareError, match="accounted"):
+            bench_compare.validate_streaming(report)
+
+    def test_incomplete_chaos_rejected(self):
+        report = make_report()
+        report["fault_pass"]["completed"] = False
+        with pytest.raises(bench_compare.CompareError, match="complete"):
+            bench_compare.validate_streaming(report)
+
+    def test_counter_mismatch_rejected(self):
+        report = make_report()
+        report["fault_pass"]["counters_match"] = False
+        with pytest.raises(bench_compare.CompareError, match="counters"):
+            bench_compare.validate_streaming(report)
+
+    def test_cli_rejects_malformed(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps(make_report(budget_bytes=0)))
+        assert bench_compare.main([str(path)]) == 2

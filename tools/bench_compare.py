@@ -27,7 +27,11 @@ Artifacts with ``"kind": "serving"`` (from ``tools/loadgen.py``) take a
 different path: there is no cross-machine baseline for open-loop
 latency, so the gate is a structural schema check — trace digest
 present, >= 3 offered-load points, each with counters, throughput and
-p50/p99 latency — rendered as a table in the job summary.
+p50/p99 latency — rendered as a table in the job summary.  Artifacts
+with ``"kind": "streaming"`` (from ``tools/bench_streaming.py``) are
+gated the same way, plus the two machine-independent invariants: the
+benched container is >= 4x the memory budget and peak resident chunk
+bytes stayed under it, with a completed chaos replay.
 
 Exit codes: 0 ok, 1 regression (or missing speedup), 2 usage/IO error.
 
@@ -122,6 +126,74 @@ def validate_serving(report: Dict[str, Any]) -> List[Dict[str, Any]]:
                 f"load_points[{index}]: completed exceeds offered"
             )
     return points
+
+
+def validate_streaming(report: Dict[str, Any]) -> Dict[str, Any]:
+    """Schema-check a ``kind: streaming`` artifact (``tools/bench_streaming.py``).
+
+    Streaming throughput is machine-bound, so like serving runs the gate
+    is structural plus the two invariants the bench can check on any
+    machine: the container is at least 4x the memory budget, and the
+    prefetcher's peak resident chunk bytes stayed within that budget.
+    The chaos replay must have completed with its counters matching the
+    per-frame records.  Raises :class:`CompareError` on any violation.
+    """
+    meta = report.get("meta", {})
+    if not isinstance(meta.get("seed"), (str, int)):
+        raise CompareError("streaming artifact has no meta.seed")
+    for field in ("frames", "dataset_bytes", "budget_bytes", "peak_resident_bytes"):
+        value = report.get(field)
+        if not isinstance(value, int) or value <= 0:
+            raise CompareError(f"streaming artifact needs a positive int {field}")
+    fps = report.get("frames_per_s")
+    if not isinstance(fps, (int, float)) or fps <= 0:
+        raise CompareError("streaming artifact has no usable frames_per_s")
+    rss = report.get("peak_rss_bytes")
+    if not isinstance(rss, int) or rss <= 0:
+        raise CompareError("streaming artifact has no usable peak_rss_bytes")
+    if report["dataset_bytes"] < 4 * report["budget_bytes"] - 3:
+        # -3 absorbs the integer division when budget = dataset // 4
+        raise CompareError(
+            "streaming bench dataset must be >= 4x the memory budget "
+            f"({report['dataset_bytes']} < 4 * {report['budget_bytes']})"
+        )
+    if report["peak_resident_bytes"] > report["budget_bytes"]:
+        raise CompareError(
+            "streaming peak resident bytes exceeded the budget "
+            f"({report['peak_resident_bytes']} > {report['budget_bytes']})"
+        )
+    chaos = report.get("fault_pass")
+    if not isinstance(chaos, dict):
+        raise CompareError("streaming artifact has no fault_pass object")
+    for field in ("frames", "ok_frames", "degraded_frames"):
+        if not isinstance(chaos.get(field), int) or chaos[field] < 0:
+            raise CompareError(f"fault_pass.{field} must be a non-negative int")
+    if chaos["ok_frames"] + chaos["degraded_frames"] != chaos["frames"]:
+        raise CompareError("fault_pass frames are not fully accounted")
+    if not chaos.get("counters_match"):
+        raise CompareError("fault_pass counters do not match frame records")
+    if not chaos.get("completed"):
+        raise CompareError("fault_pass did not complete")
+    return report
+
+
+def format_streaming_table(report: Dict[str, Any]) -> str:
+    chaos = report["fault_pass"]
+    lines = [
+        "| frames/s | dataset | budget | peak resident | peak RSS "
+        "| chaos degraded |",
+        "|---|---|---|---|---|---|",
+        "| {fps:.2f} | {ds} | {budget} | {resident} | {rss} | {deg}/{total} |".format(
+            fps=report["frames_per_s"],
+            ds=report["dataset_bytes"],
+            budget=report["budget_bytes"],
+            resident=report["peak_resident_bytes"],
+            rss=report["peak_rss_bytes"],
+            deg=chaos["degraded_frames"],
+            total=chaos["frames"],
+        ),
+    ]
+    return "\n".join(lines)
 
 
 def format_serving_table(points: List[Dict[str, Any]]) -> str:
@@ -307,6 +379,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"trace digest `{fresh['meta']['trace_digest'][:16]}…` "
                 f"(seed {fresh['meta'].get('seed')!r})\n\n"
                 + format_serving_table(points)
+            )
+            print(markdown)
+            write_job_summary(markdown)
+            return 0
+        if fresh.get("kind") == "streaming":
+            validate_streaming(fresh)
+            markdown = (
+                "## Out-of-core streaming bench\n\n"
+                + format_streaming_table(fresh)
             )
             print(markdown)
             write_job_summary(markdown)

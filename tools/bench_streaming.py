@@ -1,0 +1,199 @@
+#!/usr/bin/env python
+"""Out-of-core streaming smoke bench -> ``BENCH_streaming.json``.
+
+Renders a looping slicer animation from a chunked v2 ``.cdz`` container
+whose payload is ~4x the configured streaming memory budget, and
+reports:
+
+* ``frames_per_s`` — sustained animation throughput through the
+  read -> verify -> decode pipeline (prefetch enabled);
+* ``peak_resident_bytes`` — the prefetcher's chunk-slot accounting,
+  which must stay under ``budget_bytes``;
+* ``peak_rss_bytes`` — ``ru_maxrss`` of the process, for the artifact
+  record (not gated: Python allocator behaviour is machine-bound);
+* ``fault_pass`` — a chaos replay of the same animation with
+  ``streaming.read`` / ``streaming.verify`` faults armed at a 10% rate
+  plus one chunk bit-flipped on disk: the animation must complete with
+  every frame accounted as ok or degraded.
+
+The artifact carries ``"kind": "streaming"`` and is schema-gated by
+``tools/bench_compare.py`` (structural checks only — there is no
+committed cross-machine baseline for streaming throughput).
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_streaming.py --quick --out BENCH_streaming.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import sys
+import tempfile
+import time
+import zipfile
+from pathlib import Path
+
+from repro import obs
+from repro.cdms.dataset import open_dataset
+from repro.data import catalog
+from repro.dv3d import SlicerPlot, StreamingAnimator
+from repro.resilience import faults
+from repro.streaming.config import StreamingConfig
+
+#: dataset dimensions; ntime drives the chunk count (one chunk per step)
+FULL_SIZE = {"nlat": 46, "nlon": 72, "nlev": 17, "ntime": 16}
+QUICK_SIZE = {"nlat": 24, "nlon": 36, "nlev": 6, "ntime": 8}
+
+#: budget = dataset / BUDGET_DIVISOR, so the container is ~4x the budget
+BUDGET_DIVISOR = 4
+
+VARIABLE = "ta"
+CHAOS_FRAMES = 20
+CORRUPT_CHUNK = 3
+
+
+def peak_rss_bytes() -> int:
+    # ru_maxrss is KiB on Linux, bytes on macOS; this repo's CI is Linux
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss) * 1024
+
+
+def build_container(directory: Path, size: dict) -> Path:
+    path = directory / "bench_streaming.cdz"
+    catalog.synthetic_reanalysis(**size, seed="bench-streaming").save(
+        path, version=2
+    )
+    return path
+
+
+def corrupt_copy(pristine: Path, var_index: int = 0) -> Path:
+    """A sibling container with one chunk's bytes flipped on disk."""
+    member = f"chunks/v{var_index:03d}/c{CORRUPT_CHUNK:06d}.npy"
+    path = pristine.with_name("bench_streaming_corrupt.cdz")
+    with zipfile.ZipFile(pristine) as src, zipfile.ZipFile(path, "w") as dst:
+        for info in src.infolist():
+            payload = src.read(info.filename)
+            if info.filename == member:
+                flipped = bytearray(payload)
+                flipped[len(flipped) // 2] ^= 0xFF
+                payload = bytes(flipped)
+            dst.writestr(info, payload)
+    return path
+
+
+def throughput_pass(path: Path, frames: int) -> dict:
+    probe = open_dataset(path, streaming="on")
+    layout = probe.streaming_source.layout(VARIABLE)
+    dataset_bytes = layout.total_nbytes()
+    probe.close()
+    budget = max(layout.max_chunk_nbytes(), dataset_bytes // BUDGET_DIVISOR)
+
+    config = StreamingConfig(memory_budget_bytes=budget, prefetch_depth=4)
+    with open_dataset(path, streaming="on", streaming_config=config) as ds:
+        animator = StreamingAnimator(SlicerPlot(ds.get_variable(VARIABLE)))
+        started = time.perf_counter()
+        rendered, records = animator.render_frames_with_status(count=frames)
+        elapsed = time.perf_counter() - started
+        prefetcher = ds.streaming_source.prefetcher(VARIABLE)
+        peak_resident = prefetcher.peak_resident_bytes
+
+    if any(r.status != "ok" for r in records):
+        raise RuntimeError("throughput pass degraded on pristine data")
+    return {
+        "frames": len(rendered),
+        "elapsed_s": elapsed,
+        "frames_per_s": len(rendered) / elapsed if elapsed > 0 else 0.0,
+        "dataset_bytes": dataset_bytes,
+        "budget_bytes": budget,
+        "peak_resident_bytes": peak_resident,
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
+
+
+def fault_pass(path: Path) -> dict:
+    """The chaos replay: armed fault sites + a corrupt chunk on disk."""
+    obs.set_recorder(obs.Recorder())
+    obs.enable()
+    faults.disarm()
+    # chained one-shot faults: each skips 9 checks then fires once, so
+    # the site trips on every 10th visit — a 10% injected failure rate
+    for _ in range(3):
+        faults.arm("streaming.read", "raise", after=9, times=1)
+        faults.arm("streaming.verify", "corrupt", after=9, times=1)
+    try:
+        config = StreamingConfig(retry_base_delay=0.0)
+        with open_dataset(path, streaming="on", streaming_config=config) as ds:
+            animator = StreamingAnimator(SlicerPlot(ds.get_variable(VARIABLE)))
+            frames, records = animator.render_frames_with_status(
+                count=CHAOS_FRAMES
+            )
+    finally:
+        faults.disarm()
+        obs.disable()
+
+    recorder = obs.get_recorder()
+    n_ok = sum(1 for r in records if r.status == "ok")
+    n_degraded = sum(1 for r in records if r.status == "degraded")
+    counters_match = (
+        recorder.counter_total("streaming.frames.ok") == n_ok
+        and recorder.counter_total("streaming.frames.degraded") == n_degraded
+    )
+    return {
+        "frames": len(frames),
+        "ok_frames": n_ok,
+        "degraded_frames": n_degraded,
+        "chunks_corrupt": recorder.counter_total("streaming.chunks.corrupt"),
+        "chunks_retried": recorder.counter_total("streaming.chunks.retried"),
+        "counters_match": bool(counters_match),
+        "completed": bool(len(frames) == CHAOS_FRAMES and counters_match),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_streaming.json")
+    parser.add_argument(
+        "--quick", action="store_true", help="small dataset for CI smoke runs"
+    )
+    parser.add_argument(
+        "--frames", type=int, default=None,
+        help="animation frames for the throughput pass (default 2x timesteps)",
+    )
+    args = parser.parse_args(argv)
+
+    size = QUICK_SIZE if args.quick else FULL_SIZE
+    frames = args.frames or 2 * size["ntime"]
+
+    with tempfile.TemporaryDirectory(prefix="bench-streaming-") as tmp:
+        pristine = build_container(Path(tmp), size)
+        throughput = throughput_pass(pristine, frames)
+        chaos = fault_pass(corrupt_copy(pristine))
+
+    report = {
+        "kind": "streaming",
+        "meta": {
+            "generated_by": "tools/bench_streaming.py",
+            "quick": bool(args.quick),
+            "seed": "bench-streaming",
+            "size": size,
+            "variable": VARIABLE,
+        },
+        **throughput,
+        "fault_pass": chaos,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=1) + "\n")
+    print(
+        f"bench_streaming: {throughput['frames_per_s']:.2f} frames/s, "
+        f"resident {throughput['peak_resident_bytes']} / "
+        f"budget {throughput['budget_bytes']} bytes "
+        f"(dataset {throughput['dataset_bytes']}), "
+        f"chaos {'ok' if chaos['completed'] else 'FAILED'} "
+        f"({chaos['degraded_frames']}/{chaos['frames']} degraded)"
+    )
+    return 0 if chaos["completed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
