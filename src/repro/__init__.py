@@ -40,7 +40,7 @@ Quick start::
     cell.render(400, 300).save("slicer.ppm")
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "cdms",

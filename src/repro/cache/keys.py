@@ -132,6 +132,57 @@ def _update(h, obj: Any) -> None:  # noqa: PLR0911 - a type dispatch table
     )
 
 
+def _update_streamed_variable(h, obj: Any) -> bool:
+    """Hash a still-streaming lazy variable without materializing it.
+
+    Produces the *same* byte stream as the eager Variable branch —
+    ``v + L(id, missing_value, attributes, axes, M(data))`` where the
+    masked payload is ``A(filled(0)) + A(mask)`` — but folds the payload
+    one slab at a time.  Valid because a variable chunked along axis 0
+    concatenates its slabs' C-order buffers into exactly the full
+    array's buffer.  Variables chunked along any other axis, or already
+    materialized (where the eager path is free), return False and fall
+    through to the eager branch.
+
+    This is what lets a streamed reduction share cache entries with its
+    eager twin: equal content ⇒ equal digest, regardless of which plane
+    the data arrived through.
+    """
+    from repro.cdms.lazy import LazyVariable
+
+    if not isinstance(obj, LazyVariable):
+        return False
+    if obj._materialized is not None or obj.slab_axis() != 0:
+        return False
+    _tag(h, b"v")
+    _tag(h, b"L")
+    for item in (obj.id, obj.missing_value, obj.attributes, list(obj.axes)):
+        _update(h, item)
+    _tag(h, b"M")
+    shape = tuple(int(n) for n in obj.shape)
+    size = int(np.prod(shape, dtype=np.int64))
+    dtype = np.dtype(obj.dtype)
+    for kind, dtype_str, itemsize in (
+        ("data", dtype.str, dtype.itemsize),
+        ("mask", np.dtype(bool).str, 1),
+    ):
+        # an _update_array, streamed: header, then the length-prefixed
+        # payload fed to the hash slab by slab (two passes over the
+        # container — data bytes, then mask bytes — so peak residency
+        # stays one slab)
+        _tag(h, b"A")
+        _raw(h, dtype_str.encode("ascii"))
+        _raw(h, repr(shape).encode("ascii"))
+        h.update(struct.pack("<Q", size * itemsize))
+        for slab in obj.iter_slabs():
+            if kind == "data":
+                block = slab.data.filled(0)
+            else:
+                block = np.ma.getmaskarray(slab.data)
+            h.update(np.ascontiguousarray(block).tobytes())
+    return True
+
+
 def _update_known(h, obj: Any) -> bool:
     """Hash the domain types; returns False for unknown objects."""
     from repro.cdms.axis import Axis
@@ -160,6 +211,8 @@ def _update_known(h, obj: Any) -> bool:
         _update_sequence(h, (obj.latitude, obj.longitude))
         return True
     if isinstance(obj, Variable):
+        if _update_streamed_variable(h, obj):
+            return True
         _tag(h, b"v")
         _update_sequence(
             h,

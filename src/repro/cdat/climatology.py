@@ -5,6 +5,14 @@ time series to its mean annual cycle (monthly or seasonal climatology)
 and subtract that cycle to obtain anomalies.  Month membership is
 derived from the time axis's calendar-aware component times, so noleap
 and 360-day model output group correctly.
+
+All grouping runs through the group-by accumulator kernel
+(:func:`repro.cdat.slabkernels.fold_group_stats`): month membership
+needs only time-axis metadata, the payload streams through slab by
+slab, and the per-group sum/count state is sized by the output (e.g.
+12 maps for a monthly climatology) — so a climatology over a streamed
+``.cdz`` container runs within the prefetcher's memory budget while
+remaining byte-identical to the eager computation.
 """
 
 from __future__ import annotations
@@ -13,7 +21,9 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.cdat import slabkernels
 from repro.cdms.axis import Axis
+from repro.cdms.slabs import map_slabs, materialize
 from repro.cdms.variable import Variable
 from repro.util.errors import CDATError
 
@@ -40,14 +50,11 @@ def _group_mean(
     axis_id: str, units: str,
 ) -> Variable:
     """Mean of *var* over each index group along *dim*; groups become a new axis."""
-    data = np.moveaxis(var.data, dim, 0)
-    pieces = []
-    for idx in groups:
-        if idx.size == 0:
-            pieces.append(np.ma.masked_all(data.shape[1:], dtype=np.float64))
-        else:
-            pieces.append(np.ma.mean(data[idx], axis=0))
-    stacked = np.ma.stack(pieces, axis=0)
+    group_of = slabkernels.group_membership(groups, var.shape[dim])
+    stats = slabkernels.fold_group_stats(
+        var, dim, group_of, len(groups), op=axis_id
+    )
+    stacked = slabkernels.group_means(stats["sums"], stats["counts"])
     stacked = np.moveaxis(stacked, 0, dim)
     group_axis = Axis(axis_id, coords, units=units)
     axes = list(var.axes)
@@ -80,17 +87,31 @@ def seasonal_climatology(var: Variable) -> Variable:
 
 
 def anomalies(var: Variable) -> Variable:
-    """Departures from the monthly climatology, same shape as the input."""
+    """Departures from the monthly climatology, same shape as the input.
+
+    The climatology accumulates in one streaming pass; the subtraction
+    is elementwise per time step, so a second pass maps over slabs.
+    """
     dim, months, _years = _time_months_years(var)
+    if var.slab_count() > 1 and var.slab_axis() != dim:
+        var = materialize(var, op="anomalies")
     clim = monthly_climatology(var)
     clim_data = np.moveaxis(clim.data, dim, 0)  # (12, ...)
-    data = np.moveaxis(var.data, dim, 0)
-    anom = data - clim_data[months - 1]
-    anom = np.moveaxis(anom, 0, dim)
-    return Variable(
-        anom, var.axes, id=f"anom({var.id})",
-        missing_value=var.missing_value, attributes=dict(var.attributes),
-    )
+    pos = 0
+
+    def subtract(slab: Variable) -> Variable:
+        nonlocal pos
+        data = np.moveaxis(slab.data, dim, 0)
+        k = data.shape[0]
+        anom = data - clim_data[months[pos : pos + k] - 1]
+        pos += k
+        anom = np.moveaxis(anom, 0, dim)
+        return Variable(
+            anom, slab.axes, id=f"anom({var.id})",
+            missing_value=var.missing_value, attributes=dict(var.attributes),
+        )
+
+    return map_slabs(subtract, var, id=f"anom({var.id})")
 
 
 def annual_mean(var: Variable) -> Variable:

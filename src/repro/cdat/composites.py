@@ -6,6 +6,12 @@ a Welch t-statistic marking where the difference is distinguishable
 from noise.  This pairs naturally with the DV3D comparison plots (view
 the composite difference with a slicer, mask it by significance with a
 conditioned comparison).
+
+The field never has to fit in memory: phase membership is decided from
+the (tiny, 1-D) index series, the per-phase means accumulate through
+the group-by kernel, and the Welch statistic is computed from streamed
+sufficient statistics (per-point n, mean and variance of each phase)
+rather than from gathered samples.
 """
 
 from __future__ import annotations
@@ -15,6 +21,12 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import stats
 
+from repro.cdat.slabkernels import (
+    fold_group_squared_deviations,
+    fold_group_stats,
+    group_means,
+)
+from repro.cdms.slabs import materialize
 from repro.cdms.variable import Variable
 from repro.util.errors import CDATError
 
@@ -42,6 +54,26 @@ class CompositeResult:
         return mask_where(self.difference, insignificant)
 
 
+def _welch_from_moments(
+    m0: np.ma.MaskedArray, m1: np.ma.MaskedArray,
+    v0: np.ndarray, v1: np.ndarray,
+    n0: np.ndarray, n1: np.ndarray,
+):
+    """Welch t and two-sided p from per-phase sufficient statistics."""
+    with np.errstate(all="ignore"):
+        se0 = v0 / n0
+        se1 = v1 / n1
+        se2 = se0 + se1
+        t_stat = (np.ma.filled(m0, np.nan) - np.ma.filled(m1, np.nan)) / np.sqrt(se2)
+        df = se2 * se2 / (se0 * se0 / (n0 - 1.0) + se1 * se1 / (n1 - 1.0))
+        bad = (n0 < 2) | (n1 < 2) | ~np.isfinite(t_stat) | ~np.isfinite(df)
+        t_stat = np.where(bad, np.nan, t_stat)
+        df = np.where(bad, 1.0, df)
+        p_val = 2.0 * stats.t.sf(np.abs(t_stat), df)
+        p_val = np.where(bad, np.nan, p_val)
+    return np.ma.masked_invalid(t_stat), np.ma.masked_invalid(p_val)
+
+
 def composite_analysis(
     field: Variable,
     index: Variable,
@@ -64,6 +96,7 @@ def composite_analysis(
     index_time = index.get_time()
     if field_time is None or index_time is None:
         raise CDATError("composite_analysis: both inputs need time axes")
+    index = materialize(index, op="composite_index")  # 1-D: always tiny
     if index.ndim != 1:
         index = index.squeeze()
         if index.ndim != 1:
@@ -87,23 +120,28 @@ def composite_analysis(
         raise CDATError("too few events in a composite phase (need >= 2 each)")
 
     t_dim = field.axis_index("time")
-    data = np.moveaxis(field.data, t_dim, 0)
     spatial_axes = tuple(a for i, a in enumerate(field.axes) if i != t_dim)
 
-    high_sample = data[high_steps]
-    low_sample = data[low_steps]
-    high_mean = np.ma.mean(high_sample, axis=0)
-    low_mean = np.ma.mean(low_sample, axis=0)
+    # phase membership along time → two streamed accumulator passes
+    group_of = np.full(field.shape[t_dim], -1, dtype=np.int64)
+    group_of[high_steps] = 0
+    group_of[low_steps] = 1
+    phase_stats = fold_group_stats(field, t_dim, group_of, 2, op="composite")
+    means = group_means(phase_stats["sums"], phase_stats["counts"])
+    high_mean = means[0]
+    low_mean = means[1]
     difference = high_mean - low_mean
 
+    ssq = fold_group_squared_deviations(
+        field, t_dim, group_of, means, op="composite.ssq"
+    )
+    counts = phase_stats["counts"]
     with np.errstate(all="ignore"):
-        t_stat, p_val = stats.ttest_ind(
-            np.asarray(high_sample.filled(np.nan)),
-            np.asarray(low_sample.filled(np.nan)),
-            axis=0, equal_var=False, nan_policy="omit",
-        )
-    t_ma = np.ma.masked_invalid(t_stat)
-    p_ma = np.ma.masked_invalid(p_val)
+        v0 = ssq[0] / (counts[0] - 1.0)  # ddof=1 per-phase variance
+        v1 = ssq[1] / (counts[1] - 1.0)
+    t_ma, p_ma = _welch_from_moments(
+        high_mean, low_mean, v0, v1, counts[0], counts[1]
+    )
 
     def wrap(arr, name, units=field.units) -> Variable:
         return Variable(

@@ -5,6 +5,11 @@ mask a variable where a condition variable holds, or compare two
 variables only over the conditioned region.  Conditions are expressed
 as :class:`~repro.cdms.variable.Variable` instances whose values are
 truthy/falsy (e.g. the output of ``var > 273.15``).
+
+Masking is elementwise, so it maps over aligned slabs; the conditioned
+comparison summary streams through the scalar row-fold kernel with the
+condition folded into the joint-validity mask — no participant is ever
+materialized whole.
 """
 
 from __future__ import annotations
@@ -13,6 +18,8 @@ from typing import Dict
 
 import numpy as np
 
+from repro.cdat.slabkernels import ScalarStats
+from repro.cdms.slabs import map_slabs
 from repro.cdms.variable import Variable
 from repro.util.errors import CDATError
 
@@ -27,22 +34,33 @@ def _condition_mask(condition: Variable, shape) -> np.ndarray:
     return truth
 
 
+def _combine(var: Variable, condition: Variable, invert: bool, out_id: str) -> Variable:
+    """Mask *var* where the condition holds (or, inverted, fails)."""
+    if condition.shape != var.shape:
+        raise CDATError(
+            f"condition shape {condition.shape} does not match data shape {var.shape}"
+        )
+
+    def piece(v: Variable, c: Variable) -> Variable:
+        truth = _condition_mask(c, v.shape)
+        extra = ~truth if invert else truth
+        combined = np.ma.getmaskarray(v.data) | extra
+        data = np.ma.MaskedArray(np.asarray(v.data.filled(0.0)), mask=combined)
+        return Variable(data, v.axes, id=out_id,
+                        missing_value=var.missing_value,
+                        attributes=dict(var.attributes))
+
+    return map_slabs(piece, var, condition, id=out_id)
+
+
 def mask_where(var: Variable, condition: Variable) -> Variable:
     """Mask *var* at every point where *condition* is true (or masked)."""
-    truth = _condition_mask(condition, var.shape)
-    combined = np.ma.getmaskarray(var.data) | truth
-    data = np.ma.MaskedArray(np.asarray(var.data.filled(0.0)), mask=combined)
-    return Variable(data, var.axes, id=f"maskwhere({var.id})",
-                    missing_value=var.missing_value, attributes=dict(var.attributes))
+    return _combine(var, condition, invert=False, out_id=f"maskwhere({var.id})")
 
 
 def keep_where(var: Variable, condition: Variable) -> Variable:
     """Keep *var* only where *condition* is true (the complement of mask_where)."""
-    truth = _condition_mask(condition, var.shape)
-    combined = np.ma.getmaskarray(var.data) | ~truth
-    data = np.ma.MaskedArray(np.asarray(var.data.filled(0.0)), mask=combined)
-    return Variable(data, var.axes, id=f"keepwhere({var.id})",
-                    missing_value=var.missing_value, attributes=dict(var.attributes))
+    return _combine(var, condition, invert=True, out_id=f"keepwhere({var.id})")
 
 
 def compare_where(a: Variable, b: Variable, condition: Variable) -> Dict[str, float]:
@@ -52,25 +70,27 @@ def compare_where(a: Variable, b: Variable, condition: Variable) -> Dict[str, fl
     difference and correlation over the region where *condition* is
     true and both variables are valid.
     """
-    from repro.cdat.statistics import correlation, rms_difference
-
     if a.shape != b.shape:
         raise CDATError(f"compare_where: shape mismatch {a.shape} vs {b.shape}")
-    ra = keep_where(a, condition)
-    rb = keep_where(b, condition)
-    valid = ~(np.ma.getmaskarray(ra.data) | np.ma.getmaskarray(rb.data))
-    count = int(valid.sum())
-    if count == 0:
-        raise CDATError("compare_where: condition selects no jointly valid points")
-    diff = ra.filled(0.0) - rb.filled(0.0)
-    mean_diff = float(diff[valid].mean())
+    if condition.shape != a.shape:
+        raise CDATError(
+            f"condition shape {condition.shape} does not match data shape {a.shape}"
+        )
+    try:
+        joint = ScalarStats(a, b, condition=condition, op="compare_where")
+    except CDATError:
+        raise CDATError("compare_where: condition selects no jointly valid points") from None
     result = {
-        "count": float(count),
-        "mean_difference": mean_diff,
-        "rms_difference": rms_difference(ra, rb),
+        "count": float(joint.count),
+        "mean_difference": joint.mean_difference(),
+        "rms_difference": joint.rms_difference(),
     }
     try:
-        result["correlation"] = correlation(ra, rb)
+        va = ScalarStats(a, condition=condition, op="compare_where.var").variance_a()
+        vb = ScalarStats(b, condition=condition, op="compare_where.var").variance_a()
+        if va <= 0 or vb <= 0:
+            raise CDATError("correlation undefined: zero variance")
+        result["correlation"] = float(joint.covariance() / np.sqrt(va * vb))
     except CDATError:
         result["correlation"] = float("nan")
     return result

@@ -5,6 +5,11 @@ analysis operations": spatial smoothing (for noisy high-resolution
 fields ahead of isosurfacing), linear detrending, lagged correlation
 (the standard teleconnection diagnostic) and band-pass filtering of
 time series via running-mean differences.
+
+The time-axis paths stream: detrending folds the trend-sum kernel and
+subtracts the fit slab by slab, the band-pass rides the carried
+running-mean kernel, and spatial smoothing (independent per time step)
+maps over slabs.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ from typing import Tuple
 import numpy as np
 from scipy import ndimage
 
+from repro.cdms.slabs import is_streamed, map_slabs, materialize, slab_axis
 from repro.cdms.variable import Variable
 from repro.util.errors import CDATError
 
@@ -24,7 +30,8 @@ def spatial_smooth(var: Variable, sigma_points: float = 1.0) -> Variable:
     Longitude wraps (global fields are periodic); latitude reflects.
     Masked points are excluded and re-masked in the output (the
     normalized-convolution trick: smooth data·valid and valid
-    separately, divide).
+    separately, divide).  Smoothing touches only the lat/lon plane, so
+    streamed inputs are processed one slab at a time.
     """
     if sigma_points <= 0:
         raise CDATError("sigma_points must be positive")
@@ -33,12 +40,21 @@ def spatial_smooth(var: Variable, sigma_points: float = 1.0) -> Variable:
         raise CDATError(f"variable {var.id!r} has no lat/lon grid to smooth")
     lat_dim = var.axis_index("latitude")
     lon_dim = var.axis_index("longitude")
+    if is_streamed(var) and slab_axis(var) in (lat_dim, lon_dim):
+        var = materialize(var, op="spatial_smooth")
+    return map_slabs(
+        lambda s: _spatial_smooth_eager(s, sigma_points, lat_dim, lon_dim),
+        var, id=f"smooth({var.id})",
+    )
+
+
+def _spatial_smooth_eager(
+    var: Variable, sigma_points: float, lat_dim: int, lon_dim: int
+) -> Variable:
     data = np.moveaxis(var.data, (lat_dim, lon_dim), (-2, -1))
     valid = (~np.ma.getmaskarray(data)).astype(np.float64)
     filled = np.asarray(data.filled(0.0))
 
-    sigma = [0.0] * filled.ndim
-    sigma[-2] = sigma[-1] = float(sigma_points)
     # periodic in longitude, reflective in latitude
     modes = ["nearest"] * filled.ndim
     modes[-1] = "wrap"
@@ -64,21 +80,38 @@ def spatial_smooth(var: Variable, sigma_points: float = 1.0) -> Variable:
 
 
 def detrend(var: Variable, axis: str = "time") -> Variable:
-    """Remove the per-point least-squares linear trend along *axis*."""
+    """Remove the per-point least-squares linear trend along *axis*.
+
+    The regression sums accumulate in one streaming pass
+    (:func:`repro.cdat.statistics.linear_trend`); the fitted line is
+    then subtracted slab by slab.
+    """
     from repro.cdat.statistics import linear_trend
 
-    slope, intercept = linear_trend(var, axis)
     dim = var.axis_index(axis)
+    if is_streamed(var) and slab_axis(var) != dim:
+        var = materialize(var, op="detrend")
+    slope, intercept = linear_trend(var, axis)
     coords = var.get_axis(dim).values
-    shape = [1] * var.ndim
-    shape[dim] = coords.size
-    fitted = (
-        np.expand_dims(np.asarray(slope.data.filled(0.0)), dim) * coords.reshape(shape)
-        + np.expand_dims(np.asarray(intercept.data.filled(0.0)), dim)
-    )
-    result = var.data - fitted
-    return Variable(result, var.axes, id=f"detrend({var.id})",
-                    missing_value=var.missing_value, attributes=dict(var.attributes))
+    slope0 = np.asarray(slope.data.filled(0.0))
+    inter0 = np.asarray(intercept.data.filled(0.0))
+    pos = 0
+
+    def piece(slab: Variable) -> Variable:
+        nonlocal pos
+        k = slab.shape[dim]
+        shape = [1] * var.ndim
+        shape[dim] = k
+        fitted = (
+            np.expand_dims(slope0, dim) * coords[pos : pos + k].reshape(shape)
+            + np.expand_dims(inter0, dim)
+        )
+        pos += k
+        result = slab.data - fitted
+        return Variable(result, slab.axes, id=f"detrend({var.id})",
+                        missing_value=var.missing_value, attributes=dict(var.attributes))
+
+    return map_slabs(piece, var, id=f"detrend({var.id})")
 
 
 def lag_correlation(
@@ -90,8 +123,11 @@ def lag_correlation(
 
     Positive lag means *a leads b* (a at t correlates with b at t+lag).
     Returns ``(lags, correlations)``; lags with fewer than 3 overlapping
-    samples yield NaN.
+    samples yield NaN.  The inputs are 1-D series, so streamed variables
+    are simply gathered (tiny, and lag windows overlap arbitrarily).
     """
+    a = materialize(a, op="lag_correlation")
+    b = materialize(b, op="lag_correlation")
     sa = np.asarray(a.squeeze().data.filled(np.nan)).reshape(-1)
     sb = np.asarray(b.squeeze().data.filled(np.nan)).reshape(-1)
     if sa.size != sb.size:
@@ -125,6 +161,9 @@ def bandpass_running_mean(
 
     Retains variability between the two window periods — the poor
     man's Lanczos filter, standard for quick intraseasonal isolation.
+    Both running means stream (windowed sums carried across slab
+    boundaries), so the band-pass of a streamed variable holds at most
+    two full-size outputs plus the carry state.
     """
     from repro.cdat.averages import running_mean
 

@@ -24,6 +24,9 @@ class Operation:
     func: Callable
     description: str
     n_variables: int  # how many Variable positional arguments it takes
+    #: True when the operation consumes streamed variables slab by slab
+    #: (bounded memory) instead of materializing them; see repro.cdms.slabs
+    streaming: bool = False
 
     def __call__(self, *args, **kwargs):
         return self.func(*args, **kwargs)
@@ -42,13 +45,14 @@ class OperationRegistry:
         description: str = "",
         n_variables: int = 1,
         overwrite: bool = False,
+        streaming: bool = False,
     ) -> Operation:
         if name in self._operations and not overwrite:
             raise CDATError(f"operation {name!r} already registered")
         if not description:
             doc = (func.__doc__ or "").strip()
             description = doc.splitlines()[0] if doc else ""
-        op = Operation(name, func, description, n_variables)
+        op = Operation(name, func, description, n_variables, streaming)
         self._operations[name] = op
         return op
 
@@ -66,11 +70,78 @@ class OperationRegistry:
     def names(self) -> List[str]:
         return sorted(self._operations)
 
+    def streaming_names(self) -> List[str]:
+        """Names of operations that process streamed inputs slab by slab."""
+        return sorted(n for n, op in self._operations.items() if op.streaming)
+
     def describe(self) -> Dict[str, str]:
         return {name: op.description for name, op in sorted(self._operations.items())}
 
     def apply(self, name: str, *args, **kwargs):
         return self.get(name)(*args, **kwargs)
+
+    def apply_cached(self, name: str, *args, **kwargs):
+        """:meth:`apply` with result memoisation in the ambient cache.
+
+        The key hashes the operation name plus the canonical digests of
+        every argument (:func:`repro.cache.keys.cache_key`).  A streamed
+        variable digests identically to its eager equivalent, so eager
+        and out-of-core runs of the same reduction share cache entries.
+        With caching disabled — the ambient default — this is exactly
+        :meth:`apply`: no digest is even computed.  Entries are stored
+        and served as deep copies, immune to caller mutation (e.g. the
+        band-pass filter renaming its result in place).
+        """
+        from repro.cache.config import get_config
+        from repro.cache.store import get_cache
+
+        op = self.get(name)
+        config = get_config()
+        if not config.enabled:
+            return op(*args, **kwargs)
+        from repro.cache.keys import cache_key
+
+        key = cache_key("cdat.operation", name, list(args), sorted(kwargs.items()))
+        cache = get_cache(config)
+        hit, value = cache.get(key, site="cdat.operation")
+        if hit:
+            return _clone_result(value)
+        result = op(*args, **kwargs)
+        copy = _clone_result(result)
+        if copy is not _UNCACHEABLE:
+            cache.put(key, copy, site="cdat.operation")
+        return result
+
+
+#: sentinel for results apply_cached cannot safely copy (and so never stores)
+_UNCACHEABLE = object()
+
+
+def _clone_result(value):
+    """A deep-enough copy of an operation result, or ``_UNCACHEABLE``.
+
+    Variables are deep-cloned (reduction outputs are small); scalars
+    pass through; tuples/dicts of the above recurse.  Anything else —
+    composite results, generators — is declared uncacheable rather than
+    risking aliased mutable state in the cache.
+    """
+    from repro.cdms.variable import Variable
+
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Variable):
+        return value.clone(deep=True)
+    if isinstance(value, tuple):
+        parts = [_clone_result(v) for v in value]
+        if any(p is _UNCACHEABLE for p in parts):
+            return _UNCACHEABLE
+        return tuple(parts)
+    if isinstance(value, dict):
+        parts = {k: _clone_result(v) for k, v in value.items()}
+        if any(p is _UNCACHEABLE for p in parts.values()):
+            return _UNCACHEABLE
+        return parts
+    return _UNCACHEABLE
 
 
 _DEFAULT: Optional[OperationRegistry] = None
@@ -112,30 +183,51 @@ def _populate(reg: OperationRegistry) -> None:
     reg.register("abs", arithmetic.absolute, "elementwise absolute value", 1)
     reg.register("scale", arithmetic.scale, "multiply by a scalar factor", 1)
     reg.register("offset", arithmetic.offset, "add a scalar offset", 1)
-    reg.register("area_average", averages.area_average, "area-weighted lat/lon mean", 1)
-    reg.register("zonal_mean", averages.zonal_mean, "mean over longitude", 1)
-    reg.register("meridional_mean", averages.meridional_mean, "area-weighted mean over latitude", 1)
-    reg.register("axis_average", averages.axis_average, "weighted mean over one named axis", 1)
-    reg.register("running_mean", averages.running_mean, "centred running mean along an axis", 1)
-    reg.register("monthly_climatology", climatology.monthly_climatology, "12-month mean annual cycle", 1)
-    reg.register("seasonal_climatology", climatology.seasonal_climatology, "DJF/MAM/JJA/SON means", 1)
-    reg.register("anomalies", climatology.anomalies, "departures from the monthly climatology", 1)
-    reg.register("annual_mean", climatology.annual_mean, "per-year time means", 1)
-    reg.register("correlation", statistics.correlation, "weighted correlation of two variables", 2)
-    reg.register("covariance", statistics.covariance, "weighted covariance of two variables", 2)
-    reg.register("rms_difference", statistics.rms_difference, "weighted RMS difference", 2)
-    reg.register("linear_trend", statistics.linear_trend, "least-squares trend along time", 1)
-    reg.register("standardize", statistics.standardize, "remove mean, divide by std along an axis", 1)
-    reg.register("variance", statistics.variance, "variance along a named axis", 1)
+    reg.register("area_average", averages.area_average, "area-weighted lat/lon mean", 1,
+                 streaming=True)
+    reg.register("zonal_mean", averages.zonal_mean, "mean over longitude", 1, streaming=True)
+    reg.register("meridional_mean", averages.meridional_mean, "area-weighted mean over latitude", 1,
+                 streaming=True)
+    reg.register("axis_average", averages.axis_average, "weighted mean over one named axis", 1,
+                 streaming=True)
+    reg.register("running_mean", averages.running_mean, "centred running mean along an axis", 1,
+                 streaming=True)
+    reg.register("monthly_climatology", climatology.monthly_climatology, "12-month mean annual cycle", 1,
+                 streaming=True)
+    reg.register("seasonal_climatology", climatology.seasonal_climatology, "DJF/MAM/JJA/SON means", 1,
+                 streaming=True)
+    reg.register("anomalies", climatology.anomalies, "departures from the monthly climatology", 1,
+                 streaming=True)
+    reg.register("annual_mean", climatology.annual_mean, "per-year time means", 1, streaming=True)
+    reg.register("correlation", statistics.correlation, "weighted correlation of two variables", 2,
+                 streaming=True)
+    reg.register("covariance", statistics.covariance, "weighted covariance of two variables", 2,
+                 streaming=True)
+    reg.register("rms_difference", statistics.rms_difference, "weighted RMS difference", 2,
+                 streaming=True)
+    reg.register("linear_trend", statistics.linear_trend, "least-squares trend along time", 1,
+                 streaming=True)
+    reg.register("standardize", statistics.standardize, "remove mean, divide by std along an axis", 1,
+                 streaming=True)
+    reg.register("variance", statistics.variance, "variance along a named axis", 1, streaming=True)
+    # percentile gathers the full per-point series along the slab axis —
+    # the documented exception to bounded-memory reduction
     reg.register("percentile", statistics.percentile, "percentile along a named axis", 1)
-    reg.register("mask_where", conditioned.mask_where, "mask a variable where a condition holds", 2)
-    reg.register("compare_where", conditioned.compare_where, "conditioned comparison of two variables", 2)
-    reg.register("pressure_weighted_mean", vertical.pressure_weighted_mean, "mass-weighted vertical mean", 1)
+    reg.register("mask_where", conditioned.mask_where, "mask a variable where a condition holds", 2,
+                 streaming=True)
+    reg.register("compare_where", conditioned.compare_where, "conditioned comparison of two variables", 2,
+                 streaming=True)
+    reg.register("pressure_weighted_mean", vertical.pressure_weighted_mean, "mass-weighted vertical mean", 1,
+                 streaming=True)
     reg.register("interpolate_to_level", vertical.interpolate_to_level,
-                 "interpolate to one vertical level", 1)
-    reg.register("vertical_integral", vertical.vertical_integral, "integral over the level axis", 1)
+                 "interpolate to one vertical level", 1, streaming=True)
+    reg.register("vertical_integral", vertical.vertical_integral, "integral over the level axis", 1,
+                 streaming=True)
     from repro.cdat import filters
 
-    reg.register("spatial_smooth", filters.spatial_smooth, "Gaussian lat/lon smoothing", 1)
-    reg.register("detrend", filters.detrend, "remove the linear trend along an axis", 1)
-    reg.register("bandpass", filters.bandpass_running_mean, "running-mean band-pass filter", 1)
+    reg.register("spatial_smooth", filters.spatial_smooth, "Gaussian lat/lon smoothing", 1,
+                 streaming=True)
+    reg.register("detrend", filters.detrend, "remove the linear trend along an axis", 1,
+                 streaming=True)
+    reg.register("bandpass", filters.bandpass_running_mean, "running-mean band-pass filter", 1,
+                 streaming=True)

@@ -5,6 +5,14 @@ per-gridpoint temporal statistics (variance, trend, standardisation)
 and percentiles — the workhorse comparisons a scientist runs before and
 alongside the DV3D visual comparison plots (e.g. the isosurface-of-A-
 colored-by-B plot pairs naturally with a pattern correlation of A and B).
+
+The scalar pattern statistics run through the canonical row-fold kernel
+(:class:`repro.cdat.slabkernels.ScalarStats`); per-point temporal
+statistics fold the two-pass moment / trend-sum kernels along the slab
+axis.  Either way, eager and streamed inputs share the code path and
+produce byte-identical results.  Percentiles along the slab axis need
+the full series per point and gather explicitly (observable as
+``cdat.materialize``).
 """
 
 from __future__ import annotations
@@ -13,31 +21,14 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
+from repro.cdat.slabkernels import (
+    ScalarStats,
+    fold_moments,
+    fold_trend_sums,
+)
+from repro.cdms.slabs import is_streamed, map_slabs, materialize, slab_axis
 from repro.cdms.variable import Variable
 from repro.util.errors import CDATError
-
-
-def _joint_valid_weights(a: Variable, b: Optional[Variable]) -> np.ndarray:
-    """Flattened weights over jointly valid points (area weights if gridded)."""
-    grid = a.get_grid()
-    if grid is not None:
-        w2 = grid.area_weights()
-        lat_dim = a.axis_index("latitude")
-        lon_dim = a.axis_index("longitude")
-        shape = [1] * a.ndim
-        shape[lat_dim] = a.shape[lat_dim]
-        shape[lon_dim] = a.shape[lon_dim]
-        weights = np.broadcast_to(w2.reshape(shape), a.shape).copy()
-    else:
-        weights = np.ones(a.shape, dtype=np.float64)
-    valid = ~np.ma.getmaskarray(a.data)
-    if b is not None:
-        valid &= ~np.ma.getmaskarray(b.data)
-    weights[~valid] = 0.0
-    total = weights.sum()
-    if total <= 0:
-        raise CDATError("no jointly valid data points")
-    return weights / total
 
 
 def _check_same_shape(a: Variable, b: Variable, op: str) -> None:
@@ -48,18 +39,28 @@ def _check_same_shape(a: Variable, b: Variable, op: str) -> None:
 def covariance(a: Variable, b: Variable) -> float:
     """Weighted covariance of two same-shape variables over valid points."""
     _check_same_shape(a, b, "covariance")
-    w = _joint_valid_weights(a, b)
-    fa, fb = a.filled(0.0), b.filled(0.0)
-    ma = float((w * fa).sum())
-    mb = float((w * fb).sum())
-    return float((w * (fa - ma) * (fb - mb)).sum())
+    return ScalarStats(a, b, op="covariance").covariance()
 
 
 def variance(a: Variable, axis: Optional[str] = None) -> Union[Variable, float]:
     """Variance: scalar (weighted, all data) or along one named axis."""
     if axis is None:
-        return covariance(a, a)
+        return ScalarStats(a, op="variance").variance_a()
     dim = a.axis_index(axis)
+    out_id = f"var({a.id})"
+    axes = tuple(ax for i, ax in enumerate(a.axes) if i != dim)
+    if slab_axis(a) == dim:
+        _counts, _mean, var_ma = fold_moments(a, dim, op="variance")
+        if not axes:
+            return float(var_ma)
+        return Variable(var_ma, axes, id=out_id,
+                        missing_value=a.missing_value, attributes=dict(a.attributes))
+    if a.slab_count() > 1:
+        return map_slabs(lambda s: _variance_eager(s, dim), a, id=out_id)
+    return _variance_eager(a, dim)
+
+
+def _variance_eager(a: Variable, dim: int) -> Union[Variable, float]:
     data = np.ma.var(a.data, axis=dim)
     axes = tuple(ax for i, ax in enumerate(a.axes) if i != dim)
     if not axes:
@@ -71,7 +72,8 @@ def variance(a: Variable, axis: Optional[str] = None) -> Union[Variable, float]:
 def correlation(a: Variable, b: Variable) -> float:
     """Weighted (pattern) correlation coefficient of two variables."""
     cov = covariance(a, b)
-    va, vb = covariance(a, a), covariance(b, b)
+    va = ScalarStats(a, op="correlation.var").variance_a()
+    vb = ScalarStats(b, op="correlation.var").variance_a()
     if va <= 0 or vb <= 0:
         raise CDATError("correlation undefined: zero variance")
     return float(cov / np.sqrt(va * vb))
@@ -80,9 +82,7 @@ def correlation(a: Variable, b: Variable) -> float:
 def rms_difference(a: Variable, b: Variable) -> float:
     """Weighted root-mean-square difference of two variables."""
     _check_same_shape(a, b, "rms_difference")
-    w = _joint_valid_weights(a, b)
-    diff = a.filled(0.0) - b.filled(0.0)
-    return float(np.sqrt((w * diff * diff).sum()))
+    return ScalarStats(a, b, op="rms_difference").rms_difference()
 
 
 def linear_trend(var: Variable, axis: str = "time") -> Tuple[Variable, Variable]:
@@ -93,16 +93,13 @@ def linear_trend(var: Variable, axis: str = "time") -> Tuple[Variable, Variable]
     fewer than two valid samples are masked.
     """
     dim = var.axis_index(axis)
+    axes = tuple(ax for i, ax in enumerate(var.axes) if i != dim)
+    if not axes:
+        raise CDATError("linear_trend over the only axis yields scalars; keep ≥2 dims")
+    if is_streamed(var) and slab_axis(var) != dim:
+        var = materialize(var, op="linear_trend")
     t = var.get_axis(dim).values
-    data = np.moveaxis(var.data, dim, 0)
-    valid = (~np.ma.getmaskarray(data)).astype(np.float64)
-    y = np.asarray(data.filled(0.0))
-    tcol = t.reshape((-1,) + (1,) * (y.ndim - 1))
-    n = valid.sum(axis=0)
-    st = (valid * tcol).sum(axis=0)
-    sy = (valid * y).sum(axis=0)
-    stt = (valid * tcol * tcol).sum(axis=0)
-    sty = (valid * tcol * y).sum(axis=0)
+    n, st, sy, stt, sty = fold_trend_sums(var, dim, t, op="linear_trend")
     denom = n * stt - st * st
     with np.errstate(invalid="ignore", divide="ignore"):
         slope = (n * sty - st * sy) / denom
@@ -110,9 +107,6 @@ def linear_trend(var: Variable, axis: str = "time") -> Tuple[Variable, Variable]
     bad = (n < 2) | (np.abs(denom) < 1e-30)
     slope_ma = np.ma.MaskedArray(np.where(bad, 0.0, slope), mask=bad)
     inter_ma = np.ma.MaskedArray(np.where(bad, 0.0, intercept), mask=bad)
-    axes = tuple(ax for i, ax in enumerate(var.axes) if i != dim)
-    if not axes:
-        raise CDATError("linear_trend over the only axis yields scalars; keep ≥2 dims")
     mk = lambda arr, name: Variable(  # noqa: E731
         arr, axes, id=f"{name}({var.id})",
         missing_value=var.missing_value, attributes=dict(var.attributes),
@@ -123,9 +117,36 @@ def linear_trend(var: Variable, axis: str = "time") -> Tuple[Variable, Variable]
 def standardize(var: Variable, axis: str = "time") -> Variable:
     """Remove the mean and divide by the standard deviation along *axis*.
 
-    Points whose standard deviation is zero are masked.
+    Points whose standard deviation is zero are masked.  Along the slab
+    axis this is two accumulator passes (mean, then squared deviations)
+    plus a per-slab transform pass — three bounded-memory sweeps.
     """
     dim = var.axis_index(axis)
+    out_id = f"std({var.id})"
+    if slab_axis(var) == dim:
+        _counts, mean, var_ma = fold_moments(var, dim, op="standardize")
+        std = np.ma.sqrt(var_ma)
+        keep_shape = tuple(
+            1 if i == dim else n for i, n in enumerate(var.shape)
+        )
+        mean_k = mean.reshape(keep_shape)
+        std_k = std.reshape(keep_shape)
+
+        def transform(slab: Variable) -> Variable:
+            with np.errstate(invalid="ignore", divide="ignore"):
+                z = (slab.data - mean_k) / std_k
+            z = np.ma.masked_invalid(z)
+            return Variable(z, slab.axes, id=out_id,
+                            missing_value=var.missing_value,
+                            attributes=dict(var.attributes))
+
+        return map_slabs(transform, var, id=out_id)
+    if var.slab_count() > 1:
+        return map_slabs(lambda s: _standardize_eager(s, dim), var, id=out_id)
+    return _standardize_eager(var, dim)
+
+
+def _standardize_eager(var: Variable, dim: int) -> Variable:
     mean = np.ma.mean(var.data, axis=dim, keepdims=True)
     std = np.ma.std(var.data, axis=dim, keepdims=True)
     with np.errstate(invalid="ignore", divide="ignore"):
@@ -136,10 +157,26 @@ def standardize(var: Variable, axis: str = "time") -> Variable:
 
 
 def percentile(var: Variable, q: float = 50.0, axis: str = "time") -> Variable:
-    """The *q*-th percentile along a named axis (masked points excluded)."""
+    """The *q*-th percentile along a named axis (masked points excluded).
+
+    A percentile along the slab axis needs every point's full series at
+    once, so a streamed input is gathered first — the documented
+    (observable) exception to bounded-memory reduction.
+    """
     if not 0.0 <= q <= 100.0:
         raise CDATError(f"percentile: q={q} out of [0, 100]")
     dim = var.axis_index(axis)
+    if is_streamed(var):
+        if slab_axis(var) == dim:
+            var = materialize(var, op="percentile")
+        else:
+            return map_slabs(
+                lambda s: _percentile_eager(s, q, dim), var, id=f"p{q:g}({var.id})"
+            )
+    return _percentile_eager(var, q, dim)
+
+
+def _percentile_eager(var: Variable, q: float, dim: int) -> Variable:
     filled = np.where(np.ma.getmaskarray(var.data), np.nan, np.asarray(var.data.filled(np.nan)))
     with np.errstate(all="ignore"):
         result = np.nanpercentile(filled, q, axis=dim)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.cdms.slabs import is_streamed, map_slabs, materialize, slab_axis
 from repro.cdms.variable import Variable
 from repro.util.errors import CDATError
 
@@ -21,12 +22,27 @@ def _level_dim(var: Variable) -> int:
     raise CDATError(f"variable {var.id!r} has no level axis")
 
 
+def _per_slab(var: Variable, dim: int, fn, op: str):
+    """Run a level-axis reduction per slab (level reductions are
+    independent per time step, so per-slab + concat is byte-identical)."""
+    if is_streamed(var) and slab_axis(var) == dim:
+        var = materialize(var, op=op)
+    if var.slab_count() > 1:
+        return map_slabs(fn, var)
+    return fn(var)
+
+
 def pressure_weighted_mean(var: Variable) -> Variable:
     """Mass-weighted mean over the level axis (weights ∝ layer thickness).
 
     For a pressure axis the layer-thickness weights are proportional to
     |Δp|, i.e. to the mass of each layer.
     """
+    dim = _level_dim(var)
+    return _per_slab(var, dim, _pressure_weighted_mean_eager, "pressure_weighted_mean")
+
+
+def _pressure_weighted_mean_eager(var: Variable) -> Variable:
     dim = _level_dim(var)
     weights = var.get_axis(dim).cell_widths()
     weights = weights / weights.sum()
@@ -51,6 +67,13 @@ def interpolate_to_level(var: Variable, level: float = 500.0) -> Variable:
     The level axis is consumed; the result has one fewer dimension.
     Requesting a level outside the axis range raises.
     """
+    dim = _level_dim(var)
+    return _per_slab(
+        var, dim, lambda s: _interpolate_to_level_eager(s, level), "interpolate_to_level"
+    )
+
+
+def _interpolate_to_level_eager(var: Variable, level: float) -> Variable:
     dim = _level_dim(var)
     axis = var.get_axis(dim)
     values = axis.values
@@ -81,6 +104,11 @@ def vertical_integral(var: Variable) -> Variable:
     Units become ``<data units> * <level units>`` conceptually; the
     attribute is annotated rather than parsed.
     """
+    dim = _level_dim(var)
+    return _per_slab(var, dim, _vertical_integral_eager, "vertical_integral")
+
+
+def _vertical_integral_eager(var: Variable) -> Variable:
     dim = _level_dim(var)
     thickness = var.get_axis(dim).cell_widths()
     data = np.moveaxis(var.data, dim, 0)

@@ -18,7 +18,9 @@ re-implementation of the parts of its data model that DV3D exercises:
 * **datasets** — named collections of variables persisted in a
   self-contained ``.cdz`` container (:mod:`repro.cdms.dataset`,
   :mod:`repro.cdms.storage`);
-* **regridding** between rectilinear grids (:mod:`repro.cdms.regrid`).
+* **regridding** between rectilinear grids (:mod:`repro.cdms.regrid`);
+* the **slab-source protocol** shared by eager and lazy variables, and
+  its consumer helpers (:mod:`repro.cdms.slabs`).
 """
 
 from repro.cdms.axis import Axis, create_axis, latitude_axis, longitude_axis, level_axis, time_axis
@@ -29,6 +31,18 @@ from repro.cdms.variable import Variable
 from repro.cdms.dataset import Dataset, open_dataset
 from repro.cdms.lazy import LazyVariable
 from repro.cdms.regrid import regrid_bilinear, regrid_conservative
+from repro.cdms.slabs import (
+    display_range,
+    fold_finite_max,
+    is_streamed,
+    iter_aligned_slabs,
+    map_slabs,
+    materialize,
+    padded_range,
+    require_finite_range,
+    slab_axis,
+    slab_ranges,
+)
 
 __all__ = [
     "Axis",
@@ -48,4 +62,14 @@ __all__ = [
     "open_dataset",
     "regrid_bilinear",
     "regrid_conservative",
+    "display_range",
+    "fold_finite_max",
+    "is_streamed",
+    "iter_aligned_slabs",
+    "map_slabs",
+    "materialize",
+    "padded_range",
+    "require_finite_range",
+    "slab_axis",
+    "slab_ranges",
 ]

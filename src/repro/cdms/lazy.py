@@ -80,6 +80,9 @@ class LazyVariable(Variable):
     def slab_count(self) -> int:
         return self.layout.n_chunks
 
+    def slab_axis(self) -> int:
+        return int(self.layout.chunk_axis)
+
     def iter_slabs(self) -> Iterator[Variable]:
         axis = self.layout.chunk_axis
         for chunk in self.layout.chunks:
@@ -170,6 +173,22 @@ class LazyVariable(Variable):
             missing_value=self.missing_value,
             attributes=dict(self.attributes),
         )
+
+    # -- copying -------------------------------------------------------------
+
+    def clone(self, deep: bool = True) -> "LazyVariable":
+        """A new lazy handle onto the same container — no payload reads.
+
+        ``deep`` is accepted for protocol compatibility; the payload is
+        immutable on disk, so there is nothing to copy either way.  This
+        is what lets the calculator workspace hold (and rename) streamed
+        variables without materializing them.
+        """
+        twin = LazyVariable(self.source, self.layout)
+        twin.id = self.id
+        twin.attributes = dict(self.attributes)
+        twin._materialized = self._materialized
+        return twin
 
     # -- full materialization (the observable escape hatch) -----------------
 

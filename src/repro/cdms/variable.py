@@ -148,19 +148,31 @@ class Variable:
             return None
         return float(values.min()), float(values.max())
 
-    # -- slab iteration (the out-of-core protocol) ------------------------
+    # -- slab iteration (the out-of-core protocol; see repro.cdms.slabs) ---
 
     def slab_count(self) -> int:
         """How many slabs :meth:`iter_slabs` yields (1 for in-memory)."""
         return 1
 
+    def slab_axis(self) -> int:
+        """Dimension along which :meth:`iter_slabs` partitions.
+
+        The time dimension when there is one (the axis the chunked
+        container writer partitions along), else dimension 0.  Lazy
+        variables override this with their container's chunk axis.
+        """
+        for dim, axis in enumerate(self._axes):
+            if axis.designation() == "time":
+                return dim
+        return 0
+
     def iter_slabs(self) -> "Iterator[Variable]":
-        """Yield the variable as storage-order slabs along its time axis.
+        """Yield the variable as storage-order slabs along ``slab_axis``.
 
         In-memory variables are one slab.  Lazy variables yield one
         materialized sub-variable per chunk, so reductions written as
-        folds over slabs (e.g. a running maximum) stay within the
-        streaming memory budget.
+        folds over slabs (the ``repro.cdat`` accumulator kernels) stay
+        within the streaming memory budget.
         """
         yield self
 

@@ -12,6 +12,7 @@ from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.cdms.slabs import require_finite_range
 from repro.cdms.variable import Variable
 from repro.dv3d.plot import Plot3D
 from repro.dv3d.translation import add_variable_to_volume
@@ -40,9 +41,9 @@ class IsosurfacePlot(Plot3D):
         lo, hi = self.scalar_range
         self.isovalue = float(isovalue) if isovalue is not None else 0.5 * (lo + hi)
         if color_variable is not None and color_range is None:
-            color_range = color_variable.finite_range()
-            if color_range is None:
-                raise DV3DError(f"color variable {color_variable.id!r} has no valid data")
+            color_range = require_finite_range(
+                color_variable, DV3DError, what="color variable"
+            )
         self.color_range = color_range
 
     def _build_volume(self) -> ImageData:

@@ -204,7 +204,10 @@ class CDATOperation(Module):
                     f"operation {op.name!r} needs a second variable input"
                 )
             args.append(inputs["variable2"])
-        result = op(*args, **kwargs)
+        # apply_cached: a no-op passthrough unless the ambient result
+        # cache is enabled, in which case streamed and eager runs of the
+        # same reduction share entries (equal content ⇒ equal digest)
+        result = registry.apply_cached(op.name, *args, **kwargs)
         if isinstance(result, Variable):
             return {"variable": result, "result": result}
         if isinstance(result, tuple) and result and isinstance(result[0], Variable):

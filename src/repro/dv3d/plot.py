@@ -19,6 +19,7 @@ from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.cdms.slabs import padded_range, require_finite_range
 from repro.cdms.variable import Variable
 from repro.dv3d.translation import translate_variable
 from repro.rendering.camera import Camera
@@ -60,12 +61,8 @@ class Plot3D:
         if scalar_range is None:
             # finite_range() lets lazy streaming variables answer from
             # manifest statistics without materializing any payload
-            scalar_range = variable.finite_range()
-            if scalar_range is None:
-                raise DV3DError(f"variable {variable.id!r} has no valid data")
-        if scalar_range[1] <= scalar_range[0]:
-            scalar_range = (scalar_range[0], scalar_range[0] + 1e-6)
-        self.scalar_range: Tuple[float, float] = scalar_range
+            scalar_range = require_finite_range(variable, DV3DError)
+        self.scalar_range: Tuple[float, float] = padded_range(scalar_range)
         self.camera: Optional[Camera] = None
         self._volume: Optional[ImageData] = None
 

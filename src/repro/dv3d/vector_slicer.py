@@ -14,6 +14,7 @@ from typing import Any, Dict, Optional
 
 import numpy as np
 
+from repro.cdms.slabs import fold_finite_max
 from repro.cdms.variable import Variable
 from repro.dv3d.plot import Plot3D
 from repro.dv3d.translation import translate_vector_field
@@ -33,20 +34,10 @@ _AXIS_NAMES = {"x": 0, "y": 1, "z": 2}
 
 def _speed_max(u: Variable, v: Variable) -> Optional[float]:
     """Max finite speed, folded slab-by-slab so lazy variables never
-    materialize both components at once (max of per-slab maxima is
-    exactly the global max — same elementwise values, partitioned)."""
-    if u.slab_count() == v.slab_count() and u.slab_count() > 1:
-        pairs = zip(u.iter_slabs(), v.iter_slabs())
-    else:
-        pairs = iter([(u, v)])
-    best: Optional[float] = None
-    for u_slab, v_slab in pairs:
-        speed = np.sqrt(u_slab.filled(np.nan) ** 2 + v_slab.filled(np.nan) ** 2)
-        finite = speed[np.isfinite(speed)]
-        if finite.size:
-            slab_max = float(finite.max())
-            best = slab_max if best is None else max(best, slab_max)
-    return best
+    materialize both components at once."""
+    return fold_finite_max(
+        lambda us, vs: np.sqrt(us.filled(np.nan) ** 2 + vs.filled(np.nan) ** 2), u, v
+    )
 
 
 class VectorSlicerPlot(Plot3D):

@@ -1,0 +1,117 @@
+"""Registry metadata, error hygiene, and cross-plane result caching."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache.config import CacheConfig, use_config
+from repro.cache.store import get_cache
+from repro.cdat.registry import OperationRegistry, default_registry
+from repro.cdms.axis import latitude_axis, longitude_axis, time_axis
+from repro.cdms.dataset import open_dataset
+from repro.cdms.storage import write_cdz
+from repro.cdms.variable import Variable
+from repro.util.errors import CDATError
+
+
+def make_variable(seed=9):
+    rng = np.random.default_rng(seed)
+    data = np.ma.MaskedArray(rng.normal(280.0, 5.0, size=(6, 3, 4)))
+    axes = (
+        time_axis(np.arange(6) * 30.0 + 15.0, calendar="noleap"),
+        latitude_axis([-10.0, 0.0, 10.0]),
+        longitude_axis([0.0, 90.0, 180.0, 270.0]),
+    )
+    return Variable(data, axes, id="ta", units="K")
+
+
+class TestErrorHygiene:
+    def test_unknown_operation_raises_without_chained_context(self):
+        """The KeyError lookup must not leak into the user-facing error."""
+        with pytest.raises(CDATError) as excinfo:
+            default_registry().get("no_such_operation")
+        assert excinfo.value.__cause__ is None
+        assert excinfo.value.__suppress_context__
+
+    def test_unknown_operation_lists_available_names(self):
+        with pytest.raises(CDATError, match="available"):
+            default_registry().get("no_such_operation")
+
+
+class TestStreamingMetadata:
+    def test_reductions_are_marked_streaming(self):
+        reg = default_registry()
+        streaming = set(reg.streaming_names())
+        assert {"monthly_climatology", "zonal_mean", "running_mean",
+                "variance", "compare_where"} <= streaming
+        # the documented exceptions stay unmarked
+        assert "percentile" not in streaming
+        assert "add" not in streaming
+
+    def test_register_default_is_not_streaming(self):
+        reg = OperationRegistry()
+        op = reg.register("f", lambda v: v)
+        assert op.streaming is False
+        op2 = reg.register("g", lambda v: v, streaming=True)
+        assert op2.streaming is True
+        assert reg.streaming_names() == ["g"]
+
+
+class TestApplyCached:
+    def test_disabled_cache_is_passthrough(self):
+        calls = []
+        reg = OperationRegistry()
+        reg.register("probe", lambda v: calls.append(1) or v)
+        var = make_variable()
+        with use_config(CacheConfig(enabled=False)):
+            reg.apply_cached("probe", var)
+            reg.apply_cached("probe", var)
+        assert len(calls) == 2  # nothing memoised, nothing digested
+
+    def test_repeat_call_hits_and_result_is_mutation_immune(self):
+        reg = default_registry()
+        var = make_variable()
+        with use_config(CacheConfig(enabled=True, use_disk=False)):
+            first = reg.apply_cached("zonal_mean", var)
+            first.id = "mutated"
+            first.data[:] = np.ma.masked
+            second = reg.apply_cached("zonal_mean", var)
+        assert second.id != "mutated"
+        assert not np.ma.getmaskarray(second.data).all()
+
+    def test_kwargs_distinguish_entries(self):
+        reg = default_registry()
+        var = make_variable()
+        with use_config(CacheConfig(enabled=True, use_disk=False)):
+            p25 = reg.apply_cached("percentile", var, q=25.0)
+            p75 = reg.apply_cached("percentile", var, q=75.0)
+        assert not np.array_equal(
+            np.asarray(p25.data.filled(0)), np.asarray(p75.data.filled(0))
+        )
+
+    def test_eager_and_streamed_runs_share_one_entry(self, tmp_path):
+        path = tmp_path / "share.cdz"
+        write_cdz(path, [make_variable()], dataset_id="share", version=2,
+                  chunk_timesteps=2)
+        eager = open_dataset(path, streaming="off").get_variable("ta")
+        lazy = open_dataset(path, streaming="on").get_variable("ta")
+        reg = default_registry()
+        with use_config(CacheConfig(enabled=True, use_disk=False)) as config:
+            cache = get_cache(config)
+            before = cache.hits
+            from_eager = reg.apply_cached("monthly_climatology", eager)
+            from_lazy = reg.apply_cached("monthly_climatology", lazy)
+            assert cache.hits > before  # the streamed run reused the entry
+        np.testing.assert_array_equal(
+            np.asarray(from_eager.data.filled(0)),
+            np.asarray(from_lazy.data.filled(0)),
+        )
+
+    def test_uncacheable_results_pass_through(self):
+        reg = OperationRegistry()
+        reg.register("weird", lambda v: object())
+        var = make_variable()
+        with use_config(CacheConfig(enabled=True, use_disk=False)):
+            assert reg.apply_cached("weird", var) is not None
+            assert reg.apply_cached("weird", var) is not None

@@ -1,0 +1,67 @@
+"""End-to-end: DV3D plots of reduction outputs computed out of core.
+
+The analysis data plane feeds the visualization plane: a reduction of a
+streamed ``.cdz`` variable (never materialized whole) must render — as
+a Hovmöller slicer and as a volume plot — byte-identically to the same
+reduction of the eagerly loaded twin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.cdat.climatology import anomalies
+from repro.cdat.filters import detrend
+from repro.cdms.dataset import open_dataset
+from repro.cdms.storage import write_cdz
+from repro.data import catalog
+from repro.dv3d import HovmollerSlicerPlot, VolumePlot
+
+SIZE = dict(nlat=16, nlon=24, nlev=4, ntime=8)
+
+
+@pytest.fixture(scope="module")
+def container(tmp_path_factory):
+    path = tmp_path_factory.mktemp("redplot") / "reanalysis.cdz"
+    ds = catalog.synthetic_reanalysis(**SIZE, seed="reduction-plots")
+    write_cdz(path, [ds("ta")], dataset_id="redplot", version=2,
+              chunk_timesteps=2)
+    return path
+
+
+def reduce_both(path, reduction):
+    """The reduction on the eager and on the streamed variable; the
+    streamed run must never trip the whole-array escape hatch."""
+    eager = open_dataset(path, streaming="off").get_variable("ta")
+    expected = reduction(eager)
+    obs.set_recorder(obs.Recorder())
+    obs.enable()
+    try:
+        with open_dataset(path, streaming="on") as ds:
+            streamed = reduction(ds.get_variable("ta"))
+        full = obs.get_recorder().counter_total("streaming.materialize.full")
+    finally:
+        obs.disable()
+        obs.set_recorder(obs.Recorder())
+    assert full == 0
+    return expected, streamed
+
+
+@pytest.mark.parametrize(
+    "reduction", [anomalies, lambda v: detrend(v, axis="time")],
+    ids=["anomalies", "detrend"],
+)
+def test_hovmoller_of_streamed_reduction_matches_eager(container, reduction):
+    expected, streamed = reduce_both(container, reduction)
+    frame_e = HovmollerSlicerPlot(expected).render(width=160, height=120)
+    frame_s = HovmollerSlicerPlot(streamed).render(width=160, height=120)
+    np.testing.assert_array_equal(frame_e.color, frame_s.color)
+
+
+def test_volume_plot_of_streamed_reduction_matches_eager(container):
+    expected, streamed = reduce_both(container, anomalies)
+    frame_e = VolumePlot(expected).render(width=160, height=120)
+    frame_s = VolumePlot(streamed).render(width=160, height=120)
+    np.testing.assert_array_equal(frame_e.color, frame_s.color)

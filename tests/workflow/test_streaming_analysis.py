@@ -1,0 +1,105 @@
+"""Lazy variables flow through CDATOperation and the calculator
+without being materialized whole.
+
+The analysis modules receive the streaming handle itself — not a
+gathered copy — and the reduction kernels walk its slabs, so a full
+pipeline (read → reduce → visualize) stays within the streaming memory
+budget end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.app.application import Application
+from repro.cdms.dataset import open_dataset
+from repro.cdms.lazy import LazyVariable
+from repro.data import catalog
+from repro.workflow.executor import Executor
+from repro.workflow.pipeline import Pipeline
+
+SIZE = dict(nlat=12, nlon=16, nlev=3, ntime=6)
+
+
+@pytest.fixture(scope="module")
+def v2_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("wf-analysis") / "r2.cdz"
+    catalog.synthetic_reanalysis(**SIZE, seed="wf-analysis").save(path, version=2)
+    return path
+
+
+@pytest.fixture()
+def recorder():
+    obs.set_recorder(obs.Recorder())
+    obs.enable()
+    yield obs.get_recorder()
+    obs.disable()
+    obs.set_recorder(obs.Recorder())
+
+
+def analysis_pipeline(registry, source, operation, streaming="on", args=None):
+    p = Pipeline(registry)
+    reader = p.add_module(
+        "CDMSDatasetReader", {"source": str(source), "streaming": streaming}
+    )
+    var = p.add_module("CDMSVariableReader", {"variable": "ta"})
+    op = p.add_module("CDATOperation", {"operation": operation, "args": args or {}})
+    p.add_connection(reader, "dataset", var, "dataset")
+    p.add_connection(var, "variable", op, "variable")
+    return p, var, op
+
+
+class TestCDATOperationStreaming:
+    def test_operation_receives_the_lazy_variable(self, registry, v2_file):
+        p, var, _op = analysis_pipeline(registry, v2_file, "monthly_climatology")
+        result = Executor(caching=False).execute(p)
+        assert isinstance(result.output(var, "variable"), LazyVariable)
+
+    def test_reduction_streams_without_full_materialization(
+        self, registry, v2_file, recorder
+    ):
+        p, _var, op = analysis_pipeline(registry, v2_file, "monthly_climatology")
+        result = Executor(caching=False).execute(p)
+        clim = result.output(op, "variable")
+        assert clim.shape[0] == 12
+        assert recorder.counter_total("streaming.materialize.full") == 0
+        assert recorder.counter_total("cdat.slabs") > 0
+
+    def test_streamed_result_matches_eager_pipeline(self, registry, v2_file):
+        outputs = {}
+        for mode in ("off", "on"):
+            p, _var, op = analysis_pipeline(
+                registry, v2_file, "zonal_mean", streaming=mode
+            )
+            outputs[mode] = Executor(caching=False).execute(p).output(op, "variable")
+        np.testing.assert_array_equal(
+            np.asarray(outputs["off"].data.filled(0)),
+            np.asarray(outputs["on"].data.filled(0)),
+        )
+
+
+class TestCalculatorStreaming:
+    def test_workspace_holds_lazy_variables_unmaterialized(self, v2_file, recorder):
+        app = Application()
+        with open_dataset(v2_file, streaming="on") as ds:
+            app.variables.define("ta", ds.get_variable("ta"))
+            assert isinstance(app.variables.get("ta"), LazyVariable)
+            anom = app.calculator.assign("a = anomalies(ta)")
+            assert anom.shape == ds.get_variable("ta").shape
+        assert recorder.counter_total("streaming.materialize.full") == 0
+
+    def test_calculator_matches_eager_result(self, v2_file):
+        eager = open_dataset(v2_file, streaming="off").get_variable("ta")
+        app_e = Application()
+        app_e.variables.define("ta", eager)
+        expected = app_e.calculator.evaluate("axis_average(ta, axis='time')")
+        with open_dataset(v2_file, streaming="on") as ds:
+            app_s = Application()
+            app_s.variables.define("ta", ds.get_variable("ta"))
+            streamed = app_s.calculator.evaluate("axis_average(ta, axis='time')")
+        np.testing.assert_array_equal(
+            np.asarray(expected.data.filled(0)),
+            np.asarray(streamed.data.filled(0)),
+        )

@@ -1,0 +1,177 @@
+#!/usr/bin/env python
+"""Out-of-core analysis bench -> ``BENCH_cdat_streaming.json``.
+
+Runs the canonical CDAT reductions (monthly climatology, zonal mean,
+running mean, temporal variance) over a chunked v2 ``.cdz`` container
+~4x the configured streaming memory budget, and reports per reduction:
+
+* ``elapsed_s`` / ``throughput_mb_s`` — wall time and effective payload
+  throughput of the streamed run (dataset bytes / elapsed);
+* ``digest_match`` — whether the streamed result is byte-identical
+  (:func:`repro.cache.keys.digest`) to the same reduction of the
+  eagerly loaded twin — the correctness half of the gate;
+
+plus the run-wide memory accounting:
+
+* ``peak_resident_bytes`` — the prefetcher's chunk-slot peak, which
+  must stay under ``budget_bytes``;
+* ``materialize_full_count`` — how many times a reduction fell through
+  the whole-array escape hatch (must be 0);
+* ``peak_rss_bytes`` — ``ru_maxrss``, recorded but not gated (Python
+  allocator behaviour is machine-bound).
+
+The artifact carries ``"kind": "cdat_streaming"`` and is gated by
+``validate_cdat_streaming`` in ``tools/bench_compare.py``: structural
+schema plus the machine-independent invariants (container >= 4x budget,
+peak resident under budget, zero full materializations, every digest
+matching).
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_cdat_streaming.py --quick --out BENCH_cdat_streaming.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro import obs
+from repro.cache.keys import digest
+from repro.cdat.registry import default_registry
+from repro.cdms.dataset import open_dataset
+from repro.data import catalog
+from repro.streaming.config import StreamingConfig
+
+FULL_SIZE = {"nlat": 46, "nlon": 72, "nlev": 17, "ntime": 24}
+QUICK_SIZE = {"nlat": 24, "nlon": 36, "nlev": 6, "ntime": 12}
+
+#: budget = dataset / BUDGET_DIVISOR, so the container is ~4x the budget
+BUDGET_DIVISOR = 4
+
+VARIABLE = "ta"
+SEED = "bench-cdat-streaming"
+
+#: (operation name, kwargs) — the reductions the gate pins
+REDUCTIONS = (
+    ("monthly_climatology", {}),
+    ("zonal_mean", {}),
+    ("running_mean", {"window": 5}),
+    ("variance", {"axis": "time"}),
+)
+
+
+def peak_rss_bytes() -> int:
+    # ru_maxrss is KiB on Linux, bytes on macOS; this repo's CI is Linux
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss) * 1024
+
+
+def build_container(directory: Path, size: dict) -> Path:
+    path = directory / "bench_cdat_streaming.cdz"
+    catalog.synthetic_reanalysis(**size, seed=SEED).save(
+        path, version=2, chunk_timesteps=2
+    )
+    return path
+
+
+def run(size: dict) -> dict:
+    registry = default_registry()
+    with tempfile.TemporaryDirectory(prefix="bench-cdat-") as tmp:
+        path = build_container(Path(tmp), size)
+
+        probe = open_dataset(path, streaming="on")
+        layout = probe.streaming_source.layout(VARIABLE)
+        dataset_bytes = layout.total_nbytes()
+        probe.close()
+        budget = max(layout.max_chunk_nbytes(), dataset_bytes // BUDGET_DIVISOR)
+
+        # the eager twin provides the byte-identity reference results
+        eager = open_dataset(path, streaming="off").get_variable(VARIABLE)
+        expected = {
+            name: digest(registry.apply(name, eager, **kwargs))
+            for name, kwargs in REDUCTIONS
+        }
+
+        config = StreamingConfig(memory_budget_bytes=budget, prefetch_depth=2)
+        obs.set_recorder(obs.Recorder())
+        obs.enable()
+        try:
+            ops = []
+            with open_dataset(path, streaming="on", streaming_config=config) as ds:
+                lazy = ds.get_variable(VARIABLE)
+                for name, kwargs in REDUCTIONS:
+                    started = time.perf_counter()
+                    result = registry.apply(name, lazy, **kwargs)
+                    elapsed = time.perf_counter() - started
+                    ops.append(
+                        {
+                            "name": name,
+                            "elapsed_s": elapsed,
+                            "throughput_mb_s": (
+                                dataset_bytes / (1024.0 * 1024.0) / elapsed
+                                if elapsed > 0 else 0.0
+                            ),
+                            "digest_match": digest(result) == expected[name],
+                        }
+                    )
+                peak_resident = ds.streaming_source.prefetcher(
+                    VARIABLE
+                ).peak_resident_bytes
+            materialize_full = obs.get_recorder().counter_total(
+                "streaming.materialize.full"
+            )
+        finally:
+            obs.disable()
+            obs.set_recorder(obs.Recorder())
+
+    return {
+        "kind": "cdat_streaming",
+        "meta": {"seed": SEED, "size": size, "variable": VARIABLE},
+        "dataset_bytes": dataset_bytes,
+        "budget_bytes": budget,
+        "peak_resident_bytes": peak_resident,
+        "materialize_full_count": int(materialize_full),
+        "peak_rss_bytes": peak_rss_bytes(),
+        "ops": ops,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_cdat_streaming.json")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller container for CI smoke runs",
+    )
+    args = parser.parse_args(argv)
+
+    report = run(QUICK_SIZE if args.quick else FULL_SIZE)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+
+    ok = (
+        report["peak_resident_bytes"] <= report["budget_bytes"]
+        and report["materialize_full_count"] == 0
+        and all(op["digest_match"] for op in report["ops"])
+    )
+    for op in report["ops"]:
+        print(
+            f"{op['name']:>22}: {op['elapsed_s']:.3f}s "
+            f"{op['throughput_mb_s']:8.1f} MB/s "
+            f"digest_match={op['digest_match']}"
+        )
+    print(
+        f"dataset={report['dataset_bytes']} budget={report['budget_bytes']} "
+        f"peak_resident={report['peak_resident_bytes']} "
+        f"materialize_full={report['materialize_full_count']}"
+    )
+    print(f"wrote {args.out}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

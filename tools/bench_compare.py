@@ -31,7 +31,10 @@ p50/p99 latency — rendered as a table in the job summary.  Artifacts
 with ``"kind": "streaming"`` (from ``tools/bench_streaming.py``) are
 gated the same way, plus the two machine-independent invariants: the
 benched container is >= 4x the memory budget and peak resident chunk
-bytes stayed under it, with a completed chaos replay.
+bytes stayed under it, with a completed chaos replay.  Artifacts with
+``"kind": "cdat_streaming"`` (from ``tools/bench_cdat_streaming.py``)
+add the analysis-plane invariants: zero whole-array materializations
+and byte-identical eager/streamed digests for every benched reduction.
 
 Exit codes: 0 ok, 1 regression (or missing speedup), 2 usage/IO error.
 
@@ -175,6 +178,97 @@ def validate_streaming(report: Dict[str, Any]) -> Dict[str, Any]:
     if not chaos.get("completed"):
         raise CompareError("fault_pass did not complete")
     return report
+
+
+def validate_cdat_streaming(report: Dict[str, Any]) -> Dict[str, Any]:
+    """Schema-check a ``kind: cdat_streaming`` artifact
+    (``tools/bench_cdat_streaming.py``).
+
+    Reduction throughput is machine-bound, so the gate is structural
+    plus the machine-independent invariants: the benched container is
+    >= 4x the streaming memory budget, peak resident chunk bytes stayed
+    under that budget, no reduction fell through the whole-array
+    materialization escape hatch, and every streamed reduction digested
+    byte-identically to its eager twin.  Raises :class:`CompareError`
+    on any violation.
+    """
+    meta = report.get("meta", {})
+    if not isinstance(meta.get("seed"), (str, int)):
+        raise CompareError("cdat_streaming artifact has no meta.seed")
+    for field in ("dataset_bytes", "budget_bytes", "peak_resident_bytes"):
+        value = report.get(field)
+        if not isinstance(value, int) or value <= 0:
+            raise CompareError(
+                f"cdat_streaming artifact needs a positive int {field}"
+            )
+    rss = report.get("peak_rss_bytes")
+    if not isinstance(rss, int) or rss <= 0:
+        raise CompareError("cdat_streaming artifact has no usable peak_rss_bytes")
+    if report["dataset_bytes"] < 4 * report["budget_bytes"] - 3:
+        # -3 absorbs the integer division when budget = dataset // 4
+        raise CompareError(
+            "cdat_streaming bench dataset must be >= 4x the memory budget "
+            f"({report['dataset_bytes']} < 4 * {report['budget_bytes']})"
+        )
+    if report["peak_resident_bytes"] > report["budget_bytes"]:
+        raise CompareError(
+            "cdat_streaming peak resident bytes exceeded the budget "
+            f"({report['peak_resident_bytes']} > {report['budget_bytes']})"
+        )
+    full = report.get("materialize_full_count")
+    if not isinstance(full, int) or full < 0:
+        raise CompareError(
+            "cdat_streaming artifact needs a non-negative materialize_full_count"
+        )
+    if full != 0:
+        raise CompareError(
+            f"cdat_streaming run materialized a streamed input {full} time(s)"
+        )
+    ops = report.get("ops")
+    if not isinstance(ops, list) or len(ops) < 3:
+        raise CompareError(
+            "cdat_streaming artifact needs >= 3 ops, got "
+            f"{len(ops) if isinstance(ops, list) else type(ops).__name__}"
+        )
+    for index, op in enumerate(ops):
+        if not isinstance(op, dict) or not isinstance(op.get("name"), str):
+            raise CompareError(f"ops[{index}] has no name")
+        for field in ("elapsed_s", "throughput_mb_s"):
+            value = op.get(field)
+            if not isinstance(value, (int, float)) or value <= 0:
+                raise CompareError(
+                    f"ops[{index}].{field} missing or non-positive"
+                )
+        if op.get("digest_match") is not True:
+            raise CompareError(
+                f"streamed reduction {op['name']!r} is not byte-identical "
+                "to its eager twin"
+            )
+    return report
+
+
+def format_cdat_streaming_table(report: Dict[str, Any]) -> str:
+    lines = [
+        "| reduction | elapsed | throughput | digest |",
+        "|---|---|---|---|",
+    ]
+    for op in report["ops"]:
+        lines.append(
+            "| {name} | {elapsed_s:.3f}s | {throughput_mb_s:.1f} MB/s "
+            "| {status} |".format(
+                status="match" if op["digest_match"] else "MISMATCH", **op
+            )
+        )
+    lines.append("")
+    lines.append(
+        "dataset {ds} B, budget {budget} B, peak resident {resident} B, "
+        "full materializations {full}".format(
+            ds=report["dataset_bytes"], budget=report["budget_bytes"],
+            resident=report["peak_resident_bytes"],
+            full=report["materialize_full_count"],
+        )
+    )
+    return "\n".join(lines)
 
 
 def format_streaming_table(report: Dict[str, Any]) -> str:
@@ -388,6 +482,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             markdown = (
                 "## Out-of-core streaming bench\n\n"
                 + format_streaming_table(fresh)
+            )
+            print(markdown)
+            write_job_summary(markdown)
+            return 0
+        if fresh.get("kind") == "cdat_streaming":
+            validate_cdat_streaming(fresh)
+            markdown = (
+                "## Out-of-core analysis bench\n\n"
+                + format_cdat_streaming_table(fresh)
             )
             print(markdown)
             write_job_summary(markdown)
