@@ -92,6 +92,23 @@ class LazyVariable(Variable):
             )
             yield self[index]
 
+    def prefetch_hint(self, axis_index: int) -> None:
+        """Hint that *axis_index* along the chunk axis is wanted next.
+
+        The session-serving speculation hook: a backend predicting an
+        animating session's next timestep steers this variable's
+        prefetch pipeline toward the chunk holding it (a no-op when
+        prefetch is off or the index is out of range — hints are
+        advisory, never errors).
+        """
+        if not self.source.config.prefetch:
+            return
+        axis_len = self.shape[self.layout.chunk_axis]
+        if not 0 <= axis_index < axis_len:
+            return
+        chunk = self.layout.chunk_of(axis_index)
+        self.source.prefetcher(self.id).hint(chunk.index)
+
     # -- the degradation ladder hook ---------------------------------------
 
     @contextlib.contextmanager

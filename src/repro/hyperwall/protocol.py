@@ -97,15 +97,30 @@ def recv_message(sock: socket.socket) -> Optional[Message]:
     return message
 
 
-def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+def recv_exact(
+    sock: socket.socket,
+    count: int,
+    on_truncation: type = HyperwallError,
+) -> Optional[bytes]:
+    """Read exactly *count* bytes; None on clean EOF before the first byte.
+
+    EOF after a partial read raises *on_truncation* — the hyperwall
+    raises :class:`HyperwallError`, the session wire protocol
+    (:mod:`repro.serving.wire`) passes its own typed truncation error.
+    Shared here because both protocols frame the same way.
+    """
     chunks = []
     remaining = count
     while remaining:
         chunk = sock.recv(remaining)
         if not chunk:
             if chunks:
-                raise HyperwallError("connection closed mid-frame")
+                raise on_truncation("connection closed mid-frame")
             return None
         chunks.append(chunk)
         remaining -= len(chunk)
     return b"".join(chunks)
+
+
+#: backwards-compatible private alias (pre-session-serving callers)
+_recv_exact = recv_exact

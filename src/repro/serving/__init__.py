@@ -15,10 +15,19 @@ sharing one render substrate.  An asyncio :class:`ServingServer` fronts
 * **per-tenant fairness** — cache-residency quotas so one noisy tenant
   cannot evict another's working set (:mod:`repro.serving.quota`);
 * **observability** — queue depth, coalesced fan-out, shed counters
-  and latency histograms via :mod:`repro.obs`.
+  and latency histograms via :mod:`repro.obs`;
+* **session-aware serving** — sticky session→slot affinity by
+  rendezvous hashing with re-pinning on slot death
+  (:mod:`repro.serving.sessions`), speculative next-frame rendering
+  from per-session request history (:mod:`repro.serving.speculative`),
+  and a versioned digest-stamped wire protocol with
+  reconnect-and-resume (:mod:`repro.serving.wire`,
+  :mod:`repro.serving.endpoint`).
 
 ``tools/loadgen.py`` drives this layer open-loop with deterministic
-seeded zipf traffic and emits the ``BENCH_serving.json`` artifact.
+seeded zipf traffic and emits the ``BENCH_serving.json`` artifact;
+``--session-locality`` adds session-correlated animation traces and
+``BENCH_serving_sessions.json``.
 """
 
 from repro.serving.admission import (
@@ -42,12 +51,26 @@ from repro.serving.request import (
     Response,
     request_key,
 )
+from repro.serving.endpoint import WireSessionClient, WireSessionServer
 from repro.serving.server import ServingServer
+from repro.serving.sessions import (
+    AffinityRouter,
+    BackendSlot,
+    SessionFrame,
+    SessionRegistry,
+    SessionState,
+    SlotPool,
+)
+from repro.serving.speculative import NextFramePredictor
+from repro.serving.wire import WIRE_VERSION, WireFrame, decode_frame, encode_frame
 
 __all__ = [
     "AdmissionController",
+    "AffinityRouter",
     "AppBackend",
+    "BackendSlot",
     "KINDS",
+    "NextFramePredictor",
     "QuotaLedger",
     "REASON_CLOSED",
     "REASON_DEADLINE",
@@ -62,5 +85,15 @@ __all__ = [
     "STATUS_SHED",
     "ServingConfig",
     "ServingServer",
+    "SessionFrame",
+    "SessionRegistry",
+    "SessionState",
+    "SlotPool",
+    "WIRE_VERSION",
+    "WireFrame",
+    "WireSessionClient",
+    "WireSessionServer",
+    "decode_frame",
+    "encode_frame",
     "request_key",
 ]

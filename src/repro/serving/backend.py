@@ -24,6 +24,17 @@ Request ``params`` contract (all optional but ``template``)::
     selector   subset selector dict
     cell_params  extra DV3D cell params
     width / height  frame pixels          (defaults 64 x 48)
+    timestep   time index into the plot   (animation axis)
+    azimuth    camera orbit degrees from the default view (orbit axis)
+
+``timestep`` and ``azimuth`` are deliberately *excluded* from the scene
+digest: an animating or orbiting session mutates one long-lived scene
+slot instead of materializing a workflow per frame, which is exactly
+what sticky session affinity keeps warm.  When the plotted variable is
+a streamed :class:`~repro.cdms.lazy.LazyVariable`, each timestep render
+also hints the variable's prefetch pipeline toward ``timestep + 1`` so
+the chunk for the session's likely next frame is in flight before the
+demand (or speculative) render asks for it.
 
 ``degraded=True`` renders at ``1/degraded_scale`` resolution (floored
 at 8 px) — the breaker-open fallback the server uses when the full
@@ -82,7 +93,16 @@ class AppBackend:
             height = max(height // scale, MIN_DEGRADED_PX)
         with self._lock:
             sheet_name, slot = self._ensure_scene(params)
-            framebuffer = self.app.render_slot(sheet_name, slot, width, height)
+            cell = self._cell(sheet_name, slot)
+            camera = None
+            if "timestep" in params:
+                timestep = int(params["timestep"])
+                cell.plot.set_time_index(timestep)
+                self._hint_prefetch(cell, timestep + 1)
+            if "azimuth" in params:
+                base = cell.plot.camera or cell.plot.default_camera()
+                camera = base.orbit(float(params["azimuth"]), 0.0)
+            framebuffer = cell.render(width, height, camera=camera)
         return ppm_bytes(framebuffer.to_uint8())
 
     # -- scene management ---------------------------------------------------
@@ -97,6 +117,8 @@ class AppBackend:
         size = params.get("size")
         selector = params.get("selector")
         cell_params = params.get("cell_params")
+        # timestep / azimuth are per-frame animation state, not scene
+        # identity — one scene slot serves the whole gesture
         digest = cache_key(
             "serving.backend.scene",
             template, source, variables,
@@ -113,6 +135,22 @@ class AppBackend:
         )
         self._scenes[digest] = (sheet_name, slot)
         return self._scenes[digest]
+
+    def _cell(self, sheet_name: str, slot: Tuple[int, int]):
+        """The live cell bound to *slot*, executing the workflow if needed."""
+        sheet = self.app.project.sheets[sheet_name]
+        cell_slot = sheet.get(slot[0], slot[1])
+        if cell_slot is None or cell_slot.cell is None:
+            self.app.project.execute_cell(sheet_name, slot[0], slot[1])
+            cell_slot = sheet.get(slot[0], slot[1])
+        return cell_slot.cell
+
+    @staticmethod
+    def _hint_prefetch(cell: Any, next_timestep: int) -> None:
+        """Steer a streamed variable's prefetcher at the likely next frame."""
+        hint = getattr(cell.plot.variable, "prefetch_hint", None)
+        if hint is not None:
+            hint(next_timestep)
 
     @property
     def scene_count(self) -> int:

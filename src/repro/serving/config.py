@@ -52,6 +52,26 @@ class ServingConfig:
         Per-tenant quota on serving-cache residency (0 = unlimited).
         A tenant exceeding its quota evicts its *own* least-recent
         entries; other tenants' entries are never touched.
+    slots:
+        Backend slots for sticky session affinity (0 = disabled, the
+        stateless pre-session behavior).  With ``slots > 0`` the server
+        routes every request through a :class:`~repro.serving.sessions.SlotPool`
+        — a session's frames serialize through one pinned slot and keep
+        hitting that slot's renderer/``_derived`` caches; a dead slot's
+        sessions re-pin to survivors.
+    speculation_budget:
+        Maximum concurrent speculative next-frame renders (0 disables
+        speculation).  Speculative work only launches when the demand
+        queue is at most ``speculation_idle_depth`` deep — idle backend
+        capacity, never capacity demand traffic is waiting for.
+    speculation_idle_depth:
+        Queue-depth ceiling below which speculation may launch.
+    session_history:
+        Request-history window kept per session (the speculative
+        predictor's input; must cover its 3-request stride window).
+    session_log_frames:
+        Per-session frame-log ring bound (0 = unbounded; the chaos
+        suite audits every frame, the wire endpoint replays from it).
     """
 
     workers: int = 2
@@ -65,6 +85,11 @@ class ServingConfig:
     degraded_scale: int = 4
     tenant_max_entries: int = 0
     tenant_max_bytes: int = 0
+    slots: int = 0
+    speculation_budget: int = 0
+    speculation_idle_depth: int = 0
+    session_history: int = 8
+    session_log_frames: int = 64
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -96,4 +121,24 @@ class ServingConfig:
         if self.tenant_max_bytes < 0:
             raise ServingError(
                 f"tenant_max_bytes must be >= 0, got {self.tenant_max_bytes}"
+            )
+        if self.slots < 0:
+            raise ServingError(f"slots must be >= 0, got {self.slots}")
+        if self.speculation_budget < 0:
+            raise ServingError(
+                f"speculation_budget must be >= 0, got {self.speculation_budget}"
+            )
+        if self.speculation_idle_depth < 0:
+            raise ServingError(
+                "speculation_idle_depth must be >= 0, got "
+                f"{self.speculation_idle_depth}"
+            )
+        if self.session_history < 3:
+            raise ServingError(
+                "session_history must be >= 3 (the predictor's stride "
+                f"window), got {self.session_history}"
+            )
+        if self.session_log_frames < 0:
+            raise ServingError(
+                f"session_log_frames must be >= 0, got {self.session_log_frames}"
             )

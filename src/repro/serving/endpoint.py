@@ -1,0 +1,429 @@
+"""The session wire endpoint: a socket front door over the ServingServer.
+
+:class:`WireSessionServer` exposes one :class:`~repro.serving.server.ServingServer`
+to remote clients over the versioned framed protocol of
+:mod:`repro.serving.wire`.  Each connection speaks a short dialogue::
+
+    client                          server
+    ------                          ------
+    HELLO                     ->
+                              <-    WELCOME {wire_version}
+    OPEN {session, tenant,    ->
+          resume_from}
+                              <-    OPENED {session, replay, next_seq}
+                              <-    FRAME * replay      (missed frames)
+    RENDER {params}           ->
+                              <-    FRAME {seq, status, source, digest}
+    ...
+    CLOSE                     ->
+                              <-    BYE
+
+Reconnect-with-resume: every frame served to a session is also logged
+in a per-session replay ring (seq, metadata, payload) before it goes on
+the wire.  A client whose connection dies mid-stream — the armed
+``serving.wire.send`` fault closes the socket, the deterministic stand-
+in for a network partition — reconnects and OPENs the same session with
+``resume_from`` set to the first sequence number it never received; the
+server replays the missed frames from the ring byte-identically, then
+the stream continues.  The ring is bounded by
+``ServingConfig.session_log_frames`` (oldest entries trimmed first).
+
+Protocol violations never hang a peer: a malformed, truncated, corrupt
+or wrong-version frame raises a typed
+:class:`~repro.util.errors.WireError` on the reading side, and the
+server answers what it can with a ``KIND_ERROR`` frame before closing.
+
+The asyncio serving loop runs on a dedicated thread; connection threads
+bridge into it with ``run_coroutine_threadsafe``, so blocking socket
+I/O never stalls admission, coalescing or speculation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import socket
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.cache.store import ResultCache
+from repro.serving import wire
+from repro.serving.config import ServingConfig
+from repro.serving.request import Request
+from repro.serving.server import Backend, ServingServer
+from repro.serving.wire import WireFrame
+from repro.util.errors import (
+    ServingError,
+    WireCorruptionError,
+    WireError,
+    WireTruncatedError,
+    WireVersionError,
+)
+
+
+class _SessionLog:
+    """One session's replay ring: frames already served, by sequence."""
+
+    def __init__(self, bound: int) -> None:
+        self.bound = int(bound)
+        self.next_seq = 0
+        self.frames: List[Tuple[int, Dict[str, Any], bytes]] = []
+
+    def append(self, meta: Dict[str, Any], payload: bytes) -> int:
+        seq = self.next_seq
+        self.next_seq += 1
+        self.frames.append((seq, dict(meta, seq=seq), payload))
+        if self.bound and len(self.frames) > self.bound:
+            del self.frames[: len(self.frames) - self.bound]
+        return seq
+
+    def since(self, resume_from: int) -> List[Tuple[int, Dict[str, Any], bytes]]:
+        return [entry for entry in self.frames if entry[0] >= resume_from]
+
+
+class WireSessionServer:
+    """Serve session render streams over a listening socket.
+
+    Parameters mirror :class:`~repro.serving.server.ServingServer`; the
+    endpoint owns the serving server and its event loop thread.
+    """
+
+    def __init__(
+        self,
+        backend: Backend,
+        config: Optional[ServingConfig] = None,
+        cache: Optional[ResultCache] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        io_timeout: float = 30.0,
+    ) -> None:
+        self.config = config if config is not None else ServingConfig()
+        self.server = ServingServer(backend, config=self.config, cache=cache)
+        self.io_timeout = float(io_timeout)
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(16)
+        self.host, self.port = self._listener.getsockname()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._loop_thread: Optional[threading.Thread] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._conn_threads: List[threading.Thread] = []
+        self._conns: List[socket.socket] = []
+        self._lock = threading.Lock()
+        self._logs: Dict[str, _SessionLog] = {}
+        self._stopped = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "WireSessionServer":
+        if self._loop is not None:
+            return self
+        self._loop = asyncio.new_event_loop()
+        self._loop_thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-wire-loop", daemon=True
+        )
+        self._loop_thread.start()
+        self._submit_coro(self.server.start())
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-wire-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._lock:
+            conns = list(self._conns)
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        for thread in list(self._conn_threads):
+            thread.join(timeout=5.0)
+        if self._loop is not None:
+            self._submit_coro(self.server.aclose())
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            if self._loop_thread is not None:
+                self._loop_thread.join(timeout=5.0)
+            self._loop.close()
+            self._loop = None
+
+    def __enter__(self) -> "WireSessionServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    def _submit_coro(self, coro: Any) -> Any:
+        assert self._loop is not None
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result(
+            timeout=max(self.io_timeout, 60.0)
+        )
+
+    # -- the accept / connection loops ---------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopped:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed: orderly shutdown
+            conn.settimeout(self.io_timeout)
+            with self._lock:
+                self._conns.append(conn)
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="repro-wire-conn",
+                daemon=True,
+            )
+            self._conn_threads.append(thread)
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        obs.counter("serving.wire.connections")
+        try:
+            self._dialogue(conn)
+        except (WireError, ServingError) as exc:
+            obs.counter("serving.wire.protocol_errors", error=type(exc).__name__)
+            try:
+                wire.write_frame(
+                    conn,
+                    WireFrame(
+                        wire.KIND_ERROR,
+                        {"error": type(exc).__name__, "detail": str(exc)},
+                    ),
+                )
+            except OSError:
+                pass
+        except OSError:
+            pass  # peer vanished; its session log survives for resume
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            with self._lock:
+                if conn in self._conns:
+                    self._conns.remove(conn)
+
+    def _dialogue(self, conn: socket.socket) -> None:
+        hello = wire.read_frame(conn)
+        if hello is None:
+            return
+        if hello.kind != wire.KIND_HELLO:
+            raise WireError(f"expected hello, got {hello.kind!r}")
+        wire.write_frame(
+            conn,
+            WireFrame(wire.KIND_WELCOME, {"wire_version": wire.WIRE_VERSION}),
+        )
+        session = ""
+        tenant = "default"
+        while True:
+            frame = wire.read_frame(conn)
+            if frame is None:
+                return  # orderly EOF between frames
+            if frame.kind == wire.KIND_OPEN:
+                session = str(frame.meta.get("session", ""))
+                tenant = str(frame.meta.get("tenant", "default"))
+                if not session:
+                    raise WireError("open frame carries no session id")
+                resume_from = int(frame.meta.get("resume_from", 0))
+                log = self._log_for(session)
+                replay = log.since(resume_from)
+                wire.write_frame(
+                    conn,
+                    WireFrame(
+                        wire.KIND_OPENED,
+                        {
+                            "session": session,
+                            "replay": len(replay),
+                            "next_seq": log.next_seq,
+                        },
+                    ),
+                )
+                for _seq, meta, payload in replay:
+                    wire.write_frame(
+                        conn,
+                        WireFrame(wire.KIND_FRAME, dict(meta, replayed=True), payload),
+                    )
+            elif frame.kind == wire.KIND_RENDER:
+                if not session:
+                    raise WireError("render before open")
+                params = frame.meta.get("params", {})
+                response = self._submit_coro(
+                    self.server.submit(
+                        Request(
+                            kind=str(frame.meta.get("kind", "render")),
+                            params=params,
+                            tenant=tenant,
+                            session=session,
+                        )
+                    )
+                )
+                payload = response.payload or b""
+                meta = {
+                    "status": response.status,
+                    "source": response.source if response.completed else "",
+                    "reason": response.reason,
+                    "key": response.digest,
+                    "digest": hashlib.sha256(payload).hexdigest(),
+                }
+                with self._lock:
+                    seq = self._log_for(session).append(meta, payload)
+                wire.write_frame(
+                    conn, WireFrame(wire.KIND_FRAME, dict(meta, seq=seq), payload)
+                )
+            elif frame.kind == wire.KIND_CLOSE:
+                wire.write_frame(conn, WireFrame(wire.KIND_BYE))
+                return
+            else:
+                raise WireError(f"unexpected frame kind {frame.kind!r}")
+
+    def _log_for(self, session: str) -> _SessionLog:
+        log = self._logs.get(session)
+        if log is None:
+            log = self._logs[session] = _SessionLog(self.config.session_log_frames)
+        return log
+
+
+class WireSessionClient:
+    """A blocking client of one :class:`WireSessionServer` session.
+
+    Tracks the next sequence number it expects, so
+    :meth:`reconnect` can resume exactly where the stream broke and
+    receive every missed frame from the server's replay ring.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self.session = ""
+        self.tenant = "default"
+        self.next_seq = 0
+        self._sock: Optional[socket.socket] = None
+
+    # -- connection ----------------------------------------------------------
+
+    def connect(self) -> "WireSessionClient":
+        sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
+        self._sock = sock
+        wire.write_frame(sock, WireFrame(wire.KIND_HELLO))
+        welcome = self._expect(wire.KIND_WELCOME)
+        version = int(welcome.meta.get("wire_version", -1))
+        if version != wire.WIRE_VERSION:
+            raise WireVersionError(
+                f"server speaks wire version {version}, client {wire.WIRE_VERSION}"
+            )
+        return self
+
+    def open(
+        self, session: str, tenant: str = "default", resume_from: Optional[int] = None
+    ) -> List[WireFrame]:
+        """Open (or resume) *session*; returns the replayed frames."""
+        self.session = session
+        self.tenant = tenant
+        resume = self.next_seq if resume_from is None else int(resume_from)
+        wire.write_frame(
+            self._require_sock(),
+            WireFrame(
+                wire.KIND_OPEN,
+                {"session": session, "tenant": tenant, "resume_from": resume},
+            ),
+        )
+        opened = self._expect(wire.KIND_OPENED)
+        replayed = []
+        for _ in range(int(opened.meta.get("replay", 0))):
+            frame = self._expect(wire.KIND_FRAME)
+            self._account(frame)
+            replayed.append(frame)
+        return replayed
+
+    def reconnect(self) -> List[WireFrame]:
+        """Dial a fresh connection and resume the session mid-stream."""
+        self.close_socket()
+        self.connect()
+        return self.open(self.session, self.tenant, resume_from=self.next_seq)
+
+    def close(self) -> None:
+        sock = self._sock
+        if sock is not None:
+            try:
+                wire.write_frame(sock, WireFrame(wire.KIND_CLOSE))
+                self._expect(wire.KIND_BYE)
+            except (OSError, WireError):
+                pass
+        self.close_socket()
+
+    def close_socket(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "WireSessionClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- rendering -----------------------------------------------------------
+
+    def render(self, params: Dict[str, Any], kind: str = "render") -> WireFrame:
+        """Render one frame; raises a typed WireError on a broken stream."""
+        wire.write_frame(
+            self._require_sock(),
+            WireFrame(wire.KIND_RENDER, {"params": params, "kind": kind}),
+        )
+        frame = self._expect(wire.KIND_FRAME)
+        self._account(frame)
+        return frame
+
+    # -- internals -----------------------------------------------------------
+
+    def _require_sock(self) -> socket.socket:
+        if self._sock is None:
+            raise ServingError("client is not connected")
+        return self._sock
+
+    def _expect(self, kind: str) -> WireFrame:
+        try:
+            frame = wire.read_frame(self._require_sock())
+        except OSError as exc:
+            raise WireTruncatedError(f"connection lost mid-stream: {exc}") from exc
+        if frame is None:
+            raise WireTruncatedError(
+                f"connection closed while awaiting a {kind!r} frame"
+            )
+        if frame.kind == wire.KIND_ERROR:
+            raise WireError(
+                f"server error: {frame.meta.get('error')}: {frame.meta.get('detail')}"
+            )
+        if frame.kind != kind:
+            raise WireError(f"expected {kind!r} frame, got {frame.kind!r}")
+        if frame.kind == wire.KIND_FRAME:
+            advertised = frame.meta.get("digest", "")
+            if advertised and advertised != frame.payload_digest():
+                raise WireCorruptionError(
+                    "frame payload does not match its advertised digest"
+                )
+        return frame
+
+    def _account(self, frame: WireFrame) -> None:
+        seq = frame.meta.get("seq")
+        if seq is not None:
+            self.next_seq = max(self.next_seq, int(seq) + 1)

@@ -39,15 +39,35 @@ breaker share it), the ``serving.execute`` fault site fires inside the
 dispatch path, and ``start()`` may be deferred — submissions enqueue
 and coalesce without any worker running, so "N identical requests,
 exactly one execution" is assertable without racing the event loop.
+
+Session-aware serving (``config.slots`` / ``config.speculation_budget``):
+
+* **sticky affinity** — with ``slots > 0`` every execution routes
+  through a :class:`~repro.serving.sessions.SlotPool`; a session's
+  requests serialize through the slot the rendezvous router pins it
+  to, so camera orbits keep hitting that slot's renderer frame cache.
+  A slot that dies mid-request (crash, or the armed ``serving.slot``
+  fault site) is retired, its sessions re-pin to survivors, and the
+  request retries there — the caller still gets its frame;
+* **speculative rendering** — with ``speculation_budget > 0`` the
+  server predicts an animating/orbiting session's next frame from its
+  request history and pre-renders it on idle capacity through the same
+  backend path (byte-identical by construction); the speculative
+  result registers as an in-flight key (demand requests coalesce onto
+  it) and lands in the serving cache.  A misprediction cancels the
+  speculation, audits any stored cache entry back out, and counts
+  ``serving.speculative.waste``; a correct prediction counts
+  ``serving.speculative.hit``.
 """
 
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro import obs
 from repro.cache.store import ResultCache, get_cache
@@ -70,7 +90,16 @@ from repro.serving.request import (
     Response,
     request_key,
 )
-from repro.util.errors import ServingError
+from repro.serving.sessions import (
+    BackendSlot,
+    SessionFrame,
+    SessionRegistry,
+    SessionState,
+    SlotPool,
+    Speculation,
+)
+from repro.serving.speculative import NextFramePredictor
+from repro.util.errors import InjectedFault, ServingError, SlotDeadError
 
 #: the backend contract: ``(request, degraded) -> bytes``
 Backend = Callable[[Request, bool], bytes]
@@ -123,6 +152,7 @@ class ServingServer:
         cache: Optional[ResultCache] = None,
         clock: Callable[[], float] = time.monotonic,
         salt: Optional[str] = None,
+        slot_backends: Optional[Sequence[Backend]] = None,
     ) -> None:
         self.backend = backend
         self.config = config if config is not None else ServingConfig()
@@ -144,6 +174,27 @@ class ServingServer:
         self._workers: List["asyncio.Task[None]"] = []
         self._pool: Optional[ThreadPoolExecutor] = None
         self._closed = False
+        # -- session-aware state (inert when slots/speculation are off) --
+        self.slot_pool: Optional[SlotPool] = None
+        if self.config.slots > 0:
+            backends = (
+                list(slot_backends)
+                if slot_backends is not None
+                else [backend] * self.config.slots
+            )
+            if len(backends) != self.config.slots:
+                raise ServingError(
+                    f"slot_backends has {len(backends)} entries for "
+                    f"{self.config.slots} slots"
+                )
+            self.slot_pool = SlotPool(backends)
+        elif slot_backends is not None:
+            raise ServingError("slot_backends given but config.slots is 0")
+        self.sessions: Optional[SessionRegistry] = None
+        if self.config.slots > 0 or self.config.speculation_budget > 0:
+            self.sessions = SessionRegistry(history=self.config.session_history)
+        self._predictor = NextFramePredictor()
+        self._speculations: Dict[str, "asyncio.Task[None]"] = {}
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -177,6 +228,13 @@ class ServingServer:
         if self._closed:
             return
         self._closed = True
+        for task in list(self._speculations.values()):
+            task.cancel()
+        if self._speculations:
+            await asyncio.gather(
+                *self._speculations.values(), return_exceptions=True
+            )
+        self._speculations.clear()
         for _ in self._workers:
             self._queue.put_nowait(None)
         if self._workers:
@@ -191,6 +249,8 @@ class ServingServer:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self.slot_pool is not None:
+            self.slot_pool.shutdown()
 
     async def __aenter__(self) -> "ServingServer":
         return await self.start()
@@ -205,7 +265,9 @@ class ServingServer:
 
         Overload comes back as ``status="shed"`` (with a reason),
         backend failures as ``status="error"`` — only lifecycle misuse
-        raises.
+        raises.  For session-carrying requests the submission also
+        feeds the session's history/frame log and reconciles any
+        outstanding speculation (hit, or cancelled-and-audited waste).
         """
         if self._closed:
             raise ServingError("ServingServer is closed")
@@ -213,14 +275,29 @@ class ServingServer:
         key = request_key(request, salt=self.salt)
         obs.counter("serving.requests", tenant=request.tenant, kind=request.kind)
 
+        state: Optional[SessionState] = None
+        if self.sessions is not None and request.session:
+            state = self.sessions.observe(request.session, request.tenant)
+            obs.counter("serving.sessions.requests", tenant=request.tenant)
+            self._reconcile_speculation(state, key)
+            state.observe(request.params)
+
+        response = await self._serve(request, key, t0)
+
+        if state is not None:
+            self._log_frame(state, key, response)
+            if response.completed and not self._closed:
+                self._maybe_speculate(state, request)
+        return self._finish(response)
+
+    async def _serve(self, request: Request, key: str, t0: float) -> Response:
+        """The pre-session serving pipeline: coalesce / cache / admit / queue."""
         entry = self._inflight.get(key)
         if entry is not None:  # coalesce onto the in-flight computation
             entry.waiters += 1
             obs.counter("serving.coalesced", tenant=request.tenant)
             base = await entry.future
-            return self._finish(
-                base.fan_out(request.tenant, self.clock() - t0, coalesced=True)
-            )
+            return base.fan_out(request.tenant, self.clock() - t0, coalesced=True)
 
         cache = self._cache()
         if cache is not None:
@@ -228,21 +305,17 @@ class ServingServer:
             if found:
                 self.quota.touch(request.tenant, key)
                 obs.counter("serving.cache.served", tenant=request.tenant)
-                return self._finish(
-                    Response(
-                        STATUS_OK, payload=payload, digest=key, source="cache",
-                        tenant=request.tenant, latency_s=self.clock() - t0,
-                    )
+                return Response(
+                    STATUS_OK, payload=payload, digest=key, source="cache",
+                    tenant=request.tenant, latency_s=self.clock() - t0,
                 )
 
         admitted, reason = self.admission.admit(request, self._queue.qsize())
         if not admitted:
             obs.counter("serving.shed", reason=reason, tenant=request.tenant)
-            return self._finish(
-                Response(
-                    STATUS_SHED, digest=key, reason=reason,
-                    tenant=request.tenant, latency_s=self.clock() - t0,
-                )
+            return Response(
+                STATUS_SHED, digest=key, reason=reason,
+                tenant=request.tenant, latency_s=self.clock() - t0,
             )
 
         loop = asyncio.get_running_loop()
@@ -259,9 +332,7 @@ class ServingServer:
             obs.gauge("serving.queue.depth", self._queue.qsize())
             obs.gauge("serving.inflight", len(self._inflight))
         base = await entry.future
-        return self._finish(
-            base.fan_out(request.tenant, self.clock() - t0, coalesced=False)
-        )
+        return base.fan_out(request.tenant, self.clock() - t0, coalesced=False)
 
     def _finish(self, response: Response) -> Response:
         if obs.enabled():
@@ -311,7 +382,7 @@ class ServingServer:
                 faults.check(
                     "serving.execute", tenant=request.tenant, kind=request.kind
                 )
-                payload = await self._run_backend(request, degraded=False)
+                payload = await self._run_backend(request, degraded=False, key=item.key)
             except Exception as exc:  # noqa: BLE001 - feeds the breaker
                 self.breaker.record_failure()
                 obs.counter("serving.errors", tenant=request.tenant)
@@ -335,7 +406,7 @@ class ServingServer:
                 )
         if self.config.allow_degraded:
             try:
-                payload = await self._run_backend(request, degraded=True)
+                payload = await self._run_backend(request, degraded=True, key=item.key)
             except Exception as exc:  # noqa: BLE001
                 obs.counter("serving.errors", tenant=request.tenant)
                 return Response(STATUS_ERROR, digest=item.key, reason=repr(exc))
@@ -346,9 +417,205 @@ class ServingServer:
         obs.counter("serving.shed", reason=REASON_SATURATED, tenant=request.tenant)
         return Response(STATUS_SHED, digest=item.key, reason=REASON_SATURATED)
 
-    async def _run_backend(self, request: Request, degraded: bool) -> bytes:
+    async def _run_backend(
+        self, request: Request, degraded: bool, key: str = ""
+    ) -> bytes:
+        """Run the backend — on the shared pool, or the session's slot.
+
+        With a slot pool, a dead slot (killed, or felled by the armed
+        ``serving.slot`` fault) is retired mid-request: its sessions
+        re-pin to survivors via the rendezvous router and the request
+        retries on its new slot, so the caller still gets bytes — the
+        chaos suite pins that the retried bytes are identical.
+        """
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(self._pool, self.backend, request, degraded)
+        if self.slot_pool is None:
+            return await loop.run_in_executor(
+                self._pool, self.backend, request, degraded
+            )
+        last_death: Optional[SlotDeadError] = None
+        for _ in range(len(self.slot_pool.live_slots) + 1):
+            slot = self.slot_pool.slot_for(request.session, fallback_key=key)
+            state = (
+                self.sessions.get(request.session)
+                if self.sessions is not None and request.session
+                else None
+            )
+            if state is not None:
+                state.pin(slot.id)
+            try:
+                return await loop.run_in_executor(
+                    slot.executor, self._call_slot, slot, request, degraded
+                )
+            except SlotDeadError as exc:
+                last_death = exc
+                self.slot_pool.retire(
+                    slot.id,
+                    self.sessions.states() if self.sessions is not None else (),
+                )
+        raise last_death if last_death is not None else ServingError(
+            "no live slots"
+        )
+
+    def _call_slot(self, slot: BackendSlot, request: Request, degraded: bool) -> bytes:
+        """One backend call on a slot's thread (the ``serving.slot`` site)."""
+        if not slot.alive:
+            raise SlotDeadError(f"slot {slot.id} is dead")
+        try:
+            faults.check(
+                "serving.slot",
+                slot=slot.id,
+                session=request.session,
+                tenant=request.tenant,
+            )
+        except InjectedFault as exc:
+            slot.alive = False
+            raise SlotDeadError(f"slot {slot.id} died: {exc}") from exc
+        payload = slot.backend(request, degraded)
+        slot.frames += 1
+        if request.session:
+            slot.sessions_seen.add(request.session)
+        return payload
+
+    # -- sessions and speculation --------------------------------------------
+
+    def _log_frame(self, state: SessionState, key: str, response: Response) -> None:
+        """Account one served frame in the session's FrameRecord-style log."""
+        digest = (
+            hashlib.sha256(response.payload).hexdigest()
+            if response.payload is not None
+            else ""
+        )
+        state.frames.append(
+            SessionFrame(
+                seq=state.next_seq(),
+                key=key,
+                status=response.status,
+                source=(response.source if response.completed else response.reason)
+                or "",
+                digest=digest,
+                slot=state.slot,
+            )
+        )
+        bound = self.config.session_log_frames
+        if bound and len(state.frames) > bound:
+            del state.frames[: len(state.frames) - bound]
+
+    def _reconcile_speculation(self, state: SessionState, key: str) -> None:
+        """Judge the session's outstanding speculation against reality.
+
+        A hit leaves the pre-rendered frame where the demand path will
+        find it (in-flight key or cache entry); a misprediction cancels
+        the render (result discarded, never stored) or audits an
+        already-stored entry back out of the cache, so cancelled
+        speculation leaves no cache pollution.
+        """
+        spec = state.speculation
+        if spec is None:
+            return
+        state.speculation = None
+        if spec.key == key:
+            spec.hit = True
+            obs.counter("serving.speculative.hit", tenant=state.tenant)
+            return
+        obs.counter("serving.speculative.waste", tenant=state.tenant)
+        entry = self._inflight.get(spec.key)
+        if (
+            spec.task is not None
+            and not spec.task.done()
+            and (entry is None or entry.waiters == 0)
+        ):
+            spec.task.cancel()
+        elif spec.stored:
+            cache = self._cache()
+            if cache is not None:
+                cache.delete(spec.key, site="serving.speculative.waste")
+
+    def _maybe_speculate(self, state: SessionState, request: Request) -> None:
+        """Launch a speculative render of the session's predicted next frame.
+
+        Only on idle capacity (queue at most ``speculation_idle_depth``
+        deep), within the speculation budget, with running workers, and
+        only when the predictor sees a constant-stride gesture.
+        """
+        config = self.config
+        if config.speculation_budget <= 0 or not self._workers:
+            return
+        if len(self._speculations) >= config.speculation_budget:
+            return
+        if self._queue.qsize() > config.speculation_idle_depth:
+            return
+        predicted = self._predictor.predict(state.history)
+        if predicted is None:
+            return
+        spec_request = replace(request, params=predicted)
+        spec_key = request_key(spec_request, salt=self.salt)
+        if spec_key in self._inflight:
+            return
+        cache = self._cache()
+        if cache is not None:
+            found, _ = cache.get(spec_key, site="serving.speculative.probe")
+            if found:
+                return  # the predicted frame is already a guaranteed hit
+        loop = asyncio.get_running_loop()
+        self._inflight[spec_key] = _Inflight(future=loop.create_future(), waiters=0)
+        spec = Speculation(key=spec_key, params=predicted)
+        task = loop.create_task(
+            self._speculate(spec_request, spec_key, spec),
+            name=f"repro-serving-speculate-{spec_key[:8]}",
+        )
+        spec.task = task
+        state.speculation = spec
+        self._speculations[spec_key] = task
+        obs.counter("serving.speculative.started", tenant=request.tenant)
+        if obs.enabled():
+            obs.gauge("serving.speculative.inflight", len(self._speculations))
+
+    async def _speculate(
+        self, request: Request, key: str, spec: Speculation
+    ) -> None:
+        """Render one predicted frame; store it where demand will look."""
+        try:
+            payload = await self._run_backend(request, degraded=False, key=key)
+        except asyncio.CancelledError:
+            obs.counter("serving.speculative.cancelled", tenant=request.tenant)
+            self._resolve_speculation(
+                key,
+                Response(STATUS_SHED, digest=key, reason="speculation_cancelled"),
+            )
+            raise
+        except Exception as exc:  # noqa: BLE001 - speculation must never crash the loop
+            obs.counter("serving.speculative.errors", tenant=request.tenant)
+            self._resolve_speculation(
+                key, Response(STATUS_ERROR, digest=key, reason=repr(exc))
+            )
+        else:
+            self._store(request.tenant, key, payload)
+            spec.stored = True
+            obs.counter(
+                "serving.speculative.rendered",
+                tenant=request.tenant,
+                kind=request.kind,
+            )
+            self._resolve_speculation(
+                key,
+                Response(STATUS_OK, payload=payload, digest=key, source="speculative"),
+            )
+        finally:
+            self._speculations.pop(key, None)
+            if obs.enabled():
+                obs.gauge("serving.speculative.inflight", len(self._speculations))
+
+    def _resolve_speculation(self, key: str, response: Response) -> None:
+        entry = self._inflight.pop(key, None)
+        if entry is not None and not entry.future.done():
+            entry.future.set_result(response)
+
+    async def drain_speculation(self) -> None:
+        """Wait for every in-flight speculative render (test/bench hook)."""
+        tasks = [task for task in self._speculations.values() if not task.done()]
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
 
     # -- cache / quota -------------------------------------------------------
 
@@ -375,7 +642,7 @@ class ServingServer:
 
     def stats(self) -> Dict[str, Any]:
         """Live snapshot for dashboards and tests."""
-        return {
+        snapshot: Dict[str, Any] = {
             "queue_depth": self._queue.qsize(),
             "inflight": len(self._inflight),
             "breaker": self.breaker.state,
@@ -383,3 +650,9 @@ class ServingServer:
             "quota": self.quota.stats(),
             "closed": self._closed,
         }
+        if self.sessions is not None:
+            snapshot["sessions"] = len(self.sessions)
+            snapshot["speculations_inflight"] = len(self._speculations)
+        if self.slot_pool is not None:
+            snapshot["slots"] = self.slot_pool.stats()
+        return snapshot

@@ -1,0 +1,296 @@
+"""Sticky session affinity: routers, backend slots, session state.
+
+The paper's interaction loop is exploratory — a user orbits a camera or
+animates timesteps — so consecutive requests from one session are
+highly correlated.  A stateless front door re-pays scene lookup and
+cache admission per frame; this module makes the correlation pay
+instead:
+
+* :class:`AffinityRouter` — deterministic rendezvous (highest-random-
+  weight) hashing from ``SessionId`` to a backend slot.  The mapping
+  depends only on the *current* live-slot membership, never on the
+  order joins and leaves happened in, and removing a slot moves only
+  that slot's sessions (the minimal-disruption property the hypothesis
+  suite pins);
+* :class:`SlotPool` — one single-threaded executor per backend slot, so
+  a pinned session's frames serialize through one slot and keep hitting
+  that slot's renderer frame cache and ``ImageData._derived`` caches.
+  Slots can die (a crash, or the armed ``serving.slot`` fault site);
+  the pool retires them and the router re-pins;
+* :class:`SessionRegistry` / :class:`SessionState` — per-session
+  request history (the speculative predictor's input) and a
+  :class:`SessionFrame` log in the style of the streaming animator's
+  ``FrameRecord``: every frame a session was served is accounted with
+  its sequence number, digest and provenance.
+
+Observability: ``serving.sessions.opened`` / ``serving.sessions.repinned``
+counters and the ``serving.sessions.active`` gauge.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.util.errors import ServingError
+
+#: sessions are plain opaque strings (Request.session)
+SessionId = str
+
+
+def _score(slot_id: str, session_id: str) -> int:
+    """Deterministic rendezvous weight of (slot, session).
+
+    sha256 over an unambiguous encoding — stable across processes and
+    Python hash seeds, which is what makes re-pinning reproducible in
+    a multi-process deployment.
+    """
+    payload = b"repro.serving.affinity\x00" + slot_id.encode() + b"\x00" + session_id.encode()
+    return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big")
+
+
+class AffinityRouter:
+    """Rendezvous-hash router: session id -> live backend slot.
+
+    The mapping is a pure function of (session, live slot set): any
+    interleaving of joins and leaves that reaches the same membership
+    yields the same routing table, and retiring a slot re-routes only
+    the sessions that were pinned to it.
+    """
+
+    def __init__(self, slots: Sequence[str] = ()) -> None:
+        self._lock = threading.Lock()
+        self._slots: List[str] = []
+        for slot in slots:
+            self.join(slot)
+
+    @property
+    def slots(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._slots))
+
+    def join(self, slot_id: str) -> None:
+        slot_id = str(slot_id)
+        if not slot_id:
+            raise ServingError("slot id must be a non-empty string")
+        with self._lock:
+            if slot_id not in self._slots:
+                self._slots.append(slot_id)
+
+    def leave(self, slot_id: str) -> None:
+        with self._lock:
+            if slot_id in self._slots:
+                self._slots.remove(slot_id)
+
+    def slot_for(self, session_id: SessionId) -> str:
+        """The live slot *session_id* is pinned to (raises when empty)."""
+        with self._lock:
+            if not self._slots:
+                raise ServingError("affinity router has no live slots")
+            return max(
+                self._slots, key=lambda slot: (_score(slot, session_id), slot)
+            )
+
+
+@dataclass(frozen=True)
+class SessionFrame:
+    """One served frame in a session's log (``FrameRecord`` style).
+
+    ``source`` says who produced the pixels: ``render`` (demand),
+    ``cache`` (serving-cache hit), ``speculative`` (a pre-rendered
+    next-frame the session then asked for), or the degradation sources
+    the server already reports.
+    """
+
+    seq: int
+    key: str
+    status: str
+    source: str
+    digest: str
+    slot: str = ""
+
+
+class SessionState:
+    """Everything the server remembers about one session.
+
+    Not thread-safe on its own; the owning :class:`SessionRegistry`
+    hands out states under the caller's single-submission discipline
+    (the asyncio event loop serializes ``submit`` bookkeeping).
+    """
+
+    def __init__(self, session_id: SessionId, tenant: str, history: int = 8) -> None:
+        self.id = session_id
+        self.tenant = tenant
+        self.history_limit = max(int(history), 2)
+        #: most-recent request params, oldest first
+        self.history: List[Mapping[str, Any]] = []
+        #: FrameRecord-style accounting of every served frame
+        self.frames: List[SessionFrame] = []
+        #: the slot this session's last request ran on (router decision)
+        self.slot: str = ""
+        #: slots this session has been pinned to, in order (re-pin audit)
+        self.slot_history: List[str] = []
+        #: the one outstanding speculation for this session, if any
+        self.speculation: Optional["Speculation"] = None
+        self._seq = 0
+
+    def observe(self, params: Mapping[str, Any]) -> None:
+        self.history.append(dict(params))
+        if len(self.history) > self.history_limit:
+            del self.history[: len(self.history) - self.history_limit]
+
+    def pin(self, slot_id: str) -> None:
+        if slot_id != self.slot:
+            self.slot = slot_id
+            self.slot_history.append(slot_id)
+
+    def next_seq(self) -> int:
+        seq = self._seq
+        self._seq += 1
+        return seq
+
+
+@dataclass
+class Speculation:
+    """One in-flight (or completed) speculative next-frame render."""
+
+    key: str
+    params: Mapping[str, Any]
+    task: Optional[Any] = None  # asyncio.Task while rendering
+    stored: bool = False  # payload reached the serving cache
+    hit: bool = False  # the session demanded the predicted frame
+
+
+class SessionRegistry:
+    """Session id -> :class:`SessionState`, with open/active accounting."""
+
+    def __init__(self, history: int = 8) -> None:
+        self.history = history
+        self._states: Dict[SessionId, SessionState] = {}
+
+    def observe(self, session_id: SessionId, tenant: str) -> SessionState:
+        state = self._states.get(session_id)
+        if state is None:
+            state = SessionState(session_id, tenant, history=self.history)
+            self._states[session_id] = state
+            obs.counter("serving.sessions.opened", tenant=tenant)
+            if obs.enabled():
+                obs.gauge("serving.sessions.active", len(self._states))
+        return state
+
+    def get(self, session_id: SessionId) -> Optional[SessionState]:
+        return self._states.get(session_id)
+
+    def states(self) -> List[SessionState]:
+        return list(self._states.values())
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+
+@dataclass
+class BackendSlot:
+    """One pinned execution lane: a backend plus its single thread."""
+
+    id: str
+    backend: Any  # the (request, degraded) -> bytes callable
+    executor: ThreadPoolExecutor
+    alive: bool = True
+    frames: int = 0
+    sessions_seen: set = field(default_factory=set)
+
+
+class SlotPool:
+    """The fixed set of backend slots the affinity router routes over.
+
+    Every slot runs one request at a time on its own thread, so a
+    session pinned to a slot gets strict per-session ordering and warm
+    per-slot caches.  ``kill`` (tests) or an armed ``serving.slot``
+    fault marks a slot dead; :meth:`retire` removes it from the router
+    and reports which sessions were re-pinned where.
+    """
+
+    def __init__(self, backends: Sequence[Any], router: Optional[AffinityRouter] = None) -> None:
+        if not backends:
+            raise ServingError("SlotPool needs at least one backend slot")
+        self.router = router if router is not None else AffinityRouter()
+        self._slots: Dict[str, BackendSlot] = {}
+        for index, backend in enumerate(backends):
+            slot_id = f"slot-{index}"
+            self._slots[slot_id] = BackendSlot(
+                id=slot_id,
+                backend=backend,
+                executor=ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix=f"repro-serving-{slot_id}"
+                ),
+            )
+            self.router.join(slot_id)
+
+    # -- routing -------------------------------------------------------------
+
+    def slot_for(self, session_id: SessionId, fallback_key: str = "") -> BackendSlot:
+        """The live slot for *session_id* (or *fallback_key* when sessionless)."""
+        route = session_id or fallback_key
+        slot_id = self.router.slot_for(route)
+        return self._slots[slot_id]
+
+    def slot(self, slot_id: str) -> BackendSlot:
+        try:
+            return self._slots[slot_id]
+        except KeyError:
+            raise ServingError(f"unknown slot {slot_id!r}") from None
+
+    @property
+    def live_slots(self) -> List[str]:
+        return [s.id for s in self._slots.values() if s.alive]
+
+    # -- death and re-pinning ------------------------------------------------
+
+    def kill(self, slot_id: str) -> None:
+        """Mark a slot dead (test hook; the executor thread is left to
+        drain — a dead slot refuses new work, it does not strand it)."""
+        self.slot(slot_id).alive = False
+
+    def retire(
+        self, slot_id: str, sessions: Sequence[SessionState] = ()
+    ) -> Dict[str, str]:
+        """Remove a dead slot from routing; re-pin its sessions.
+
+        Returns ``{session_id: new_slot_id}`` for every session that was
+        pinned to the retired slot — by the rendezvous property, no
+        other session's routing changes.
+        """
+        slot = self._slots.get(slot_id)
+        if slot is None:
+            return {}
+        slot.alive = False
+        self.router.leave(slot_id)
+        if not self.router.slots:
+            raise ServingError(f"slot {slot_id!r} died and no slots survive")
+        moved: Dict[str, str] = {}
+        for state in sessions:
+            if state.slot == slot_id:
+                new_slot = self.router.slot_for(state.id)
+                state.pin(new_slot)
+                moved[state.id] = new_slot
+        if moved:
+            obs.counter("serving.sessions.repinned", len(moved), slot=slot_id)
+        return moved
+
+    def shutdown(self) -> None:
+        for slot in self._slots.values():
+            slot.executor.shutdown(wait=True)
+
+    def stats(self) -> Dict[str, Dict[str, Any]]:
+        return {
+            slot.id: {
+                "alive": slot.alive,
+                "frames": slot.frames,
+                "sessions": len(slot.sessions_seen),
+            }
+            for slot in self._slots.values()
+        }

@@ -1,0 +1,74 @@
+"""Speculative next-frame prediction from session request history.
+
+The petascale-animation observation: consecutive requests of an
+exploratory session are *predictable* — an animating session steps
+``timestep`` by a constant stride, an orbiting session steps a camera
+angle by a constant increment.  :class:`NextFramePredictor` detects
+exactly that shape in a session's recent request params and proposes
+the next frame's params; the server pre-renders the prediction into
+the serving cache on idle backend capacity (bounded by the speculation
+budget) so the session's next demand request is a cache hit.
+
+The predictor is deliberately conservative: it predicts only when
+
+* the last :attr:`window` requests agree on every param except
+  **exactly one**, and
+* that one param is numeric and advanced by the **same non-zero
+  stride** at every step of the window.
+
+Anything else — a teleporting camera, a scene switch, mixed-axis
+motion — predicts nothing, because a wrong speculation is paid twice
+(wasted render + cache-entry cleanup, counted by
+``serving.speculative.waste``).
+
+Correctness contract: a speculative render goes through the *same*
+backend path with the same canonical request key as a demand render,
+so a speculative hit is byte-identical to what demand rendering would
+have produced (the differential suite pins this for all five DV3D
+plot types).
+"""
+
+from __future__ import annotations
+
+from numbers import Number
+from typing import Any, Dict, Mapping, Optional, Sequence
+
+
+class NextFramePredictor:
+    """Constant-stride detection over one session's param history."""
+
+    def __init__(self, window: int = 3) -> None:
+        if window < 3:
+            raise ValueError("predictor window must be >= 3 (two strides)")
+        self.window = int(window)
+
+    def predict(
+        self, history: Sequence[Mapping[str, Any]]
+    ) -> Optional[Dict[str, Any]]:
+        """Params of the predicted next request, or None.
+
+        *history* is oldest-first; only the trailing ``window`` entries
+        are consulted.
+        """
+        if len(history) < self.window:
+            return None
+        recent = [dict(h) for h in history[-self.window :]]
+        keys = set(recent[0])
+        if any(set(h) != keys for h in recent[1:]):
+            return None  # param sets differ: not one coherent gesture
+        varying = [
+            k for k in keys if any(h[k] != recent[0][k] for h in recent[1:])
+        ]
+        if len(varying) != 1:
+            return None
+        axis = varying[0]
+        values = [h[axis] for h in recent]
+        if not all(isinstance(v, Number) and not isinstance(v, bool) for v in values):
+            return None
+        strides = [values[i + 1] - values[i] for i in range(len(values) - 1)]
+        stride = strides[0]
+        if stride == 0 or any(s != stride for s in strides[1:]):
+            return None
+        predicted = dict(recent[-1])
+        predicted[axis] = values[-1] + stride
+        return predicted

@@ -100,6 +100,25 @@ class Prefetcher:
                 self._store(chunk_index, value)
         return value
 
+    def hint(self, chunk_index: int) -> None:
+        """Steer the lookahead window toward *chunk_index* without reading.
+
+        The serving layer's speculative-render hook: an animating
+        session about to ask for timestep ``t+1`` lets the prefetch
+        thread start on that chunk before the demand render arrives.
+        Identical to the cursor move a :meth:`get` performs — same
+        eviction, same byte-budget invariant — minus the read.
+        """
+        if self.window <= 0:
+            return
+        if not 0 <= chunk_index < self.layout.n_chunks:
+            return
+        with self._cond:
+            if chunk_index != self._cursor:
+                self._advance(chunk_index)
+        if obs.enabled():
+            obs.counter("streaming.prefetch.hints", var=self.layout.id)
+
     def _advance(self, cursor: int) -> None:
         """Move the cursor (cond held): evict stale slots, wake the thread."""
         self._cursor = cursor

@@ -125,3 +125,40 @@ class ServingError(ReproError):
     requests come back as ``Response(status="shed")`` so callers always
     get an answer they can account for.
     """
+
+
+class SlotDeadError(ServingError):
+    """A backend slot died (or was killed) while serving a request.
+
+    The serving layer catches this internally: the dead slot is retired
+    from the affinity router, its sessions are re-pinned to surviving
+    slots, and the request is retried there — callers only see it when
+    every slot is gone.
+    """
+
+
+class WireError(ServingError):
+    """Base class for session wire-protocol failures (:mod:`repro.serving.wire`).
+
+    Every defect a remote peer can present — truncation, corruption,
+    version skew, malformed framing — maps to a *typed* subclass so
+    endpoints can distinguish "reconnect and resume" (truncation,
+    corruption) from "refuse the peer" (version skew).
+    """
+
+
+class WireFormatError(WireError):
+    """A frame violated the wire format (bad magic, absurd lengths,
+    malformed header JSON)."""
+
+
+class WireVersionError(WireError):
+    """The peer speaks a wire-protocol version this endpoint does not."""
+
+
+class WireTruncatedError(WireError):
+    """The stream ended (or the buffer ran out) mid-frame."""
+
+
+class WireCorruptionError(WireError):
+    """A frame's payload bytes do not match its stamped content digest."""

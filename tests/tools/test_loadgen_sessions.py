@@ -1,0 +1,285 @@
+"""The session-locality load harness and its bench gate.
+
+Three contracts:
+
+* the session trace generator is deterministic per seed and its
+  ``predictable`` stamps agree exactly with
+  :class:`repro.serving.NextFramePredictor` replayed over the same
+  per-session history — ``sum(predictable)`` *is* the denominator of
+  the speculative hit rate;
+* the synthetic workload's payload oracle is timestep-aware without
+  changing the bytes of timestep-less (``BENCH_serving``) requests;
+* ``validate_serving_sessions`` accepts a well-formed artifact and
+  rejects every gate violation — byte-identity mismatches, a hit rate
+  below the floor, and a p99 that fails to improve on the baseline.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+import pytest
+
+TOOLS = Path(__file__).resolve().parent.parent.parent / "tools"
+sys.path.insert(0, str(TOOLS))
+
+import bench_compare  # noqa: E402
+import loadgen  # noqa: E402
+
+from repro.serving import NextFramePredictor  # noqa: E402
+
+
+class TestSessionTrace:
+    def test_same_seed_same_trace(self):
+        a = loadgen.generate_session_trace("s", offered_rps=80.0, duration_s=1.0)
+        b = loadgen.generate_session_trace("s", offered_rps=80.0, duration_s=1.0)
+        assert a == b
+        assert loadgen.trace_digest(a) == loadgen.trace_digest(b)
+        c = loadgen.generate_session_trace("t", offered_rps=80.0, duration_s=1.0)
+        assert loadgen.trace_digest(c) != loadgen.trace_digest(a)
+
+    def test_sessions_are_animations_with_fixed_scenes(self):
+        events = loadgen.generate_session_trace(
+            "s", offered_rps=200.0, duration_s=2.0, sessions=6, p_step=0.9
+        )
+        by_session = defaultdict(list)
+        for event in events:
+            assert event.timestep is not None
+            by_session[event.session].append(event)
+        assert len(by_session) > 1
+        steps = jumps = 0
+        for frames in by_session.values():
+            # one scene per session, for the life of the session
+            assert len({e.scene for e in frames}) == 1
+            for prev, cur in zip(frames, frames[1:]):
+                if cur.timestep == (prev.timestep + 1) % loadgen.SESSION_TIMESTEPS:
+                    steps += 1
+                else:
+                    jumps += 1
+        # p_step = 0.9: stepping dominates, but teleports do occur
+        assert steps > jumps * 3
+        assert jumps > 0
+
+    def test_predictable_flags_match_the_real_predictor(self):
+        """The stamp is not an approximation: replaying each session's
+        params through NextFramePredictor reproduces it bit-for-bit."""
+        events = loadgen.generate_session_trace(
+            "cross-check", offered_rps=300.0, duration_s=2.0,
+            sessions=5, p_step=0.85,
+        )
+        predictor = NextFramePredictor()
+        history = defaultdict(list)
+        for event in events:
+            params = {"scene": event.scene, "timestep": event.timestep}
+            predicted = predictor.predict(history[event.session][-3:])
+            assert event.predictable == (predicted == params)
+            history[event.session].append(params)
+        assert sum(e.predictable for e in events) > 0
+
+    def test_zipf_concentrates_traffic_on_the_hot_session(self):
+        events = loadgen.generate_session_trace(
+            "s", offered_rps=400.0, duration_s=2.0, sessions=8, zipf_s=1.3
+        )
+        counts = defaultdict(int)
+        for event in events:
+            counts[event.session] += 1
+        ranked = sorted(counts.values(), reverse=True)
+        assert ranked[0] > ranked[-1]
+
+
+class TestTimestepPayloads:
+    def test_oracle_is_timestep_aware(self):
+        workload = loadgen.SyntheticWorkload(iterations=1, payload_bytes=64)
+        event = loadgen.TraceEvent(0.0, "t", "s", scene=2, timestep=7)
+        request = loadgen.request_of(event)
+        assert request.params["timestep"] == 7
+        assert workload(request, False) == workload.payload_for(2, timestep=7)
+        assert workload.payload_for(2, timestep=7) != workload.payload_for(
+            2, timestep=8
+        )
+
+    def test_timestep_less_payloads_unchanged(self):
+        """Backward compatibility: BENCH_serving bytes do not move."""
+        workload = loadgen.SyntheticWorkload(iterations=1, payload_bytes=64)
+        event = loadgen.TraceEvent(0.0, "t", "s", scene=2)
+        assert "timestep" not in loadgen.request_of(event).params
+        assert workload(loadgen.request_of(event), False) == \
+            workload.payload_for(2)
+        assert workload.payload_for(2) != workload.payload_for(2, timestep=0)
+
+    def test_plain_trace_digests_unchanged_by_the_timestep_field(self):
+        events = loadgen.generate_trace("seed-1", offered_rps=50.0,
+                                        duration_s=1.0)
+        rows = [(round(e.arrival_s, 9), e.tenant, e.session, e.scene)
+                for e in events]
+        from repro.cache.keys import digest
+        assert loadgen.trace_digest(events) == digest(rows)
+
+
+class TestSessionArtifact:
+    @pytest.fixture(scope="class")
+    def report(self, tmp_path_factory):
+        """One real (tiny) baseline-vs-sessions run, reused per test."""
+        out = tmp_path_factory.mktemp("bench") / "BENCH_serving_sessions.json"
+        code = loadgen.main([
+            "--session-locality", "--duration", "0.8", "--seed", "ci-sess",
+            "--rps", "60", "--rps", "100", "--rps", "140",
+            "--out", str(out),
+        ])
+        assert code == 0
+        return json.loads(out.read_text())
+
+    def test_kind_meta_and_shape(self, report):
+        assert report["kind"] == "serving_sessions"
+        assert report["meta"]["trace_digest"]
+        assert report["meta"]["p_step"] == 0.95
+        points = report["load_points"]
+        assert len(points) == 3
+        for point in points:
+            assert point["predictable"] >= 0
+            for mode in ("baseline", "sessions"):
+                assert point[mode]["offered"] > 0
+                assert point[mode]["latency_ms"]["p99"] >= 0
+            for field in ("started", "rendered", "hit", "waste", "cancelled"):
+                assert point["speculative"][field] >= 0
+
+    def test_byte_identity_holds_in_both_modes(self, report):
+        """The harness oracle found zero payload mismatches — the
+        differential guarantee, measured over the whole live run."""
+        for point in report["load_points"]:
+            assert point["baseline"]["payload_mismatches"] == 0
+            assert point["sessions"]["payload_mismatches"] == 0
+
+    def test_speculation_engaged(self, report):
+        hits = sum(p["speculative"]["hit"] for p in report["load_points"])
+        predictable = sum(p["predictable"] for p in report["load_points"])
+        assert predictable > 0
+        assert hits > 0
+
+
+def sessions_artifact(points=3):
+    """A hand-built artifact that passes every gate (test double)."""
+
+    def point(rps, predictable, hit, base_p99, sess_p99):
+        def run(p99):
+            return {
+                "offered": 100, "completed": 100, "ok": 100, "shed": 0,
+                "errors": 0, "payload_mismatches": 0,
+                "latency_ms": {"p50": p99 / 3.0, "p99": p99},
+            }
+        return {
+            "offered_rps": rps,
+            "predictable": predictable,
+            "baseline": run(base_p99),
+            "sessions": run(sess_p99),
+            "speculative": {
+                "started": hit + 2, "rendered": hit + 1, "hit": hit,
+                "waste": 1, "cancelled": 1,
+            },
+        }
+
+    return {
+        "kind": "serving_sessions",
+        "meta": {"seed": "unit", "trace_digest": "d" * 32},
+        "load_points": [
+            point(80.0 * (i + 1), predictable=100, hit=80,
+                  base_p99=20.0 + i, sess_p99=10.0 + i)
+            for i in range(points)
+        ],
+    }
+
+
+class TestValidateServingSessions:
+    def test_valid_artifact_passes(self):
+        points = bench_compare.validate_serving_sessions(sessions_artifact())
+        assert len(points) == 3
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(bench_compare.CompareError, match="load_points"):
+            bench_compare.validate_serving_sessions(sessions_artifact(points=2))
+
+    def test_missing_trace_digest_rejected(self):
+        artifact = sessions_artifact()
+        del artifact["meta"]["trace_digest"]
+        with pytest.raises(bench_compare.CompareError, match="trace_digest"):
+            bench_compare.validate_serving_sessions(artifact)
+
+    def test_payload_mismatch_fails_byte_identity(self):
+        artifact = sessions_artifact()
+        artifact["load_points"][1]["sessions"]["payload_mismatches"] = 3
+        with pytest.raises(bench_compare.CompareError, match="byte identity"):
+            bench_compare.validate_serving_sessions(artifact)
+
+    def test_missing_mismatch_count_rejected(self):
+        """An artifact produced without the oracle cannot pass."""
+        artifact = sessions_artifact()
+        del artifact["load_points"][0]["baseline"]["payload_mismatches"]
+        with pytest.raises(bench_compare.CompareError, match="oracle"):
+            bench_compare.validate_serving_sessions(artifact)
+
+    def test_hit_rate_below_floor_rejected(self):
+        artifact = sessions_artifact()
+        for point in artifact["load_points"]:
+            point["speculative"]["hit"] = 10  # 10/100 per point
+        with pytest.raises(bench_compare.CompareError, match="hit rate"):
+            bench_compare.validate_serving_sessions(artifact)
+
+    def test_no_predictable_frames_rejected(self):
+        artifact = sessions_artifact()
+        for point in artifact["load_points"]:
+            point["predictable"] = 0
+            point["speculative"]["hit"] = 0
+        with pytest.raises(bench_compare.CompareError, match="predictable"):
+            bench_compare.validate_serving_sessions(artifact)
+
+    def test_p99_regression_at_top_load_rejected(self):
+        artifact = sessions_artifact()
+        top = artifact["load_points"][-1]
+        top["sessions"]["latency_ms"]["p99"] = \
+            top["baseline"]["latency_ms"]["p99"] + 5.0
+        with pytest.raises(bench_compare.CompareError,
+                           match="highest offered load"):
+            bench_compare.validate_serving_sessions(artifact)
+
+    def test_p99_must_improve_on_half_the_points(self):
+        artifact = sessions_artifact(points=4)
+        for point in artifact["load_points"][:3]:
+            point["sessions"]["latency_ms"]["p99"] = \
+                point["baseline"]["latency_ms"]["p99"] * 2
+        with pytest.raises(bench_compare.CompareError, match="load points"):
+            bench_compare.validate_serving_sessions(artifact)
+
+    def test_missing_speculative_counters_rejected(self):
+        artifact = sessions_artifact()
+        del artifact["load_points"][2]["speculative"]["waste"]
+        with pytest.raises(bench_compare.CompareError, match="speculative"):
+            bench_compare.validate_serving_sessions(artifact)
+
+    def test_validation_does_not_mutate_the_artifact(self):
+        artifact = sessions_artifact()
+        pristine = copy.deepcopy(artifact)
+        bench_compare.validate_serving_sessions(artifact)
+        assert artifact == pristine
+
+    def test_cli_dispatch_and_summary(self, tmp_path, monkeypatch, capsys):
+        path = tmp_path / "sessions.json"
+        path.write_text(json.dumps(sessions_artifact()))
+        summary = tmp_path / "summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        assert bench_compare.main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Session-aware serving harness" in out
+        assert "hit rate" in out
+        assert "Session-aware serving harness" in summary.read_text()
+
+    def test_cli_exit_two_on_violation(self, tmp_path, capsys):
+        artifact = sessions_artifact()
+        artifact["load_points"][0]["sessions"]["payload_mismatches"] = 1
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps(artifact))
+        assert bench_compare.main([str(path)]) == 2
+        assert "byte identity" in capsys.readouterr().err

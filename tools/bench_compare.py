@@ -27,7 +27,13 @@ Artifacts with ``"kind": "serving"`` (from ``tools/loadgen.py``) take a
 different path: there is no cross-machine baseline for open-loop
 latency, so the gate is a structural schema check — trace digest
 present, >= 3 offered-load points, each with counters, throughput and
-p50/p99 latency — rendered as a table in the job summary.  Artifacts
+p50/p99 latency — rendered as a table in the job summary.
+``"kind": "serving_sessions"`` artifacts (``loadgen.py
+--session-locality``) are self-relative, so they carry real gates:
+zero byte-identity mismatches against the demand-render oracle, a
+speculative hit-rate floor over predictable frames, and a p99
+improvement of the session-aware configuration over the stateless
+baseline run on the same trace.  Artifacts
 with ``"kind": "streaming"`` (from ``tools/bench_streaming.py``) are
 gated the same way, plus the two machine-independent invariants: the
 benched container is >= 4x the memory budget and peak resident chunk
@@ -128,6 +134,135 @@ def validate_serving(report: Dict[str, Any]) -> List[Dict[str, Any]]:
             raise CompareError(
                 f"load_points[{index}]: completed exceeds offered"
             )
+    return points
+
+
+#: minimum aggregate speculative hit rate over predictable frames a
+#: ``serving_sessions`` artifact must demonstrate
+SESSIONS_MIN_HIT_RATE = 0.5
+
+
+def validate_serving_sessions(report: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Gate a ``kind: serving_sessions`` artifact (``loadgen.py
+    --session-locality``).
+
+    Latency is machine-bound but the artifact is *self-relative* —
+    every load point ran the same trace through a stateless baseline
+    and the session-aware configuration on the same machine — so three
+    machine-independent invariants gate the build:
+
+    * **byte identity** — zero payload mismatches against the
+      deterministic oracle in both configurations (a speculative or
+      replayed frame must be the bytes a demand render produces);
+    * **speculation works** — the aggregate speculative hit rate over
+      predictable frames is >= ``SESSIONS_MIN_HIT_RATE``;
+    * **sessions help** — p99 improves over the baseline at the
+      highest offered load and on at least half of all load points.
+
+    Returns the load-point rows for display; raises
+    :class:`CompareError` on any violation.
+    """
+    meta = report.get("meta", {})
+    if not isinstance(meta.get("trace_digest"), str) or not meta["trace_digest"]:
+        raise CompareError("serving_sessions artifact has no meta.trace_digest")
+    if not isinstance(meta.get("seed"), (str, int)):
+        raise CompareError("serving_sessions artifact has no meta.seed")
+    points = report.get("load_points")
+    if not isinstance(points, list) or len(points) < 3:
+        raise CompareError(
+            "serving_sessions artifact needs >= 3 load_points, got "
+            f"{len(points) if isinstance(points, list) else type(points).__name__}"
+        )
+    total_hits = 0
+    total_predictable = 0
+    p99_wins = 0
+    for index, point in enumerate(points):
+        if not isinstance(point, dict):
+            raise CompareError(f"load_points[{index}] is not an object")
+        rps = point.get("offered_rps")
+        if not isinstance(rps, (int, float)) or rps <= 0:
+            raise CompareError(f"load_points[{index}] has no usable offered_rps")
+        predictable = point.get("predictable")
+        if not isinstance(predictable, int) or predictable < 0:
+            raise CompareError(
+                f"load_points[{index}].predictable must be a non-negative int"
+            )
+        for mode in ("baseline", "sessions"):
+            run = point.get(mode)
+            if not isinstance(run, dict):
+                raise CompareError(f"load_points[{index}].{mode} missing")
+            for field in ("offered", "completed", "ok", "shed", "errors"):
+                value = run.get(field)
+                if not isinstance(value, int) or value < 0:
+                    raise CompareError(
+                        f"load_points[{index}].{mode}.{field} must be a "
+                        "non-negative int"
+                    )
+            mismatches = run.get("payload_mismatches")
+            if not isinstance(mismatches, int) or mismatches < 0:
+                raise CompareError(
+                    f"load_points[{index}].{mode} has no payload_mismatches "
+                    "count (run the harness with its oracle)"
+                )
+            if mismatches != 0:
+                raise CompareError(
+                    f"load_points[{index}].{mode}: {mismatches} payload(s) "
+                    "differ from the demand-render oracle — byte identity "
+                    "is broken"
+                )
+            latency = run.get("latency_ms")
+            if not isinstance(latency, dict):
+                raise CompareError(
+                    f"load_points[{index}].{mode} has no latency_ms object"
+                )
+            for quantile in ("p50", "p99"):
+                value = latency.get(quantile)
+                if not isinstance(value, (int, float)) or value < 0:
+                    raise CompareError(
+                        f"load_points[{index}].{mode}.latency_ms.{quantile} "
+                        "missing or negative"
+                    )
+        speculative = point.get("speculative")
+        if not isinstance(speculative, dict):
+            raise CompareError(f"load_points[{index}] has no speculative object")
+        for field in ("started", "rendered", "hit", "waste", "cancelled"):
+            value = speculative.get(field)
+            if not isinstance(value, int) or value < 0:
+                raise CompareError(
+                    f"load_points[{index}].speculative.{field} must be a "
+                    "non-negative int"
+                )
+        total_hits += speculative["hit"]
+        total_predictable += predictable
+        if (point["sessions"]["latency_ms"]["p99"]
+                < point["baseline"]["latency_ms"]["p99"]):
+            p99_wins += 1
+    if total_predictable <= 0:
+        raise CompareError(
+            "serving_sessions trace contains no predictable frames — "
+            "nothing for speculation to do"
+        )
+    hit_rate = total_hits / total_predictable
+    if hit_rate < SESSIONS_MIN_HIT_RATE:
+        raise CompareError(
+            f"speculative hit rate {hit_rate:.2f} is below the "
+            f"{SESSIONS_MIN_HIT_RATE:.2f} floor "
+            f"({total_hits}/{total_predictable} predictable frames served "
+            "from speculation)"
+        )
+    top = max(points, key=lambda p: p["offered_rps"])
+    top_sessions = top["sessions"]["latency_ms"]["p99"]
+    top_baseline = top["baseline"]["latency_ms"]["p99"]
+    if top_sessions >= top_baseline:
+        raise CompareError(
+            "session-aware p99 did not improve at the highest offered load "
+            f"({top_sessions:.1f}ms >= {top_baseline:.1f}ms baseline)"
+        )
+    if p99_wins * 2 < len(points):
+        raise CompareError(
+            f"session-aware p99 improved on only {p99_wins} of "
+            f"{len(points)} load points"
+        )
     return points
 
 
@@ -287,6 +422,37 @@ def format_streaming_table(report: Dict[str, Any]) -> str:
             total=chaos["frames"],
         ),
     ]
+    return "\n".join(lines)
+
+
+def format_serving_sessions_table(points: List[Dict[str, Any]]) -> str:
+    lines = [
+        "| offered rps | predictable | spec hits | hit rate | waste "
+        "| baseline p50/p99 | sessions p50/p99 |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for point in points:
+        speculative = point["speculative"]
+        predictable = point["predictable"]
+        hit_rate = speculative["hit"] / predictable if predictable else 0.0
+        base = point["baseline"]["latency_ms"]
+        sess = point["sessions"]["latency_ms"]
+        lines.append(
+            "| {rps:g} | {predictable} | {hit} | {rate:.2f} | {waste} "
+            "| {bp50:.1f}/{bp99:.1f}ms | {sp50:.1f}/{sp99:.1f}ms |".format(
+                rps=point["offered_rps"], predictable=predictable,
+                hit=speculative["hit"], rate=hit_rate,
+                waste=speculative["waste"],
+                bp50=base["p50"], bp99=base["p99"],
+                sp50=sess["p50"], sp99=sess["p99"],
+            )
+        )
+    lines.append("")
+    lines.append(
+        "Gates: zero oracle payload mismatches in both configurations, "
+        f"aggregate hit rate >= {SESSIONS_MIN_HIT_RATE:.2f}, p99 better "
+        "than baseline at the top load point and on half of all points."
+    )
     return "\n".join(lines)
 
 
@@ -473,6 +639,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"trace digest `{fresh['meta']['trace_digest'][:16]}…` "
                 f"(seed {fresh['meta'].get('seed')!r})\n\n"
                 + format_serving_table(points)
+            )
+            print(markdown)
+            write_job_summary(markdown)
+            return 0
+        if fresh.get("kind") == "serving_sessions":
+            points = validate_serving_sessions(fresh)
+            markdown = (
+                "## Session-aware serving harness\n\n"
+                f"trace digest `{fresh['meta']['trace_digest'][:16]}…` "
+                f"(seed {fresh['meta'].get('seed')!r})\n\n"
+                + format_serving_sessions_table(points)
             )
             print(markdown)
             write_job_summary(markdown)

@@ -30,10 +30,23 @@ harness measures the *serving layer* (queueing, coalescing, shedding),
 not kernel speed.  ``--app`` swaps in the real
 :class:`repro.serving.AppBackend` spreadsheet path.
 
+``--session-locality`` switches to the session-aware profile: each
+session is an *animation* — a fixed scene whose ``timestep`` advances
+by +1 with probability ``--p-step`` and teleports otherwise — sessions
+are zipf-popular, and every event carries a ``predictable`` flag
+(true iff a window-3 next-frame predictor would have guessed it).  The
+harness then runs every load point **twice over the same trace**: a
+stateless baseline (no slots, no speculation) and the session-aware
+configuration (sticky slots + speculative next-frame rendering), and
+emits ``BENCH_serving_sessions.json`` with the speculative hit rate,
+byte-identity mismatch counts (every served payload is checked against
+the deterministic oracle) and the p50/p99 comparison per point.
+
 Usage::
 
     PYTHONPATH=src python tools/loadgen.py --quick --out BENCH_serving.json
     PYTHONPATH=src python tools/loadgen.py --rps 50 --rps 100 --rps 200
+    PYTHONPATH=src python tools/loadgen.py --quick --session-locality
     python tools/bench_compare.py BENCH_serving.json   # schema gate
 """
 
@@ -73,18 +86,43 @@ from repro.util.rng import deterministic_rng  # noqa: E402
 QUICK_RPS = (400.0, 1200.0, 2400.0)
 FULL_RPS = (400.0, 1200.0, 2400.0, 4800.0)
 
+#: offered-load points of the ``--session-locality`` profile.  Session
+#: traffic is animation-shaped (every frame is a distinct digest, so
+#: the zipf-head cache shortcut is gone) and the point of the bench is
+#: the *comparison* — baseline renders every frame on demand while the
+#: session config pre-renders the predictable ones during idle gaps —
+#: so the points sit inside the band where idle gaps exist.  Past the
+#: render capacity (~300 req/s on the CI box) the idle-depth gate
+#: correctly disables speculation and the two configs converge, so
+#: saturated points measure nothing about sessions.
+SESSION_QUICK_RPS = (80.0, 160.0, 240.0)
+SESSION_FULL_RPS = (60.0, 120.0, 180.0, 240.0)
+
+#: timestep space of a session animation; large enough that teleports
+#: land on fresh frames instead of re-walking cached ranges
+SESSION_TIMESTEPS = 10_000
+
 #: latency percentiles reported per load point
 PERCENTILES = (50.0, 90.0, 99.0)
 
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One scheduled arrival of the open-loop trace."""
+    """One scheduled arrival of the open-loop trace.
+
+    ``timestep`` is only set by the session-locality generator; when
+    set, ``predictable`` records whether a window-3 constant-stride
+    predictor — the exact contract of
+    :class:`repro.serving.NextFramePredictor` — would have guessed this
+    frame from the session's previous three.
+    """
 
     arrival_s: float
     tenant: str
     session: str
     scene: int
+    timestep: Optional[int] = None
+    predictable: bool = False
 
 
 def zipf_weights(scenes: int, s: float) -> np.ndarray:
@@ -144,14 +182,76 @@ def generate_trace(
         )
 
 
+def generate_session_trace(
+    seed: int | str,
+    offered_rps: float,
+    duration_s: float,
+    sessions: int = 8,
+    tenants: int = 4,
+    zipf_s: float = 1.1,
+    p_step: float = 0.9,
+    timesteps: int = SESSION_TIMESTEPS,
+) -> List[TraceEvent]:
+    """A deterministic session-correlated animation trace.
+
+    Each session is pinned to its own scene and walks a timestep
+    cursor: with probability ``p_step`` the next frame is ``t + 1``
+    (the animating gesture speculation exists for), otherwise the
+    session teleports to a uniform random timestep (a scrub — the
+    misprediction case).  Session popularity is zipf, so a hot session
+    animates fast enough for speculation to matter while cold sessions
+    exercise the re-training path.  ``predictable`` is stamped per
+    event from the session's actual trailing window, so
+    ``sum(e.predictable)`` is the exact number of frames a window-3
+    constant-stride predictor could have pre-rendered.
+    """
+    rng = deterministic_rng(f"loadgen/{seed}/sessions/rps{offered_rps:g}")
+    weights = zipf_weights(sessions, zipf_s)
+    cursors: Dict[int, int] = {}
+    history: Dict[int, List[int]] = {}
+    events: List[TraceEvent] = []
+    clock = 0.0
+    while True:
+        clock += float(rng.exponential(1.0 / offered_rps))
+        if clock >= duration_s:
+            return events
+        index = int(rng.choice(sessions, p=weights))
+        if index not in cursors:
+            step = int(rng.integers(timesteps))
+        elif float(rng.random()) < p_step:
+            step = (cursors[index] + 1) % timesteps
+        else:
+            step = int(rng.integers(timesteps))
+        window = history.setdefault(index, [])
+        predictable = (
+            len(window) == 3
+            and window[1] - window[0] == window[2] - window[1] != 0
+            and step == window[2] + (window[2] - window[1])
+        )
+        cursors[index] = step
+        window.append(step)
+        del window[:-3]
+        events.append(
+            TraceEvent(
+                arrival_s=clock,
+                tenant=f"tenant-{index % tenants}",
+                session=f"session-{index}",
+                scene=index,
+                timestep=step,
+                predictable=predictable,
+            )
+        )
+
+
 def trace_digest(events: Sequence[TraceEvent]) -> str:
     """Canonical digest of a trace (same seed ⇒ same digest)."""
-    return digest(
-        [
-            (round(e.arrival_s, 9), e.tenant, e.session, e.scene)
-            for e in events
-        ]
-    )
+    rows: List[tuple] = []
+    for e in events:
+        row: tuple = (round(e.arrival_s, 9), e.tenant, e.session, e.scene)
+        if e.timestep is not None:
+            row += (e.timestep, e.predictable)
+        rows.append(row)
+    return digest(rows)
 
 
 class SyntheticWorkload:
@@ -173,20 +273,39 @@ class SyntheticWorkload:
         iterations = 1 if degraded else self.iterations
         for _ in range(iterations):
             work = np.tanh(work @ self._matrix)
-        scene = request.params.get("scene", 0)
-        rng = deterministic_rng(f"loadgen/payload/{scene}/{degraded}")
-        return rng.bytes(self.payload_bytes)
+        return self.payload_for(
+            request.params.get("scene", 0),
+            degraded,
+            timestep=request.params.get("timestep"),
+        )
 
-    def payload_for(self, scene: int, degraded: bool = False) -> bytes:
-        """The exact bytes ``__call__`` returns for *scene* (test oracle)."""
-        rng = deterministic_rng(f"loadgen/payload/{scene}/{degraded}")
-        return rng.bytes(self.payload_bytes)
+    def payload_for(
+        self,
+        scene: int,
+        degraded: bool = False,
+        timestep: Optional[int] = None,
+    ) -> bytes:
+        """The exact bytes ``__call__`` returns for *scene* (test oracle).
+
+        Timestep-less requests keep the original token, so existing
+        ``BENCH_serving`` payloads are unchanged; animation frames fold
+        the timestep in so every frame of a session is distinct bytes.
+        """
+        token = (
+            f"loadgen/payload/{scene}/{degraded}"
+            if timestep is None
+            else f"loadgen/payload/{scene}/{timestep}/{degraded}"
+        )
+        return deterministic_rng(token).bytes(self.payload_bytes)
 
 
 def request_of(event: TraceEvent, width: int = 64, height: int = 48) -> Request:
+    params: Dict[str, Any] = {"scene": event.scene, "width": width, "height": height}
+    if event.timestep is not None:
+        params["timestep"] = event.timestep
     return Request(
         kind="render",
-        params={"scene": event.scene, "width": width, "height": height},
+        params=params,
         tenant=event.tenant,
         session=event.session,
     )
@@ -196,8 +315,17 @@ async def run_load_point(
     server: ServingServer,
     events: Sequence[TraceEvent],
     duration_s: float,
+    oracle=None,
 ) -> Dict[str, Any]:
-    """Fire the trace open-loop against a started server; measure."""
+    """Fire the trace open-loop against a started server; measure.
+
+    With *oracle* — ``oracle(event, degraded) -> bytes`` — every
+    completed payload is byte-compared against the deterministic
+    expectation **after** the measurement window (so the check cannot
+    distort latency) and the point gains a ``payload_mismatches``
+    count.  This is the harness-level byte-identity gate: a frame
+    served from the speculative cache must equal a demand render.
+    """
 
     async def fire(event: TraceEvent, t0: float) -> Dict[str, Any]:
         delay = t0 + event.arrival_s - time.perf_counter()
@@ -210,6 +338,8 @@ async def run_load_point(
             "source": response.source,
             "coalesced": response.coalesced,
             "latency_s": time.perf_counter() - started,
+            "payload": response.payload if oracle is not None else b"",
+            "event": event,
         }
 
     t0 = time.perf_counter()
@@ -233,6 +363,13 @@ async def run_load_point(
         ),
         "throughput_rps": len(completed) / wall_s if wall_s > 0 else 0.0,
     }
+    if oracle is not None:
+        point["payload_mismatches"] = sum(
+            1
+            for o in outcomes
+            if o["status"] in ("ok", "degraded")
+            and o["payload"] != oracle(o["event"], o["status"] == "degraded")
+        )
     if latencies:
         values = np.array(latencies)
         quantiles = np.percentile(values, PERCENTILES)
@@ -311,6 +448,128 @@ async def run_harness(args: argparse.Namespace) -> Dict[str, Any]:
     }
 
 
+def _oracle_for(backend):
+    """``oracle(event, degraded) -> bytes`` for byte-identity checks.
+
+    The synthetic workload exposes its payload function directly; any
+    other deterministic backend is oracled by a *fresh* instance of
+    itself re-rendering the same request after the measurement window.
+    """
+    if isinstance(backend, SyntheticWorkload):
+        return lambda event, degraded: backend.payload_for(
+            event.scene, degraded, timestep=event.timestep
+        )
+    return lambda event, degraded: backend(request_of(event), degraded)
+
+
+#: obs counters surfaced per session-mode load point
+SPECULATIVE_COUNTERS = ("started", "rendered", "hit", "waste", "cancelled")
+
+
+async def run_session_harness(args: argparse.Namespace) -> Dict[str, Any]:
+    """Baseline-vs-sessions comparison over identical animation traces.
+
+    Every offered-load point runs twice: a **baseline**
+    :class:`ServingConfig` with no slots and no speculation (the
+    stateless PR-6 server), then the **sessions** configuration with
+    sticky slots and speculative next-frame rendering.  Both consume
+    the same trace with fresh caches, so the p50/p99 delta and the
+    speculative hit rate are attributable to the session machinery
+    alone.  Both passes byte-check every payload against the oracle.
+    """
+    rps_points = tuple(args.rps) if args.rps else (
+        SESSION_QUICK_RPS if args.quick else SESSION_FULL_RPS
+    )
+    duration_s = args.duration or (1.5 if args.quick else 4.0)
+
+    load_points: List[Dict[str, Any]] = []
+    digests: List[str] = []
+    for offered_rps in rps_points:
+        events = generate_session_trace(
+            args.seed, offered_rps, duration_s,
+            sessions=args.sessions, tenants=args.tenants,
+            zipf_s=args.zipf_s, p_step=args.p_step,
+        )
+        digests.append(trace_digest(events))
+        predictable = sum(1 for e in events if e.predictable)
+
+        point: Dict[str, Any] = {
+            "offered_rps": offered_rps,
+            "predictable": predictable,
+        }
+        for mode in ("baseline", "sessions"):
+            backend = _make_backend(args)
+            cache = ResultCache(
+                CacheConfig(enabled=True, memory_entries=2048, use_disk=False)
+            )
+            config = ServingConfig(
+                workers=args.workers,
+                queue_limit=args.queue_limit,
+                tenant_max_entries=args.tenant_max_entries,
+                slots=args.slots if mode == "sessions" else 0,
+                speculation_budget=(
+                    args.speculation_budget if mode == "sessions" else 0
+                ),
+                speculation_idle_depth=(
+                    args.speculation_idle_depth if mode == "sessions" else 0
+                ),
+            )
+            recorder = obs.enable(obs.Recorder())
+            try:
+                async with ServingServer(
+                    backend, config=config, cache=cache
+                ) as server:
+                    point[mode] = await run_load_point(
+                        server, events, duration_s,
+                        oracle=_oracle_for(_make_backend(args)),
+                    )
+                if mode == "sessions":
+                    speculative = {
+                        name: int(
+                            recorder.counter_total(f"serving.speculative.{name}")
+                        )
+                        for name in SPECULATIVE_COUNTERS
+                    }
+                    speculative["hit_rate"] = (
+                        speculative["hit"] / predictable if predictable else 0.0
+                    )
+                    point["speculative"] = speculative
+            finally:
+                obs.disable()
+        load_points.append(point)
+        print(
+            f"  rps={offered_rps:g}: offered={point['sessions']['offered']} "
+            f"predictable={predictable} "
+            f"spec_hits={point['speculative']['hit']} "
+            f"hit_rate={point['speculative']['hit_rate']:.2f} "
+            f"mismatches={point['sessions']['payload_mismatches']} "
+            f"p99 baseline={point['baseline']['latency_ms']['p99']:.1f}ms "
+            f"sessions={point['sessions']['latency_ms']['p99']:.1f}ms"
+        )
+
+    return {
+        "kind": "serving_sessions",
+        "meta": {
+            "seed": args.seed,
+            "backend": "app" if args.app else "synthetic",
+            "tenants": args.tenants,
+            "sessions": args.sessions,
+            "p_step": args.p_step,
+            "zipf_s": args.zipf_s,
+            "workers": args.workers,
+            "queue_limit": args.queue_limit,
+            "slots": args.slots,
+            "speculation_budget": args.speculation_budget,
+            "speculation_idle_depth": args.speculation_idle_depth,
+            "duration_s": duration_s,
+            "trace_digest": digest(digests),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "load_points": load_points,
+    }
+
+
 def _make_backend(args: argparse.Namespace):
     if args.app:
         from repro.serving import AppBackend
@@ -346,11 +605,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="drive the real AppBackend spreadsheet path instead of the "
         "synthetic workload",
     )
-    parser.add_argument("--out", default="BENCH_serving.json")
+    parser.add_argument(
+        "--session-locality", action="store_true",
+        help="session-correlated animation traces: run each load point "
+        "as a baseline-vs-sessions comparison and emit a "
+        "kind=serving_sessions artifact",
+    )
+    parser.add_argument("--p-step", type=float, default=0.95,
+                        help="per-frame probability a session animates "
+                        "(+1 timestep) instead of teleporting")
+    parser.add_argument("--slots", type=int, default=2,
+                        help="backend slots of the sessions configuration")
+    parser.add_argument("--speculation-budget", type=int, default=2)
+    parser.add_argument(
+        "--speculation-idle-depth", type=int, default=0,
+        help="max demand-queue depth at which speculation may launch; "
+        "0 (the default) never lets a pre-render contend with queued "
+        "demand — the right setting for small worker pools",
+    )
+    parser.add_argument("--out", default=None)
     args = parser.parse_args(argv)
+    if args.out is None:
+        args.out = (
+            "BENCH_serving_sessions.json" if args.session_locality
+            else "BENCH_serving.json"
+        )
 
     wall0 = time.perf_counter()
-    payload = asyncio.run(run_harness(args))
+    harness = run_session_harness if args.session_locality else run_harness
+    payload = asyncio.run(harness(args))
     payload["meta"]["wall_s"] = time.perf_counter() - wall0
 
     out = Path(args.out)
